@@ -1,0 +1,273 @@
+"""Shared builders for the benchmark suite (E1–E10).
+
+Each experiment benchmarks a *configuration function* built here, so the
+pytest-benchmark targets and the table-printing harness
+(``python benchmarks/harness.py``) measure exactly the same code paths.
+All workloads are seeded: a given configuration always processes the same
+event stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro import CEPREngine
+from repro.baselines.match_then_rank import MatchThenRankQuery
+from repro.baselines.unranked import UnrankedQuery
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.workloads.generic import GenericWorkload
+from repro.workloads.sensor import VitalsWorkload
+from repro.workloads.stock import StockWorkload
+from repro.workloads.traffic import TrafficWorkload
+
+
+def fresh_events(events: list[Event]) -> list[Event]:
+    """Deep-copy a stream so repeated runs never share seq numbers."""
+    return [Event(e.event_type, e.timestamp, **e.payload) for e in events]
+
+
+@dataclass
+class RunResult:
+    """What one measured engine run produced."""
+
+    seconds: float
+    events: int
+    matches: int = 0
+    emissions: int = 0
+    runs_created: int = 0
+    runs_pruned: int = 0
+    peak_live_runs: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def events_per_second(self) -> float:
+        return self.events / self.seconds if self.seconds > 0 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# stream builders (cached per parameter set by the callers)
+# ---------------------------------------------------------------------------
+
+
+def stock_stream(count: int, seed: int = 2016) -> tuple[list[Event], SchemaRegistry]:
+    workload = StockWorkload(seed=seed)
+    return list(workload.events(count)), workload.registry()
+
+
+def generic_stream(
+    count: int, alphabet: int = 4, seed: int = 7
+) -> tuple[list[Event], SchemaRegistry]:
+    workload = GenericWorkload(seed=seed, alphabet_size=alphabet)
+    return list(workload.events(count)), workload.registry()
+
+
+def vitals_stream(count: int, seed: int = 5) -> tuple[list[Event], SchemaRegistry]:
+    workload = VitalsWorkload(seed=seed, anomaly_rate=0.02)
+    return list(workload.events(count)), workload.registry()
+
+
+def traffic_stream(count: int, seed: int = 3) -> tuple[list[Event], SchemaRegistry]:
+    workload = TrafficWorkload(seed=seed, incident_rate=0.006, incident_length=150)
+    return list(workload.events(count)), workload.registry()
+
+
+# ---------------------------------------------------------------------------
+# measured runners
+# ---------------------------------------------------------------------------
+
+
+def run_cepr_raw(
+    query: str,
+    events: list[Event],
+    registry: SchemaRegistry | None = None,
+    enable_pruning: bool = True,
+) -> RunResult:
+    """Run the integrated matcher→scorer→ranker chain without the engine
+    facade (no per-event metrics), mirroring the baselines' raw loops so
+    algorithm comparisons (E1/E2) are apples-to-apples."""
+    from repro.events.time import SequenceAssigner
+    from repro.language.parser import parse_query
+    from repro.language.semantics import analyze
+    from repro.runtime.query import RegisteredQuery
+
+    stream = fresh_events(events)
+    analyzed = analyze(parse_query(query), registry)
+    registered = RegisteredQuery(
+        "bench",
+        analyzed,
+        registry=registry,
+        enable_pruning=enable_pruning,
+        collect_results=False,
+    )
+    matcher, ranker = registered.matcher, registered.ranker
+    assigner = SequenceAssigner()
+    emissions = 0
+    started = time.perf_counter()
+    for event in stream:
+        assigner.assign(event)
+        matches = matcher.process(event)
+        emissions += len(ranker.observe(event, matches))
+    last = stream[-1] if stream else None
+    final = matcher.flush()
+    if last is not None:
+        emissions += len(ranker.observe_final(final, last.seq, last.timestamp))
+    elapsed = time.perf_counter() - started
+    stats = matcher.stats
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=stats.matches_completed,
+        emissions=emissions,
+        runs_created=stats.runs_created,
+        runs_pruned=stats.runs_pruned,
+        peak_live_runs=stats.peak_live_runs,
+    )
+
+
+def run_cepr(
+    query: str,
+    events: list[Event],
+    registry: SchemaRegistry | None = None,
+    enable_pruning: bool = True,
+) -> RunResult:
+    """Run one CEPR query over a copy of ``events`` and collect stats."""
+    stream = fresh_events(events)
+    engine = CEPREngine(registry=registry, enable_pruning=enable_pruning)
+    handle = engine.register_query(query, collect_results=False)
+    started = time.perf_counter()
+    engine.run(stream)
+    elapsed = time.perf_counter() - started
+    stats = handle.matcher.stats
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=handle.metrics.matches,
+        emissions=handle.metrics.emissions,
+        runs_created=stats.runs_created,
+        runs_pruned=stats.runs_pruned,
+        peak_live_runs=stats.peak_live_runs,
+    )
+
+
+def run_match_then_rank(
+    query: str, events: list[Event], registry: SchemaRegistry | None = None
+) -> RunResult:
+    stream = fresh_events(events)
+    baseline = MatchThenRankQuery(query, registry)
+    started = time.perf_counter()
+    baseline.run(stream)
+    elapsed = time.perf_counter() - started
+    stats = baseline.matcher.stats
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=stats.matches_completed,
+        emissions=len(baseline.emissions),
+        runs_created=stats.runs_created,
+        peak_live_runs=stats.peak_live_runs,
+        extra={"matches_buffered": baseline.matches_buffered},
+    )
+
+
+def run_unranked(
+    query: str, events: list[Event], registry: SchemaRegistry | None = None
+) -> RunResult:
+    stream = fresh_events(events)
+    baseline = UnrankedQuery(query, registry)
+    started = time.perf_counter()
+    baseline.run(stream)
+    elapsed = time.perf_counter() - started
+    stats = baseline.matcher.stats
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=stats.matches_completed,
+        runs_created=stats.runs_created,
+        peak_live_runs=stats.peak_live_runs,
+    )
+
+
+def run_multi_query(
+    queries: Iterable[str],
+    events: list[Event],
+    registry=None,
+    broadcast: bool = False,
+) -> RunResult:
+    """Run N concurrent queries over one stream.
+
+    ``broadcast=True`` disables type-based routing: every event is offered
+    to every query (each still rejects irrelevant types itself).  This is
+    the dispatch strategy a router-less engine would use, and the baseline
+    the E8 experiment compares routing against.
+    """
+    stream = fresh_events(events)
+    engine = CEPREngine(registry=registry)
+    handles = [engine.register_query(q, collect_results=False) for q in queries]
+    if broadcast:
+        engine._router.route = lambda _event: handles  # type: ignore[method-assign]
+    started = time.perf_counter()
+    engine.run(stream)
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=sum(h.metrics.matches for h in handles),
+        emissions=sum(h.metrics.emissions for h in handles),
+        runs_created=sum(h.matcher.stats.runs_created for h in handles),
+    )
+
+
+# ---------------------------------------------------------------------------
+# canonical queries
+# ---------------------------------------------------------------------------
+
+
+def stock_rank_query(window: int = 100, k: int | None = 5) -> str:
+    limit = f"LIMIT {k}" if k is not None else ""
+    return f"""
+        PATTERN SEQ(Buy b, Sell s)
+        WHERE b.symbol == s.symbol AND s.price > b.price
+        WITHIN {window} EVENTS
+        USING SKIP_TILL_ANY
+        PARTITION BY symbol
+        RANK BY s.price - b.price DESC
+        {limit}
+        EMIT ON WINDOW CLOSE
+    """
+
+
+def generic_rank_query(
+    window: int = 50,
+    k: int | None = 5,
+    strategy: str = "SKIP_TILL_ANY",
+    length: int = 2,
+) -> str:
+    """SEQ over the first ``length`` letters, ranked by last-minus-first."""
+    letters = [chr(ord("A") + i) for i in range(length)]
+    variables = [letter.lower() for letter in letters]
+    pattern = ", ".join(f"{t} {v}" for t, v in zip(letters, variables))
+    limit = f"LIMIT {k}" if k is not None else ""
+    return f"""
+        PATTERN SEQ({pattern})
+        WITHIN {window} EVENTS
+        USING {strategy}
+        RANK BY {variables[-1]}.value - {variables[0]}.value DESC
+        {limit}
+        EMIT ON WINDOW CLOSE
+    """
+
+
+def kleene_rank_query(window: int = 50, k: int | None = 5) -> str:
+    return f"""
+        PATTERN SEQ(HeartRate onset, HeartRate spikes+)
+        WHERE onset.value > 100 AND spikes.value > 100
+              AND spikes.value >= prev(spikes.value)
+        WITHIN {window} EVENTS
+        PARTITION BY patient
+        RANK BY max(spikes.value) DESC, count(spikes) DESC
+        {f"LIMIT {k}" if k else ""}
+        EMIT ON WINDOW CLOSE
+    """

@@ -1,0 +1,37 @@
+"""Benchmark fixtures: pre-built event streams shared across experiments."""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from common import generic_stream, stock_stream, traffic_stream, vitals_stream  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def stock_20k():
+    return stock_stream(20_000)
+
+
+@pytest.fixture(scope="session")
+def stock_10k():
+    return stock_stream(10_000)
+
+
+@pytest.fixture(scope="session")
+def generic_10k():
+    return generic_stream(10_000)
+
+
+@pytest.fixture(scope="session")
+def vitals_10k():
+    return vitals_stream(10_000)
+
+
+@pytest.fixture(scope="session")
+def traffic_10k():
+    # trailing-negation pendings make this the heaviest workload; 6k events
+    # keep the suite quick while still spanning several incidents.
+    return traffic_stream(6_000)

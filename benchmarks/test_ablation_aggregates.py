@@ -1,0 +1,56 @@
+"""Ablation — incremental aggregate state vs. recompute-from-list.
+
+DESIGN.md calls out incremental aggregates (O(1) per accepted Kleene
+element) as a design choice; the alternative recomputes each aggregate
+from the binding list on every evaluation (O(n), so O(n²) over a long
+closure).  This ablation evaluates a running-aggregate iteration predicate
+(``bs.value > avg(bs.value)``) with tracking on and off.
+"""
+
+import pytest
+
+from common import fresh_events, generic_stream
+from repro.engine.compiler import compile_automaton
+from repro.engine.matcher import PatternMatcher
+from repro.events.time import SequenceAssigner
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+
+QUERY = """
+    PATTERN SEQ(A a, B bs+)
+    WHERE bs.value > avg(bs.value) - 50
+    WITHIN 200 EVENTS
+"""
+
+
+def run_matcher(events, track_aggregates: bool) -> int:
+    analyzed = analyze(parse_query(QUERY))
+    matcher = PatternMatcher(
+        compile_automaton(analyzed), track_aggregates=track_aggregates
+    )
+    assigner = SequenceAssigner()
+    total = 0
+    for event in fresh_events(events):
+        assigner.assign(event)
+        total += len(matcher.process(event))
+    total += len(matcher.flush())
+    return total
+
+
+@pytest.fixture(scope="module")
+def agg_stream():
+    return generic_stream(4_000, alphabet=2)
+
+
+@pytest.mark.parametrize("tracked", [True, False], ids=["incremental", "recompute"])
+def test_ablation_aggregate_tracking(benchmark, agg_stream, tracked):
+    events, _registry = agg_stream
+    matches = benchmark.pedantic(
+        lambda: run_matcher(events, tracked), rounds=3, iterations=1
+    )
+    assert matches > 0
+
+
+def test_ablation_results_identical(agg_stream):
+    events, _registry = agg_stream
+    assert run_matcher(events, True) == run_matcher(events, False)

@@ -1,0 +1,50 @@
+"""E10 — Query compilation cost (parse → analyse → NFA) by clause complexity."""
+
+import pytest
+
+from repro.engine.compiler import compile_automaton
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+
+CORPUS = {
+    "minimal": "PATTERN SEQ(A a)",
+    "typical": """
+        PATTERN SEQ(Buy b, Sell s)
+        WHERE b.symbol == s.symbol AND s.price > b.price
+        WITHIN 100 EVENTS
+        PARTITION BY symbol
+        RANK BY s.price - b.price DESC
+        LIMIT 5
+        EMIT ON WINDOW CLOSE
+    """,
+    "complex": """
+        NAME everything
+        PATTERN SEQ(A a, B bs+, NOT C c, D d, E es+)
+        WHERE a.value > 1 AND bs.value > prev(bs.value)
+              AND avg(bs.value) < d.value AND c.value > a.value
+              AND es.value < d.value AND count(es) >= 1
+              AND duration() < 500 AND abs(d.value - a.value) > 2
+        WITHIN 200 EVENTS
+        USING SKIP_TILL_ANY
+        PARTITION BY group
+        RANK BY max(es.value) DESC, count(bs) DESC, duration() ASC
+        LIMIT 10
+        EMIT EVERY 50 EVENTS
+    """,
+}
+
+
+def compile_pipeline(text: str):
+    return compile_automaton(analyze(parse_query(text)))
+
+
+@pytest.mark.parametrize("size", list(CORPUS))
+def test_e10_compile(benchmark, size):
+    text = CORPUS[size]
+    automaton = benchmark(compile_pipeline, text)
+    assert automaton.stages
+
+
+def test_e10_parse_only(benchmark):
+    ast = benchmark(parse_query, CORPUS["complex"])
+    assert ast.pattern

@@ -1,0 +1,35 @@
+"""E1 — Ranking overhead: CEPR ranked query vs. plain (unranked) CEP.
+
+Same pattern, same stream; the only difference is the RANK BY / LIMIT /
+tumbling-emission machinery.  Expected shape: ranking adds a small constant
+factor (<2x) over unranked detection.
+"""
+
+from common import run_cepr_raw, run_unranked, stock_rank_query
+
+UNRANKED_QUERY = """
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 100 EVENTS
+    USING SKIP_TILL_ANY
+    PARTITION BY symbol
+"""
+
+
+def test_e1_unranked_cep(benchmark, stock_10k):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_unranked(UNRANKED_QUERY, events, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.matches > 0
+
+
+def test_e1_cepr_ranked(benchmark, stock_10k):
+    events, registry = stock_10k
+    query = stock_rank_query(window=100, k=5)
+    result = benchmark.pedantic(
+        lambda: run_cepr_raw(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.emissions > 0

@@ -1,0 +1,37 @@
+"""E2 — Integrated top-k vs. match-then-rank, sweeping window size.
+
+Match count grows super-linearly with the window under SKIP_TILL_ANY; the
+integrated ranker keeps a bounded heap per epoch and prunes partial runs
+whose score bound is beaten, while match-then-rank materialises and sorts
+everything.  Expected shape: integrated wins, and the gap widens with the
+window.  Both sides run raw operator loops (no engine facade), so the
+difference isolates the ranking algorithms.
+"""
+
+import pytest
+
+from common import generic_rank_query, run_cepr_raw, run_match_then_rank
+
+WINDOWS = [25, 100, 400]
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_e2_integrated(benchmark, generic_10k, window):
+    events, registry = generic_10k
+    query = generic_rank_query(window=window, k=5)
+    result = benchmark.pedantic(
+        lambda: run_cepr_raw(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.emissions > 0
+
+
+@pytest.mark.parametrize("window", WINDOWS)
+def test_e2_match_then_rank(benchmark, generic_10k, window):
+    events, registry = generic_10k
+    query = generic_rank_query(window=window, k=5)
+    result = benchmark.pedantic(
+        lambda: run_match_then_rank(query, events, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.extra["matches_buffered"] >= result.matches

@@ -1,0 +1,37 @@
+"""E3 — Score-bound pruning effectiveness vs. k.
+
+Tight schema domains (the generic workload declares exactly its value
+range) let the pruner bound partial-run scores.  Expected shape: smaller k
+prunes more runs; k=∞ (no LIMIT) disables pruning entirely; results are
+identical either way (exactness is covered by the test suite).
+"""
+
+import pytest
+
+from common import generic_rank_query, run_cepr
+
+KS = [1, 10, 50]
+
+
+@pytest.mark.parametrize("k", KS)
+def test_e3_pruning_on(benchmark, generic_10k, k):
+    events, registry = generic_10k
+    query = generic_rank_query(window=50, k=k)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry, enable_pruning=True),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.runs_pruned > 0
+
+
+@pytest.mark.parametrize("k", [1])
+def test_e3_pruning_off(benchmark, generic_10k, k):
+    events, registry = generic_10k
+    query = generic_rank_query(window=50, k=k)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry, enable_pruning=False),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.runs_pruned == 0

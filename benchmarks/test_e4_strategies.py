@@ -1,0 +1,33 @@
+"""E4 — Event-selection strategy cost.
+
+SKIP_TILL_ANY clones a run for every relevant event, SKIP_TILL_NEXT keeps
+one deterministic branch per take/proceed split, STRICT kills on any gap.
+Expected shape: ANY ≫ NEXT > STRICT in runs and time, and the gap widens
+as per-type selectivity rises (smaller alphabet → more relevant events).
+"""
+
+import pytest
+
+from common import generic_rank_query, generic_stream, run_cepr
+
+STRATEGIES = ["STRICT", "SKIP_TILL_NEXT", "SKIP_TILL_ANY"]
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_e4_strategy(benchmark, generic_10k, strategy):
+    events, registry = generic_10k
+    query = generic_rank_query(window=40, k=5, strategy=strategy, length=3)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.runs_created > 0
+
+
+@pytest.mark.parametrize("alphabet", [2, 8])
+def test_e4_selectivity_sweep_any(benchmark, alphabet):
+    events, registry = generic_stream(5_000, alphabet=alphabet)
+    query = generic_rank_query(window=40, k=5, strategy="SKIP_TILL_ANY", length=2)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.events == 5_000

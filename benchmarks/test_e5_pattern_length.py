@@ -1,0 +1,42 @@
+"""E5 — Pattern-length scaling: SEQ(2) … SEQ(5).
+
+Longer sequences mean more live partial runs per match attempt.  Expected
+shape: cost grows with pattern length, sharply under SKIP_TILL_ANY (the
+run tree branches at every stage), mildly under SKIP_TILL_NEXT.
+"""
+
+import pytest
+
+from common import generic_rank_query, generic_stream, run_cepr
+
+LENGTHS = [2, 3, 4, 5]
+
+
+@pytest.fixture(scope="module")
+def wide_generic():
+    # alphabet of 6 so even SEQ(5) has all its types
+    return generic_stream(8_000, alphabet=6)
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+def test_e5_length_skip_till_next(benchmark, wide_generic, length):
+    events, registry = wide_generic
+    query = generic_rank_query(
+        window=60, k=5, strategy="SKIP_TILL_NEXT", length=length
+    )
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.events == 8_000
+
+
+@pytest.mark.parametrize("length", [2, 3, 4])
+def test_e5_length_skip_till_any(benchmark, wide_generic, length):
+    events, registry = wide_generic
+    query = generic_rank_query(
+        window=60, k=5, strategy="SKIP_TILL_ANY", length=length
+    )
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.events == 8_000

@@ -1,0 +1,36 @@
+"""E6 — Kleene closure with aggregate scoring (health workload).
+
+The escalation query binds arbitrarily long heart-rate runs and ranks by
+``max``/``count`` aggregates.  Measures the cost of incremental aggregate
+maintenance plus per-prefix emission, against the same pattern without
+ranking.
+"""
+
+from common import kleene_rank_query, run_cepr, run_unranked
+
+UNRANKED_KLEENE = """
+    PATTERN SEQ(HeartRate onset, HeartRate spikes+)
+    WHERE onset.value > 100 AND spikes.value > 100
+          AND spikes.value >= prev(spikes.value)
+    WITHIN 50 EVENTS
+    PARTITION BY patient
+"""
+
+
+def test_e6_kleene_ranked(benchmark, vitals_10k):
+    events, registry = vitals_10k
+    query = kleene_rank_query(window=50, k=5)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.events == 10_000
+
+
+def test_e6_kleene_unranked(benchmark, vitals_10k):
+    events, registry = vitals_10k
+    result = benchmark.pedantic(
+        lambda: run_unranked(UNRANKED_KLEENE, events, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events == 10_000

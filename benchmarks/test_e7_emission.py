@@ -1,0 +1,41 @@
+"""E7 — Emission-policy cost: window-close vs. periodic vs. eager.
+
+All three rank the same matches; they differ in when snapshots are cut.
+Expected shape: ON WINDOW CLOSE is cheapest (one ordered emission per
+epoch, zero revisions); EVERY pays per period; EAGER pays a snapshot per
+top-k change and emits the most revisions but has the lowest
+time-to-first-answer (the harness reports those series).
+"""
+
+import pytest
+
+from common import run_cepr
+
+POLICIES = {
+    "window_close": "EMIT ON WINDOW CLOSE",
+    "periodic": "EMIT EVERY 100 EVENTS",
+    "eager": "EMIT EAGER",
+}
+
+
+def query_for(policy: str) -> str:
+    return f"""
+        PATTERN SEQ(Buy b, Sell s)
+        WHERE b.symbol == s.symbol AND s.price > b.price
+        WITHIN 100 EVENTS
+        USING SKIP_TILL_ANY
+        PARTITION BY symbol
+        RANK BY s.price - b.price DESC
+        LIMIT 5
+        {POLICIES[policy]}
+    """
+
+
+@pytest.mark.parametrize("policy", list(POLICIES))
+def test_e7_emission_policy(benchmark, stock_10k, policy):
+    events, registry = stock_10k
+    query = query_for(policy)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.emissions > 0

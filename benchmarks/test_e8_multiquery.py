@@ -1,0 +1,91 @@
+"""E8 — Multi-query scale-out: type routing vs. broadcast dispatch.
+
+N concurrent queries over disjoint type pairs.  With the type-indexed
+router each event reaches exactly the queries that can use it; with
+broadcast dispatch (the router bypassed) every event is offered to all N
+queries, which reject irrelevant types one by one.  Expected shape: routed
+throughput degrades only with the fraction of the stream that is relevant,
+while broadcast throughput degrades linearly in N on top of that.
+"""
+
+import pytest
+
+from common import fresh_events, run_multi_query
+from repro.workloads.generic import GenericWorkload
+
+
+def disjoint_queries(n: int) -> list[str]:
+    """Each query watches its own pair of letters (13 pairs available)."""
+    queries = []
+    for i in range(n):
+        first = chr(ord("A") + (2 * i) % 26)
+        second = chr(ord("A") + (2 * i + 1) % 26)
+        queries.append(
+            f"""
+            PATTERN SEQ({first} a, {second} b)
+            WITHIN 50 EVENTS
+            RANK BY b.value - a.value DESC
+            LIMIT 3
+            EMIT ON WINDOW CLOSE
+            """
+        )
+    return queries
+
+
+def overlapping_queries(n: int) -> list[str]:
+    """Every query watches the same two letters with a different threshold."""
+    return [
+        f"""
+        PATTERN SEQ(A a, B b)
+        WHERE b.value - a.value > {i % 50}
+        WITHIN 50 EVENTS
+        RANK BY b.value - a.value DESC
+        LIMIT 3
+        EMIT ON WINDOW CLOSE
+        """
+        for i in range(n)
+    ]
+
+
+@pytest.fixture(scope="module")
+def full_alphabet_stream():
+    workload = GenericWorkload(seed=12, alphabet_size=26)
+    return list(workload.events(10_000)), workload.registry()
+
+
+@pytest.mark.parametrize("n", [1, 4, 13])
+def test_e8_disjoint(benchmark, full_alphabet_stream, n):
+    events, registry = full_alphabet_stream
+    queries = disjoint_queries(n)
+    result = benchmark.pedantic(
+        lambda: run_multi_query(queries, fresh_events(events), registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events == 10_000
+
+
+@pytest.mark.parametrize("n", [1, 4, 13])
+def test_e8_broadcast(benchmark, full_alphabet_stream, n):
+    events, registry = full_alphabet_stream
+    queries = disjoint_queries(n)
+    result = benchmark.pedantic(
+        lambda: run_multi_query(
+            queries, fresh_events(events), registry, broadcast=True
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events == 10_000
+
+
+@pytest.mark.parametrize("n", [1, 4, 13])
+def test_e8_overlapping(benchmark, full_alphabet_stream, n):
+    events, registry = full_alphabet_stream
+    queries = overlapping_queries(n)
+    result = benchmark.pedantic(
+        lambda: run_multi_query(queries, fresh_events(events), registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events == 10_000

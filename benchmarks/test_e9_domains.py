@@ -1,0 +1,45 @@
+"""E9 — End-to-end demo scenarios (finance / health / transportation).
+
+One realistic query per demo domain, each over its generated workload —
+the closest thing to the demo paper's live scenarios, measured as
+sustained events/second.
+"""
+
+from common import kleene_rank_query, run_cepr, stock_rank_query
+
+TRAFFIC_QUERY = """
+    PATTERN SEQ(SpeedReport free, SpeedReport slowdown+, NOT Clear cleared)
+    WHERE free.speed > 70 AND slowdown.speed < 50
+          AND slowdown.speed <= prev(slowdown.speed)
+    WITHIN 30 SECONDS
+    PARTITION BY segment
+    RANK BY free.speed - last(slowdown.speed) DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def test_e9_finance(benchmark, stock_10k):
+    events, registry = stock_10k
+    query = stock_rank_query(window=100, k=5)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.matches > 0
+
+
+def test_e9_health(benchmark, vitals_10k):
+    events, registry = vitals_10k
+    query = kleene_rank_query(window=60, k=5)
+    result = benchmark.pedantic(
+        lambda: run_cepr(query, events, registry), rounds=3, iterations=1
+    )
+    assert result.events == 10_000
+
+
+def test_e9_transportation(benchmark, traffic_10k):
+    events, registry = traffic_10k
+    result = benchmark.pedantic(
+        lambda: run_cepr(TRAFFIC_QUERY, events, registry), rounds=3, iterations=1
+    )
+    assert result.events == len(events)

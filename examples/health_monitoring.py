@@ -1,0 +1,85 @@
+"""Health-care scenario: rank patient deterioration episodes by severity.
+
+A panel of patients streams vital signs; a small fraction develop episodes
+(tachycardia with fever ramp).  The query detects escalating heart-rate
+sequences per patient and ranks them so the *most severe* episode is always
+first — the clinical point of ranked CEP: with dozens of concurrent alerts,
+the care team sees the worst case first, not the first-detected one.
+
+Run with::
+
+    python examples/health_monitoring.py [num_events]
+"""
+
+import sys
+
+from repro import CEPREngine
+from repro.workloads.sensor import VitalsWorkload
+
+ESCALATION = """
+    NAME escalation
+    PATTERN SEQ(HeartRate onset, HeartRate spikes+)
+    WHERE onset.value > 100
+          AND spikes.value > 100
+          AND spikes.value >= prev(spikes.value)
+    WITHIN 60 SECONDS
+    PARTITION BY patient
+    RANK BY max(spikes.value) DESC, count(spikes) DESC
+    LIMIT 5
+    EMIT ON WINDOW CLOSE
+"""
+
+HYPOXIA = """
+    NAME hypoxia
+    PATTERN SEQ(OxygenSat low, NOT OxygenSat recovery, HeartRate hr)
+    WHERE low.value < 90
+          AND recovery.patient == low.patient AND recovery.value >= 94
+          AND hr.patient == low.patient AND hr.value > 110
+    WITHIN 60 SECONDS
+    PARTITION BY patient
+    RANK BY low.value ASC
+    LIMIT 5
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def main(num_events: int = 30_000) -> None:
+    workload = VitalsWorkload(seed=7, patients=12, anomaly_rate=0.02)
+    engine = CEPREngine(registry=workload.registry())
+    escalation = engine.register_query(ESCALATION)
+    hypoxia = engine.register_query(HYPOXIA)
+
+    engine.run(workload.events(num_events))
+
+    print(f"=== most severe tachycardia episodes ({num_events} readings) ===")
+    emissions = [e for e in escalation.results() if e.ranking]
+    for emission in emissions[-3:]:
+        window_start = emission.epoch * 60 if emission.epoch is not None else 0
+        print(f"  window starting t={window_start}s:")
+        for position, match in enumerate(emission.ranking, start=1):
+            peak, length = match.rank_values
+            patient = match.partition_key[0]
+            print(
+                f"    #{position} patient {patient:>2}: peak {peak:5.1f} bpm, "
+                f"{int(length) + 1} escalating readings"
+            )
+
+    print("\n=== unrecovered hypoxia followed by tachycardia ===")
+    alerts = [m for e in hypoxia.results() for m in e.ranking]
+    if not alerts:
+        print("  (none in this run)")
+    for match in alerts[:5]:
+        print(
+            f"  patient {match.partition_key[0]:>2}: "
+            f"SpO2 dipped to {match['low']['value']:.1f}% with no recovery "
+            f"before HR {match['hr']['value']:.0f}"
+        )
+
+    print(
+        f"\nprocessed {engine.events_pushed} readings at "
+        f"{engine.metrics.throughput:,.0f} events/s"
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 30_000)

@@ -1,0 +1,67 @@
+"""Live monitoring demo — the paper's real-time interface, in a terminal.
+
+Replays a stock stream against the wall clock (sped up) while a background
+thread refreshes the CEPR monitor, which tails each query's current ranked
+answers and engine metrics — the terminal equivalent of the demo GUI.
+
+Run with::
+
+    python examples/live_monitor.py [seconds_to_run]
+"""
+
+import sys
+import threading
+import time
+
+from repro import CEPREngine, Monitor
+from repro.events.sources import ReplaySource
+from repro.workloads.stock import StockWorkload
+
+QUERY = """
+    NAME live_profits
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 100 EVENTS
+    USING SKIP_TILL_ANY
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 5
+    EMIT EVERY 50 EVENTS
+"""
+
+
+def main(run_seconds: float = 5.0) -> None:
+    workload = StockWorkload(seed=99, rate=200.0)
+    engine = CEPREngine(registry=workload.registry())
+    engine.register_query(QUERY)
+    monitor = Monitor(engine, top_n=5)
+
+    stop = threading.Event()
+
+    def ingest() -> None:
+        # Replay at 50x so a few seconds of wall clock covers minutes of
+        # stream time.
+        replay = ReplaySource(workload.events(1_000_000), speedup=50.0)
+        for event in replay:
+            if stop.is_set():
+                return
+            engine.push(event)
+
+    feeder = threading.Thread(target=ingest, daemon=True)
+    feeder.start()
+
+    deadline = time.monotonic() + run_seconds
+    try:
+        while time.monotonic() < deadline:
+            print(monitor.render())
+            time.sleep(0.5)
+    finally:
+        stop.set()
+        feeder.join(timeout=2.0)
+
+    print("\nfinal snapshot:")
+    print(monitor.render())
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 5.0)

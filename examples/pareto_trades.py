@@ -1,0 +1,65 @@
+"""Skyline extension: Pareto-optimal trades (profit vs. holding time).
+
+Lexicographic ``RANK BY`` must pick one criterion to dominate; when two
+criteria genuinely trade off — maximise profit, minimise how long the
+position was held — the answers a trader wants are the *Pareto front*:
+trades not beaten on both axes by any other trade.  This example runs the
+standard ranked query, then lifts its matches into the skyline extension
+(:mod:`repro.ranking.skyline`).
+
+Run with::
+
+    python examples/pareto_trades.py [num_events]
+"""
+
+import sys
+
+from repro import CEPREngine
+from repro.ranking.skyline import pareto_front
+from repro.workloads.stock import StockWorkload
+
+QUERY = """
+    NAME trades
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 300 EVENTS
+    USING SKIP_TILL_ANY
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC, duration() ASC
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def main(num_events: int = 10_000) -> None:
+    workload = StockWorkload(seed=42)
+    engine = CEPREngine(registry=workload.registry())
+    trades = engine.register_query(QUERY)
+    engine.run(workload.events(num_events))
+
+    emissions = [e for e in trades.results() if e.ranking]
+    if not emissions:
+        print("no trades found")
+        return
+    window = emissions[-1]
+    matches = window.ranking
+
+    print(f"last window: {len(matches)} profitable trades")
+    print("\nlexicographic top 5 (profit first, duration only breaks ties):")
+    for position, match in enumerate(matches[:5], start=1):
+        profit, held = match.rank_values
+        print(f"  #{position} profit {profit:+7.2f}  held {held:6.2f}s")
+
+    front = pareto_front(matches, trades.analyzed.rank_keys)
+    print(f"\nPareto front (profit DESC x duration ASC): {len(front)} trades")
+    for match in sorted(front, key=lambda m: -m.rank_values[0]):
+        profit, held = match.rank_values
+        symbol = match["b"]["symbol"]
+        print(f"  {symbol:>8}  profit {profit:+7.2f}  held {held:6.2f}s")
+    print(
+        "\nEvery front trade is unbeaten: no other trade has both more "
+        "profit and a shorter hold."
+    )
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 10_000)

@@ -1,0 +1,59 @@
+"""CEPR quickstart: register a ranked pattern query and push events.
+
+Run with::
+
+    python examples/quickstart.py
+
+The query finds Buy→Sell pairs on the same symbol that made a profit,
+ranks them by profit (best first), and emits the top 3 of each window.
+"""
+
+from repro import CEPREngine, Event
+
+QUERY = """
+    NAME best_trades
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 10 EVENTS
+    USING SKIP_TILL_ANY
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+EVENTS = [
+    Event("Buy", 1.0, symbol="ACME", price=10.0),
+    Event("Buy", 2.0, symbol="HOOLI", price=42.0),
+    Event("Sell", 3.0, symbol="ACME", price=13.5),
+    Event("Buy", 4.0, symbol="ACME", price=12.0),
+    Event("Sell", 5.0, symbol="HOOLI", price=41.0),  # a loss: filtered out
+    Event("Sell", 6.0, symbol="ACME", price=19.0),
+]
+
+
+def main() -> None:
+    engine = CEPREngine()
+    query = engine.register_query(QUERY)
+
+    engine.run(EVENTS)
+
+    print("Ranked Buy→Sell matches (best first):")
+    for emission in query.results():
+        print(f"  window epoch {emission.epoch}:")
+        for position, match in enumerate(emission.ranking, start=1):
+            buy, sell = match["b"], match["s"]
+            profit = match.rank_values[0]
+            print(
+                f"    #{position} {buy['symbol']}: buy {buy['price']:.2f} "
+                f"→ sell {sell['price']:.2f}  (profit {profit:+.2f})"
+            )
+
+    stats = engine.stats_by_query()["best_trades"]
+    print(
+        f"\nprocessed {engine.events_pushed} events, "
+        f"{stats['matches']:.0f} matches, {stats['emissions']:.0f} emissions"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Thin setup.py kept for environments without the `wheel` package.
+
+`pip install -e .` needs `wheel` to build a PEP 660 editable wheel; offline
+boxes without it can run `python setup.py develop` instead, which installs
+the same editable mapping of src/repro.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,77 @@
+"""CEPR — ranking support for matched patterns over complex event streams.
+
+A from-scratch reproduction of the CEPR system (Gu, Wang, Zaniolo,
+ICDE 2016 demo): a complex-event-processing engine whose query language
+makes ranking of matched patterns a first-class construct, and whose
+execution integrates top-k maintenance with pattern matching instead of
+ranking after the fact.
+
+Quickstart::
+
+    from repro import CEPREngine, Event
+
+    engine = CEPREngine()
+    query = engine.register_query('''
+        PATTERN SEQ(Buy b, Sell s)
+        WHERE b.symbol == s.symbol AND s.price > b.price
+        WITHIN 50 EVENTS
+        RANK BY s.price - b.price DESC
+        LIMIT 3
+    ''')
+    engine.push(Event("Buy", 1.0, symbol="ACME", price=10.0))
+    engine.push(Event("Sell", 2.0, symbol="ACME", price=14.0))
+    engine.flush()
+    for match in query.final_ranking():
+        print(match.describe())
+"""
+
+from repro.engine.match import Match
+from repro.events.event import Event
+from repro.events.schema import (
+    AttributeSpec,
+    Domain,
+    EventSchema,
+    SchemaRegistry,
+)
+from repro.events.stream import EventStream, merge_streams
+from repro.language.errors import (
+    CEPRError,
+    CEPRSemanticError,
+    CEPRSyntaxError,
+    EvaluationError,
+)
+from repro.language.parser import parse_query
+from repro.language.printer import format_query
+from repro.ranking.emission import Emission, EmissionKind
+from repro.runtime.engine import CEPREngine
+from repro.runtime.monitor import Monitor
+from repro.runtime.query import RegisteredQuery
+from repro.runtime.sinks import CallbackSink, CollectorSink, PrintSink
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AttributeSpec",
+    "CEPREngine",
+    "CEPRError",
+    "CEPRSemanticError",
+    "CEPRSyntaxError",
+    "CallbackSink",
+    "CollectorSink",
+    "Domain",
+    "Emission",
+    "EmissionKind",
+    "Event",
+    "EventSchema",
+    "EventStream",
+    "EvaluationError",
+    "Match",
+    "Monitor",
+    "PrintSink",
+    "RegisteredQuery",
+    "SchemaRegistry",
+    "__version__",
+    "format_query",
+    "merge_streams",
+    "parse_query",
+]

@@ -1,0 +1,6 @@
+"""Baselines the paper's approach is compared against."""
+
+from repro.baselines.match_then_rank import MatchThenRankQuery
+from repro.baselines.unranked import UnrankedQuery, strip_ranking
+
+__all__ = ["MatchThenRankQuery", "UnrankedQuery", "strip_ranking"]

@@ -1,0 +1,68 @@
+"""The unranked-CEP baseline: plain pattern matching, detection order.
+
+This is the classical engine CEPR extends — no scoring, no top-k, matches
+emitted as detected.  Experiment E1 measures the overhead ranking adds on
+top of it.
+"""
+
+from __future__ import annotations
+
+from repro.engine.compiler import compile_automaton
+from repro.engine.match import Match
+from repro.engine.matcher import PatternMatcher
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.events.time import SequenceAssigner
+from repro.language.ast_nodes import Query, RankKey
+from repro.language.errors import CEPRSemanticError
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+
+
+def strip_ranking(ast: Query) -> Query:
+    """Return ``ast`` without RANK BY / LIMIT / EMIT (pure matching)."""
+    from dataclasses import replace
+
+    return replace(ast, rank_by=(), limit=None, emit=None)
+
+
+class UnrankedQuery:
+    """Classical CEP evaluation of a (possibly de-ranked) query."""
+
+    def __init__(
+        self,
+        query: str | Query,
+        registry: SchemaRegistry | None = None,
+        name: str = "unranked",
+    ) -> None:
+        ast = parse_query(query) if isinstance(query, str) else query
+        ast = strip_ranking(ast)
+        if ast.rank_by:
+            raise CEPRSemanticError("unranked baseline cannot carry RANK BY")
+        self.analyzed = analyze(ast, registry)
+        self.name = name
+        self.automaton = compile_automaton(self.analyzed)
+        self.matcher = PatternMatcher(
+            self.automaton, prune_hook=None, tumbling=False, query_name=name
+        )
+        self.matches: list[Match] = []
+
+    def process(self, event: Event) -> list[Match]:
+        matches = self.matcher.process(event)
+        self.matches.extend(matches)
+        return matches
+
+    def flush(self) -> list[Match]:
+        confirmed = self.matcher.flush()
+        self.matches.extend(confirmed)
+        return confirmed
+
+    def run(self, events) -> list[Match]:
+        """Convenience: sequence, process, and flush a whole stream."""
+        assigner = SequenceAssigner()
+        for event in events:
+            if event.seq < 0:
+                assigner.assign(event)
+            self.process(event)
+        self.flush()
+        return self.matches

@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands:
+
+* ``validate`` — parse and analyse a query file, print its evaluation plan.
+* ``run`` — evaluate one or more query files over a recorded event stream
+  (JSONL or CSV), printing ranked results as text or JSON lines.
+* ``backtest`` — replay a time slice of a recorded event log against one
+  or more candidate queries and compare their result counts.
+* ``demo`` — generate a seeded synthetic workload to a JSONL file, for use
+  with ``run``/``backtest``.
+
+Examples::
+
+    python -m repro demo stock --events 10000 --out ticks.jsonl
+    python -m repro validate query.ceprql
+    python -m repro run query.ceprql --events ticks.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Iterable, TextIO
+
+from repro.events.event import Event
+from repro.events.sources import CSVSource, JSONLSource, write_jsonl
+from repro.language.errors import CEPRError
+from repro.ranking.emission import Emission
+from repro.runtime.engine import CEPREngine
+from repro.runtime.serialize import emission_to_line
+from repro.workloads.clickstream import ClickstreamWorkload
+from repro.workloads.generic import GenericWorkload
+from repro.workloads.sensor import VitalsWorkload
+from repro.workloads.stock import StockWorkload
+from repro.workloads.traffic import TrafficWorkload
+
+_WORKLOADS = {
+    "clickstream": ClickstreamWorkload,
+    "stock": StockWorkload,
+    "vitals": VitalsWorkload,
+    "traffic": TrafficWorkload,
+    "generic": GenericWorkload,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="CEPR: ranked pattern matching over event streams",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    validate = commands.add_parser(
+        "validate", help="parse a query file and print its evaluation plan"
+    )
+    validate.add_argument("query_files", nargs="+", type=Path)
+
+    run = commands.add_parser("run", help="run queries over a recorded stream")
+    run.add_argument("query_files", nargs="+", type=Path)
+    run.add_argument(
+        "--events", required=True, type=Path, help="JSONL or CSV event file"
+    )
+    run.add_argument(
+        "--output",
+        choices=("text", "jsonl"),
+        default="text",
+        help="result rendering (default: text)",
+    )
+    run.add_argument(
+        "--no-pruning",
+        action="store_true",
+        help="disable score-bound pruning (ablation)",
+    )
+    run.add_argument(
+        "--stats", action="store_true", help="print per-query statistics at the end"
+    )
+
+    backtest = commands.add_parser(
+        "backtest", help="replay a slice of a recorded event log"
+    )
+    backtest.add_argument("query_files", nargs="+", type=Path)
+    backtest.add_argument(
+        "--log", required=True, type=Path, help="JSONL event log (see `demo`)"
+    )
+    backtest.add_argument("--start", type=float, default=None, help="slice start ts")
+    backtest.add_argument("--end", type=float, default=None, help="slice end ts")
+    backtest.add_argument("--no-pruning", action="store_true")
+
+    demo = commands.add_parser("demo", help="generate a synthetic workload")
+    demo.add_argument("workload", choices=sorted(_WORKLOADS))
+    demo.add_argument("--events", type=int, default=10_000)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.add_argument("--out", required=True, type=Path)
+
+    return parser
+
+
+def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "validate":
+            return _cmd_validate(args, out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "backtest":
+            return _cmd_backtest(args, out)
+        return _cmd_demo(args, out)
+    except BrokenPipeError:
+        # downstream consumer (e.g. `| head`) closed the pipe: not an error
+        return 0
+    except CEPRError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+
+
+# ---------------------------------------------------------------------------
+# commands
+# ---------------------------------------------------------------------------
+
+
+def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
+    engine = CEPREngine()
+    for path in args.query_files:
+        handle = engine.register_query(path.read_text(), name=path.stem)
+        print(f"-- {path} --", file=out)
+        print(handle.explain(), file=out)
+    print(f"{len(args.query_files)} query file(s) valid", file=out)
+    return 0
+
+
+def _load_events(path: Path) -> Iterable[Event]:
+    suffix = path.suffix.lower()
+    if suffix in (".jsonl", ".ndjson"):
+        return JSONLSource(path)
+    if suffix == ".csv":
+        return CSVSource(path)
+    raise ValueError(f"unsupported event file {path}: expected .jsonl or .csv")
+
+
+def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
+    engine = CEPREngine(enable_pruning=not args.no_pruning)
+    handles = []
+    for path in args.query_files:
+        handle = engine.register_query(path.read_text(), name=path.stem)
+        handles.append(handle)
+
+    emission_count = 0
+    for event in _load_events(args.events):
+        for emission in engine.push(event):
+            emission_count += 1
+            _render(emission, args.output, out)
+    for emission in engine.flush():
+        emission_count += 1
+        _render(emission, args.output, out)
+
+    if args.stats:
+        print("-- statistics --", file=out)
+        for name, stats in engine.stats_by_query().items():
+            print(
+                f"  {name}: events={stats['events_routed']:.0f} "
+                f"matches={stats['matches']:.0f} "
+                f"emissions={stats['emissions']:.0f} "
+                f"pruned={stats['runs_pruned']:.0f}",
+                file=out,
+            )
+    if emission_count == 0 and args.output == "text":
+        print("(no results)", file=out)
+    return 0
+
+
+def _cmd_backtest(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.store.backtest import Backtester
+    from repro.store.log import EventLog
+
+    log = EventLog(args.log)
+    if len(log) == 0:
+        print(f"error: event log {args.log} is empty", file=out)
+        return 1
+    backtester = Backtester(log, enable_pruning=not args.no_pruning)
+    queries = {
+        path.stem: path.read_text() for path in args.query_files
+    }
+    results = backtester.compare(queries, start_ts=args.start, end_ts=args.end)
+    lo, hi = log.time_range
+    window = f"[{args.start if args.start is not None else lo:g}, "              f"{args.end if args.end is not None else hi:g})"
+    print(f"backtest over {window} of {len(log)} recorded events:", file=out)
+    for name, result in sorted(results.items(), key=lambda kv: -kv[1].matches):
+        best = (
+            f"best {result.final_ranking[0].rank_values}"
+            if result.final_ranking and result.final_ranking[0].rank_values
+            else ""
+        )
+        print(
+            f"  {name}: {result.matches} matches over "
+            f"{result.events_replayed} events {best}".rstrip(),
+            file=out,
+        )
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace, out: TextIO) -> int:
+    workload = _WORKLOADS[args.workload](seed=args.seed)
+    count = write_jsonl(args.out, workload.events(args.events))
+    print(f"wrote {count} {args.workload} events to {args.out}", file=out)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+
+def _render(emission: Emission, mode: str, out: TextIO) -> None:
+    if mode == "text":
+        print(_prefix(emission) + emission.describe(), file=out)
+        return
+    print(emission_to_line(emission), file=out)
+
+
+def _prefix(emission: Emission) -> str:
+    query = emission.ranking[0].query_name if emission.ranking else None
+    return f"[{query}] " if query else ""
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,36 @@
+"""The CEP matching engine: SASE+-style NFA-with-buffer evaluation.
+
+Pipeline: an analysed query is compiled into a
+:class:`~repro.engine.nfa.PatternAutomaton` by
+:func:`~repro.engine.compiler.compile_automaton`, then evaluated over a
+stream by a :class:`~repro.engine.matcher.PatternMatcher`, which produces
+:class:`~repro.engine.match.Match` records.
+"""
+
+from repro.engine.aggregates import AggregateState, needed_aggregates
+from repro.engine.compiler import compile_automaton
+from repro.engine.explain import explain
+from repro.engine.match import Match
+from repro.engine.matcher import MatcherStats, PatternMatcher, PruneHook
+from repro.engine.nfa import PatternAutomaton, Stage
+from repro.engine.partitioner import GLOBAL_KEY, Partitioner
+from repro.engine.runs import Run, new_run
+from repro.engine.windows import EpochTracker
+
+__all__ = [
+    "AggregateState",
+    "EpochTracker",
+    "GLOBAL_KEY",
+    "Match",
+    "MatcherStats",
+    "PatternAutomaton",
+    "PatternMatcher",
+    "Partitioner",
+    "PruneHook",
+    "Run",
+    "Stage",
+    "compile_automaton",
+    "explain",
+    "needed_aggregates",
+    "new_run",
+]

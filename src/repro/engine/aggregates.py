@@ -1,0 +1,122 @@
+"""Incremental aggregate state for Kleene bindings.
+
+Queries that aggregate over a Kleene variable (``avg(bs.price)`` in a
+``WHERE``, ``RANK BY``, or pruning bound) would otherwise rescan the
+binding list on every evaluation — O(n²) per run over the variable's
+lifetime.  :class:`AggregateState` maintains count/sum/min/max/first/last
+per referenced attribute in O(1) per accepted element, and the run exposes
+it to expression evaluation through ``EvalContext.agg_lookup``.
+
+States are immutable: ``accept`` returns a new state, so cloned runs share
+history for free (matching the engine's copy-on-extend run design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterable, Mapping
+
+from repro.events.event import Event
+from repro.language.ast_nodes import Aggregate, Expr, iter_subexpressions
+
+
+@dataclass(frozen=True)
+class AttrAggregates:
+    """Running aggregates for one attribute of one Kleene variable."""
+
+    total: float = 0.0
+    minimum: float | None = None
+    maximum: float | None = None
+    first: Any = None
+    last: Any = None
+
+    def accept(self, value: Any) -> "AttrAggregates":
+        numeric = isinstance(value, (int, float)) and not isinstance(value, bool)
+        return AttrAggregates(
+            total=self.total + value if numeric else self.total,
+            minimum=(
+                value
+                if numeric and (self.minimum is None or value < self.minimum)
+                else self.minimum
+            ),
+            maximum=(
+                value
+                if numeric and (self.maximum is None or value > self.maximum)
+                else self.maximum
+            ),
+            first=value if self.first is None else self.first,
+            last=value,
+        )
+
+
+@dataclass(frozen=True)
+class AggregateState:
+    """All running aggregates for one Kleene variable of one run."""
+
+    count: int = 0
+    attrs: Mapping[str, AttrAggregates] = None  # type: ignore[assignment]
+    tracked: frozenset[str] = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.attrs is None:
+            object.__setattr__(self, "attrs", {})
+
+    @classmethod
+    def for_attrs(cls, attrs: Iterable[str]) -> "AggregateState":
+        tracked = frozenset(attrs)
+        return cls(count=0, attrs={a: AttrAggregates() for a in tracked}, tracked=tracked)
+
+    def accept(self, event: Event) -> "AggregateState":
+        """Return a new state including ``event``."""
+        new_attrs = dict(self.attrs)
+        for attr in self.tracked:
+            if attr in event.payload:
+                new_attrs[attr] = new_attrs[attr].accept(event.payload[attr])
+        return replace(self, count=self.count + 1, attrs=new_attrs)
+
+    def lookup(self, func: str, attr: str | None) -> Any:
+        """Serve one aggregate value, or ``None`` when unavailable.
+
+        ``None`` makes the expression evaluator fall back to recomputing
+        from the binding list, so partial tracking is always safe.
+        """
+        if func in ("count", "len"):
+            return self.count if self.count > 0 else None
+        if attr is None or attr not in self.attrs or self.count == 0:
+            return None
+        agg = self.attrs[attr]
+        if func == "sum":
+            return agg.total
+        if func == "avg":
+            return agg.total / self.count
+        if func == "min":
+            return agg.minimum
+        if func == "max":
+            return agg.maximum
+        if func == "first":
+            return agg.first
+        if func == "last":
+            return agg.last
+        return None
+
+
+def needed_aggregates(exprs: Iterable[Expr]) -> frozenset[tuple[str, str, str | None]]:
+    """Collect every ``(var, func, attr)`` aggregate used by ``exprs``."""
+    needed: set[tuple[str, str, str | None]] = set()
+    for expr in exprs:
+        for node in iter_subexpressions(expr):
+            if isinstance(node, Aggregate):
+                needed.add((node.var, node.func, node.attr))
+    return frozenset(needed)
+
+
+def tracked_attrs_by_var(
+    needed: Iterable[tuple[str, str, str | None]],
+) -> dict[str, frozenset[str]]:
+    """Group the attributes each Kleene variable must track."""
+    grouped: dict[str, set[str]] = {}
+    for var, _func, attr in needed:
+        grouped.setdefault(var, set())
+        if attr is not None:
+            grouped[var].add(attr)
+    return {var: frozenset(attrs) for var, attrs in grouped.items()}

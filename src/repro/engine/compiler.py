@@ -1,0 +1,49 @@
+"""Compile an analysed query into a :class:`~repro.engine.nfa.PatternAutomaton`."""
+
+from __future__ import annotations
+
+from repro.engine.aggregates import needed_aggregates
+from repro.engine.nfa import PatternAutomaton, Stage
+from repro.language.ast_nodes import Expr, split_conjuncts
+from repro.language.semantics import AnalyzedQuery
+
+
+def compile_automaton(analyzed: AnalyzedQuery) -> PatternAutomaton:
+    """Build the stage chain and predicate attachments for ``analyzed``."""
+    stages: list[Stage] = []
+    for info in analyzed.positives:
+        assigned = analyzed.predicates_at.get(info.name, [])
+        bind = tuple(p for p in assigned if not p.incremental)
+        incremental = tuple(p for p in assigned if p.incremental)
+        if info.is_kleene and bind:
+            # Semantic analysis never anchors non-incremental predicates at
+            # a Kleene variable; guard against regressions loudly.
+            raise AssertionError(
+                f"non-incremental predicate anchored at Kleene variable {info.name!r}"
+            )
+        stages.append(
+            Stage(
+                index=info.position,
+                variable=info,
+                bind_predicates=bind,
+                incremental_predicates=incremental,
+            )
+        )
+
+    exprs: list[Expr] = []
+    exprs.extend(split_conjuncts(analyzed.ast.where))
+    exprs.extend(key.expr for key in analyzed.rank_keys)
+    aggregates = needed_aggregates(exprs)
+
+    return PatternAutomaton(
+        stages=tuple(stages),
+        negations=tuple(analyzed.negations),
+        completion_predicates=tuple(analyzed.completion_predicates),
+        window=analyzed.window,
+        strategy=analyzed.strategy,
+        partition_by=analyzed.partition_by,
+        var_types={v.name: v.event_type for v in analyzed.positives},
+        kleene_vars=analyzed.kleene_variable_names(),
+        needed_aggregates=aggregates,
+        analyzed=analyzed,
+    )

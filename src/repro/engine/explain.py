@@ -1,0 +1,119 @@
+"""Query plan explanation.
+
+``explain(automaton)`` renders the compiled evaluation plan of a query as
+readable text: the stage chain with every pushed-down predicate at its
+evaluation point, negation guards, completion predicates, ranking keys,
+window/strategy/emission configuration, and whether score-bound pruning is
+eligible.  Exposed as ``RegisteredQuery.explain()`` and used by the demo
+tooling — understanding *where* a predicate runs is the difference between
+a query that scales and one that does not.
+"""
+
+from __future__ import annotations
+
+from repro.engine.nfa import PatternAutomaton
+from repro.language.ast_nodes import EmitKind, WindowKind
+from repro.language.printer import format_expr
+from repro.language.semantics import AnalyzedQuery
+
+
+def explain(automaton: PatternAutomaton, pruning_enabled: bool = False) -> str:
+    """Render the evaluation plan of a compiled query."""
+    analyzed = automaton.analyzed
+    lines: list[str] = ["evaluation plan:"]
+
+    lines.append(f"  strategy: {automaton.strategy.value}")
+    lines.append(f"  window:   {_describe_window(automaton)}")
+    if automaton.partition_by:
+        lines.append(f"  partition by: {', '.join(automaton.partition_by)}")
+
+    lines.append("  stages:")
+    for stage in automaton.stages:
+        kind = "kleene+" if stage.is_kleene else "singleton"
+        lines.append(
+            f"    [{stage.index}] {stage.event_type} {stage.variable.name} ({kind})"
+        )
+        for predicate in stage.bind_predicates:
+            lines.append(f"          on bind: {format_expr(predicate.expr)}")
+        for predicate in stage.incremental_predicates:
+            lines.append(f"          per element: {format_expr(predicate.expr)}")
+
+    for negation in automaton.negations:
+        element = negation.element
+        guard = (
+            "until window expiry (match pends)"
+            if negation.before_is_end
+            else f"until stage {negation.before} binds"
+        )
+        lines.append(
+            f"  negation: NOT {element.event_type} {element.variable} — armed "
+            f"after stage {negation.after}, {guard}"
+        )
+        for predicate in negation.predicates:
+            lines.append(f"          kills when: {format_expr(predicate.expr)}")
+
+    for predicate in automaton.completion_predicates:
+        lines.append(f"  at completion: {format_expr(predicate.expr)}")
+
+    if analyzed is not None:
+        lines.extend(_describe_ranking(analyzed, pruning_enabled))
+    return "\n".join(lines)
+
+
+def _describe_window(automaton: PatternAutomaton) -> str:
+    window = automaton.window
+    if window is None:
+        return "none (runs never expire)"
+    if window.kind is WindowKind.COUNT:
+        return f"{int(window.span)} events"
+    return f"{window.span:g} seconds"
+
+
+def _describe_ranking(analyzed: AnalyzedQuery, pruning_enabled: bool) -> list[str]:
+    lines: list[str] = []
+    if analyzed.rank_keys:
+        keys = ", ".join(
+            f"{format_expr(k.expr)} {k.direction.value}" for k in analyzed.rank_keys
+        )
+        lines.append(f"  rank by: {keys}")
+    if analyzed.limit is not None:
+        lines.append(f"  limit: top {analyzed.limit}")
+    lines.append(f"  emit: {_describe_emit(analyzed)}")
+    if analyzed.yield_spec is not None:
+        assignments = ", ".join(
+            f"{attr} = {format_expr(expr)}"
+            for attr, expr, _evaluator in analyzed.yield_spec.assignments
+        )
+        lines.append(
+            f"  yield: derive {analyzed.yield_spec.event_type}({assignments}) "
+            f"per emitted match"
+        )
+
+    eligible = (
+        bool(analyzed.rank_keys)
+        and analyzed.limit is not None
+        and analyzed.emit.kind is EmitKind.ON_WINDOW_CLOSE
+    )
+    if not analyzed.rank_keys:
+        status = "n/a (unranked query)"
+    elif not eligible:
+        status = "ineligible (needs LIMIT and EMIT ON WINDOW CLOSE)"
+    elif pruning_enabled:
+        status = "active (needs schema domains to produce bounds)"
+    else:
+        status = "disabled by engine configuration"
+    lines.append(f"  score-bound pruning: {status}")
+    return lines
+
+
+def _describe_emit(analyzed: AnalyzedQuery) -> str:
+    emit = analyzed.emit
+    if emit.kind is EmitKind.ON_WINDOW_CLOSE:
+        return "ordered answer per tumbling window epoch"
+    if emit.kind is EmitKind.EAGER:
+        if analyzed.rank_keys:
+            return "snapshot whenever the top-k changes (revisions possible)"
+        return "each match on detection"
+    assert emit.period is not None
+    unit = "events" if emit.period_kind is WindowKind.COUNT else "seconds"
+    return f"snapshot every {emit.period:g} {unit}"

@@ -1,0 +1,546 @@
+"""The pattern matching operator.
+
+:class:`PatternMatcher` consumes one event at a time and maintains, per
+partition, the set of live partial-match :class:`~repro.engine.runs.Run`
+objects plus any *pending* matches (complete but guarded by a trailing
+negation until their window expires).  Each ``process(event)`` call returns
+the matches completed (or confirmed) by that event.
+
+Event selection strategies (``USING`` clause):
+
+* ``STRICT`` — every event of the partition must be consumed by a run or
+  the run dies (contiguity is relative to the event types the query
+  observes; see DESIGN.md).
+* ``SKIP_TILL_NEXT`` — irrelevant events are skipped; a relevant event is
+  consumed, branching when a Kleene *take* and a *proceed* are both
+  possible.
+* ``SKIP_TILL_ANY`` — every relevant event both extends a clone and is
+  skipped by the original, enumerating all matching combinations.
+
+Patterns ending in a Kleene variable emit a match for **every prefix** of
+the closure that satisfies the predicates (the run stays live and keeps
+extending) — the all-runs semantics of SASE+'s NFA^b.
+
+Ranking integration: the optional ``prune_hook`` is called with every
+*partial* run the matcher is about to keep (newly created or extended).
+Returning ``True`` discards the run — this is where the ranking layer cuts
+runs whose score upper bound cannot reach the current top-k (see
+:mod:`repro.ranking.pruning`).
+
+Tumbling mode (``tumbling=True``, used by ``EMIT ON WINDOW CLOSE``): the
+stream is cut into epochs of the window span and runs are killed at epoch
+boundaries, so every match completes within the epoch that ranks it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.engine.aggregates import tracked_attrs_by_var
+from repro.engine.match import Match
+from repro.engine.nfa import PatternAutomaton, Stage
+from repro.engine.partitioner import Partitioner
+from repro.engine.runs import Run, new_run
+from repro.engine.windows import EpochTracker
+from repro.events.event import Event
+from repro.language.ast_nodes import SelectionStrategy
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext, Evaluator, evaluate_predicate
+from repro.language.semantics import NegationSpec
+
+#: ``prune_hook(run, latest_event) -> True`` discards the partial run.
+PruneHook = Callable[[Run, Event], bool]
+
+
+@dataclass
+class MatcherStats:
+    """Counters exposed for metrics and the pruning experiments."""
+
+    events_processed: int = 0
+    events_skipped_no_key: int = 0
+    runs_created: int = 0
+    runs_extended: int = 0
+    runs_pruned: int = 0
+    runs_expired: int = 0
+    runs_killed_strict: int = 0
+    runs_killed_negation: int = 0
+    runs_tripped: int = 0
+    matches_completed: int = 0
+    pending_created: int = 0
+    pending_confirmed: int = 0
+    pending_killed: int = 0
+    evaluation_errors: int = 0
+    peak_live_runs: int = 0
+
+    def observe_live_runs(self, count: int) -> None:
+        if count > self.peak_live_runs:
+            self.peak_live_runs = count
+
+
+@dataclass
+class _Pending:
+    """A complete match waiting out a trailing-negation guard."""
+
+    match: Match
+    run: Run  # retained for negation-predicate evaluation and window checks
+
+
+@dataclass
+class _Partition:
+    runs: list[Run] = field(default_factory=list)
+    pendings: list[_Pending] = field(default_factory=list)
+
+
+class PatternMatcher:
+    """Evaluates one compiled automaton over a stream (see module docs)."""
+
+    def __init__(
+        self,
+        automaton: PatternAutomaton,
+        prune_hook: PruneHook | None = None,
+        tumbling: bool = False,
+        query_name: str | None = None,
+        lenient_errors: bool = False,
+        track_aggregates: bool = True,
+    ) -> None:
+        self.automaton = automaton
+        self.prune_hook = prune_hook
+        self.query_name = query_name
+        #: When true, a predicate that raises :class:`EvaluationError`
+        #: (missing attribute, type mismatch, division by zero on dirty
+        #: data) counts as *failed* instead of crashing the engine; see
+        #: ``stats.evaluation_errors``.
+        self.lenient_errors = lenient_errors
+        self.stats = MatcherStats()
+        self.tumbling = tumbling
+        if tumbling and automaton.window is None:
+            raise ValueError("tumbling evaluation requires a WITHIN window")
+        self._epochs = EpochTracker(automaton.window) if tumbling else None
+        self._partitioner = Partitioner(automaton.partition_by)
+        self._partitions: dict[tuple[Any, ...], _Partition] = {}
+        # Incremental aggregate maintenance can be disabled for ablation:
+        # aggregates are then recomputed from the binding lists on demand
+        # (O(n) per evaluation instead of O(1) lookup).
+        self._tracked_attrs = (
+            tracked_attrs_by_var(automaton.needed_aggregates)
+            if track_aggregates
+            else {}
+        )
+        self._detection_counter = 0
+        self._relevant_types = frozenset(
+            s.event_type for s in automaton.stages
+        ) | frozenset(n.element.event_type for n in automaton.negations)
+        self._negation_types = frozenset(
+            n.element.event_type for n in automaton.negations
+        )
+        self._trailing_negations = tuple(
+            n for n in automaton.negations if n.before_is_end
+        )
+        self._internal_negations = tuple(
+            (i, n) for i, n in enumerate(automaton.negations) if not n.before_is_end
+        )
+        self._last_stage_index = len(automaton.stages) - 1
+
+    # -- public API ------------------------------------------------------------
+
+    @property
+    def live_run_count(self) -> int:
+        return sum(len(p.runs) for p in self._partitions.values())
+
+    @property
+    def pending_count(self) -> int:
+        return sum(len(p.pendings) for p in self._partitions.values())
+
+    def process(self, event: Event) -> list[Match]:
+        """Feed one event; returns the matches it completed (confirmed)."""
+        if event.event_type not in self._relevant_types:
+            return []
+        self.stats.events_processed += 1
+        key = self._partitioner.key_of(event)
+        if key is None:
+            self.stats.events_skipped_no_key += 1
+            return []
+        partition = self._partitions.setdefault(key, _Partition())
+
+        completed: list[Match] = []
+        self._expire(partition, event, completed)
+        # Transitions run before negation kills so an event that both
+        # matches a stage and a negated element can bind in the branches
+        # that consume it, while still killing the branches that skip it
+        # (its guard interval covers only the latter).
+        self._transition(partition, event, key, completed)
+        self._apply_negations(partition, event)
+        self.stats.observe_live_runs(self.live_run_count)
+        return completed
+
+    def advance_time(self, timestamp: float) -> list[Match]:
+        """Heartbeat: stream time has reached ``timestamp`` with no event.
+
+        Quiet streams must still expire time windows: runs whose time
+        window has passed are dropped, and pending matches (trailing
+        negation) whose guard window has passed are confirmed — without
+        this, a match could stay pending forever on an idle partition.
+        Count-based windows are untouched (arrival positions don't advance
+        without events).  Returns confirmed matches.
+        """
+        confirmed: list[Match] = []
+        for partition in self._partitions.values():
+            survivors = []
+            for run in partition.runs:
+                end_ts = run.window_end_ts()
+                if end_ts is not None and timestamp > end_ts:
+                    self.stats.runs_expired += 1
+                else:
+                    survivors.append(run)
+            partition.runs = survivors
+
+            if partition.pendings:
+                still_pending = []
+                for pending in partition.pendings:
+                    end_ts = pending.run.window_end_ts()
+                    if end_ts is not None and timestamp > end_ts:
+                        self.stats.pending_confirmed += 1
+                        confirmed.append(pending.match)
+                    else:
+                        still_pending.append(pending)
+                partition.pendings = still_pending
+        return confirmed
+
+    def flush(self) -> list[Match]:
+        """End of stream: confirm every pending match and clear all state.
+
+        At stream end no further negated event can arrive inside any
+        pending match's window, so all pendings are confirmed.
+        """
+        confirmed: list[Match] = []
+        for partition in self._partitions.values():
+            for pending in partition.pendings:
+                self.stats.pending_confirmed += 1
+                confirmed.append(pending.match)
+            partition.pendings.clear()
+            partition.runs.clear()
+        return confirmed
+
+    def iter_runs(self) -> Iterator[Run]:
+        for partition in self._partitions.values():
+            yield from partition.runs
+
+    # -- phase 1: expiry ---------------------------------------------------------
+
+    def _expire(
+        self, partition: _Partition, event: Event, completed: list[Match]
+    ) -> None:
+        """Drop window-dead runs; confirm pendings whose guard expired."""
+        epoch = self._epochs.epoch_of(event) if self._epochs is not None else None
+
+        survivors: list[Run] = []
+        for run in partition.runs:
+            dead = run.window_excludes(event)
+            if not dead and epoch is not None:
+                assert self._epochs is not None
+                dead = self._epochs.epoch_of_point(run.first_seq, run.first_ts) < epoch
+            if dead:
+                self.stats.runs_expired += 1
+            else:
+                survivors.append(run)
+        partition.runs = survivors
+
+        if partition.pendings:
+            still_pending: list[_Pending] = []
+            for pending in partition.pendings:
+                if self._pending_guard_expired(pending, event, epoch):
+                    self.stats.pending_confirmed += 1
+                    completed.append(pending.match)
+                else:
+                    still_pending.append(pending)
+            partition.pendings = still_pending
+
+    def _pending_guard_expired(
+        self, pending: _Pending, event: Event, epoch: int | None
+    ) -> bool:
+        if epoch is not None:
+            assert self._epochs is not None
+            match = pending.match
+            if self._epochs.epoch_of_point(match.first_seq, match.first_ts) < epoch:
+                return True
+        return pending.run.window_excludes(event)
+
+    # -- phase 2: negations --------------------------------------------------------
+
+    def _apply_negations(self, partition: _Partition, event: Event) -> None:
+        """Kill runs/pendings violated by a negated event."""
+        if event.event_type not in self._negation_types:
+            return
+
+        # Trailing negations only ever threaten pending matches: their guard
+        # opens at completion, which is exactly when a run becomes pending.
+        if partition.pendings and self._trailing_negations:
+            survivors: list[_Pending] = []
+            for pending in partition.pendings:
+                if pending.match.last_seq == event.seq:
+                    # the pending's own completing event is not "after" it
+                    survivors.append(pending)
+                elif self._pending_violated(pending, event):
+                    self.stats.pending_killed += 1
+                else:
+                    survivors.append(pending)
+            partition.pendings = survivors
+
+        if not self._internal_negations:
+            return
+        new_runs: list[Run] = []
+        for run in partition.runs:
+            if run.last_seq == event.seq:
+                # this run consumed the event as a positive element; it is
+                # not "between" that run's bindings.
+                new_runs.append(run)
+                continue
+            outcome = self._check_internal_negations(run, event)
+            if outcome is None:
+                self.stats.runs_killed_negation += 1
+                continue
+            new_runs.append(outcome)
+        partition.runs = new_runs
+
+    def _pending_violated(self, pending: _Pending, event: Event) -> bool:
+        return any(
+            negation.element.event_type == event.event_type
+            and self._negation_predicates_pass(pending.run, negation, event)
+            for negation in self._trailing_negations
+        )
+
+    def _check_internal_negations(self, run: Run, event: Event) -> Run | None:
+        """Return the (possibly tripped) run, or ``None`` when killed."""
+        for index, negation in self._internal_negations:
+            if negation.element.event_type != event.event_type:
+                continue
+            # Guard opens once positives[after] is bound, closes when
+            # positives[before] starts binding.
+            after_bound = run.stage > negation.after or (
+                run.stage == negation.after and run.kleene_open
+            )
+            if not after_bound:
+                continue
+            before_started = run.stage > negation.before or (
+                run.stage == negation.before and run.kleene_open
+            )
+            if before_started:
+                continue
+            if not self._negation_predicates_pass(run, negation, event):
+                continue
+            # Guard violated.  If the element before the negation is an open
+            # Kleene, a later take restarts the guard: trip, don't kill.
+            if run.stage == negation.after and run.kleene_open:
+                if index not in run.trips:
+                    self.stats.runs_tripped += 1
+                    run = run.tripped(index)
+                continue
+            return None
+        return run
+
+    def _negation_predicates_pass(
+        self, run: Run, negation: NegationSpec, event: Event
+    ) -> bool:
+        variable = negation.element.variable
+        return all(
+            self._predicate_holds(
+                predicate.evaluator,
+                run.context(current_var=variable, current_event=event),
+            )
+            for predicate in negation.predicates
+        )
+
+    def _predicate_holds(self, evaluator: Evaluator, ctx: EvalContext) -> bool:
+        """Evaluate one predicate, applying the error policy."""
+        if not self.lenient_errors:
+            return evaluate_predicate(evaluator, ctx)
+        try:
+            return evaluate_predicate(evaluator, ctx)
+        except EvaluationError:
+            self.stats.evaluation_errors += 1
+            return False
+
+    # -- phase 3: transitions ---------------------------------------------------------
+
+    def _transition(
+        self,
+        partition: _Partition,
+        event: Event,
+        key: tuple[Any, ...],
+        completed: list[Match],
+    ) -> None:
+        strategy = self.automaton.strategy
+        next_runs: list[Run] = []
+
+        for run in partition.runs:
+            options, consumed = self._options_for(run, event, completed)
+            if not consumed:
+                if strategy is SelectionStrategy.STRICT:
+                    self.stats.runs_killed_strict += 1
+                else:
+                    next_runs.append(run)
+                continue
+            if strategy is SelectionStrategy.SKIP_TILL_ANY:
+                next_runs.append(run)  # the original skips the event
+            for new_partial in options:
+                if self._keep_partial(new_partial, event):
+                    next_runs.append(new_partial)
+
+        self._create_run(event, key, next_runs, completed)
+        partition.runs = next_runs
+
+    def _create_run(
+        self,
+        event: Event,
+        key: tuple[Any, ...],
+        next_runs: list[Run],
+        completed: list[Match],
+    ) -> None:
+        """Start a fresh run if ``event`` can bind stage 0."""
+        first = self.automaton.stages[0]
+        if event.event_type != first.event_type:
+            return
+        if not self._stage_accepts_new(first, event):
+            return
+        run = new_run(self.automaton, event, key, self._tracked_attrs)
+        self.stats.runs_created += 1
+        if run.is_complete:  # single-element singleton pattern
+            self._try_complete(run, completed)
+            return
+        if run.kleene_open and first.index == self._last_stage_index:
+            # Single-element prefix of a pattern that is one Kleene stage.
+            self._try_complete(run.close_kleene(), completed)
+        if self._keep_partial(run, event):
+            next_runs.append(run)
+
+    def _options_for(
+        self, run: Run, event: Event, completed: list[Match]
+    ) -> tuple[list[Run], bool]:
+        """All legal extensions of ``run`` by ``event``.
+
+        Returns ``(partial_runs, consumed)`` where ``consumed`` is true when
+        any transition — including one that completed a match — fired.
+        Completions are appended to ``completed`` (or parked as pending)
+        here; only still-partial runs are returned.
+        """
+        stages = self.automaton.stages
+        options: list[Run] = []
+        consumed = False
+
+        stage = stages[run.stage]
+
+        if run.kleene_open:
+            # (a) take: extend the open Kleene variable.
+            if event.event_type == stage.event_type and self._kleene_accepts(
+                run, stage, event
+            ):
+                extended = run.extend_kleene(stage, event)
+                self.stats.runs_extended += 1
+                consumed = True
+                if run.stage == self._last_stage_index:
+                    # Trailing Kleene: every accepted prefix is a candidate
+                    # match; the run stays live to keep extending.
+                    self._try_complete(extended.close_kleene(), completed)
+                options.append(extended)
+            # (b) proceed: close the Kleene and bind the next stage.
+            next_index = run.stage + 1
+            if next_index < len(stages):
+                next_stage = stages[next_index]
+                if (
+                    event.event_type == next_stage.event_type
+                    and not run.blocked_by_trip(next_index)
+                ):
+                    advanced = self._try_bind_stage(
+                        run.close_kleene(), next_stage, event
+                    )
+                    if advanced is not None:
+                        consumed = True
+                        self._register_partial(advanced, next_stage, options, completed)
+            return options, consumed
+
+        # Awaiting the current stage's first (or only) event.
+        if event.event_type == stage.event_type and not run.blocked_by_trip(
+            stage.index
+        ):
+            bound = self._try_bind_stage(run, stage, event)
+            if bound is not None:
+                consumed = True
+                self._register_partial(bound, stage, options, completed)
+        return options, consumed
+
+    def _register_partial(
+        self, run: Run, stage: Stage, options: list[Run], completed: list[Match]
+    ) -> None:
+        """Route a freshly extended run to completion and/or the run list."""
+        if run.is_complete:
+            self._try_complete(run, completed)
+            return
+        self.stats.runs_extended += 1
+        if run.kleene_open and stage.index == self._last_stage_index:
+            # First element of a trailing Kleene: candidate prefix match.
+            self._try_complete(run.close_kleene(), completed)
+        options.append(run)
+
+    def _try_bind_stage(self, run: Run, stage: Stage, event: Event) -> Run | None:
+        """Bind ``event`` to ``stage`` (singleton bind or Kleene element)."""
+        if stage.is_kleene:
+            if not self._kleene_accepts(run, stage, event):
+                return None
+            return run.extend_kleene(stage, event)
+        variable = stage.variable.name
+        for predicate in stage.bind_predicates:
+            ctx = run.context(current_var=variable, current_event=event)
+            if not self._predicate_holds(predicate.evaluator, ctx):
+                return None
+        return run.bind_singleton(stage, event)
+
+    def _kleene_accepts(self, run: Run, stage: Stage, event: Event) -> bool:
+        variable = stage.variable.name
+        return all(
+            self._predicate_holds(
+                predicate.evaluator,
+                run.context(current_var=variable, current_event=event),
+            )
+            for predicate in stage.incremental_predicates
+        )
+
+    def _stage_accepts_new(self, stage: Stage, event: Event) -> bool:
+        """Stage-0 predicate check against an empty run context."""
+        variable = stage.variable.name
+        predicates = (
+            stage.incremental_predicates if stage.is_kleene else stage.bind_predicates
+        )
+        return all(
+            self._predicate_holds(
+                predicate.evaluator,
+                EvalContext(bindings={}, current_var=variable, current_event=event),
+            )
+            for predicate in predicates
+        )
+
+    def _try_complete(self, run: Run, completed: list[Match]) -> bool:
+        """Check completion predicates; emit the match or park it pending."""
+        ctx = run.context()
+        for predicate in self.automaton.completion_predicates:
+            if not self._predicate_holds(predicate.evaluator, ctx):
+                return False
+        match = run.to_match(self._detection_counter, self.query_name)
+        self._detection_counter += 1
+        self.stats.matches_completed += 1
+        if self._trailing_negations:
+            partition = self._partitions.setdefault(run.partition_key, _Partition())
+            partition.pendings.append(_Pending(match=match, run=run))
+            self.stats.pending_created += 1
+            return True
+        completed.append(match)
+        return True
+
+    def _keep_partial(self, run: Run, event: Event) -> bool:
+        """Apply the prune hook to a partial run the matcher wants to keep."""
+        if self.prune_hook is None:
+            return True
+        if self.prune_hook(run, event):
+            self.stats.runs_pruned += 1
+            return False
+        return True

@@ -1,0 +1,41 @@
+"""Event model substrate: typed events, schemas, and stream sources.
+
+This package provides the data plane that every other CEPR component is
+built on:
+
+* :class:`~repro.events.event.Event` — a single timestamped, typed tuple.
+* :class:`~repro.events.schema.EventSchema` /
+  :class:`~repro.events.schema.SchemaRegistry` — attribute typing and
+  (optional) value domains.  Declared numeric domains feed the score-bound
+  pruning machinery in :mod:`repro.ranking.pruning`.
+* :mod:`~repro.events.stream` — composable stream pipelines.
+* :mod:`~repro.events.sources` — CSV/JSONL/replay sources.
+"""
+
+from repro.events.event import Event
+from repro.events.schema import (
+    AttributeSpec,
+    Domain,
+    EventSchema,
+    SchemaError,
+    SchemaRegistry,
+)
+from repro.events.sources import CSVSource, JSONLSource, ReplaySource
+from repro.events.stream import EventStream, merge_streams
+from repro.events.time import SequenceAssigner, parse_duration
+
+__all__ = [
+    "AttributeSpec",
+    "CSVSource",
+    "Domain",
+    "Event",
+    "EventSchema",
+    "EventStream",
+    "JSONLSource",
+    "ReplaySource",
+    "SchemaError",
+    "SchemaRegistry",
+    "SequenceAssigner",
+    "merge_streams",
+    "parse_duration",
+]

@@ -1,0 +1,92 @@
+"""The core :class:`Event` record.
+
+An event is a typed, timestamped tuple: it has an event *type* (``"Buy"``,
+``"HeartRate"``, ...), a numeric *timestamp* in stream time, a payload of
+named attributes, and — once it has been ingested by an engine or a
+:class:`~repro.events.time.SequenceAssigner` — a global *sequence number*
+that fixes its arrival position.  Count-based windows (``WITHIN n EVENTS``)
+are measured in sequence numbers; time-based windows in timestamps.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+
+class Event:
+    """A single event in a stream.
+
+    Parameters
+    ----------
+    event_type:
+        The type tag of the event (matched against pattern element types).
+    timestamp:
+        Stream time of the event.  Any real number; must be non-decreasing
+        within a stream for window semantics to be meaningful.
+    attrs:
+        Named payload attributes, e.g. ``symbol="IBM", price=153.2``.
+
+    Attribute values are read with item access (``event["price"]``) or
+    :meth:`get`.  Events compare equal structurally (type, timestamp,
+    payload); the sequence number is bookkeeping and excluded.
+    """
+
+    __slots__ = ("event_type", "timestamp", "payload", "seq")
+
+    def __init__(self, event_type: str, timestamp: float, **attrs: Any) -> None:
+        self.event_type = event_type
+        self.timestamp = float(timestamp)
+        self.payload: dict[str, Any] = attrs
+        #: Global arrival index, assigned at ingest; -1 until assigned.
+        self.seq: int = -1
+
+    @classmethod
+    def from_mapping(
+        cls, event_type: str, timestamp: float, payload: Mapping[str, Any]
+    ) -> "Event":
+        """Build an event from an attribute mapping (e.g. a parsed CSV row)."""
+        return cls(event_type, timestamp, **dict(payload))
+
+    def __getitem__(self, name: str) -> Any:
+        try:
+            return self.payload[name]
+        except KeyError:
+            raise KeyError(
+                f"event of type {self.event_type!r} has no attribute {name!r}; "
+                f"available: {sorted(self.payload)}"
+            ) from None
+
+    def get(self, name: str, default: Any = None) -> Any:
+        """Return attribute ``name`` or ``default`` when absent."""
+        return self.payload.get(name, default)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.payload
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.payload)
+
+    def replace(self, **attrs: Any) -> "Event":
+        """Return a copy with some attributes replaced (timestamp preserved)."""
+        merged = dict(self.payload)
+        merged.update(attrs)
+        clone = Event(self.event_type, self.timestamp, **merged)
+        clone.seq = self.seq
+        return clone
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.event_type == other.event_type
+            and self.timestamp == other.timestamp
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.event_type, self.timestamp, tuple(sorted(self.payload.items()))))
+
+    def __repr__(self) -> str:
+        attrs = ", ".join(f"{k}={v!r}" for k, v in self.payload.items())
+        seq = f" seq={self.seq}" if self.seq >= 0 else ""
+        return f"Event({self.event_type!r}, t={self.timestamp:g}{seq}, {attrs})"

@@ -1,0 +1,212 @@
+"""Event schemas: attribute typing and value domains.
+
+Schemas are optional for plain pattern matching — the engine happily matches
+untyped events — but they serve two purposes:
+
+1. **Validation**: an engine configured with a registry rejects events whose
+   payload does not conform, turning silent garbage into loud errors.
+2. **Score-bound pruning**: the ranking optimiser
+   (:mod:`repro.ranking.pruning`) needs upper/lower bounds for attributes of
+   *not-yet-bound* pattern variables.  Declaring ``Domain(lo, hi)`` on a
+   numeric attribute supplies those bounds; without a domain the attribute
+   is unbounded and scoring expressions over it cannot be pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping
+
+from repro.events.event import Event
+
+#: Types accepted for attribute values, keyed by declaration name.
+_DTYPES: dict[str, tuple[type, ...]] = {
+    "int": (int,),
+    "float": (int, float),
+    "str": (str,),
+    "bool": (bool,),
+}
+
+
+class SchemaError(ValueError):
+    """Raised on schema declaration or event validation failures."""
+
+
+@dataclass(frozen=True)
+class Domain:
+    """Closed numeric value domain ``[lo, hi]`` for an attribute.
+
+    Used by interval evaluation to bound scores of partial matches.
+    """
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise SchemaError(f"domain lower bound {self.lo} exceeds upper bound {self.hi}")
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies within the domain."""
+        return self.lo <= value <= self.hi
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Declaration of one event attribute.
+
+    Parameters
+    ----------
+    name:
+        Attribute name as it appears in event payloads and queries.
+    dtype:
+        One of ``"int"``, ``"float"``, ``"str"``, ``"bool"``.
+    domain:
+        Optional numeric :class:`Domain`; only valid for ``int``/``float``.
+    required:
+        When ``True`` (default) validation fails if the attribute is absent.
+    """
+
+    name: str
+    dtype: str = "float"
+    domain: Domain | None = None
+    required: bool = True
+
+    def __post_init__(self) -> None:
+        if self.dtype not in _DTYPES:
+            raise SchemaError(
+                f"unknown dtype {self.dtype!r} for attribute {self.name!r}; "
+                f"expected one of {sorted(_DTYPES)}"
+            )
+        if self.domain is not None and self.dtype not in ("int", "float"):
+            raise SchemaError(
+                f"attribute {self.name!r}: domains are only valid for numeric dtypes"
+            )
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` if ``value`` violates this spec."""
+        expected = _DTYPES[self.dtype]
+        # bool is a subclass of int; reject it for numeric dtypes explicitly.
+        if isinstance(value, bool) and self.dtype != "bool":
+            raise SchemaError(f"attribute {self.name!r}: expected {self.dtype}, got bool")
+        if not isinstance(value, expected):
+            raise SchemaError(
+                f"attribute {self.name!r}: expected {self.dtype}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+        if self.domain is not None and not self.domain.contains(float(value)):
+            raise SchemaError(
+                f"attribute {self.name!r}: value {value!r} outside domain "
+                f"[{self.domain.lo}, {self.domain.hi}]"
+            )
+
+
+@dataclass(frozen=True)
+class EventSchema:
+    """Schema for one event type: a set of :class:`AttributeSpec`."""
+
+    event_type: str
+    attributes: tuple[AttributeSpec, ...] = ()
+    _by_name: Mapping[str, AttributeSpec] = field(init=False, repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        by_name: dict[str, AttributeSpec] = {}
+        for spec in self.attributes:
+            if spec.name in by_name:
+                raise SchemaError(
+                    f"schema {self.event_type!r}: duplicate attribute {spec.name!r}"
+                )
+            by_name[spec.name] = spec
+        object.__setattr__(self, "_by_name", by_name)
+
+    @classmethod
+    def build(cls, event_type: str, **attrs: str | tuple[str, Domain]) -> "EventSchema":
+        """Convenience constructor.
+
+        ``EventSchema.build("Buy", symbol="str", price=("float", Domain(0, 1e4)))``
+        """
+        specs = []
+        for name, decl in attrs.items():
+            if isinstance(decl, tuple):
+                dtype, domain = decl
+                specs.append(AttributeSpec(name, dtype, domain))
+            else:
+                specs.append(AttributeSpec(name, decl))
+        return cls(event_type, tuple(specs))
+
+    def attribute(self, name: str) -> AttributeSpec | None:
+        """Return the spec for ``name`` or ``None`` when undeclared."""
+        return self._by_name.get(name)
+
+    def attribute_names(self) -> Iterator[str]:
+        return iter(self._by_name)
+
+    def validate(self, event: Event) -> None:
+        """Raise :class:`SchemaError` if ``event`` violates this schema."""
+        if event.event_type != self.event_type:
+            raise SchemaError(
+                f"event type {event.event_type!r} does not match schema "
+                f"{self.event_type!r}"
+            )
+        for spec in self.attributes:
+            if spec.name not in event.payload:
+                if spec.required:
+                    raise SchemaError(
+                        f"event {event.event_type!r} missing required attribute "
+                        f"{spec.name!r}"
+                    )
+                continue
+            spec.validate(event.payload[spec.name])
+
+
+class SchemaRegistry:
+    """A collection of :class:`EventSchema`, one per event type.
+
+    The registry is consulted by:
+
+    * the engine facade, to validate ingested events (when strict mode on);
+    * the language semantic analyser, to type-check attribute references;
+    * the pruning optimiser, to look up attribute :class:`Domain` bounds.
+    """
+
+    def __init__(self, schemas: Iterable[EventSchema] = ()) -> None:
+        self._schemas: dict[str, EventSchema] = {}
+        for schema in schemas:
+            self.register(schema)
+
+    def register(self, schema: EventSchema) -> None:
+        """Add or replace the schema for ``schema.event_type``."""
+        self._schemas[schema.event_type] = schema
+
+    def get(self, event_type: str) -> EventSchema | None:
+        return self._schemas.get(event_type)
+
+    def __contains__(self, event_type: str) -> bool:
+        return event_type in self._schemas
+
+    def __iter__(self) -> Iterator[EventSchema]:
+        return iter(self._schemas.values())
+
+    def __len__(self) -> int:
+        return len(self._schemas)
+
+    def validate(self, event: Event, strict: bool = False) -> None:
+        """Validate ``event`` against its registered schema.
+
+        When ``strict`` is true an event whose type has no registered schema
+        is rejected; otherwise unknown types pass through.
+        """
+        schema = self._schemas.get(event.event_type)
+        if schema is None:
+            if strict:
+                raise SchemaError(f"no schema registered for event type {event.event_type!r}")
+            return
+        schema.validate(event)
+
+    def domain_of(self, event_type: str, attribute: str) -> Domain | None:
+        """Return the declared domain for ``event_type.attribute``, if any."""
+        schema = self._schemas.get(event_type)
+        if schema is None:
+            return None
+        spec = schema.attribute(attribute)
+        return spec.domain if spec is not None else None

@@ -1,0 +1,109 @@
+"""CEPR-QL: the CEPR query language front end.
+
+The pipeline is ``text → tokens → AST → analysed query``:
+
+>>> from repro.language import parse_query, analyze
+>>> ast = parse_query('''
+...     PATTERN SEQ(Buy b, Sell s)
+...     WHERE b.symbol == s.symbol AND s.price > b.price
+...     WITHIN 50 EVENTS
+...     RANK BY s.price - b.price DESC
+...     LIMIT 3
+... ''')
+>>> analyzed = analyze(ast)
+>>> analyzed.is_ranked
+True
+"""
+
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Direction,
+    EmitKind,
+    EmitSpec,
+    Expr,
+    FuncCall,
+    Literal,
+    PatternElement,
+    PrevRef,
+    Query,
+    RankKey,
+    SelectionStrategy,
+    Unary,
+    UnaryOp,
+    VarRef,
+    WindowKind,
+    WindowSpec,
+)
+from repro.language.errors import (
+    CEPRError,
+    CEPRSemanticError,
+    CEPRSyntaxError,
+    EvaluationError,
+)
+from repro.language.expressions import (
+    EvalContext,
+    VacuousPredicate,
+    compile_expr,
+    evaluate_predicate,
+)
+from repro.language.intervals import Interval, IntervalEvaluator, PartialMatchView
+from repro.language.lexer import tokenize
+from repro.language.optimizer import optimize
+from repro.language.parser import parse_query
+from repro.language.printer import format_expr, format_query
+from repro.language.semantics import (
+    AnalyzedQuery,
+    CompiledRankKey,
+    NegationSpec,
+    PredicateSpec,
+    VariableInfo,
+    analyze,
+)
+
+__all__ = [
+    "Aggregate",
+    "AnalyzedQuery",
+    "AttrRef",
+    "Binary",
+    "BinaryOp",
+    "CEPRError",
+    "CEPRSemanticError",
+    "CEPRSyntaxError",
+    "CompiledRankKey",
+    "Direction",
+    "EmitKind",
+    "EmitSpec",
+    "EvalContext",
+    "EvaluationError",
+    "Expr",
+    "FuncCall",
+    "Interval",
+    "IntervalEvaluator",
+    "Literal",
+    "NegationSpec",
+    "PartialMatchView",
+    "PatternElement",
+    "PredicateSpec",
+    "PrevRef",
+    "Query",
+    "RankKey",
+    "SelectionStrategy",
+    "Unary",
+    "UnaryOp",
+    "VacuousPredicate",
+    "VarRef",
+    "VariableInfo",
+    "WindowKind",
+    "WindowSpec",
+    "analyze",
+    "compile_expr",
+    "evaluate_predicate",
+    "format_expr",
+    "optimize",
+    "format_query",
+    "parse_query",
+    "tokenize",
+]

@@ -1,0 +1,34 @@
+"""Error types raised by the CEPR-QL front end."""
+
+from __future__ import annotations
+
+
+class CEPRError(Exception):
+    """Base class for all CEPR-QL front-end errors."""
+
+
+class CEPRSyntaxError(CEPRError):
+    """A lexical or grammatical error in the query text.
+
+    Carries the 1-based ``line`` and ``column`` of the offending position so
+    tools can point at it.
+    """
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"line {line}, column {column}: {message}")
+        self.bare_message = message
+        self.line = line
+        self.column = column
+
+
+class CEPRSemanticError(CEPRError):
+    """A well-formed query that violates CEPR's static semantics.
+
+    Examples: referencing an undeclared pattern variable, ranking on a
+    per-element attribute of a Kleene variable, or a predicate on a negated
+    variable that also references a later positive variable.
+    """
+
+
+class EvaluationError(CEPRError):
+    """A runtime failure while evaluating a compiled expression."""

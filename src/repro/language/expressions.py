@@ -1,0 +1,417 @@
+"""Expression compilation and evaluation.
+
+``WHERE`` predicates and ``RANK BY`` keys share one expression AST; this
+module compiles AST nodes into nested closures evaluated against an
+:class:`EvalContext` describing a (partial or complete) match.
+
+Evaluation modes
+----------------
+
+*Complete-match* evaluation (rank keys, final predicates): every referenced
+variable is bound in ``ctx.bindings``; Kleene variables are bound to
+non-empty lists and may only be referenced through aggregates.
+
+*Incremental* evaluation (per-element Kleene predicates, predicates checked
+the moment a variable binds): the variable currently being bound is named by
+``ctx.current_var`` and its candidate event is ``ctx.current_event`` —
+``v.attr`` then reads from the candidate.  ``prev(v.attr)`` reads the last
+already-accepted element; for the *first* element there is no predecessor
+and the node raises :class:`VacuousPredicate`, which the matcher treats as
+"predicate passes" (standard SASE+ first-iteration semantics).  Aggregates
+over the current Kleene variable cover the already-accepted elements,
+excluding the candidate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.events.event import Event
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    Literal,
+    PrevRef,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+from repro.language.errors import EvaluationError
+
+Binding = Event | Sequence[Event]
+#: Optional fast path for aggregates: ``(var, func, attr) -> value | None``.
+AggLookup = Callable[[str, str, str | None], Any]
+
+
+class VacuousPredicate(Exception):
+    """Signals that a predicate has no defined value yet and must pass.
+
+    Raised when ``prev(v.attr)`` or an aggregate over the current Kleene
+    variable is evaluated for the variable's first element.
+    """
+
+
+@dataclass
+class EvalContext:
+    """Everything a compiled expression needs to evaluate.
+
+    Parameters
+    ----------
+    bindings:
+        Accepted bindings so far: variable name → event (singleton) or
+        sequence of events (Kleene).
+    current_var / current_event:
+        The variable being bound right now and its candidate event, for
+        incremental evaluation; ``None`` for complete-match evaluation.
+    agg_lookup:
+        Optional incremental-aggregate fast path; when it returns a
+        non-``None`` value that value is used instead of recomputing from
+        the binding list.
+    """
+
+    bindings: Mapping[str, Binding] = field(default_factory=dict)
+    current_var: str | None = None
+    current_event: Event | None = None
+    agg_lookup: AggLookup | None = None
+
+    def event_of(self, var: str) -> Event:
+        """The singleton event bound to ``var`` (or the current candidate)."""
+        if var == self.current_var and self.current_event is not None:
+            return self.current_event
+        binding = self.bindings.get(var)
+        if binding is None:
+            raise EvaluationError(f"variable {var!r} is not bound")
+        if isinstance(binding, Event):
+            return binding
+        raise EvaluationError(
+            f"variable {var!r} is a Kleene binding; reference it through an "
+            f"aggregate (avg/sum/min/max/count/first/last)"
+        )
+
+    def events_of(self, var: str) -> Sequence[Event]:
+        """The accepted elements of Kleene variable ``var`` (may be empty)."""
+        binding = self.bindings.get(var)
+        if binding is None:
+            return ()
+        if isinstance(binding, Event):
+            return (binding,)
+        return binding
+
+    def all_events(self) -> list[Event]:
+        """Every bound event, plus the current candidate, in binding order."""
+        out: list[Event] = []
+        for binding in self.bindings.values():
+            if isinstance(binding, Event):
+                out.append(binding)
+            else:
+                out.extend(binding)
+        if self.current_event is not None:
+            out.append(self.current_event)
+        return out
+
+    def duration(self) -> float:
+        """Stream-time span between the earliest and latest bound event."""
+        events = self.all_events()
+        if not events:
+            raise EvaluationError("duration() is undefined: no events bound")
+        timestamps = [e.timestamp for e in events]
+        return max(timestamps) - min(timestamps)
+
+
+Evaluator = Callable[[EvalContext], Any]
+
+
+# ---------------------------------------------------------------------------
+# compilation
+# ---------------------------------------------------------------------------
+
+
+def compile_expr(expr: Expr) -> Evaluator:
+    """Compile ``expr`` into an evaluator closure.
+
+    The closure raises :class:`EvaluationError` on runtime type errors and
+    :class:`VacuousPredicate` when an incremental predicate has no defined
+    value yet (see module docstring).
+    """
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda ctx: value
+    if isinstance(expr, AttrRef):
+        return _compile_attr_ref(expr)
+    if isinstance(expr, PrevRef):
+        return _compile_prev_ref(expr)
+    if isinstance(expr, Aggregate):
+        return _compile_aggregate(expr)
+    if isinstance(expr, FuncCall):
+        return _compile_func(expr)
+    if isinstance(expr, VarRef):
+        raise EvaluationError(
+            f"bare variable reference {expr.var!r} is not a value; "
+            f"use v.attr, timestamp(v), or count(v)"
+        )
+    if isinstance(expr, Binary):
+        return _compile_binary(expr)
+    if isinstance(expr, Unary):
+        return _compile_unary(expr)
+    raise EvaluationError(f"cannot compile expression node {type(expr).__name__}")
+
+
+def _compile_attr_ref(expr: AttrRef) -> Evaluator:
+    var, attr = expr.var, expr.attr
+
+    def evaluate(ctx: EvalContext) -> Any:
+        event = ctx.event_of(var)
+        try:
+            return event[attr]
+        except KeyError as exc:
+            raise EvaluationError(str(exc)) from None
+
+    return evaluate
+
+
+def _compile_prev_ref(expr: PrevRef) -> Evaluator:
+    var, attr = expr.var, expr.attr
+
+    def evaluate(ctx: EvalContext) -> Any:
+        if var != ctx.current_var:
+            raise EvaluationError(
+                f"prev({var}.{attr}) is only valid while binding {var!r}"
+            )
+        accepted = ctx.events_of(var)
+        if not accepted:
+            raise VacuousPredicate()
+        try:
+            return accepted[-1][attr]
+        except KeyError as exc:
+            raise EvaluationError(str(exc)) from None
+
+    return evaluate
+
+
+def _aggregate_values(events: Sequence[Event], attr: str) -> list[Any]:
+    try:
+        return [e[attr] for e in events]
+    except KeyError as exc:
+        raise EvaluationError(str(exc)) from None
+
+
+def _compile_aggregate(expr: Aggregate) -> Evaluator:
+    func, var, attr = expr.func, expr.var, expr.attr
+
+    def evaluate(ctx: EvalContext) -> Any:
+        if ctx.agg_lookup is not None:
+            cached = ctx.agg_lookup(var, func, attr)
+            if cached is not None:
+                return cached
+        events = ctx.events_of(var)
+        incremental_on_self = var == ctx.current_var
+        if not events:
+            if incremental_on_self:
+                raise VacuousPredicate()
+            raise EvaluationError(
+                f"aggregate {func}({var}) over an empty binding"
+            )
+        if func in ("count", "len"):
+            return len(events)
+        assert attr is not None
+        values = _aggregate_values(events, attr)
+        if func == "sum":
+            return sum(values)
+        if func == "avg":
+            return sum(values) / len(values)
+        if func == "min":
+            return min(values)
+        if func == "max":
+            return max(values)
+        if func == "first":
+            return values[0]
+        if func == "last":
+            return values[-1]
+        raise EvaluationError(f"unknown aggregate {func!r}")
+
+    return evaluate
+
+
+_MATH_FUNCS: dict[str, Callable[[float], float]] = {
+    "abs": abs,
+    "round": round,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "sqrt": math.sqrt,
+    "log": math.log,
+    "exp": math.exp,
+    "sign": lambda x: (x > 0) - (x < 0),
+}
+
+
+def _compile_func(expr: FuncCall) -> Evaluator:
+    name = expr.name
+    if name == "duration":
+        return lambda ctx: ctx.duration()
+    if name in ("timestamp", "ts"):
+        arg = expr.args[0]
+        if not isinstance(arg, VarRef):
+            raise EvaluationError(f"{name}() expects a bare pattern variable")
+        var = arg.var
+        return lambda ctx: ctx.event_of(var).timestamp
+    if name in _MATH_FUNCS:
+        inner = compile_expr(expr.args[0])
+        fn = _MATH_FUNCS[name]
+
+        def evaluate_math(ctx: EvalContext) -> Any:
+            value = inner(ctx)
+            _require_number(value, name)
+            try:
+                return fn(value)
+            except ValueError as exc:
+                raise EvaluationError(f"{name}({value!r}): {exc}") from exc
+
+        return evaluate_math
+    if name in ("min2", "max2"):
+        left = compile_expr(expr.args[0])
+        right = compile_expr(expr.args[1])
+        picker = min if name == "min2" else max
+
+        def evaluate_pick(ctx: EvalContext) -> Any:
+            a, b = left(ctx), right(ctx)
+            _require_number(a, name)
+            _require_number(b, name)
+            return picker(a, b)
+
+        return evaluate_pick
+    raise EvaluationError(f"unknown function {name!r}")
+
+
+def _require_number(value: Any, where: str) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise EvaluationError(f"{where}: expected a number, got {value!r}")
+
+
+def _require_bool(value: Any, where: str) -> bool:
+    if not isinstance(value, bool):
+        raise EvaluationError(f"{where}: expected a boolean, got {value!r}")
+    return value
+
+
+_ARITH = {BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV, BinaryOp.MOD}
+_ORDERING = {BinaryOp.LT, BinaryOp.LTE, BinaryOp.GT, BinaryOp.GTE}
+
+
+def _compile_binary(expr: Binary) -> Evaluator:
+    op = expr.op
+
+    if op is BinaryOp.AND:
+        left, right = compile_expr(expr.left), compile_expr(expr.right)
+
+        def eval_and(ctx: EvalContext) -> bool:
+            if not _require_bool(left(ctx), "AND"):
+                return False
+            return _require_bool(right(ctx), "AND")
+
+        return eval_and
+
+    if op is BinaryOp.OR:
+        left, right = compile_expr(expr.left), compile_expr(expr.right)
+
+        def eval_or(ctx: EvalContext) -> bool:
+            if _require_bool(left(ctx), "OR"):
+                return True
+            return _require_bool(right(ctx), "OR")
+
+        return eval_or
+
+    left, right = compile_expr(expr.left), compile_expr(expr.right)
+
+    if op in _ARITH:
+        return _compile_arith(op, left, right)
+    if op is BinaryOp.EQ:
+        return lambda ctx: left(ctx) == right(ctx)
+    if op is BinaryOp.NEQ:
+        return lambda ctx: left(ctx) != right(ctx)
+    if op in _ORDERING:
+        return _compile_ordering(op, left, right)
+    raise EvaluationError(f"unknown binary operator {op}")
+
+
+def _compile_arith(op: BinaryOp, left: Evaluator, right: Evaluator) -> Evaluator:
+    def evaluate(ctx: EvalContext) -> float:
+        a, b = left(ctx), right(ctx)
+        _require_number(a, op.value)
+        _require_number(b, op.value)
+        if op is BinaryOp.ADD:
+            return a + b
+        if op is BinaryOp.SUB:
+            return a - b
+        if op is BinaryOp.MUL:
+            return a * b
+        if op is BinaryOp.DIV:
+            if b == 0:
+                raise EvaluationError("division by zero")
+            return a / b
+        if b == 0:
+            raise EvaluationError("modulo by zero")
+        return a % b
+
+    return evaluate
+
+
+def _compile_ordering(op: BinaryOp, left: Evaluator, right: Evaluator) -> Evaluator:
+    def evaluate(ctx: EvalContext) -> bool:
+        a, b = left(ctx), right(ctx)
+        both_numbers = (
+            not isinstance(a, bool)
+            and not isinstance(b, bool)
+            and isinstance(a, (int, float))
+            and isinstance(b, (int, float))
+        )
+        both_strings = isinstance(a, str) and isinstance(b, str)
+        if not (both_numbers or both_strings):
+            raise EvaluationError(
+                f"{op.value}: operands must both be numbers or both strings, "
+                f"got {a!r} and {b!r}"
+            )
+        if op is BinaryOp.LT:
+            return a < b
+        if op is BinaryOp.LTE:
+            return a <= b
+        if op is BinaryOp.GT:
+            return a > b
+        return a >= b
+
+    return evaluate
+
+
+def _compile_unary(expr: Unary) -> Evaluator:
+    inner = compile_expr(expr.operand)
+    if expr.op is UnaryOp.NEG:
+
+        def eval_neg(ctx: EvalContext) -> float:
+            value = inner(ctx)
+            _require_number(value, "unary -")
+            return -value
+
+        return eval_neg
+
+    def eval_not(ctx: EvalContext) -> bool:
+        return not _require_bool(inner(ctx), "NOT")
+
+    return eval_not
+
+
+def evaluate_predicate(evaluator: Evaluator, ctx: EvalContext) -> bool:
+    """Evaluate a compiled predicate, treating vacuity as a pass.
+
+    Returns ``True``/``False``; raises :class:`EvaluationError` if the
+    expression does not produce a boolean.
+    """
+    try:
+        result = evaluator(ctx)
+    except VacuousPredicate:
+        return True
+    return _require_bool(result, "WHERE predicate")

@@ -1,0 +1,191 @@
+"""Expression optimisation: constant folding and boolean simplification.
+
+Applied between semantic analysis and predicate compilation, this pass
+rewrites expressions into cheaper equivalents evaluated once at compile
+time instead of per event:
+
+* arithmetic over literals folds (``2 * 3 + 1`` → ``7``), including inside
+  comparisons (``a.x > 2 * 5`` → ``a.x > 10``);
+* boolean identities simplify (``p AND TRUE`` → ``p``, ``TRUE OR p`` →
+  ``TRUE``);
+* pure-literal built-ins fold (``abs(-3)`` → ``3``).
+
+Double-negation elimination (``NOT NOT p`` → ``p``, ``--x`` → ``x``) is
+deliberately **not** performed: without static types it would change
+behaviour for ill-typed operands (the original raises, the rewrite would
+silently pass the value through).
+
+Folding preserves the expression's observable behaviour **including
+errors**: a subexpression that would raise at runtime (``1/0``) is left
+unfolded, so the error still surfaces on the first evaluation rather than
+at registration (matching the lenient-errors policy's per-run accounting).
+
+``optimize(expr)`` returns a semantically equivalent expression; the
+equivalence is property-tested against the evaluator in
+``tests/property/test_property_optimizer.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.language.ast_nodes import (
+    Binary,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    Literal,
+    Unary,
+    UnaryOp,
+)
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext, compile_expr
+
+_EMPTY_CONTEXT = EvalContext(bindings={})
+
+_FOLDABLE_FUNCS = frozenset(
+    {"abs", "round", "floor", "ceil", "sqrt", "log", "exp", "sign", "min2", "max2"}
+)
+
+Number = Union[int, float]
+
+
+def optimize(expr: Expr) -> Expr:
+    """Return a cheaper, semantically equivalent expression."""
+    if isinstance(expr, Binary):
+        return _optimize_binary(expr)
+    if isinstance(expr, Unary):
+        return _optimize_unary(expr)
+    if isinstance(expr, FuncCall):
+        return _optimize_func(expr)
+    return expr
+
+
+def _is_literal(expr: Expr) -> bool:
+    return isinstance(expr, Literal)
+
+
+def _is_bool_literal(expr: Expr, value: bool) -> bool:
+    return isinstance(expr, Literal) and expr.value is value
+
+
+def _try_fold(expr: Expr) -> Expr:
+    """Evaluate a literal-only expression now; keep it if evaluation fails."""
+    try:
+        value = compile_expr(expr)(_EMPTY_CONTEXT)
+    except EvaluationError:
+        return expr  # e.g. 1/0: defer the error to runtime
+    if isinstance(value, (bool, int, float, str)):
+        return Literal(value)
+    return expr
+
+
+def _is_boolean_shaped(expr: Expr) -> bool:
+    """Whether ``expr`` provably evaluates to a boolean (or raises).
+
+    Identity elision (``p AND TRUE`` → ``p``) may only keep operands that
+    cannot silently turn into non-boolean values — the original expression
+    would have raised on them.
+    """
+    if isinstance(expr, Literal):
+        return isinstance(expr.value, bool)
+    if isinstance(expr, Unary):
+        return expr.op is UnaryOp.NOT
+    if isinstance(expr, Binary):
+        return expr.op in (
+            BinaryOp.AND,
+            BinaryOp.OR,
+            BinaryOp.EQ,
+            BinaryOp.NEQ,
+            BinaryOp.LT,
+            BinaryOp.LTE,
+            BinaryOp.GT,
+            BinaryOp.GTE,
+        )
+    return False
+
+
+def _optimize_binary(expr: Binary) -> Expr:
+    left = optimize(expr.left)
+    right = optimize(expr.right)
+    rebuilt = Binary(expr.op, left, right)
+
+    if expr.op is BinaryOp.AND:
+        if _is_bool_literal(left, True) and _is_boolean_shaped(right):
+            return right
+        if _is_bool_literal(right, True) and _is_boolean_shaped(left):
+            return left
+        # FALSE AND p → FALSE: short-circuit means p never ran originally.
+        if _is_bool_literal(left, False):
+            return Literal(False)
+        return rebuilt
+
+    if expr.op is BinaryOp.OR:
+        if _is_bool_literal(left, False) and _is_boolean_shaped(right):
+            return right
+        if _is_bool_literal(right, False) and _is_boolean_shaped(left):
+            return left
+        if _is_bool_literal(left, True):
+            return Literal(True)
+        return rebuilt
+
+    if _is_literal(left) and _is_literal(right):
+        return _try_fold(rebuilt)
+
+    # x + 0, x - 0, x * 1, x / 1, x * 0 has sign/type caveats: keep the
+    # clearly safe identities only.
+    if expr.op is BinaryOp.ADD and _is_zero(right):
+        return left
+    if expr.op is BinaryOp.ADD and _is_zero(left):
+        return right
+    if expr.op is BinaryOp.SUB and _is_zero(right):
+        return left
+    if expr.op is BinaryOp.MUL and _is_one(right):
+        return left
+    if expr.op is BinaryOp.MUL and _is_one(left):
+        return right
+    if expr.op is BinaryOp.DIV and _is_one(right):
+        return left
+    return rebuilt
+
+
+def _is_zero(expr: Expr) -> bool:
+    return (
+        isinstance(expr, Literal)
+        and not isinstance(expr.value, bool)
+        and isinstance(expr.value, (int, float))
+        and expr.value == 0
+    )
+
+
+def _is_one(expr: Expr) -> bool:
+    return (
+        isinstance(expr, Literal)
+        and not isinstance(expr.value, bool)
+        and isinstance(expr.value, (int, float))
+        and expr.value == 1
+    )
+
+
+def _optimize_unary(expr: Unary) -> Expr:
+    inner = optimize(expr.operand)
+    if expr.op is UnaryOp.NOT:
+        if isinstance(inner, Literal) and isinstance(inner.value, bool):
+            return Literal(not inner.value)
+        return Unary(UnaryOp.NOT, inner)
+    # NEG: fold over numeric literals only (bool stays an error at runtime)
+    if (
+        isinstance(inner, Literal)
+        and not isinstance(inner.value, bool)
+        and isinstance(inner.value, (int, float))
+    ):
+        return Literal(-inner.value)
+    return Unary(UnaryOp.NEG, inner)
+
+
+def _optimize_func(expr: FuncCall) -> Expr:
+    args = tuple(optimize(arg) for arg in expr.args)
+    rebuilt = FuncCall(expr.name, args)
+    if expr.name in _FOLDABLE_FUNCS and args and all(_is_literal(a) for a in args):
+        return _try_fold(rebuilt)
+    return rebuilt

@@ -1,0 +1,530 @@
+"""Semantic analysis of parsed CEPR-QL queries.
+
+Turns a raw :class:`~repro.language.ast_nodes.Query` into an
+:class:`AnalyzedQuery` that the engine compiler consumes:
+
+* resolves pattern variables and rejects malformed references;
+* **decomposes the WHERE clause** into conjuncts and assigns each to the
+  earliest evaluation point at which it is decidable (SASE-style predicate
+  pushdown): the moment a singleton variable binds, per element of a Kleene
+  variable (*incremental* predicates), on candidate events of a negated
+  variable, or at match completion;
+* validates and compiles ``RANK BY`` keys;
+* fills in defaults (selection strategy, emission policy) and enforces the
+  clause interactions documented in DESIGN.md (e.g. ``RANK BY`` requires a
+  ``WITHIN`` window that defines its ranking scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.events.schema import SchemaRegistry
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Direction,
+    EmitKind,
+    EmitSpec,
+    Expr,
+    FuncCall,
+    Literal,
+    PatternElement,
+    PrevRef,
+    Query,
+    SelectionStrategy,
+    VarRef,
+    WindowKind,
+    WindowSpec,
+    iter_subexpressions,
+    referenced_variables,
+    split_conjuncts,
+)
+from repro.language.errors import CEPRSemanticError
+from repro.language.expressions import Evaluator, compile_expr
+from repro.language.optimizer import optimize
+
+
+@dataclass(frozen=True)
+class VariableInfo:
+    """Resolved facts about one pattern variable."""
+
+    name: str
+    event_type: str
+    #: Index among the *positive* elements; for a negated variable, the
+    #: index of the positive element that closes its guard interval
+    #: (``len(positives)`` for a trailing negation).
+    position: int
+    is_kleene: bool = False
+    is_negated: bool = False
+
+
+@dataclass(frozen=True)
+class PredicateSpec:
+    """One WHERE conjunct, compiled and assigned to an evaluation point."""
+
+    expr: Expr
+    evaluator: Evaluator
+    variables: frozenset[str]
+    #: Variable at whose binding attempt this predicate runs; ``None`` for
+    #: completion predicates (evaluated when the match is finalised).
+    anchor_var: str | None
+    #: True when the predicate re-runs for every element of a Kleene
+    #: variable rather than once.
+    incremental: bool = False
+
+
+@dataclass(frozen=True)
+class NegationSpec:
+    """A negated pattern element with its guard interval and predicates.
+
+    The negation is *armed* once positive element ``after`` has bound and
+    *disarmed* when positive element ``before`` binds (for a trailing
+    negation, ``before == len(positives)`` and the match stays pending until
+    its window expires).  While armed, an event of ``element.event_type``
+    satisfying all ``predicates`` kills the run.
+    """
+
+    element: PatternElement
+    after: int
+    before: int
+    predicates: tuple[PredicateSpec, ...] = ()
+
+    @property
+    def trailing(self) -> bool:
+        return self.element.negated and self.before_is_end
+
+    @property
+    def before_is_end(self) -> bool:
+        return self.before < 0  # sentinel set by the analyser
+
+
+@dataclass(frozen=True)
+class CompiledRankKey:
+    """One compiled ``RANK BY`` term."""
+
+    expr: Expr
+    direction: Direction
+    evaluator: Evaluator
+
+
+@dataclass(frozen=True)
+class CompiledYield:
+    """A compiled ``YIELD`` clause: derived event type + payload builders."""
+
+    event_type: str
+    assignments: tuple[tuple[str, Expr, Evaluator], ...]
+
+
+@dataclass
+class AnalyzedQuery:
+    """The output of semantic analysis, ready for NFA compilation."""
+
+    ast: Query
+    variables: dict[str, VariableInfo]
+    positives: list[VariableInfo]
+    negations: list[NegationSpec]
+    #: anchor variable name -> predicates evaluated when it binds.
+    predicates_at: dict[str, list[PredicateSpec]]
+    #: evaluated once, when a match completes.
+    completion_predicates: list[PredicateSpec]
+    rank_keys: list[CompiledRankKey]
+    yield_spec: "CompiledYield | None"
+    window: WindowSpec | None
+    strategy: SelectionStrategy
+    partition_by: tuple[str, ...]
+    limit: int | None
+    emit: EmitSpec
+    name: str | None = None
+    #: event types this query must be fed (positives and negations).
+    relevant_types: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def is_ranked(self) -> bool:
+        return bool(self.rank_keys)
+
+    def kleene_variable_names(self) -> frozenset[str]:
+        return frozenset(v.name for v in self.positives if v.is_kleene)
+
+
+_TRAILING = -1  # sentinel: negation guarded until window expiry
+
+
+def analyze(query: Query, registry: SchemaRegistry | None = None) -> AnalyzedQuery:
+    """Analyse ``query``; raises :class:`CEPRSemanticError` on violations."""
+    variables, positives, raw_negations = _resolve_variables(query)
+    if registry is not None:
+        _check_schemas(query, registry)
+
+    predicates_at: dict[str, list[PredicateSpec]] = {v.name: [] for v in variables.values()}
+    completion: list[PredicateSpec] = []
+    negation_predicates: dict[str, list[PredicateSpec]] = {
+        spec.element.variable: [] for spec in raw_negations
+    }
+
+    for conjunct in split_conjuncts(query.where):
+        conjunct = optimize(conjunct)
+        if conjunct == Literal(True):
+            continue  # vacuous conjunct folded away
+        spec = _assign_conjunct(conjunct, variables, positives)
+        if spec.anchor_var is None:
+            completion.append(spec)
+        elif spec.anchor_var in negation_predicates:
+            negation_predicates[spec.anchor_var].append(spec)
+        else:
+            predicates_at[spec.anchor_var].append(spec)
+
+    negations = [
+        NegationSpec(
+            element=spec.element,
+            after=spec.after,
+            before=spec.before,
+            predicates=tuple(negation_predicates[spec.element.variable]),
+        )
+        for spec in raw_negations
+    ]
+
+    rank_keys = _compile_rank_keys(query, variables)
+    yield_spec = _compile_yield(query, variables)
+    window = query.window
+    emit = _default_emit(query)
+
+    if rank_keys and window is None:
+        raise CEPRSemanticError(
+            "RANK BY requires a WITHIN window: the window defines the scope "
+            "within which matches compete"
+        )
+    if emit.kind is EmitKind.ON_WINDOW_CLOSE and window is None:
+        raise CEPRSemanticError("EMIT ON WINDOW CLOSE requires a WITHIN window")
+    if query.limit is not None and not rank_keys:
+        # LIMIT without RANK BY keeps the first k matches in detection
+        # order — legal, but only meaningful with an emission scope.
+        if window is None:
+            raise CEPRSemanticError("LIMIT requires a WITHIN window")
+
+    analyzed = AnalyzedQuery(
+        ast=query,
+        variables=variables,
+        positives=positives,
+        negations=negations,
+        predicates_at=predicates_at,
+        completion_predicates=completion,
+        rank_keys=rank_keys,
+        yield_spec=yield_spec,
+        window=window,
+        strategy=query.strategy or SelectionStrategy.SKIP_TILL_NEXT,
+        partition_by=query.partition_by,
+        limit=query.limit,
+        emit=emit,
+        name=query.name,
+        relevant_types=frozenset(e.event_type for e in query.pattern),
+    )
+    return analyzed
+
+
+# ---------------------------------------------------------------------------
+# variable resolution
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _RawNegation:
+    element: PatternElement
+    after: int
+    before: int
+
+
+def _resolve_variables(
+    query: Query,
+) -> tuple[dict[str, VariableInfo], list[VariableInfo], list[_RawNegation]]:
+    if not query.pattern:
+        raise CEPRSemanticError("pattern must contain at least one element")
+
+    variables: dict[str, VariableInfo] = {}
+    positives: list[VariableInfo] = []
+    raw_negations: list[_RawNegation] = []
+    positive_index = 0
+
+    if query.pattern[0].negated:
+        raise CEPRSemanticError(
+            "negation must follow at least one positive element (a leading "
+            "negation has no guard interval: the run only exists once its "
+            "first positive event arrives)"
+        )
+
+    for element in query.pattern:
+        if element.variable in variables:
+            raise CEPRSemanticError(f"duplicate pattern variable {element.variable!r}")
+        if element.negated:
+            info = VariableInfo(
+                element.variable,
+                element.event_type,
+                position=positive_index,
+                is_negated=True,
+            )
+            variables[element.variable] = info
+            raw_negations.append(
+                _RawNegation(element, after=positive_index - 1, before=positive_index)
+            )
+        else:
+            info = VariableInfo(
+                element.variable,
+                element.event_type,
+                position=positive_index,
+                is_kleene=element.kleene,
+            )
+            variables[element.variable] = info
+            positives.append(info)
+            positive_index += 1
+
+    if not positives:
+        raise CEPRSemanticError("pattern must contain at least one positive element")
+
+    # Mark trailing negations (guarded until window expiry).
+    total = len(positives)
+    resolved: list[_RawNegation] = []
+    for raw in raw_negations:
+        before = _TRAILING if raw.before >= total else raw.before
+        resolved.append(_RawNegation(raw.element, raw.after, before))
+        if before is _TRAILING and query.window is None:
+            raise CEPRSemanticError(
+                f"trailing negation NOT {raw.element.event_type} "
+                f"{raw.element.variable} requires a WITHIN window (matches stay "
+                f"pending until the window expires)"
+            )
+    return variables, positives, resolved
+
+
+def _check_schemas(query: Query, registry: SchemaRegistry) -> None:
+    for element in query.pattern:
+        schema = registry.get(element.event_type)
+        if schema is None:
+            continue  # unknown types are allowed; strict mode is an engine option
+        for attr in query.partition_by:
+            if schema.attribute(attr) is None:
+                raise CEPRSemanticError(
+                    f"PARTITION BY attribute {attr!r} is not declared on event "
+                    f"type {element.event_type!r}"
+                )
+
+
+# ---------------------------------------------------------------------------
+# predicate decomposition
+# ---------------------------------------------------------------------------
+
+
+def _uses_duration(expr: Expr) -> bool:
+    return any(
+        isinstance(node, FuncCall) and node.name == "duration"
+        for node in iter_subexpressions(expr)
+    )
+
+
+def _per_element_kleene_refs(
+    expr: Expr, variables: dict[str, VariableInfo]
+) -> set[str]:
+    """Kleene variables referenced per element (AttrRef/PrevRef, not aggregates)."""
+    refs: set[str] = set()
+    for node in iter_subexpressions(expr):
+        if isinstance(node, (AttrRef, PrevRef)):
+            info = variables.get(node.var)
+            if info is not None and info.is_kleene:
+                refs.add(node.var)
+    return refs
+
+
+def _assign_conjunct(
+    conjunct: Expr,
+    variables: dict[str, VariableInfo],
+    positives: list[VariableInfo],
+) -> PredicateSpec:
+    refs = referenced_variables(conjunct)
+    for name in refs:
+        if name not in variables:
+            raise CEPRSemanticError(f"unknown pattern variable {name!r} in WHERE")
+
+    negated_refs = {n for n in refs if variables[n].is_negated}
+    per_element = _per_element_kleene_refs(conjunct, variables)
+    has_duration = _uses_duration(conjunct)
+
+    for node in iter_subexpressions(conjunct):
+        if isinstance(node, PrevRef) and not variables[node.var].is_kleene:
+            raise CEPRSemanticError(
+                f"prev({node.var}.{node.attr}): {node.var!r} is not a Kleene variable"
+            )
+        if isinstance(node, Aggregate) and variables[node.var].is_negated:
+            raise CEPRSemanticError(
+                f"aggregate over negated variable {node.var!r} is not allowed"
+            )
+        if isinstance(node, (AttrRef, VarRef)) and node.var in variables:
+            info = variables[node.var]
+            if isinstance(node, VarRef) and info.is_kleene:
+                raise CEPRSemanticError(
+                    f"timestamp()/ts() over Kleene variable {node.var!r} is "
+                    f"ambiguous; aggregate its elements instead"
+                )
+
+    evaluator = compile_expr(conjunct)
+
+    # Case 1: incremental predicate on exactly one Kleene variable.
+    if per_element:
+        if len(per_element) > 1:
+            raise CEPRSemanticError(
+                f"a WHERE conjunct may reference per-element attributes of at "
+                f"most one Kleene variable, found {sorted(per_element)}"
+            )
+        if negated_refs:
+            raise CEPRSemanticError(
+                "a conjunct cannot mix per-element Kleene references with "
+                "negated variables"
+            )
+        anchor = next(iter(per_element))
+        anchor_pos = variables[anchor].position
+        for name in refs - {anchor}:
+            if variables[name].position >= anchor_pos:
+                raise CEPRSemanticError(
+                    f"incremental predicate on {anchor!r} references later "
+                    f"variable {name!r}; only earlier variables are bound when "
+                    f"each element of {anchor!r} is evaluated"
+                )
+        return PredicateSpec(conjunct, evaluator, refs, anchor, incremental=True)
+
+    # Case 2: negation predicate.
+    if negated_refs:
+        if len(negated_refs) > 1:
+            raise CEPRSemanticError(
+                f"a conjunct may reference at most one negated variable, "
+                f"found {sorted(negated_refs)}"
+            )
+        if has_duration:
+            raise CEPRSemanticError(
+                "duration() cannot appear in a predicate on a negated variable"
+            )
+        anchor = next(iter(negated_refs))
+        guard_start = variables[anchor].position  # positives bound before guard
+        for name in refs - {anchor}:
+            if variables[name].is_negated:
+                raise CEPRSemanticError("predicates cannot relate two negated variables")
+            if variables[name].position >= guard_start:
+                raise CEPRSemanticError(
+                    f"predicate on negated variable {anchor!r} references "
+                    f"{name!r}, which binds only after the negation's guard "
+                    f"interval opens"
+                )
+        return PredicateSpec(conjunct, evaluator, refs, anchor, incremental=False)
+
+    # Case 3: positive-variable predicate; anchored at the latest variable
+    # it references (aggregates over a Kleene variable are complete only
+    # when the *next* positive binds, or at match completion).
+    anchor_info: VariableInfo | None = None
+    force_completion = False
+    for name in refs:
+        info = variables[name]
+        candidate = info
+        if info.is_kleene:
+            # Referenced via aggregate only (per-element handled above);
+            # defer to the element after the Kleene closes.
+            next_pos = info.position + 1
+            candidate = positives[next_pos] if next_pos < len(positives) else None
+        if candidate is None:
+            force_completion = True  # aggregate over a trailing Kleene
+            break
+        if anchor_info is None or candidate.position > anchor_info.position:
+            anchor_info = candidate
+
+    if has_duration and not force_completion:
+        # duration() keeps growing until completion; evaluate last.
+        last = positives[-1]
+        if last.is_kleene:
+            force_completion = True
+        elif anchor_info is None or anchor_info.position < last.position:
+            anchor_info = last
+
+    if not refs and not has_duration:
+        # Constant predicate: evaluate once at completion.
+        force_completion = True
+
+    if force_completion:
+        anchor_info = None
+
+    anchor_var = anchor_info.name if anchor_info is not None else None
+    return PredicateSpec(conjunct, evaluator, refs, anchor_var, incremental=False)
+
+
+# ---------------------------------------------------------------------------
+# rank keys and defaults
+# ---------------------------------------------------------------------------
+
+
+def _compile_rank_keys(
+    query: Query, variables: dict[str, VariableInfo]
+) -> list[CompiledRankKey]:
+    keys: list[CompiledRankKey] = []
+    for key in query.rank_by:
+        _validate_complete_match_expr(key.expr, variables, "RANK BY")
+        optimized = optimize(key.expr)
+        keys.append(CompiledRankKey(optimized, key.direction, compile_expr(optimized)))
+    return keys
+
+
+def _validate_complete_match_expr(
+    expr: Expr, variables: dict[str, VariableInfo], where: str
+) -> None:
+    """Shared checks for expressions evaluated over complete matches."""
+    for node in iter_subexpressions(expr):
+        if isinstance(node, PrevRef):
+            raise CEPRSemanticError(f"prev() is not allowed in {where}")
+        if isinstance(node, (AttrRef, VarRef, Aggregate)):
+            info = variables.get(node.var)
+            if info is None:
+                raise CEPRSemanticError(
+                    f"unknown pattern variable {node.var!r} in {where}"
+                )
+            if info.is_negated:
+                raise CEPRSemanticError(
+                    f"{where} cannot reference negated variable {node.var!r}"
+                )
+            if info.is_kleene and isinstance(node, AttrRef):
+                raise CEPRSemanticError(
+                    f"{where} must reference Kleene variable {node.var!r} "
+                    f"through an aggregate, not {node.var}.{node.attr}"
+                )
+            if info.is_kleene and isinstance(node, VarRef):
+                raise CEPRSemanticError(
+                    f"timestamp()/ts() over Kleene variable {node.var!r} is "
+                    f"ambiguous; aggregate its elements instead"
+                )
+
+
+def _compile_yield(
+    query: Query, variables: dict[str, VariableInfo]
+) -> CompiledYield | None:
+    if query.yield_spec is None:
+        return None
+    if query.yield_spec.event_type in {
+        element.event_type for element in query.pattern
+    }:
+        raise CEPRSemanticError(
+            f"YIELD type {query.yield_spec.event_type!r} appears in this "
+            f"query's own pattern; direct self-feedback loops are rejected "
+            f"(route through a different derived type)"
+        )
+    compiled = []
+    for attr, expr in query.yield_spec.assignments:
+        _validate_complete_match_expr(expr, variables, "YIELD")
+        optimized = optimize(expr)
+        compiled.append((attr, optimized, compile_expr(optimized)))
+    return CompiledYield(query.yield_spec.event_type, tuple(compiled))
+
+
+def _default_emit(query: Query) -> EmitSpec:
+    if query.emit is not None:
+        return query.emit
+    if query.rank_by:
+        # Ranked queries default to tumbling-epoch emission: the ordered
+        # answer for each window epoch is released when the epoch closes.
+        return EmitSpec(EmitKind.ON_WINDOW_CLOSE)
+    # Unranked queries behave like a classical CEP engine: every match is
+    # emitted the moment it is detected.
+    return EmitSpec(EmitKind.EAGER)

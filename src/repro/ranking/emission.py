@@ -1,0 +1,69 @@
+"""Emission records produced by the rank operator.
+
+Every release of results is an :class:`Emission`: an ordered list of
+matches plus provenance (which policy fired, at which stream point, which
+revision).  ``EAGER`` mode may emit several revisions of the same scope;
+``entered``/``exited`` record the delta against the previous snapshot so a
+UI can highlight changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.engine.match import Match
+
+
+class EmissionKind(Enum):
+    """Why an emission was released (which policy fired)."""
+
+    #: a single unranked match, emitted on detection.
+    MATCH = "match"
+    #: the ordered answer of one closed tumbling epoch.
+    WINDOW_CLOSE = "window_close"
+    #: a periodic snapshot (EMIT EVERY).
+    PERIODIC = "periodic"
+    #: an eager snapshot, emitted because the top-k changed.
+    EAGER = "eager"
+    #: final snapshot at stream end.
+    FINAL = "final"
+
+
+@dataclass
+class Emission:
+    """One release of (ranked) results."""
+
+    kind: EmissionKind
+    ranking: list[Match]
+    at_seq: int
+    at_ts: float
+    #: tumbling epoch index for WINDOW_CLOSE emissions.
+    epoch: int | None = None
+    #: monotone revision counter within the query (eager/periodic scopes).
+    revision: int = 0
+    #: matches that entered the top-k relative to the previous snapshot.
+    entered: list[Match] = field(default_factory=list)
+    #: matches that left the top-k relative to the previous snapshot.
+    exited: list[Match] = field(default_factory=list)
+
+    @property
+    def top(self) -> Match | None:
+        return self.ranking[0] if self.ranking else None
+
+    def describe(self) -> str:
+        lines = [f"[{self.kind.value} rev={self.revision} t={self.at_ts:g}]"]
+        for position, match in enumerate(self.ranking, start=1):
+            lines.append(f"  #{position} {match.describe()}")
+        return "\n".join(lines)
+
+
+def snapshot_delta(
+    previous: list[Match], current: list[Match]
+) -> tuple[list[Match], list[Match]]:
+    """Compute (entered, exited) by detection index between two snapshots."""
+    prev_ids = {m.detection_index for m in previous}
+    cur_ids = {m.detection_index for m in current}
+    entered = [m for m in current if m.detection_index not in prev_ids]
+    exited = [m for m in previous if m.detection_index not in cur_ids]
+    return entered, exited

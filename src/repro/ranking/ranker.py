@@ -1,0 +1,394 @@
+"""The rank operator: orders completed matches and drives emission.
+
+One :class:`Ranker` is attached per query.  It consumes the matches
+completed at each event (already scored by a
+:class:`~repro.ranking.score.Scorer`), maintains the ranking scope
+appropriate to the query's emission policy, and returns the
+:class:`~repro.ranking.emission.Emission` records triggered by the event.
+
+Policy → scope mapping (see DESIGN.md for the semantics rationale):
+
+* ``EMIT ON WINDOW CLOSE`` → *tumbling*: one bounded
+  :class:`~repro.ranking.topk.EpochTopK` per window epoch; the ordered
+  answer is released when the epoch closes.  This mode exposes
+  :meth:`Ranker.kth_bound` to the pruning hook.
+* ``EMIT EVERY n`` → *sliding periodic*: a
+  :class:`~repro.ranking.topk.SlidingRanking` of live matches, snapshotted
+  every ``n`` events/seconds.
+* ``EMIT EAGER`` (ranked) → *sliding eager*: a snapshot whenever the
+  current top-k changes (including by expiry).
+* ``EMIT EAGER`` (unranked) → classical CEP pass-through: each match is
+  emitted the moment it is detected (respecting ``LIMIT`` per epoch).
+
+Unranked queries with ``ON WINDOW CLOSE``/``EVERY`` reuse the ranked
+machinery: their sort key degenerates to detection order, so ``LIMIT k``
+keeps the first k matches of the scope.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.match import Match
+from repro.engine.windows import EpochTracker
+from repro.events.event import Event
+from repro.language.ast_nodes import EmitKind, WindowKind
+from repro.language.errors import EvaluationError
+from repro.language.semantics import AnalyzedQuery
+from repro.ranking.emission import Emission, EmissionKind, snapshot_delta
+from repro.ranking.score import Scorer
+from repro.ranking.topk import EpochTopK, SlidingRanking
+
+
+class Ranker:
+    """Per-query ranking and emission state machine (see module docs)."""
+
+    def __init__(
+        self,
+        analyzed: AnalyzedQuery,
+        scorer: Scorer,
+        lenient_errors: bool = False,
+    ) -> None:
+        self.analyzed = analyzed
+        self.scorer = scorer
+        self.emit = analyzed.emit
+        self.window = analyzed.window
+        self.limit = analyzed.limit
+        #: When true, a match whose RANK BY keys fail to evaluate is dropped
+        #: (and counted) instead of crashing the engine.
+        self.lenient_errors = lenient_errors
+        self.scoring_errors = 0
+        self._revision = 0
+        self._emissions_count = 0
+
+        self._tumbling = self.emit.kind is EmitKind.ON_WINDOW_CLOSE
+        self._passthrough = (
+            self.emit.kind is EmitKind.EAGER and not scorer.is_ranked
+        )
+
+        if self._tumbling:
+            assert self.window is not None  # enforced by semantic analysis
+            self._epoch_tracker = EpochTracker(self.window)
+            self._epoch_buffers: dict[int, EpochTopK] = {}
+            self._current_epoch: int | None = None
+        elif self._passthrough:
+            self._limit_tracker = (
+                EpochTracker(self.window)
+                if self.limit is not None and self.window is not None
+                else None
+            )
+            self._limit_epoch: int | None = None
+            self._emitted_in_epoch = 0
+        else:
+            self._sliding = SlidingRanking(self.limit, self.window)
+            self._last_snapshot: list[Match] = []
+            self._events_since_emit = 0
+            self._last_emit_ts: float | None = None
+
+    # -- public API ---------------------------------------------------------------
+
+    @property
+    def emissions_count(self) -> int:
+        return self._emissions_count
+
+    def observe(self, event: Event, matches: Sequence[Match]) -> list[Emission]:
+        """Process one event's completions; return triggered emissions."""
+        matches = self._score_all(matches)
+        if self._tumbling:
+            return self._observe_tumbling(event, matches)
+        if self._passthrough:
+            return self._observe_passthrough(event, matches)
+        return self._observe_sliding(event, matches)
+
+    def observe_final(
+        self, matches: Sequence[Match], last_seq: int, last_ts: float
+    ) -> list[Emission]:
+        """Absorb matches confirmed at stream end, then flush.
+
+        Pass-through mode emits the late-confirmed matches directly; the
+        buffered modes fold them into the final rankings.
+        """
+        matches = self._score_all(matches)
+        emissions: list[Emission] = []
+        if self._passthrough:
+            for match in matches:
+                self._revision += 1
+                self._emissions_count += 1
+                emissions.append(
+                    Emission(
+                        kind=EmissionKind.MATCH,
+                        ranking=[match],
+                        at_seq=last_seq,
+                        at_ts=last_ts,
+                        revision=self._revision,
+                    )
+                )
+        elif self._tumbling:
+            for match in matches:
+                epoch = self._epoch_tracker.epoch_of_point(
+                    match.last_seq, match.last_ts
+                )
+                buffer = self._epoch_buffers.get(epoch)
+                if buffer is None:
+                    buffer = EpochTopK(self.limit)
+                    self._epoch_buffers[epoch] = buffer
+                buffer.insert(match)
+        else:
+            for match in matches:
+                self._sliding.insert(match)
+        emissions.extend(self.flush(last_seq, last_ts))
+        return emissions
+
+    def _score_all(self, matches: Sequence[Match]) -> Sequence[Match]:
+        """Score matches, applying the evaluation-error policy."""
+        if not self.lenient_errors:
+            for match in matches:
+                self.scorer.score(match)
+            return matches
+        kept: list[Match] = []
+        for match in matches:
+            try:
+                self.scorer.score(match)
+            except EvaluationError:
+                self.scoring_errors += 1
+                continue
+            kept.append(match)
+        return kept
+
+    def tick(
+        self, matches: Sequence[Match], seq: int, timestamp: float
+    ) -> list[Emission]:
+        """Heartbeat at ``timestamp``: absorb late-confirmed matches and
+        release whatever time-based scopes are now due.
+
+        Only time-driven scopes react (time-window tumbling epochs close,
+        time-periodic snapshots fire, sliding expiry by time runs);
+        count-based scopes need events to advance.
+        """
+        matches = self._score_all(matches)
+        emissions: list[Emission] = []
+        if self._tumbling:
+            for match in matches:
+                epoch = self._epoch_tracker.epoch_of_point(
+                    match.last_seq, match.last_ts
+                )
+                buffer = self._epoch_buffers.get(epoch)
+                if buffer is None:
+                    buffer = EpochTopK(self.limit)
+                    self._epoch_buffers[epoch] = buffer
+                buffer.insert(match)
+            if self.window is not None and self.window.kind is WindowKind.TIME:
+                now_epoch = self._epoch_tracker.epoch_of_point(seq, timestamp)
+                for epoch in sorted(
+                    e for e in self._epoch_buffers if e < now_epoch
+                ):
+                    emissions.append(
+                        self._close_epoch(epoch, seq, timestamp, final=False)
+                    )
+            return emissions
+        if self._passthrough:
+            for match in matches:
+                self._revision += 1
+                self._emissions_count += 1
+                emissions.append(
+                    Emission(
+                        kind=EmissionKind.MATCH,
+                        ranking=[match],
+                        at_seq=seq,
+                        at_ts=timestamp,
+                        revision=self._revision,
+                    )
+                )
+            return emissions
+        # sliding scopes: expire by time, then check time-driven policies
+        if self.window is not None and self.window.kind is WindowKind.TIME:
+            self._sliding.expire(seq, timestamp)
+        for match in matches:
+            self._sliding.insert(match)
+        if self.emit.kind is EmitKind.EAGER:
+            ranking = self._sliding.ranking()
+            if [m.detection_index for m in ranking] != [
+                m.detection_index for m in self._last_snapshot
+            ]:
+                snapshot = self._make_snapshot(
+                    EmissionKind.EAGER, ranking, seq, timestamp
+                )
+                if snapshot is not None:
+                    emissions.append(snapshot)
+            return emissions
+        if (
+            self.emit.period_kind is WindowKind.TIME
+            and self._last_emit_ts is not None
+            and timestamp - self._last_emit_ts >= (self.emit.period or 0)
+        ):
+            self._last_emit_ts = timestamp
+            snapshot = self._make_snapshot(
+                EmissionKind.PERIODIC, self._sliding.ranking(), seq, timestamp
+            )
+            if snapshot is not None:
+                emissions.append(snapshot)
+        return emissions
+
+    def flush(self, last_seq: int, last_ts: float) -> list[Emission]:
+        """Stream end: release whatever the policy still holds."""
+        if self._tumbling:
+            emissions = []
+            for epoch in sorted(self._epoch_buffers):
+                emissions.append(
+                    self._close_epoch(epoch, last_seq, last_ts, final=True)
+                )
+            self._epoch_buffers.clear()
+            return emissions
+        if self._passthrough:
+            return []
+        ranking = self._sliding.ranking()
+        if not ranking:
+            return []
+        emission = self._make_snapshot(
+            EmissionKind.FINAL, ranking, last_seq, last_ts
+        )
+        return [emission] if emission is not None else []
+
+    def kth_bound_for_epoch(self, epoch: int) -> tuple | None:
+        """The pruning bound for runs completing in ``epoch``.
+
+        Only tumbling mode has a sound bound (DESIGN.md), and a run may
+        only be compared against the k-th score of the epoch it will
+        complete in — a fresh epoch has no bound yet, so runs created at an
+        epoch boundary are never pruned against the previous epoch's heap.
+        Other modes return ``None``, which disables pruning.
+        """
+        if not self._tumbling:
+            return None
+        buffer = self._epoch_buffers.get(epoch)
+        if buffer is None:
+            return None
+        return buffer.kth_key()
+
+    # -- tumbling -------------------------------------------------------------------
+
+    def _observe_tumbling(
+        self, event: Event, matches: Sequence[Match]
+    ) -> list[Emission]:
+        for match in matches:
+            epoch = self._epoch_tracker.epoch_of_point(match.last_seq, match.last_ts)
+            buffer = self._epoch_buffers.get(epoch)
+            if buffer is None:
+                buffer = EpochTopK(self.limit)
+                self._epoch_buffers[epoch] = buffer
+            buffer.insert(match)
+
+        event_epoch = self._epoch_tracker.epoch_of(event)
+        emissions: list[Emission] = []
+        for epoch in sorted(e for e in self._epoch_buffers if e < event_epoch):
+            emissions.append(
+                self._close_epoch(epoch, event.seq, event.timestamp, final=False)
+            )
+        self._current_epoch = event_epoch
+        return emissions
+
+    def _close_epoch(
+        self, epoch: int, at_seq: int, at_ts: float, final: bool
+    ) -> Emission:
+        buffer = self._epoch_buffers.pop(epoch)
+        self._revision += 1
+        self._emissions_count += 1
+        return Emission(
+            kind=EmissionKind.WINDOW_CLOSE,
+            ranking=buffer.ranking(),
+            at_seq=at_seq,
+            at_ts=at_ts,
+            epoch=epoch,
+            revision=self._revision,
+        )
+
+    # -- pass-through (unranked EAGER) -------------------------------------------------
+
+    def _observe_passthrough(
+        self, event: Event, matches: Sequence[Match]
+    ) -> list[Emission]:
+        emissions: list[Emission] = []
+        if self._limit_tracker is not None:
+            epoch = self._limit_tracker.epoch_of(event)
+            if epoch != self._limit_epoch:
+                self._limit_epoch = epoch
+                self._emitted_in_epoch = 0
+        for match in matches:
+            if self.limit is not None and self._limit_tracker is not None:
+                if self._emitted_in_epoch >= self.limit:
+                    continue
+                self._emitted_in_epoch += 1
+            self._revision += 1
+            self._emissions_count += 1
+            emissions.append(
+                Emission(
+                    kind=EmissionKind.MATCH,
+                    ranking=[match],
+                    at_seq=event.seq,
+                    at_ts=event.timestamp,
+                    revision=self._revision,
+                )
+            )
+        return emissions
+
+    # -- sliding (EVERY / ranked EAGER) --------------------------------------------------
+
+    def _observe_sliding(
+        self, event: Event, matches: Sequence[Match]
+    ) -> list[Emission]:
+        self._sliding.expire(event.seq, event.timestamp)
+        for match in matches:
+            self._sliding.insert(match)
+
+        if self.emit.kind is EmitKind.EAGER:
+            ranking = self._sliding.ranking()
+            if [m.detection_index for m in ranking] == [
+                m.detection_index for m in self._last_snapshot
+            ]:
+                return []
+            emission = self._make_snapshot(
+                EmissionKind.EAGER, ranking, event.seq, event.timestamp
+            )
+            return [emission] if emission is not None else []
+
+        # EMIT EVERY n EVENTS / t <unit>
+        assert self.emit.period is not None
+        due = False
+        if self.emit.period_kind is WindowKind.COUNT:
+            self._events_since_emit += 1
+            if self._events_since_emit >= int(self.emit.period):
+                due = True
+                self._events_since_emit = 0
+        else:
+            if self._last_emit_ts is None:
+                self._last_emit_ts = event.timestamp
+            elif event.timestamp - self._last_emit_ts >= self.emit.period:
+                due = True
+                self._last_emit_ts = event.timestamp
+        if not due:
+            return []
+        emission = self._make_snapshot(
+            EmissionKind.PERIODIC, self._sliding.ranking(), event.seq, event.timestamp
+        )
+        return [emission] if emission is not None else []
+
+    def _make_snapshot(
+        self,
+        kind: EmissionKind,
+        ranking: list[Match],
+        at_seq: int,
+        at_ts: float,
+    ) -> Emission | None:
+        entered, exited = snapshot_delta(self._last_snapshot, ranking)
+        self._last_snapshot = ranking
+        self._revision += 1
+        self._emissions_count += 1
+        return Emission(
+            kind=kind,
+            ranking=ranking,
+            at_seq=at_seq,
+            at_ts=at_ts,
+            revision=self._revision,
+            entered=entered,
+            exited=exited,
+        )

@@ -1,0 +1,48 @@
+"""Scoring: evaluate ``RANK BY`` keys over completed matches."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.engine.match import Match
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext
+from repro.language.semantics import CompiledRankKey
+from repro.ranking.keys import normalise_component
+
+
+class Scorer:
+    """Computes and attaches the normalised score of each match.
+
+    ``score(match)`` fills ``match.rank_values`` (raw values, user order)
+    and ``match.score`` (normalised comparator tuple: smaller = better) and
+    returns the match for chaining.
+    """
+
+    def __init__(self, rank_keys: Sequence[CompiledRankKey]) -> None:
+        self.rank_keys = tuple(rank_keys)
+
+    @property
+    def is_ranked(self) -> bool:
+        return bool(self.rank_keys)
+
+    def score(self, match: Match) -> Match:
+        if not self.rank_keys:
+            match.score = ()
+            match.rank_values = ()
+            return match
+        ctx = EvalContext(bindings=match.bindings)
+        raw = []
+        normalised = []
+        for key in self.rank_keys:
+            try:
+                value = key.evaluator(ctx)
+            except EvaluationError as exc:
+                raise EvaluationError(
+                    f"failed to evaluate RANK BY key over a match: {exc}"
+                ) from exc
+            raw.append(value)
+            normalised.append(normalise_component(value, key.direction))
+        match.rank_values = tuple(raw)
+        match.score = tuple(normalised)
+        return match

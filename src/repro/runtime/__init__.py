@@ -1,0 +1,36 @@
+"""Runtime glue: the engine facade, query handles, routing, sinks, metrics,
+and the live monitor."""
+
+from repro.runtime.concurrent import ThreadedEngineRunner
+from repro.runtime.engine import CEPREngine
+from repro.runtime.metrics import EngineMetrics, LatencyRecorder, QueryMetrics
+from repro.runtime.monitor import Monitor
+from repro.runtime.query import RegisteredQuery
+from repro.runtime.router import EventRouter
+from repro.runtime.serialize import emission_to_json, emission_to_line, match_to_json
+from repro.runtime.sinks import (
+    CallbackSink,
+    CollectorSink,
+    JSONLSink,
+    PrintSink,
+    ResultSink,
+)
+
+__all__ = [
+    "CEPREngine",
+    "CallbackSink",
+    "CollectorSink",
+    "EngineMetrics",
+    "EventRouter",
+    "JSONLSink",
+    "LatencyRecorder",
+    "Monitor",
+    "PrintSink",
+    "QueryMetrics",
+    "RegisteredQuery",
+    "ResultSink",
+    "ThreadedEngineRunner",
+    "emission_to_json",
+    "emission_to_line",
+    "match_to_json",
+]

@@ -1,0 +1,131 @@
+"""Threaded ingestion: feed an engine from a producer thread safely.
+
+``CEPREngine`` is single-threaded by design (one event at a time through
+the operator chain).  :class:`ThreadedEngineRunner` puts that engine behind
+a bounded queue: producers call :meth:`submit` from any thread, a single
+consumer thread drains the queue into the engine, and emissions fan out to
+a callback.  The bounded queue gives natural backpressure — a slow query
+slows producers instead of growing memory without bound.
+
+This formalises what the live-monitor demo does ad hoc, with clean
+shutdown semantics: :meth:`stop` processes everything already queued,
+flushes the engine, and joins the thread.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable
+
+from repro.events.event import Event
+from repro.ranking.emission import Emission
+from repro.runtime.engine import CEPREngine
+
+_STOP = object()
+
+
+class ThreadedEngineRunner:
+    """Runs a :class:`CEPREngine` on its own consumer thread.
+
+    Parameters
+    ----------
+    engine:
+        The engine to drive; after :meth:`start` it must only be touched
+        through this runner.
+    on_emission:
+        Optional callback invoked (on the consumer thread) for every
+        emission produced.
+    max_queue:
+        Bound of the ingest queue; :meth:`submit` blocks when full.
+    """
+
+    def __init__(
+        self,
+        engine: CEPREngine,
+        on_emission: Callable[[Emission], None] | None = None,
+        max_queue: int = 10_000,
+    ) -> None:
+        self.engine = engine
+        self.on_emission = on_emission
+        self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self._thread: threading.Thread | None = None
+        self._started = False
+        self._stopped = threading.Event()
+        #: exception that killed the consumer thread, if any.
+        self.failure: BaseException | None = None
+        self.events_submitted = 0
+        self.events_processed = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "ThreadedEngineRunner":
+        if self._started:
+            raise RuntimeError("runner already started")
+        self._started = True
+        self._thread = threading.Thread(target=self._consume, daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Drain the queue, flush the engine, and join the thread."""
+        if not self._started or self._stopped.is_set():
+            return
+        self._queue.put(_STOP)
+        assert self._thread is not None
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise TimeoutError("consumer thread did not drain in time")
+        if self.failure is not None:
+            raise RuntimeError("engine thread failed") from self.failure
+
+    def __enter__(self) -> "ThreadedEngineRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- producing ----------------------------------------------------------------
+
+    def submit(self, event: Event, timeout: float | None = None) -> None:
+        """Enqueue one event (blocks when the queue is full)."""
+        if self._stopped.is_set():
+            raise RuntimeError("runner is stopped")
+        if self.failure is not None:
+            raise RuntimeError("engine thread failed") from self.failure
+        self._queue.put(event, timeout=timeout)
+        self.events_submitted += 1
+
+    def submit_all(self, events) -> int:
+        count = 0
+        for event in events:
+            self.submit(event)
+            count += 1
+        return count
+
+    @property
+    def backlog(self) -> int:
+        """Events queued but not yet processed (approximate)."""
+        return self._queue.qsize()
+
+    # -- consuming ----------------------------------------------------------------
+
+    def _consume(self) -> None:
+        try:
+            while True:
+                item = self._queue.get()
+                if item is _STOP:
+                    break
+                emissions = self.engine.push(item)
+                self.events_processed += 1
+                if self.on_emission is not None:
+                    for emission in emissions:
+                        self.on_emission(emission)
+            final = self.engine.flush()
+            if self.on_emission is not None:
+                for emission in final:
+                    self.on_emission(emission)
+        except BaseException as exc:  # surfaced to producers via .failure
+            self.failure = exc
+        finally:
+            self._stopped.set()

@@ -1,0 +1,260 @@
+"""The CEPR engine facade — the main public entry point.
+
+>>> from repro import CEPREngine, Event
+>>> engine = CEPREngine()
+>>> query = engine.register_query('''
+...     PATTERN SEQ(Buy b, Sell s)
+...     WHERE b.symbol == s.symbol AND s.price > b.price
+...     WITHIN 50 EVENTS
+...     RANK BY s.price - b.price DESC
+...     LIMIT 3
+... ''')
+>>> _ = engine.push(Event("Buy", 1.0, symbol="ACME", price=10.0))
+>>> _ = engine.push(Event("Sell", 2.0, symbol="ACME", price=14.0))
+>>> _ = engine.flush()
+>>> [m.rank_values for m in query.final_ranking()]
+[(4.0,)]
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.events.time import LatenessBuffer, SequenceAssigner
+from repro.language.ast_nodes import Query
+from repro.language.errors import CEPRSemanticError
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+from repro.ranking.emission import Emission
+from repro.runtime.metrics import EngineMetrics
+from repro.runtime.query import RegisteredQuery
+from repro.runtime.router import EventRouter
+
+
+class CEPREngine:
+    """A multi-query complex-event-processing engine with ranking support.
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.events.schema.SchemaRegistry`.  Declared
+        schemas enable event validation and — through attribute domains —
+        score-bound pruning.
+    strict_schema:
+        When true, events whose type has no registered schema are rejected.
+    enable_pruning:
+        Master switch for score-bound pruning (per-query conditions still
+        apply: ``RANK BY`` + ``LIMIT`` + tumbling emission).  The ablation
+        benchmarks flip this.
+    strict_time:
+        When true, out-of-order timestamps raise instead of being counted.
+    lenient_errors:
+        When true, a predicate or rank key that fails to evaluate over
+        dirty data (missing attribute, type mismatch, division by zero)
+        makes that run/match fail quietly — counted in the query's matcher
+        stats — instead of raising out of ``push``.
+    max_lateness:
+        When set, ingested events are reordered through a
+        :class:`~repro.events.time.LatenessBuffer` with this bound (in
+        stream-time seconds) before matching, so bounded out-of-order
+        feeds are handled correctly at the cost of that much latency.
+        Events violating the bound are dropped (see
+        ``engine.lateness_buffer.late_drops``).
+    max_derivation_depth:
+        Bound on YIELD cascades: an event derived from an event derived
+        from ... more than this many levels deep raises (indirect feedback
+        loop).  Direct self-feedback is rejected at registration.
+    """
+
+    def __init__(
+        self,
+        registry: SchemaRegistry | None = None,
+        strict_schema: bool = False,
+        enable_pruning: bool = True,
+        strict_time: bool = False,
+        lenient_errors: bool = False,
+        max_lateness: float | None = None,
+        max_derivation_depth: int = 16,
+    ) -> None:
+        self.registry = registry
+        self.strict_schema = strict_schema
+        self.enable_pruning = enable_pruning
+        self.lenient_errors = lenient_errors
+        self.lateness_buffer = (
+            LatenessBuffer(max_lateness) if max_lateness is not None else None
+        )
+        self.max_derivation_depth = max_derivation_depth
+        #: total derived (YIELD) events processed.
+        self.derived_events = 0
+        self._sequencer = SequenceAssigner(strict=strict_time)
+        self._router = EventRouter()
+        self._queries: dict[str, RegisteredQuery] = {}
+        self.metrics = EngineMetrics()
+        self._auto_name_counter = 0
+        self._flushed = False
+
+    # -- registration -------------------------------------------------------------
+
+    def register_query(
+        self,
+        query: str | Query,
+        name: str | None = None,
+        collect_results: bool = True,
+    ) -> RegisteredQuery:
+        """Parse, analyse, compile, and activate one CEPR-QL query.
+
+        ``query`` may be query text or an already-parsed AST.  The query
+        name comes from (in priority order) the ``name`` argument, the
+        query's ``NAME`` clause, or an auto-generated ``q<N>``.
+        """
+        ast = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(ast, self.registry)
+        resolved_name = name or ast.name or self._next_auto_name()
+        if resolved_name in self._queries:
+            raise CEPRSemanticError(f"a query named {resolved_name!r} is already registered")
+        registered = RegisteredQuery(
+            resolved_name,
+            analyzed,
+            registry=self.registry,
+            enable_pruning=self.enable_pruning,
+            collect_results=collect_results,
+            lenient_errors=self.lenient_errors,
+        )
+        self._queries[resolved_name] = registered
+        self._router.add(registered)
+        return registered
+
+    def unregister_query(self, name: str) -> None:
+        registered = self._queries.pop(name, None)
+        if registered is None:
+            raise KeyError(f"no query named {name!r}")
+        self._router.remove(registered)
+
+    def query(self, name: str) -> RegisteredQuery:
+        return self._queries[name]
+
+    def queries(self) -> list[RegisteredQuery]:
+        return list(self._queries.values())
+
+    # -- ingestion -----------------------------------------------------------------
+
+    def push(self, event: Event) -> list[Emission]:
+        """Ingest one event; returns emissions triggered across all queries.
+
+        With ``max_lateness`` configured, the event may be buffered for
+        reordering and the returned emissions belong to whatever earlier
+        events the new watermark released.
+        """
+        if self._flushed:
+            raise RuntimeError("engine already flushed; create a new engine")
+        if self.registry is not None:
+            self.registry.validate(event, strict=self.strict_schema)
+        if self.lateness_buffer is None:
+            return self._dispatch(event)
+        emissions: list[Emission] = []
+        for released in self.lateness_buffer.push(event):
+            emissions.extend(self._dispatch(released))
+        return emissions
+
+    def _dispatch(self, event: Event, depth: int = 0) -> list[Emission]:
+        self._sequencer.assign(event)
+        self.metrics.on_push()
+        emissions: list[Emission] = []
+        derived: list[Event] = []
+        for registered in self._router.route(event):
+            query_emissions = registered.process(event)
+            emissions.extend(query_emissions)
+            if registered.has_yield and query_emissions:
+                derived.extend(registered.derive_events(query_emissions))
+        emissions.extend(self._cascade(derived, depth))
+        return emissions
+
+    def _cascade(self, derived: list[Event], depth: int) -> list[Emission]:
+        """Feed YIELD-derived events back through the engine."""
+        if not derived:
+            return []
+        if depth >= self.max_derivation_depth:
+            raise RuntimeError(
+                f"YIELD cascade exceeded max_derivation_depth="
+                f"{self.max_derivation_depth}; check for feedback loops "
+                f"between derived event types"
+            )
+        emissions: list[Emission] = []
+        for event in derived:
+            self.derived_events += 1
+            emissions.extend(self._dispatch(event, depth + 1))
+        return emissions
+
+    def run(self, events: Iterable[Event], flush: bool = True) -> list[Emission]:
+        """Push a whole stream; optionally flush at the end."""
+        emissions: list[Emission] = []
+        for event in events:
+            emissions.extend(self.push(event))
+        if flush:
+            emissions.extend(self.flush())
+        return emissions
+
+    def advance_time(self, timestamp: float) -> list[Emission]:
+        """Heartbeat: declare that stream time has reached ``timestamp``.
+
+        Live deployments call this on a wall-clock timer so quiet streams
+        still close time windows, confirm trailing-negation pendings, and
+        fire time-periodic emissions.  Has no effect on count-based scopes.
+        """
+        if self._flushed:
+            raise RuntimeError("engine already flushed; create a new engine")
+        emissions: list[Emission] = []
+        derived: list[Event] = []
+        for registered in self._queries.values():
+            query_emissions = registered.advance_time(timestamp)
+            emissions.extend(query_emissions)
+            if registered.has_yield and query_emissions:
+                derived.extend(registered.derive_events(query_emissions))
+        emissions.extend(self._cascade(derived, depth=0))
+        return emissions
+
+    def flush(self) -> list[Emission]:
+        """End of stream: release pending matches and held rankings."""
+        if self._flushed:
+            return []
+        emissions: list[Emission] = []
+        if self.lateness_buffer is not None:
+            for released in self.lateness_buffer.flush():
+                emissions.extend(self._dispatch(released))
+        self._flushed = True
+        for registered in self._queries.values():
+            emissions.extend(registered.flush())
+        return emissions
+
+    # -- introspection --------------------------------------------------------------
+
+    @property
+    def events_pushed(self) -> int:
+        return self.metrics.events_pushed
+
+    def stats_by_query(self) -> dict[str, dict[str, float]]:
+        """Metrics snapshot per query, for the monitor and benchmarks."""
+        snapshot: dict[str, dict[str, float]] = {}
+        for name, registered in self._queries.items():
+            row = registered.metrics.snapshot()
+            matcher = registered.matcher.stats
+            row.update(
+                {
+                    "runs_created": matcher.runs_created,
+                    "runs_pruned": matcher.runs_pruned,
+                    "peak_live_runs": matcher.peak_live_runs,
+                    "live_runs": registered.matcher.live_run_count,
+                }
+            )
+            snapshot[name] = row
+        return snapshot
+
+    def _next_auto_name(self) -> str:
+        self._auto_name_counter += 1
+        candidate = f"q{self._auto_name_counter}"
+        while candidate in self._queries:
+            self._auto_name_counter += 1
+            candidate = f"q{self._auto_name_counter}"
+        return candidate

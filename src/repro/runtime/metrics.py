@@ -1,0 +1,103 @@
+"""Runtime metrics: throughput, latency, and per-query counters.
+
+The monitor and the benchmark harness read these.  Latencies are recorded
+with a bounded reservoir so long runs keep constant memory while the
+percentile estimates stay representative.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+
+class LatencyRecorder:
+    """Reservoir-sampled latency series with percentile queries.
+
+    Uses Vitter's algorithm R with a private seeded RNG, so recordings are
+    deterministic for a fixed call sequence and never disturb global
+    :mod:`random` state.
+    """
+
+    def __init__(self, capacity: int = 4096, seed: int = 0) -> None:
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+        self._samples: list[float] = []
+        self._rng = random.Random(seed)
+
+    def record(self, latency_seconds: float) -> None:
+        self.count += 1
+        self.total += latency_seconds
+        if latency_seconds > self.maximum:
+            self.maximum = latency_seconds
+        if len(self._samples) < self.capacity:
+            self._samples.append(latency_seconds)
+        else:
+            index = self._rng.randrange(self.count)
+            if index < self.capacity:
+                self._samples[index] = latency_seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Empirical ``q``-th percentile (0 < q <= 100) of the reservoir."""
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
+        return ordered[rank]
+
+
+@dataclass
+class QueryMetrics:
+    """Counters for one registered query."""
+
+    events_routed: int = 0
+    matches: int = 0
+    emissions: int = 0
+    revisions: int = 0
+    latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "events_routed": self.events_routed,
+            "matches": self.matches,
+            "emissions": self.emissions,
+            "revisions": self.revisions,
+            "latency_mean_us": self.latency.mean * 1e6,
+            "latency_p99_us": self.latency.percentile(99) * 1e6,
+        }
+
+
+class EngineMetrics:
+    """Engine-wide throughput accounting."""
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.events_pushed = 0
+        self.started_at: float | None = None
+        self.last_push_at: float | None = None
+
+    def on_push(self) -> None:
+        now = self._clock()
+        if self.started_at is None:
+            self.started_at = now
+        self.last_push_at = now
+        self.events_pushed += 1
+
+    @property
+    def elapsed(self) -> float:
+        if self.started_at is None or self.last_push_at is None:
+            return 0.0
+        return self.last_push_at - self.started_at
+
+    @property
+    def throughput(self) -> float:
+        """Events per second over the observed span (0 when idle)."""
+        elapsed = self.elapsed
+        return self.events_pushed / elapsed if elapsed > 0 else 0.0

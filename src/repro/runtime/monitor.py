@@ -1,0 +1,113 @@
+"""Live text monitor — the demo paper's "user-friendly interface".
+
+The ICDE demo showed a GUI that tails each query's ranked results and lets
+the user watch the system in real time; this module provides the
+terminal-friendly equivalent: :class:`Monitor` renders a snapshot of every
+registered query (its text, metrics, and current top results) and
+:meth:`Monitor.run_live` refreshes it on an interval while a stream is
+being replayed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time as _time
+from typing import Callable, TextIO
+
+from repro.language.printer import format_query
+from repro.ranking.emission import Emission
+from repro.runtime.engine import CEPREngine
+from repro.runtime.query import RegisteredQuery
+
+_RULE = "=" * 72
+
+
+class Monitor:
+    """Renders engine state as plain text (see module docstring)."""
+
+    def __init__(self, engine: CEPREngine, top_n: int = 5) -> None:
+        self.engine = engine
+        self.top_n = top_n
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        """A full snapshot of the engine: header + one block per query."""
+        lines = [self._header()]
+        for registered in self.engine.queries():
+            lines.append(self._render_query(registered))
+        return "\n".join(lines)
+
+    def _header(self) -> str:
+        metrics = self.engine.metrics
+        return (
+            f"{_RULE}\n"
+            f"CEPR monitor — {len(self.engine.queries())} queries, "
+            f"{metrics.events_pushed} events, "
+            f"{metrics.throughput:,.0f} ev/s\n"
+            f"{_RULE}"
+        )
+
+    def _render_query(self, registered: RegisteredQuery) -> str:
+        lines = [f"-- query {registered.name} " + "-" * max(0, 50 - len(registered.name))]
+        for text_line in format_query(registered.analyzed.ast).splitlines():
+            lines.append(f"   | {text_line}")
+        m = registered.metrics
+        s = registered.matcher.stats
+        extras = []
+        if registered.matcher.pending_count:
+            extras.append(f"pending={registered.matcher.pending_count}")
+        if registered.has_yield:
+            extras.append(f"derived_type={registered.analyzed.yield_spec.event_type}")
+        if s.evaluation_errors:
+            extras.append(f"eval_errors={s.evaluation_errors}")
+        suffix = (" " + " ".join(extras)) if extras else ""
+        lines.append(
+            f"   events={m.events_routed} matches={m.matches} "
+            f"emissions={m.emissions} live_runs={registered.matcher.live_run_count} "
+            f"pruned={s.runs_pruned} p99={m.latency.percentile(99) * 1e6:.0f}us"
+            f"{suffix}"
+        )
+        lines.extend(self._render_ranking(registered))
+        return "\n".join(lines)
+
+    def _render_ranking(self, registered: RegisteredQuery) -> list[str]:
+        if registered.collector is None or not registered.collector.emissions:
+            return ["   (no emissions yet)"]
+        last: Emission = registered.collector.emissions[-1]
+        lines = [
+            f"   last emission: {last.kind.value} rev={last.revision} "
+            f"t={last.at_ts:g}"
+        ]
+        for position, match in enumerate(last.ranking[: self.top_n], start=1):
+            lines.append(f"     #{position} {match.describe()}")
+        if len(last.ranking) > self.top_n:
+            lines.append(f"     ... {len(last.ranking) - self.top_n} more")
+        return lines
+
+    # -- live loop ----------------------------------------------------------------
+
+    def run_live(
+        self,
+        refresh_seconds: float = 1.0,
+        iterations: int | None = None,
+        out: TextIO = sys.stdout,
+        sleep: Callable[[float], None] = _time.sleep,
+        clear: bool = True,
+    ) -> None:
+        """Repeatedly render to ``out``.
+
+        Designed to run in a thread next to a replaying stream; pass
+        ``iterations`` to bound the loop (required in tests) and a fake
+        ``sleep`` to run instantly.
+        """
+        rendered = 0
+        while iterations is None or rendered < iterations:
+            if clear:
+                out.write("\x1b[2J\x1b[H")
+            out.write(self.render() + "\n")
+            out.flush()
+            rendered += 1
+            if iterations is not None and rendered >= iterations:
+                return
+            sleep(refresh_seconds)

@@ -1,0 +1,194 @@
+"""A registered query: the per-query operator chain.
+
+``RegisteredQuery`` wires matcher → scorer → ranker → sinks for one query
+and is the handle the engine returns from ``register_query``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine.compiler import compile_automaton
+from repro.engine.match import Match
+from repro.engine.matcher import PatternMatcher
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.language.ast_nodes import EmitKind
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext
+from repro.language.semantics import AnalyzedQuery
+from repro.ranking.emission import Emission
+from repro.ranking.pruning import ScoreBoundPruner
+from repro.ranking.ranker import Ranker
+from repro.ranking.score import Scorer
+from repro.runtime.metrics import QueryMetrics
+from repro.runtime.sinks import CollectorSink, ResultSink
+
+
+class RegisteredQuery:
+    """One live query inside a :class:`~repro.runtime.engine.CEPREngine`."""
+
+    def __init__(
+        self,
+        name: str,
+        analyzed: AnalyzedQuery,
+        registry: SchemaRegistry | None = None,
+        enable_pruning: bool = True,
+        collect_results: bool = True,
+        lenient_errors: bool = False,
+        clock=time.perf_counter,
+    ) -> None:
+        self.name = name
+        self.analyzed = analyzed
+        self.automaton = compile_automaton(analyzed)
+        self.scorer = Scorer(analyzed.rank_keys)
+        self.ranker = Ranker(analyzed, self.scorer, lenient_errors=lenient_errors)
+        self.metrics = QueryMetrics()
+        self._clock = clock
+        self._last_seq = -1
+        self._last_ts = 0.0
+        self._flushed = False
+
+        tumbling = analyzed.emit.kind is EmitKind.ON_WINDOW_CLOSE
+        self.pruner: ScoreBoundPruner | None = None
+        if enable_pruning and analyzed.is_ranked and tumbling and analyzed.limit:
+            self.pruner = ScoreBoundPruner.from_registry(
+                analyzed, registry, self.ranker.kth_bound_for_epoch
+            )
+        self.matcher = PatternMatcher(
+            self.automaton,
+            prune_hook=self.pruner,
+            tumbling=tumbling,
+            query_name=name,
+            lenient_errors=lenient_errors,
+        )
+
+        self._lenient_errors = lenient_errors
+        self._yielded_ids: set[int] = set()
+        #: derived events whose YIELD assignments failed (lenient mode).
+        self.yield_errors = 0
+
+        self.sinks: list[ResultSink] = []
+        self.collector: CollectorSink | None = None
+        if collect_results:
+            self.collector = CollectorSink()
+            self.sinks.append(self.collector)
+
+    # -- wiring -----------------------------------------------------------------
+
+    def add_sink(self, sink: ResultSink) -> "RegisteredQuery":
+        self.sinks.append(sink)
+        return self
+
+    @property
+    def relevant_types(self) -> frozenset[str]:
+        return self.analyzed.relevant_types
+
+    # -- processing --------------------------------------------------------------
+
+    def process(self, event: Event) -> list[Emission]:
+        """Feed one (already sequenced) event through the operator chain."""
+        started = self._clock()
+        self._last_seq = event.seq
+        self._last_ts = event.timestamp
+        matches = self.matcher.process(event)
+        emissions = self.ranker.observe(event, matches)
+        self.metrics.events_routed += 1
+        self.metrics.matches += len(matches)
+        self.metrics.emissions += len(emissions)
+        self.metrics.latency.record(self._clock() - started)
+        for emission in emissions:
+            for sink in self.sinks:
+                sink.accept(emission)
+        return emissions
+
+    def advance_time(self, timestamp: float) -> list[Emission]:
+        """Heartbeat: expire time windows and release due emissions."""
+        confirmed = self.matcher.advance_time(timestamp)
+        emissions = self.ranker.tick(confirmed, self._last_seq, timestamp)
+        self._last_ts = max(self._last_ts, timestamp)
+        self.metrics.matches += len(confirmed)
+        self.metrics.emissions += len(emissions)
+        for emission in emissions:
+            for sink in self.sinks:
+                sink.accept(emission)
+        return emissions
+
+    def flush(self) -> list[Emission]:
+        """End of stream: confirm pendings, release held rankings."""
+        if self._flushed:
+            return []
+        self._flushed = True
+        final_matches = self.matcher.flush()
+        emissions = self.ranker.observe_final(
+            final_matches, self._last_seq, self._last_ts
+        )
+        self.metrics.matches += len(final_matches)
+        self.metrics.emissions += len(emissions)
+        for emission in emissions:
+            for sink in self.sinks:
+                sink.accept(emission)
+        return emissions
+
+    @property
+    def has_yield(self) -> bool:
+        return self.analyzed.yield_spec is not None
+
+    def derive_events(self, emissions: list[Emission]) -> list[Event]:
+        """Convert each distinct match in ``emissions`` to a derived event.
+
+        A match appearing in several (eager/periodic) revisions derives one
+        event only, the first time it is emitted.  The derived event's
+        timestamp is the emission point, preserving stream-time monotonicity.
+        """
+        spec = self.analyzed.yield_spec
+        if spec is None:
+            return []
+        derived: list[Event] = []
+        for emission in emissions:
+            for match in emission.ranking:
+                if match.detection_index in self._yielded_ids:
+                    continue
+                self._yielded_ids.add(match.detection_index)
+                ctx = EvalContext(bindings=match.bindings)
+                payload = {}
+                try:
+                    for attr, _expr, evaluator in spec.assignments:
+                        payload[attr] = evaluator(ctx)
+                except EvaluationError:
+                    if not self._lenient_errors:
+                        raise
+                    self.yield_errors += 1
+                    continue
+                derived.append(Event(spec.event_type, emission.at_ts, **payload))
+        return derived
+
+    def explain(self) -> str:
+        """Readable evaluation plan: stages, predicate placement, ranking."""
+        from repro.engine.explain import explain
+
+        return explain(self.automaton, pruning_enabled=self.pruner is not None)
+
+    # -- results ------------------------------------------------------------------
+
+    def results(self) -> list[Emission]:
+        """All collected emissions (requires the default collector sink)."""
+        if self.collector is None:
+            raise RuntimeError(
+                f"query {self.name!r} was registered with collect_results=False"
+            )
+        return list(self.collector.emissions)
+
+    def matches(self) -> list[Match]:
+        if self.collector is None:
+            raise RuntimeError(
+                f"query {self.name!r} was registered with collect_results=False"
+            )
+        return self.collector.matches()
+
+    def final_ranking(self) -> list[Match]:
+        if self.collector is None:
+            raise RuntimeError(
+                f"query {self.name!r} was registered with collect_results=False"
+            )
+        return self.collector.final_ranking()

@@ -1,0 +1,52 @@
+"""Event routing for multi-query deployments.
+
+The router indexes registered queries by the event types they observe
+(pattern element types, including negations), so pushing an event touches
+only interested queries instead of broadcasting — the main lever behind the
+multi-query scaling experiment (E8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.events.event import Event
+from repro.runtime.query import RegisteredQuery
+
+
+class EventRouter:
+    """Type-indexed dispatch table from events to queries."""
+
+    def __init__(self) -> None:
+        self._by_type: dict[str, list[RegisteredQuery]] = {}
+        self._queries: list[RegisteredQuery] = []
+
+    def add(self, query: RegisteredQuery) -> None:
+        self._queries.append(query)
+        for event_type in query.relevant_types:
+            self._by_type.setdefault(event_type, []).append(query)
+
+    def remove(self, query: RegisteredQuery) -> None:
+        self._queries.remove(query)
+        for event_type in query.relevant_types:
+            bucket = self._by_type.get(event_type)
+            if bucket is not None and query in bucket:
+                bucket.remove(query)
+                if not bucket:
+                    del self._by_type[event_type]
+
+    def route(self, event: Event) -> list[RegisteredQuery]:
+        """Queries interested in ``event``'s type (possibly empty)."""
+        return self._by_type.get(event.event_type, [])
+
+    def queries(self) -> list[RegisteredQuery]:
+        return list(self._queries)
+
+    def interested_types(self) -> frozenset[str]:
+        return frozenset(self._by_type)
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterable[RegisteredQuery]:
+        return iter(self._queries)

@@ -1,0 +1,55 @@
+"""JSON serialisation of matches and emissions.
+
+Shared by the CLI's ``--output jsonl`` mode and
+:class:`~repro.runtime.sinks.JSONLSink`, so downstream consumers see one
+stable schema: an emission object with a ``ranking`` array of match
+objects, each carrying its query name, rank values, time span, and full
+bindings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.engine.match import Match
+from repro.events.event import Event
+from repro.ranking.emission import Emission
+
+
+def event_to_json(event: Event) -> dict[str, Any]:
+    """One event as a JSON-compatible dict (type + timestamp + payload)."""
+    return {"type": event.event_type, "t": event.timestamp, **event.payload}
+
+
+def match_to_json(match: Match) -> dict[str, Any]:
+    """One match as a JSON-compatible dict (query, rank values, bindings)."""
+    bindings: dict[str, Any] = {}
+    for var, binding in match.bindings.items():
+        if isinstance(binding, Event):
+            bindings[var] = event_to_json(binding)
+        else:
+            bindings[var] = [event_to_json(e) for e in binding]
+    return {
+        "query": match.query_name,
+        "rank_values": list(match.rank_values),
+        "first_ts": match.first_ts,
+        "last_ts": match.last_ts,
+        "bindings": bindings,
+    }
+
+
+def emission_to_json(emission: Emission) -> dict[str, Any]:
+    """One emission as a JSON-compatible dict with its full ranking."""
+    return {
+        "kind": emission.kind.value,
+        "at_ts": emission.at_ts,
+        "epoch": emission.epoch,
+        "revision": emission.revision,
+        "ranking": [match_to_json(m) for m in emission.ranking],
+    }
+
+
+def emission_to_line(emission: Emission) -> str:
+    """One emission as a compact JSON line."""
+    return json.dumps(emission_to_json(emission))

@@ -1,0 +1,107 @@
+"""Result sinks: where a query's emissions go.
+
+A sink is anything with an ``accept(emission)`` method.  Queries can have
+several; the built-ins cover collection (tests, batch analysis), callbacks
+(application integration), and line-printing (demos).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Protocol, TextIO
+
+from repro.engine.match import Match
+from repro.ranking.emission import Emission
+
+
+class ResultSink(Protocol):
+    """Anything that can receive emissions."""
+
+    def accept(self, emission: Emission) -> None: ...
+
+
+class CollectorSink:
+    """Stores every emission; the default sink behind ``Query.results()``."""
+
+    def __init__(self) -> None:
+        self.emissions: list[Emission] = []
+
+    def accept(self, emission: Emission) -> None:
+        self.emissions.append(emission)
+
+    def __len__(self) -> int:
+        return len(self.emissions)
+
+    def __iter__(self) -> Iterator[Emission]:
+        return iter(self.emissions)
+
+    def matches(self) -> list[Match]:
+        """All matches across emissions, in emission order (may repeat a
+        match across eager revisions)."""
+        return [m for e in self.emissions for m in e.ranking]
+
+    def final_ranking(self) -> list[Match]:
+        """The ranking of the most recent emission."""
+        return list(self.emissions[-1].ranking) if self.emissions else []
+
+    def clear(self) -> None:
+        self.emissions.clear()
+
+
+class CallbackSink:
+    """Invokes ``callback(emission)`` for every emission."""
+
+    def __init__(self, callback: Callable[[Emission], None]) -> None:
+        self._callback = callback
+
+    def accept(self, emission: Emission) -> None:
+        self._callback(emission)
+
+
+class PrintSink:
+    """Writes ``emission.describe()`` lines to a text stream."""
+
+    def __init__(self, out: TextIO) -> None:
+        self._out = out
+
+    def accept(self, emission: Emission) -> None:
+        self._out.write(emission.describe() + "\n")
+
+
+class JSONLSink:
+    """Persists emissions as JSON lines (one emission per line).
+
+    Accepts an open text handle or a path; when given a path, the file is
+    opened lazily on the first emission and must be closed by the caller
+    via :meth:`close` (or use the sink as a context manager).
+    """
+
+    def __init__(self, target) -> None:
+        from pathlib import Path
+
+        if isinstance(target, (str, Path)):
+            self._path = Path(target)
+            self._handle: TextIO | None = None
+        else:
+            self._path = None
+            self._handle = target
+        self.emissions_written = 0
+
+    def accept(self, emission: Emission) -> None:
+        from repro.runtime.serialize import emission_to_line
+
+        if self._handle is None:
+            assert self._path is not None
+            self._handle = self._path.open("w")
+        self._handle.write(emission_to_line(emission) + "\n")
+        self.emissions_written += 1
+
+    def close(self) -> None:
+        if self._path is not None and self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,19 @@
+"""Persistent event storage and back-testing.
+
+:class:`~repro.store.log.EventLog` is an append-only JSONL log with a
+sparse time index; :class:`~repro.store.backtest.Backtester` replays
+slices of it against fresh engines, and
+:class:`~repro.store.backtest.RecordingTap` tees a live engine's input
+into a log.
+"""
+
+from repro.store.backtest import Backtester, BacktestResult, RecordingTap
+from repro.store.log import EventLog, LogCorruptError
+
+__all__ = [
+    "BacktestResult",
+    "Backtester",
+    "EventLog",
+    "LogCorruptError",
+    "RecordingTap",
+]

@@ -1,0 +1,208 @@
+"""An append-only, time-indexed event log.
+
+The log persists events as JSON lines and keeps a sparse in-memory time
+index (one ``(timestamp, byte offset)`` entry every ``index_stride``
+records), so time-range scans seek close to the range start instead of
+reading the whole file.  Timestamps must be non-decreasing on append —
+the same contract the engine's windows assume — which is what makes the
+sparse index valid.
+
+This is the storage substrate behind back-testing: record a live stream
+once, then re-run candidate queries over any time slice of it
+(:class:`~repro.store.backtest.Backtester`).
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import os
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.events.event import Event
+
+
+class LogCorruptError(ValueError):
+    """Raised when a log line cannot be decoded as an event."""
+
+
+def _encode(event: Event) -> str:
+    record = {"type": event.event_type, "timestamp": event.timestamp}
+    record.update(event.payload)
+    return json.dumps(record)
+
+
+def _decode(line: str, lineno: int, path: Path) -> Event:
+    try:
+        record = json.loads(line)
+        event_type = record.pop("type")
+        timestamp = float(record.pop("timestamp"))
+    except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+        raise LogCorruptError(f"{path}:{lineno}: bad event record: {exc}") from exc
+    return Event(event_type, timestamp, **record)
+
+
+class EventLog:
+    """Append-only persistent event log with sparse time indexing.
+
+    Parameters
+    ----------
+    path:
+        Backing file; created on first append, loaded (and indexed) when it
+        already exists.
+    index_stride:
+        One index entry is kept per this many records.  Smaller strides
+        seek more precisely at the cost of memory.
+    """
+
+    def __init__(self, path: str | Path, index_stride: int = 256) -> None:
+        if index_stride <= 0:
+            raise ValueError(f"index_stride must be positive, got {index_stride}")
+        self.path = Path(path)
+        self.index_stride = index_stride
+        self.count = 0
+        self.first_timestamp: float | None = None
+        self.last_timestamp: float | None = None
+        # sparse index: parallel arrays of timestamps and byte offsets
+        self._index_ts: list[float] = []
+        self._index_offset: list[int] = []
+        self._append_handle = None
+        if self.path.exists():
+            self._build_index()
+
+    # -- writing ------------------------------------------------------------------
+
+    def append(self, event: Event) -> None:
+        """Persist one event (timestamps must be non-decreasing)."""
+        if self.last_timestamp is not None and event.timestamp < self.last_timestamp:
+            raise ValueError(
+                f"event timestamp {event.timestamp} regresses below "
+                f"{self.last_timestamp}; the log requires non-decreasing time "
+                f"(reorder with a LatenessBuffer first)"
+            )
+        if self._append_handle is None:
+            self._append_handle = self.path.open("a")
+        if self.count % self.index_stride == 0:
+            self._index_ts.append(event.timestamp)
+            self._index_offset.append(self._append_handle.tell())
+        self._append_handle.write(_encode(event) + "\n")
+        if self.first_timestamp is None:
+            self.first_timestamp = event.timestamp
+        self.last_timestamp = event.timestamp
+        self.count += 1
+
+    def append_all(self, events: Iterable[Event]) -> int:
+        """Append every event; returns how many were written."""
+        written = 0
+        for event in events:
+            self.append(event)
+            written += 1
+        self.flush()
+        return written
+
+    def flush(self) -> None:
+        if self._append_handle is not None:
+            self._append_handle.flush()
+
+    def close(self) -> None:
+        if self._append_handle is not None:
+            self._append_handle.close()
+            self._append_handle = None
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reading ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def time_range(self) -> tuple[float, float] | None:
+        if self.first_timestamp is None or self.last_timestamp is None:
+            return None
+        return (self.first_timestamp, self.last_timestamp)
+
+    def scan(
+        self,
+        start_ts: float | None = None,
+        end_ts: float | None = None,
+        types: Iterable[str] | None = None,
+    ) -> Iterator[Event]:
+        """Iterate events with ``start_ts <= timestamp < end_ts``.
+
+        ``types`` optionally restricts to a set of event types.  The sparse
+        index is used to seek near ``start_ts``; events before it in the
+        same stride are skipped by comparison.
+        """
+        self.flush()
+        if not self.path.exists():
+            return
+        wanted = frozenset(types) if types is not None else None
+        offset = self._seek_offset(start_ts)
+        with self.path.open() as handle:
+            handle.seek(offset)
+            lineno = 0  # line numbers are only used for error context
+            for line in handle:
+                lineno += 1
+                line = line.strip()
+                if not line:
+                    continue
+                event = _decode(line, lineno, self.path)
+                if start_ts is not None and event.timestamp < start_ts:
+                    continue
+                if end_ts is not None and event.timestamp >= end_ts:
+                    return
+                if wanted is not None and event.event_type not in wanted:
+                    continue
+                yield event
+
+    def _seek_offset(self, start_ts: float | None) -> int:
+        if start_ts is None or not self._index_ts:
+            return 0
+        # rightmost index entry with timestamp <= start_ts
+        position = bisect.bisect_right(self._index_ts, start_ts) - 1
+        if position < 0:
+            return 0
+        return self._index_offset[position]
+
+    # -- startup ------------------------------------------------------------------
+
+    def _build_index(self) -> None:
+        """Scan an existing file once to rebuild counters and the index."""
+        with self.path.open() as handle:
+            offset = 0
+            lineno = 0
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                lineno += 1
+                stripped = line.strip()
+                if stripped:
+                    event = _decode(stripped, lineno, self.path)
+                    if (
+                        self.last_timestamp is not None
+                        and event.timestamp < self.last_timestamp
+                    ):
+                        raise LogCorruptError(
+                            f"{self.path}:{lineno}: timestamps regress; "
+                            f"log is corrupt"
+                        )
+                    if self.count % self.index_stride == 0:
+                        self._index_ts.append(event.timestamp)
+                        self._index_offset.append(offset)
+                    if self.first_timestamp is None:
+                        self.first_timestamp = event.timestamp
+                    self.last_timestamp = event.timestamp
+                    self.count += 1
+                offset += len(line.encode("utf-8"))
+
+    def sync_size(self) -> int:
+        """Current on-disk size in bytes (after flushing)."""
+        self.flush()
+        return os.path.getsize(self.path) if self.path.exists() else 0

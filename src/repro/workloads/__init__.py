@@ -1,0 +1,19 @@
+"""Seeded synthetic workload generators for the demo domains and benches."""
+
+from repro.workloads.base import Workload
+from repro.workloads.clickstream import ClickstreamWorkload
+from repro.workloads.generic import GenericWorkload, type_alphabet
+from repro.workloads.sensor import VitalsWorkload
+from repro.workloads.stock import DEFAULT_SYMBOLS, StockWorkload
+from repro.workloads.traffic import TrafficWorkload
+
+__all__ = [
+    "ClickstreamWorkload",
+    "DEFAULT_SYMBOLS",
+    "GenericWorkload",
+    "StockWorkload",
+    "TrafficWorkload",
+    "VitalsWorkload",
+    "Workload",
+    "type_alphabet",
+]

@@ -1,0 +1,108 @@
+"""E-commerce clickstream workload: sessions, carts, and abandonment.
+
+Users generate ``PageView`` → ``AddToCart`` → (``Purchase`` | nothing)
+funnels; a configurable fraction of carts are abandoned.  This is the
+canonical use case for *trailing negation* — "cart added to but **not**
+purchased within the window" — ranked by cart value so the win-back
+campaign targets the most valuable abandonments first.
+"""
+
+from __future__ import annotations
+
+from repro.events.event import Event
+from repro.events.schema import AttributeSpec, Domain, EventSchema, SchemaRegistry
+from repro.workloads.base import Workload
+
+_CATEGORIES = ("books", "audio", "garden", "games", "grocery")
+
+
+class ClickstreamWorkload(Workload):
+    """Session funnels for a population of users.
+
+    Parameters
+    ----------
+    users:
+        Number of distinct users cycling through funnels.
+    abandon_rate:
+        Probability that a cart is never purchased.
+    funnel_gap:
+        Mean number of interleaved events between a user's funnel steps
+        (drawn per-user; models browsing between actions).
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        users: int = 20,
+        abandon_rate: float = 0.3,
+        funnel_gap: int = 3,
+        rate: float = 100.0,
+    ) -> None:
+        super().__init__(seed=seed, rate=rate)
+        if users <= 0:
+            raise ValueError("need at least one user")
+        if not 0 <= abandon_rate <= 1:
+            raise ValueError("abandon_rate must be within [0, 1]")
+        self.users = users
+        self.abandon_rate = abandon_rate
+        self.funnel_gap = funnel_gap
+        # per-user funnel state: None (browsing) or pending action queue
+        self._pending: dict[int, list[tuple[str, float]]] = {}
+        self._cooldown: dict[int, int] = {}
+
+    def next_event(self) -> Event:
+        user = self.rng.randrange(self.users)
+        timestamp = self.next_timestamp()
+
+        queue = self._pending.get(user)
+        if queue and self._cooldown.get(user, 0) <= 0:
+            event_type, value = queue.pop(0)
+            if not queue:
+                del self._pending[user]
+            else:
+                self._cooldown[user] = self.rng.randint(1, 2 * self.funnel_gap)
+            return Event(
+                event_type,
+                timestamp,
+                user=user,
+                value=round(value, 2),
+                category=self.rng.choice(_CATEGORIES),
+            )
+        if user in self._cooldown:
+            self._cooldown[user] -= 1
+
+        # maybe start a new funnel
+        if user not in self._pending and self.rng.random() < 0.25:
+            cart_value = self.rng.uniform(5.0, 500.0)
+            steps = [("AddToCart", cart_value)]
+            if self.rng.random() >= self.abandon_rate:
+                steps.append(("Purchase", cart_value))
+            self._pending[user] = steps
+            self._cooldown[user] = self.rng.randint(1, 2 * self.funnel_gap)
+
+        return Event(
+            "PageView",
+            timestamp,
+            user=user,
+            value=0.0,
+            category=self.rng.choice(_CATEGORIES),
+        )
+
+    def registry(self) -> SchemaRegistry:
+        attrs = (
+            AttributeSpec("user", "int", Domain(0, self.users - 1)),
+            AttributeSpec("value", "float", Domain(0.0, 500.0)),
+            AttributeSpec("category", "str"),
+        )
+        return SchemaRegistry(
+            [
+                EventSchema("PageView", attrs),
+                EventSchema("AddToCart", attrs),
+                EventSchema("Purchase", attrs),
+            ]
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._pending = {}
+        self._cooldown = {}

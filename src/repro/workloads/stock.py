@@ -1,0 +1,110 @@
+"""Stock-market workload: the paper's canonical motivating domain.
+
+Per-symbol prices follow a clamped multiplicative random walk; each event
+is a ``Buy`` or ``Sell`` order (or, optionally, a neutral ``Tick``) carrying
+``symbol``, ``price``, and ``volume``.  The classic CEPR demo query —
+"rank Buy→Sell pairs on the same symbol by profit" — finds its raw
+material here.
+
+Price domains are declared on the schemas, which is what lets the pruning
+optimiser bound ``s.price - b.price`` for partial matches.
+"""
+
+from __future__ import annotations
+
+from repro.events.event import Event
+from repro.events.schema import AttributeSpec, Domain, EventSchema, SchemaRegistry
+from repro.workloads.base import Workload
+
+DEFAULT_SYMBOLS = ("ACME", "GLOBO", "INITECH", "UMBRELLA", "HOOLI", "WAYNE")
+
+
+class StockWorkload(Workload):
+    """Buy/Sell/Tick order flow over a set of symbols.
+
+    Parameters
+    ----------
+    symbols:
+        Ticker symbols; each keeps its own price walk.
+    price_floor / price_cap:
+        Hard clamps on the walk; also the declared price domain.
+    volatility:
+        Per-event relative price change scale.
+    tick_fraction:
+        Fraction of events that are neutral ``Tick`` updates rather than
+        Buy/Sell orders.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        symbols: tuple[str, ...] = DEFAULT_SYMBOLS,
+        price_floor: float = 1.0,
+        price_cap: float = 500.0,
+        volatility: float = 0.01,
+        tick_fraction: float = 0.0,
+        rate: float = 100.0,
+    ) -> None:
+        super().__init__(seed=seed, rate=rate)
+        if not symbols:
+            raise ValueError("at least one symbol is required")
+        if price_floor <= 0 or price_floor >= price_cap:
+            raise ValueError("need 0 < price_floor < price_cap")
+        self.symbols = symbols
+        self.price_floor = price_floor
+        self.price_cap = price_cap
+        self.volatility = volatility
+        self.tick_fraction = tick_fraction
+        self._prices = {
+            symbol: self.rng.uniform(price_floor * 10, price_cap / 2)
+            for symbol in symbols
+        }
+
+    def next_event(self) -> Event:
+        symbol = self.rng.choice(self.symbols)
+        price = self._prices[symbol]
+        price *= 1.0 + self.rng.gauss(0.0, self.volatility)
+        price = max(self.price_floor, min(self.price_cap, price))
+        self._prices[symbol] = price
+
+        timestamp = self.next_timestamp()
+        volume = self.rng.randint(1, 1000)
+        if self.tick_fraction and self.rng.random() < self.tick_fraction:
+            return Event("Tick", timestamp, symbol=symbol, price=round(price, 2))
+        event_type = "Buy" if self.rng.random() < 0.5 else "Sell"
+        return Event(
+            event_type,
+            timestamp,
+            symbol=symbol,
+            price=round(price, 2),
+            volume=volume,
+        )
+
+    def registry(self) -> SchemaRegistry:
+        price_domain = Domain(self.price_floor, self.price_cap)
+        volume_domain = Domain(1, 1000)
+        order_attrs = (
+            AttributeSpec("symbol", "str"),
+            AttributeSpec("price", "float", price_domain),
+            AttributeSpec("volume", "int", volume_domain),
+        )
+        return SchemaRegistry(
+            [
+                EventSchema("Buy", order_attrs),
+                EventSchema("Sell", order_attrs),
+                EventSchema(
+                    "Tick",
+                    (
+                        AttributeSpec("symbol", "str"),
+                        AttributeSpec("price", "float", price_domain),
+                    ),
+                ),
+            ]
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._prices = {
+            symbol: self.rng.uniform(self.price_floor * 10, self.price_cap / 2)
+            for symbol in self.symbols
+        }

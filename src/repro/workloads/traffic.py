@@ -1,0 +1,88 @@
+"""Urban-transportation workload: vehicle speed reports with incidents.
+
+Vehicles stream ``SpeedReport`` events per road segment; occasionally a
+segment develops an *incident* that drags speeds down for a while, then
+clears with a ``Clear`` event.  Congestion-onset patterns — a sequence of
+decreasing speed readings on one segment, ranked by how sharp the drop is —
+exercise partitioning, Kleene iteration predicates, and negation
+("no Clear between the slowdown and the jam").
+"""
+
+from __future__ import annotations
+
+from repro.events.event import Event
+from repro.events.schema import AttributeSpec, Domain, EventSchema, SchemaRegistry
+from repro.workloads.base import Workload
+
+
+class TrafficWorkload(Workload):
+    """Speed reports across road segments, with incident injection."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        segments: int = 10,
+        vehicles: int = 40,
+        incident_rate: float = 0.005,
+        incident_length: int = 30,
+        free_flow_speed: float = 90.0,
+        rate: float = 200.0,
+    ) -> None:
+        super().__init__(seed=seed, rate=rate)
+        if segments <= 0 or vehicles <= 0:
+            raise ValueError("segments and vehicles must be positive")
+        self.segments = segments
+        self.vehicles = vehicles
+        self.incident_rate = incident_rate
+        self.incident_length = incident_length
+        self.free_flow_speed = free_flow_speed
+        self._incident_remaining = [0] * segments
+
+    def next_event(self) -> Event:
+        segment = self.rng.randrange(self.segments)
+
+        if self._incident_remaining[segment] == 0 and self.rng.random() < self.incident_rate:
+            self._incident_remaining[segment] = self.incident_length
+
+        timestamp = self.next_timestamp()
+        if self._incident_remaining[segment] > 0:
+            self._incident_remaining[segment] -= 1
+            if self._incident_remaining[segment] == 0:
+                return Event("Clear", timestamp, segment=segment)
+            # Congested: speed decays as the incident progresses.
+            progress = 1.0 - self._incident_remaining[segment] / self.incident_length
+            mean_speed = self.free_flow_speed * (1.0 - 0.8 * progress)
+        else:
+            mean_speed = self.free_flow_speed
+
+        speed = max(1.0, min(130.0, self.rng.gauss(mean_speed, 8.0)))
+        return Event(
+            "SpeedReport",
+            timestamp,
+            segment=segment,
+            vehicle=self.rng.randrange(self.vehicles),
+            speed=round(speed, 1),
+        )
+
+    def registry(self) -> SchemaRegistry:
+        segment_domain = Domain(0, self.segments - 1)
+        return SchemaRegistry(
+            [
+                EventSchema(
+                    "SpeedReport",
+                    (
+                        AttributeSpec("segment", "int", segment_domain),
+                        AttributeSpec("vehicle", "int", Domain(0, self.vehicles - 1)),
+                        AttributeSpec("speed", "float", Domain(1.0, 130.0)),
+                    ),
+                ),
+                EventSchema(
+                    "Clear",
+                    (AttributeSpec("segment", "int", segment_domain),),
+                ),
+            ]
+        )
+
+    def reset(self) -> None:
+        super().reset()
+        self._incident_remaining = [0] * self.segments

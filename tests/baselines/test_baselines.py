@@ -1,0 +1,131 @@
+"""Baselines: answer-equivalence with the integrated path."""
+
+import pytest
+
+from repro import CEPREngine
+from repro.baselines.match_then_rank import MatchThenRankQuery
+from repro.baselines.unranked import UnrankedQuery, strip_ranking
+from repro.language.errors import CEPRSemanticError
+from repro.language.parser import parse_query
+from repro.workloads.generic import GenericWorkload
+from repro.workloads.stock import StockWorkload
+
+STOCK_QUERY = """
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 40 EVENTS
+    USING SKIP_TILL_ANY
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def integrated_emissions(query, events, registry=None):
+    engine = CEPREngine(registry=registry)
+    handle = engine.register_query(query)
+    engine.run(events)
+    return handle.results()
+
+
+def fingerprint(emissions):
+    return [
+        (e.epoch, tuple((m.first_seq, m.last_seq, m.rank_values) for m in e.ranking))
+        for e in emissions
+        if e.ranking or e.epoch is not None
+    ]
+
+
+class TestMatchThenRank:
+    def test_equivalent_to_integrated_on_stock(self):
+        workload = StockWorkload(seed=9)
+        events = list(workload.events(2500))
+        integrated = integrated_emissions(STOCK_QUERY, events, workload.registry())
+
+        workload.reset()
+        events = list(workload.events(2500))
+        baseline = MatchThenRankQuery(STOCK_QUERY, workload.registry())
+        baseline.run(events)
+
+        assert fingerprint(baseline.emissions) == fingerprint(integrated)
+
+    def test_equivalent_with_kleene_ranking(self):
+        query = """
+            PATTERN SEQ(A a, B bs+)
+            WITHIN 15 EVENTS
+            RANK BY count(bs) DESC, avg(bs.value) DESC
+            LIMIT 2
+            EMIT ON WINDOW CLOSE
+        """
+        workload = GenericWorkload(seed=4, alphabet_size=2)
+        events = list(workload.events(400))
+        integrated = integrated_emissions(query, events, workload.registry())
+
+        workload.reset()
+        events = list(workload.events(400))
+        baseline = MatchThenRankQuery(query, workload.registry())
+        baseline.run(events)
+        assert fingerprint(baseline.emissions) == fingerprint(integrated)
+
+    def test_buffers_every_match(self):
+        workload = GenericWorkload(seed=4, alphabet_size=2)
+        events = list(workload.events(500))
+        baseline = MatchThenRankQuery(
+            "PATTERN SEQ(A a, B b) WITHIN 20 EVENTS USING SKIP_TILL_ANY "
+            "RANK BY b.value DESC LIMIT 1 EMIT ON WINDOW CLOSE",
+            workload.registry(),
+        )
+        baseline.run(events)
+        emitted = sum(len(e.ranking) for e in baseline.emissions)
+        # materialises far more matches than it emits — the cost CEPR avoids
+        assert baseline.matches_buffered > emitted
+
+    def test_rejects_non_tumbling_emission(self):
+        with pytest.raises(CEPRSemanticError, match="tumbling"):
+            MatchThenRankQuery(
+                "PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY a.value EMIT EAGER"
+            )
+
+
+class TestUnranked:
+    def test_strip_ranking(self):
+        ast = parse_query(
+            "PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY a.x DESC LIMIT 2 "
+            "EMIT ON WINDOW CLOSE"
+        )
+        stripped = strip_ranking(ast)
+        assert stripped.rank_by == ()
+        assert stripped.limit is None
+        assert stripped.emit is None
+        assert stripped.window is not None
+
+    def test_finds_same_match_set_as_integrated_matcher(self):
+        workload = GenericWorkload(seed=8, alphabet_size=3)
+        events = list(workload.events(600))
+        query = (
+            "PATTERN SEQ(A a, B b) WHERE b.value > a.value "
+            "WITHIN 20 EVENTS USING SKIP_TILL_ANY"
+        )
+        baseline = UnrankedQuery(query)
+        baseline.run(events)
+
+        workload.reset()
+        events = list(workload.events(600))
+        engine = CEPREngine()
+        handle = engine.register_query(query)
+        engine.run(events)
+        integrated = handle.matches()
+
+        def sigs(matches):
+            return {(m.first_seq, m.last_seq) for m in matches}
+
+        assert sigs(baseline.matches) == sigs(integrated)
+
+    def test_matches_in_detection_order(self):
+        workload = GenericWorkload(seed=8, alphabet_size=2)
+        events = list(workload.events(200))
+        baseline = UnrankedQuery("PATTERN SEQ(A a, B b) WITHIN 10 EVENTS")
+        baseline.run(events)
+        indexes = [m.detection_index for m in baseline.matches]
+        assert indexes == sorted(indexes)

@@ -1,0 +1,66 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import pytest
+
+from repro import CEPREngine, Event
+from repro.engine.match import Match
+from repro.events.schema import SchemaRegistry
+from repro.runtime.query import RegisteredQuery
+
+
+def ev(event_type: str, ts: float, **attrs: Any) -> Event:
+    """Terse event constructor used throughout the tests."""
+    return Event(event_type, ts, **attrs)
+
+
+def seq_events(*specs: tuple[str, dict[str, Any]]) -> list[Event]:
+    """Build events with auto-incrementing timestamps 1.0, 2.0, ..."""
+    return [
+        Event(event_type, float(index + 1), **attrs)
+        for index, (event_type, attrs) in enumerate(specs)
+    ]
+
+
+def run_query(
+    query_text: str,
+    events: Iterable[Event],
+    registry: SchemaRegistry | None = None,
+    **engine_kwargs: Any,
+) -> RegisteredQuery:
+    """Register one query, run a stream through it, flush, return handle."""
+    engine = CEPREngine(registry=registry, **engine_kwargs)
+    handle = engine.register_query(query_text)
+    engine.run(events)
+    return handle
+
+
+def binding_values(match: Match, var: str, attr: str) -> Any:
+    """Attribute value(s) of one binding: scalar or list for Kleene."""
+    binding = match.bindings[var]
+    if isinstance(binding, Event):
+        return binding[attr]
+    return [event[attr] for event in binding]
+
+
+def match_signature(match: Match) -> tuple[tuple[str, tuple[int, ...]], ...]:
+    """Order-independent identity of a match: var -> bound event seqs."""
+    out = []
+    for var, binding in sorted(match.bindings.items()):
+        if isinstance(binding, Event):
+            out.append((var, (binding.seq,)))
+        else:
+            out.append((var, tuple(event.seq for event in binding)))
+    return tuple(out)
+
+
+def signatures(matches: Sequence[Match]) -> set:
+    return {match_signature(m) for m in matches}
+
+
+@pytest.fixture
+def engine() -> CEPREngine:
+    return CEPREngine()

@@ -1,0 +1,55 @@
+"""Helpers for driving a PatternMatcher directly in engine tests."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.engine.compiler import compile_automaton
+from repro.engine.match import Match
+from repro.engine.matcher import PatternMatcher
+from repro.events.event import Event
+from repro.events.time import SequenceAssigner
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+
+
+def make_matcher(query_text: str, tumbling: bool = False, prune_hook=None) -> PatternMatcher:
+    analyzed = analyze(parse_query(query_text))
+    automaton = compile_automaton(analyzed)
+    return PatternMatcher(automaton, prune_hook=prune_hook, tumbling=tumbling)
+
+
+def feed(
+    matcher: PatternMatcher, events: Iterable[Event], flush: bool = True
+) -> list[Match]:
+    assigner = SequenceAssigner()
+    matches: list[Match] = []
+    for event in events:
+        assigner.assign(event)
+        matches.extend(matcher.process(event))
+    if flush:
+        matches.extend(matcher.flush())
+    return matches
+
+
+def run_pattern(query_text: str, events: Iterable[Event], **kwargs) -> list[Match]:
+    return feed(make_matcher(query_text, **kwargs), events)
+
+
+def bound_attr(match: Match, var: str, attr: str):
+    binding = match.bindings[var]
+    if isinstance(binding, Event):
+        return binding[attr]
+    return [event[attr] for event in binding]
+
+
+def pair_set(matches: Iterable[Match], var_attrs: list[tuple[str, str]]) -> set:
+    """Set of tuples of bound attribute values, for order-free comparison."""
+    out = set()
+    for match in matches:
+        row = []
+        for var, attr in var_attrs:
+            value = bound_attr(match, var, attr)
+            row.append(tuple(value) if isinstance(value, list) else value)
+        out.add(tuple(row))
+    return out

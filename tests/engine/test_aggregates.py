@@ -1,0 +1,90 @@
+"""Unit tests for incremental aggregate state."""
+
+from repro.engine.aggregates import (
+    AggregateState,
+    needed_aggregates,
+    tracked_attrs_by_var,
+)
+from repro.events.event import Event
+from repro.language.parser import parse_query
+from repro.language.ast_nodes import split_conjuncts
+
+
+class TestAggregateState:
+    def make_state(self, *values):
+        state = AggregateState.for_attrs(["x"])
+        for i, value in enumerate(values):
+            state = state.accept(Event("B", i, x=value))
+        return state
+
+    def test_empty_state_serves_nothing(self):
+        state = AggregateState.for_attrs(["x"])
+        assert state.lookup("count", None) is None
+        assert state.lookup("avg", "x") is None
+
+    def test_count(self):
+        assert self.make_state(1, 2, 3).lookup("count", None) == 3
+        assert self.make_state(1).lookup("len", None) == 1
+
+    def test_sum_avg(self):
+        state = self.make_state(1.0, 2.0, 3.0)
+        assert state.lookup("sum", "x") == 6.0
+        assert state.lookup("avg", "x") == 2.0
+
+    def test_min_max(self):
+        state = self.make_state(5.0, 1.0, 3.0)
+        assert state.lookup("min", "x") == 1.0
+        assert state.lookup("max", "x") == 5.0
+
+    def test_first_last(self):
+        state = self.make_state(5.0, 1.0, 3.0)
+        assert state.lookup("first", "x") == 5.0
+        assert state.lookup("last", "x") == 3.0
+
+    def test_untracked_attr_serves_none(self):
+        assert self.make_state(1.0).lookup("sum", "y") is None
+
+    def test_immutability(self):
+        base = self.make_state(1.0)
+        extended = base.accept(Event("B", 9, x=100.0))
+        assert base.lookup("max", "x") == 1.0
+        assert extended.lookup("max", "x") == 100.0
+
+    def test_missing_attr_on_event_skipped(self):
+        state = AggregateState.for_attrs(["x"])
+        state = state.accept(Event("B", 0))  # no x
+        assert state.count == 1
+        assert state.lookup("sum", "x") == 0.0
+
+    def test_non_numeric_values_tracked_for_first_last_only(self):
+        state = AggregateState.for_attrs(["x"])
+        state = state.accept(Event("B", 0, x="hello"))
+        assert state.lookup("first", "x") == "hello"
+        assert state.lookup("min", "x") is None
+
+
+class TestNeededAggregates:
+    def exprs_of(self, text):
+        query = parse_query(text)
+        exprs = split_conjuncts(query.where)
+        exprs.extend(k.expr for k in query.rank_by)
+        return exprs
+
+    def test_collects_all_aggregates(self):
+        exprs = self.exprs_of(
+            "PATTERN SEQ(A as+) WITHIN 5 EVENTS "
+            "WHERE avg(as.x) > 1 AND count(as) > 2 RANK BY max(as.y) DESC"
+        )
+        assert needed_aggregates(exprs) == {
+            ("as", "avg", "x"),
+            ("as", "count", None),
+            ("as", "max", "y"),
+        }
+
+    def test_tracked_attrs_grouping(self):
+        needed = {("as", "avg", "x"), ("as", "max", "y"), ("as", "count", None)}
+        grouped = tracked_attrs_by_var(needed)
+        assert grouped == {"as": frozenset({"x", "y"})}
+
+    def test_no_aggregates(self):
+        assert needed_aggregates(self.exprs_of("PATTERN SEQ(A a) WHERE a.x > 1")) == frozenset()

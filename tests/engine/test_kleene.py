@@ -1,0 +1,131 @@
+"""Kleene-plus semantics: prefixes, iteration predicates, aggregates."""
+
+from repro.events.event import Event
+
+from tests.engine.helpers import pair_set, run_pattern
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestTrailingKleene:
+    def test_every_prefix_is_a_match(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+)",
+            [E("A", 1, x=0), E("B", 2, x=1), E("B", 3, x=2), E("B", 4, x=3)],
+        )
+        assert pair_set(matches, [("bs", "x")]) == {
+            ((1,),),
+            ((1, 2),),
+            ((1, 2, 3),),
+        }
+
+    def test_single_kleene_stage_pattern(self):
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+)",
+            [E("B", 1, x=1), E("B", 2, x=2)],
+        )
+        # every B starts its own run too, so the suffix run {b2} matches
+        assert pair_set(matches, [("bs", "x")]) == {((1,),), ((1, 2),), ((2,),)}
+
+    def test_kleene_requires_at_least_one(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c)",
+            [E("A", 1), E("C", 2)],
+        )
+        assert matches == []
+
+
+class TestIterationPredicates:
+    def test_prev_increasing_chain(self):
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+) WHERE bs.x > prev(bs.x)",
+            [E("B", 1, x=1), E("B", 2, x=3), E("B", 3, x=2), E("B", 4, x=5)],
+        )
+        # Chains restart when monotonicity breaks; each prefix emits.
+        sigs = pair_set(matches, [("bs", "x")])
+        assert ((1, 3),) in sigs
+        assert ((1, 3, 2),) not in sigs
+
+    def test_per_element_threshold(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c) WHERE bs.x > 10",
+            [E("A", 1), E("B", 2, x=5), E("B", 3, x=15), E("C", 4)],
+        )
+        assert pair_set(matches, [("bs", "x")]) == {((15,),)}
+
+    def test_per_element_reference_to_earlier_var(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c) WHERE bs.x > a.x",
+            [E("A", 1, x=10), E("B", 2, x=5), E("B", 3, x=20), E("C", 4, x=0)],
+        )
+        assert pair_set(matches, [("bs", "x")]) == {((20,),)}
+
+    def test_running_aggregate_in_iteration(self):
+        # each element must exceed the running max of previous ones
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+, C c) WHERE bs.x > max(bs.x)",
+            [E("B", 1, x=1), E("B", 2, x=2), E("B", 3, x=1), E("C", 4)],
+        )
+        sigs = pair_set(matches, [("bs", "x")])
+        # under skip-till-next, b3 (x=1) fails max-so-far and is skipped
+        assert ((1, 2),) in sigs
+
+
+class TestKleeneAggregates:
+    def test_completion_aggregate_filters_prefixes(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+) WHERE count(bs) >= 2",
+            [E("A", 1), E("B", 2, x=1), E("B", 3, x=2), E("B", 4, x=3)],
+        )
+        assert pair_set(matches, [("bs", "x")]) == {((1, 2),), ((1, 2, 3),)}
+
+    def test_aggregate_after_kleene_closes(self):
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+, C c) WHERE avg(bs.x) < c.x",
+            [E("B", 1, x=10), E("B", 2, x=20), E("C", 3, x=16)],
+        )
+        # avg(10,20)=15 < 16 passes
+        assert pair_set(matches, [("bs", "x")]) == {((10, 20),)}
+
+    def test_sum_aggregate(self):
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+) WHERE sum(bs.x) >= 6",
+            [E("B", 1, x=1), E("B", 2, x=2), E("B", 3, x=3)],
+        )
+        assert pair_set(matches, [("bs", "x")]) == {((1, 2, 3),)}
+
+    def test_first_last(self):
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+) WHERE last(bs.x) - first(bs.x) >= 2",
+            [E("B", 1, x=1), E("B", 2, x=2), E("B", 3, x=4)],
+        )
+        # the run starting at b2 also qualifies: 4 - 2 >= 2
+        assert pair_set(matches, [("bs", "x")]) == {((1, 2, 4),), ((2, 4),)}
+
+
+class TestMidPatternKleene:
+    def test_kleene_between_singletons(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c)",
+            [E("A", 1, x=0), E("B", 2, x=1), E("B", 3, x=2), E("C", 4, x=9)],
+        )
+        assert pair_set(matches, [("bs", "x"), ("c", "x")]) == {((1, 2), 9)}
+
+    def test_two_kleene_stages(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A as+, B bs+) USING SKIP_TILL_ANY",
+            [E("A", 1, x=1), E("A", 2, x=2), E("B", 3, x=3)],
+        )
+        sigs = pair_set(matches, [("as", "x"), ("bs", "x")])
+        assert ((1,), (3,)) in sigs
+        assert ((1, 2), (3,)) in sigs
+        assert ((2,), (3,)) in sigs
+
+    def test_kleene_window_expiry_mid_binding(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c) WITHIN 3 EVENTS",
+            [E("A", 1), E("B", 2), E("B", 3), E("B", 4), E("C", 5)],
+        )
+        assert matches == []

@@ -1,0 +1,189 @@
+"""Core matcher behaviour: sequencing, predicates, windows."""
+
+from repro.events.event import Event
+
+from tests.engine.helpers import make_matcher, feed, pair_set, run_pattern
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestSimpleSequences:
+    def test_two_step_match(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b)",
+            [E("A", 1, x=1), E("B", 2, x=2)],
+        )
+        assert pair_set(matches, [("a", "x"), ("b", "x")]) == {(1, 2)}
+
+    def test_order_matters(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b)",
+            [E("B", 1, x=1), E("A", 2, x=2)],
+        )
+        assert matches == []
+
+    def test_single_element_pattern(self):
+        matches = run_pattern("PATTERN SEQ(A a)", [E("A", 1, x=1), E("A", 2, x=2)])
+        assert len(matches) == 2
+
+    def test_irrelevant_types_ignored(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b)",
+            [E("A", 1, x=1), E("Z", 2), E("B", 3, x=2)],
+        )
+        assert len(matches) == 1
+
+    def test_three_step_sequence(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b, C c)",
+            [E("A", 1, x=1), E("B", 2, x=2), E("C", 3, x=3)],
+        )
+        assert pair_set(matches, [("a", "x"), ("b", "x"), ("c", "x")]) == {(1, 2, 3)}
+
+    def test_multiple_starts_share_later_events(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b)",
+            [E("A", 1, x=1), E("A", 2, x=2), E("B", 3, x=9)],
+        )
+        assert pair_set(matches, [("a", "x"), ("b", "x")]) == {(1, 9), (2, 9)}
+
+    def test_same_type_for_two_stages(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A first, A second)",
+            [E("A", 1, x=1), E("A", 2, x=2), E("A", 3, x=3)],
+        )
+        # skip-till-next: each run consumes the next A; new runs start at each A.
+        assert pair_set(matches, [("first", "x"), ("second", "x")]) == {
+            (1, 2),
+            (2, 3),
+        }
+
+    def test_detection_indexes_are_monotone(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a)",
+            [E("A", 1), E("A", 2), E("A", 3)],
+        )
+        assert [m.detection_index for m in matches] == [0, 1, 2]
+
+
+class TestPredicates:
+    def test_bind_predicate_on_first_var(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE a.x > 10",
+            [E("A", 1, x=5), E("A", 2, x=15), E("B", 3, x=0)],
+        )
+        assert pair_set(matches, [("a", "x")]) == {(15,)}
+
+    def test_cross_variable_predicate(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE b.x > a.x",
+            [E("A", 1, x=10), E("B", 2, x=5), E("B", 3, x=20)],
+        )
+        assert pair_set(matches, [("b", "x")]) == {(20,)}
+
+    def test_failing_predicate_does_not_consume_under_skip_till_next(self):
+        # (A, B2) must be found even though B1 arrives first but fails.
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE b.x > a.x",
+            [E("A", 1, x=10), E("B", 2, x=1), E("B", 3, x=11)],
+        )
+        assert pair_set(matches, [("a", "x"), ("b", "x")]) == {(10, 11)}
+
+    def test_equality_join(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE a.k == b.k",
+            [E("A", 1, k="x"), E("B", 2, k="y"), E("B", 3, k="x")],
+        )
+        assert len(matches) == 1
+
+    def test_completion_predicate_duration(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE duration() <= 1",
+            [E("A", 1.0), E("B", 1.5), E("A", 5.0), E("B", 9.0)],
+        )
+        assert len(matches) == 1
+        assert matches[0].duration == 0.5
+
+    def test_constant_false_predicate(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a) WHERE 1 > 2",
+            [E("A", 1)],
+        )
+        assert matches == []
+
+
+class TestCountWindows:
+    def test_match_within_window(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 3 EVENTS",
+            [E("A", 1), E("Z", 2), E("B", 3)],
+        )
+        # Z is not relevant so it doesn't reach the matcher; seq gap 0→2 < 3.
+        assert len(matches) == 1
+
+    def test_run_expires_outside_count_window(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 2 EVENTS",
+            [E("A", 1), E("C", 2), E("C", 3), E("B", 4)],
+        )
+        # All events are sequenced; C events don't reach the matcher but the
+        # global seq of B (3) - seq of A (0) = 3 >= 2 → expired.
+        assert matches == []
+
+    def test_window_boundary_inclusive_semantics(self):
+        # span 2: last.seq - first.seq must be < 2
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 2 EVENTS",
+            [E("A", 1), E("B", 2)],
+        )
+        assert len(matches) == 1
+
+    def test_expired_runs_counted(self):
+        matcher = make_matcher("PATTERN SEQ(A a, B b) WITHIN 2 EVENTS")
+        feed(matcher, [E("A", 1), E("A", 2), E("A", 3)])
+        assert matcher.stats.runs_expired >= 1
+
+
+class TestTimeWindows:
+    def test_match_within_time_window(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 5 SECONDS",
+            [E("A", 1.0), E("B", 5.5)],
+        )
+        assert len(matches) == 1
+
+    def test_run_expires_outside_time_window(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 5 SECONDS",
+            [E("A", 1.0), E("B", 6.5)],
+        )
+        assert matches == []
+
+    def test_time_boundary_inclusive(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 5 SECONDS",
+            [E("A", 1.0), E("B", 6.0)],
+        )
+        assert len(matches) == 1
+
+
+class TestStats:
+    def test_counters(self):
+        matcher = make_matcher("PATTERN SEQ(A a, B b)")
+        feed(matcher, [E("A", 1), E("B", 2), E("Z", 3)])
+        stats = matcher.stats
+        assert stats.events_processed == 2  # Z is irrelevant
+        assert stats.runs_created == 1
+        assert stats.matches_completed == 1
+
+    def test_peak_live_runs(self):
+        matcher = make_matcher("PATTERN SEQ(A a, B b)")
+        feed(matcher, [E("A", 1), E("A", 2), E("A", 3)])
+        assert matcher.stats.peak_live_runs == 3
+
+    def test_flush_clears_state(self):
+        matcher = make_matcher("PATTERN SEQ(A a, B b)")
+        feed(matcher, [E("A", 1)], flush=True)
+        assert matcher.live_run_count == 0

@@ -1,0 +1,173 @@
+"""Matcher edge cases: feature interactions and boundary behaviour."""
+
+from repro.events.event import Event
+
+from tests.engine.helpers import feed, make_matcher, pair_set, run_pattern
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestMultipleNegations:
+    QUERY = "PATTERN SEQ(A a, NOT X x, B b, NOT Y y, C c)"
+
+    def test_clean_stream_matches(self):
+        matches = run_pattern(self.QUERY, [E("A", 1), E("B", 2), E("C", 3)])
+        assert len(matches) == 1
+
+    def test_first_guard_violated(self):
+        matches = run_pattern(
+            self.QUERY, [E("A", 1), E("X", 2), E("B", 3), E("C", 4)]
+        )
+        assert matches == []
+
+    def test_second_guard_violated(self):
+        matches = run_pattern(
+            self.QUERY, [E("A", 1), E("B", 2), E("Y", 3), E("C", 4)]
+        )
+        assert matches == []
+
+    def test_negated_events_outside_their_guards_are_fine(self):
+        matches = run_pattern(
+            self.QUERY,
+            [E("Y", 1), E("A", 2), E("B", 3), E("X", 4), E("C", 5)],
+        )
+        # Y before everything; X between B and C (its guard is A..B)
+        assert len(matches) == 1
+
+    def test_negation_predicate_on_closed_kleene_aggregate(self):
+        matches = run_pattern(
+            "PATTERN SEQ(B bs+, NOT X x, C c) WHERE x.v > avg(bs.v)",
+            [E("B", 1, v=10.0), E("B", 2, v=20.0), E("X", 3, v=5.0), E("C", 4)],
+        )
+        # x.v=5 <= avg(15): guard not violated
+        assert len(matches) >= 1
+        killed = run_pattern(
+            "PATTERN SEQ(B bs+, NOT X x, C c) WHERE x.v > avg(bs.v)",
+            [E("B", 1, v=10.0), E("B", 2, v=20.0), E("X", 3, v=50.0), E("C", 4)],
+        )
+        # the closure {b1,b2} is killed; {b2} alone (avg 20) also killed.
+        assert pair_set(killed, [("bs", "v")]) == set()
+
+
+class TestSameTypeEverywhere:
+    def test_self_join_pattern(self):
+        matches = run_pattern(
+            "PATTERN SEQ(T first, T second) WHERE second.x > first.x "
+            "USING SKIP_TILL_ANY",
+            [E("T", 1, x=3), E("T", 2, x=1), E("T", 3, x=5)],
+        )
+        assert pair_set(matches, [("first", "x"), ("second", "x")]) == {
+            (3, 5),
+            (1, 5),
+        }
+
+    def test_negation_of_positive_type(self):
+        # NOT T between two T's: any T between kills — only adjacent pairs.
+        matches = run_pattern(
+            "PATTERN SEQ(T first, NOT T gap, T second) USING SKIP_TILL_ANY",
+            [E("T", 1, x=1), E("T", 2, x=2), E("T", 3, x=3)],
+        )
+        assert pair_set(matches, [("first", "x"), ("second", "x")]) == {
+            (1, 2),
+            (2, 3),
+        }
+
+
+class TestWindowInteractions:
+    def test_pending_and_window_race(self):
+        # pending confirmed exactly when the window passes, before a late C
+        matcher = make_matcher(
+            "PATTERN SEQ(A a, B b, NOT C c) WITHIN 2 EVENTS"
+        )
+        matches = feed(
+            matcher,
+            [E("A", 1), E("B", 2), E("Z", 3), E("C", 4)],
+            flush=True,
+        )
+        # A@0, B@1 complete; window [0,2); C at seq 3 arrives after expiry
+        assert len(matches) == 1
+
+    def test_kleene_window_truncates_closure(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+) WITHIN 3 EVENTS",
+            [E("A", 1), E("B", 2), E("B", 3), E("B", 4)],
+        )
+        # prefixes within 3 events of A only: {b1}, {b1 b2}
+        sizes = sorted(len(m.bindings["bs"]) for m in matches)
+        assert sizes == [1, 2]
+
+    def test_partitioned_windows_are_independent(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 3 EVENTS PARTITION BY k",
+            [
+                E("A", 1, k=1),
+                E("A", 2, k=2),
+                E("Z", 3),
+                E("B", 4, k=1),  # seq 3: k=1 run (first 0) expired (3-0 >= 3)
+                E("B", 5, k=2),  # seq 4: k=2 run (first 1) expired too
+            ],
+        )
+        assert matches == []
+
+    def test_zero_duration_match(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WITHIN 5 SECONDS",
+            [E("A", 1.0), E("B", 1.0)],
+        )
+        assert len(matches) == 1
+        assert matches[0].duration == 0.0
+
+
+class TestStrictKleeneInteraction:
+    def test_strict_mid_kleene_break(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c) USING STRICT",
+            [
+                E("A", 1, x=1),
+                E("B", 2, x=2),
+                E("A", 3, x=3),
+                E("B", 4, x=4),
+                E("C", 5, x=5),
+            ],
+        )
+        # run(A1) cannot consume A3 and dies; run(A3)+B4+C5 is contiguous.
+        assert pair_set(matches, [("bs", "x")]) == {((4,),)}
+
+    def test_strict_trailing_kleene_prefixes(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+) USING STRICT",
+            [E("A", 1), E("B", 2), E("B", 3), E("C", 4), E("B", 5)],
+        )
+        sizes = sorted(len(m.bindings["bs"]) for m in matches)
+        # STRICT contiguity is relative to the event types the query
+        # observes (A, B); the C event never reaches the matcher, so the
+        # closure keeps extending: prefixes of length 1, 2, 3.
+        assert sizes == [1, 2, 3]
+
+    def test_strict_contiguity_broken_by_relevant_type(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+) USING STRICT",
+            [E("A", 1), E("B", 2), E("B", 3), E("A", 4), E("B", 5)],
+        )
+        sizes = sorted(len(m.bindings["bs"]) for m in matches)
+        # A@4 is relevant: it kills the first closure and starts a new run.
+        assert sizes == [1, 1, 2]
+
+
+class TestIterRunsAndCounters:
+    def test_iter_runs_exposes_live_state(self):
+        matcher = make_matcher("PATTERN SEQ(A a, B b)")
+        feed(matcher, [E("A", 1), E("A", 2)], flush=False)
+        runs = list(matcher.iter_runs())
+        assert len(runs) == 2
+        assert all(run.stage == 1 for run in runs)
+
+    def test_unknown_partition_key_types(self):
+        # partition values can be any hashable payload value
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) PARTITION BY k",
+            [E("A", 1, k=(1, 2)), E("B", 2, k=(1, 2))],
+        )
+        assert len(matches) == 1

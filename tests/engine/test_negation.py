@@ -1,0 +1,151 @@
+"""Negation semantics: internal guards, Kleene trips, trailing pendings."""
+
+from repro.events.event import Event
+
+from tests.engine.helpers import feed, make_matcher, pair_set, run_pattern
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestInternalNegation:
+    def test_negated_event_kills_run(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, NOT C c, B b)",
+            [E("A", 1), E("C", 2), E("B", 3)],
+        )
+        assert matches == []
+
+    def test_no_negated_event_allows_match(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, NOT C c, B b)",
+            [E("A", 1), E("B", 2)],
+        )
+        assert len(matches) == 1
+
+    def test_negated_event_before_guard_opens_is_harmless(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, NOT C c, B b)",
+            [E("C", 1), E("A", 2), E("B", 3)],
+        )
+        assert len(matches) == 1
+
+    def test_negated_event_after_guard_closes_is_harmless(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, NOT C c, B b)",
+            [E("A", 1), E("B", 2), E("C", 3)],
+        )
+        assert len(matches) == 1
+
+    def test_negation_predicate_filters_kills(self):
+        query = "PATTERN SEQ(A a, NOT C c, B b) WHERE c.x > a.x"
+        # C with x below a.x does not violate the guard
+        survives = run_pattern(query, [E("A", 1, x=10), E("C", 2, x=5), E("B", 3, x=0)])
+        assert len(survives) == 1
+        killed = run_pattern(query, [E("A", 1, x=10), E("C", 2, x=15), E("B", 3, x=0)])
+        assert killed == []
+
+    def test_kill_counted_in_stats(self):
+        matcher = make_matcher("PATTERN SEQ(A a, NOT C c, B b)")
+        feed(matcher, [E("A", 1), E("C", 2), E("B", 3)])
+        assert matcher.stats.runs_killed_negation == 1
+
+    def test_negation_between_later_stages(self):
+        query = "PATTERN SEQ(A a, B b, NOT C c, D d)"
+        assert run_pattern(query, [E("A", 1), E("C", 2), E("B", 3), E("D", 4)])
+        assert not run_pattern(query, [E("A", 1), E("B", 2), E("C", 3), E("D", 4)])
+
+
+class TestNegationAfterKleene:
+    QUERY = "PATTERN SEQ(A a, B bs+, NOT C c, D d)"
+
+    def test_c_between_last_b_and_d_kills(self):
+        matches = run_pattern(
+            self.QUERY, [E("A", 1), E("B", 2, x=1), E("C", 3), E("D", 4)]
+        )
+        assert matches == []
+
+    def test_c_cleared_by_later_kleene_element(self):
+        # C arrives mid-closure; a later B restarts the guard, so the
+        # combination ending at that B is clean.
+        matches = run_pattern(
+            self.QUERY,
+            [E("A", 1), E("B", 2, x=1), E("C", 3), E("B", 4, x=2), E("D", 5)],
+        )
+        assert pair_set(matches, [("bs", "x")]) == {((1, 2),)}
+
+    def test_trip_counted(self):
+        matcher = make_matcher(self.QUERY)
+        feed(matcher, [E("A", 1), E("B", 2, x=1), E("C", 3)])
+        assert matcher.stats.runs_tripped == 1
+
+    def test_trip_under_skip_till_any_kills_only_stale_branches(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, NOT C c, D d) USING SKIP_TILL_ANY",
+            [E("A", 1), E("B", 2, x=1), E("C", 3), E("B", 4, x=2), E("D", 5)],
+        )
+        sigs = pair_set(matches, [("bs", "x")])
+        # closures ending at b1 are poisoned by C; those ending at b2 are fine
+        assert ((1,),) not in sigs
+        assert ((1, 2),) in sigs
+        assert ((2,),) in sigs
+
+
+class TestTrailingNegation:
+    QUERY = "PATTERN SEQ(A a, B b, NOT C c) WITHIN 3 EVENTS"
+
+    def test_confirmed_at_window_expiry(self):
+        matches = run_pattern(
+            self.QUERY,
+            [E("A", 1), E("B", 2), E("D", 3), E("D", 4), E("D", 5)],
+        )
+        # D events are irrelevant; flush confirms the pending match.
+        assert len(matches) == 1
+
+    def test_killed_by_negated_event_in_window(self):
+        matches = run_pattern(
+            self.QUERY,
+            [E("A", 1), E("B", 2), E("C", 3)],
+        )
+        assert matches == []
+
+    def test_negated_event_after_window_is_harmless(self):
+        # C arrives at seq 3; window span 3 from seq 0 → pending expired first.
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b, NOT C c) WITHIN 3 EVENTS",
+            [E("A", 1), E("B", 2), E("Z", 3), E("C", 4)],
+        )
+        # Z is irrelevant (not sequenced into the matcher but sequenced
+        # globally), C at global seq 3 is outside [0, 3).
+        assert len(matches) == 1
+
+    def test_flush_confirms_pending(self):
+        matcher = make_matcher(self.QUERY)
+        matches = feed(matcher, [E("A", 1), E("B", 2)], flush=True)
+        assert len(matches) == 1
+        assert matcher.stats.pending_created == 1
+        assert matcher.stats.pending_confirmed == 1
+
+    def test_pending_killed_stat(self):
+        matcher = make_matcher(self.QUERY)
+        feed(matcher, [E("A", 1), E("B", 2), E("C", 3)])
+        assert matcher.stats.pending_killed == 1
+
+    def test_trailing_negation_predicate(self):
+        query = "PATTERN SEQ(A a, B b, NOT C c) WHERE c.x > b.x WITHIN 5 EVENTS"
+        survived = run_pattern(
+            query, [E("A", 1, x=0), E("B", 2, x=10), E("C", 3, x=5)]
+        )
+        assert len(survived) == 1
+        killed = run_pattern(
+            query, [E("A", 1, x=0), E("B", 2, x=10), E("C", 3, x=50)]
+        )
+        assert killed == []
+
+    def test_results_delayed_until_confirmation(self):
+        matcher = make_matcher(self.QUERY)
+        assigner_events = [E("A", 1), E("B", 2)]
+        immediate = feed(matcher, assigner_events, flush=False)
+        assert immediate == []  # still pending
+        assert matcher.pending_count == 1

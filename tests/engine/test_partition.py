@@ -1,0 +1,75 @@
+"""PARTITION BY semantics."""
+
+from repro.events.event import Event
+
+from tests.engine.helpers import feed, make_matcher, pair_set, run_pattern
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestPartitioning:
+    def test_events_only_join_within_partition(self):
+        matches = run_pattern(
+            "PATTERN SEQ(Buy b, Sell s) PARTITION BY sym",
+            [
+                E("Buy", 1, sym="A", p=1),
+                E("Buy", 2, sym="B", p=2),
+                E("Sell", 3, sym="A", p=3),
+                E("Sell", 4, sym="B", p=4),
+            ],
+        )
+        assert pair_set(matches, [("b", "p"), ("s", "p")]) == {(1, 3), (2, 4)}
+
+    def test_multi_attribute_partition(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) PARTITION BY sym, region",
+            [
+                E("A", 1, sym="X", region="eu", p=1),
+                E("B", 2, sym="X", region="us", p=2),
+                E("B", 3, sym="X", region="eu", p=3),
+            ],
+        )
+        assert pair_set(matches, [("b", "p")]) == {(3,)}
+
+    def test_missing_partition_attribute_skips_event(self):
+        matcher = make_matcher("PATTERN SEQ(A a, B b) PARTITION BY sym")
+        matches = feed(matcher, [E("A", 1, sym="X"), E("B", 2)])
+        assert matches == []
+        assert matcher.stats.events_skipped_no_key == 1
+
+    def test_strict_contiguity_is_per_partition(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) PARTITION BY sym USING STRICT",
+            [
+                E("A", 1, sym="X", p=1),
+                E("A", 2, sym="Y", p=2),  # different partition: no break
+                E("B", 3, sym="X", p=3),
+            ],
+        )
+        assert pair_set(matches, [("a", "p"), ("b", "p")]) == {(1, 3)}
+
+    def test_partition_key_recorded_on_match(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) PARTITION BY sym",
+            [E("A", 1, sym="X"), E("B", 2, sym="X")],
+        )
+        assert matches[0].partition_key == ("X",)
+
+    def test_unpartitioned_uses_global_key(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b)", [E("A", 1), E("B", 2)]
+        )
+        assert matches[0].partition_key == ()
+
+    def test_negation_scoped_to_partition(self):
+        matches = run_pattern(
+            "PATTERN SEQ(A a, NOT C c, B b) PARTITION BY sym",
+            [
+                E("A", 1, sym="X"),
+                E("C", 2, sym="Y"),  # other partition: harmless
+                E("B", 3, sym="X"),
+            ],
+        )
+        assert len(matches) == 1

@@ -1,0 +1,129 @@
+"""Event-selection strategy semantics: STRICT vs SKIP_TILL_NEXT vs SKIP_TILL_ANY."""
+
+from repro.events.event import Event
+
+from tests.engine.helpers import pair_set, run_pattern
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+STREAM = [
+    E("A", 1, x=1),
+    E("B", 2, x=10),
+    E("B", 3, x=20),
+]
+
+
+class TestSkipTillAny:
+    def test_enumerates_all_combinations(self):
+        matches = run_pattern("PATTERN SEQ(A a, B b) USING SKIP_TILL_ANY", STREAM)
+        assert pair_set(matches, [("b", "x")]) == {(10,), (20,)}
+
+    def test_combinations_across_starts(self):
+        stream = [E("A", 1, x=1), E("A", 2, x=2), E("B", 3, x=10), E("B", 4, x=20)]
+        matches = run_pattern("PATTERN SEQ(A a, B b) USING SKIP_TILL_ANY", stream)
+        assert pair_set(matches, [("a", "x"), ("b", "x")]) == {
+            (1, 10),
+            (1, 20),
+            (2, 10),
+            (2, 20),
+        }
+
+    def test_kleene_subsets(self):
+        stream = [E("A", 1, x=0), E("B", 2, x=1), E("B", 3, x=2)]
+        matches = run_pattern("PATTERN SEQ(A a, B bs+) USING SKIP_TILL_ANY", stream)
+        assert pair_set(matches, [("bs", "x")]) == {((1,),), ((2,),), ((1, 2),)}
+
+
+class TestSkipTillNext:
+    def test_deterministic_consumption(self):
+        matches = run_pattern("PATTERN SEQ(A a, B b) USING SKIP_TILL_NEXT", STREAM)
+        # The run from A consumes the first matching B only.
+        assert pair_set(matches, [("b", "x")]) == {(10,)}
+
+    def test_skips_irrelevant_and_failing_events(self):
+        stream = [E("A", 1, x=5), E("B", 2, x=1), E("B", 3, x=9)]
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE b.x > a.x USING SKIP_TILL_NEXT", stream
+        )
+        assert pair_set(matches, [("b", "x")]) == {(9,)}
+
+    def test_kleene_takes_all_contiguous_matches(self):
+        stream = [E("A", 1, x=0), E("B", 2, x=1), E("B", 3, x=2), E("C", 4, x=9)]
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, C c) USING SKIP_TILL_NEXT", stream
+        )
+        # Skip-till-next consumes every matching B, so only the maximal
+        # closure reaches C ({b1} alone would require skipping b2).
+        assert pair_set(matches, [("bs", "x")]) == {((1, 2),)}
+
+    def test_kleene_take_proceed_branch_on_same_event(self):
+        # The second B could extend bs or (as a B-typed next stage) bind b2.
+        stream = [E("A", 1, x=0), E("B", 2, x=1), E("B", 3, x=2)]
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B bs+, B b2) USING SKIP_TILL_NEXT", stream
+        )
+        assert pair_set(matches, [("bs", "x"), ("b2", "x")]) == {((1,), 2)}
+
+
+class TestStrict:
+    def test_contiguous_match_found(self):
+        matches = run_pattern("PATTERN SEQ(A a, B b) USING STRICT", STREAM)
+        assert pair_set(matches, [("b", "x")]) == {(10,)}
+
+    def test_gap_kills_run(self):
+        stream = [E("A", 1, x=1), E("A", 2, x=2), E("B", 3, x=10)]
+        matches = run_pattern("PATTERN SEQ(A a, B b) USING STRICT", stream)
+        # run(A1) is killed by A2 (not consumable); run(A2)+B3 is contiguous.
+        assert pair_set(matches, [("a", "x")]) == {(2,)}
+
+    def test_predicate_failure_kills_run(self):
+        stream = [E("A", 1, x=5), E("B", 2, x=1), E("B", 3, x=9)]
+        matches = run_pattern(
+            "PATTERN SEQ(A a, B b) WHERE b.x > a.x USING STRICT", stream
+        )
+        assert matches == []
+
+    def test_strict_kleene_contiguity(self):
+        stream = [
+            E("A", 1, x=0),
+            E("B", 2, x=1),
+            E("B", 3, x=2),
+            E("C", 4, x=9),
+        ]
+        matches = run_pattern("PATTERN SEQ(A a, B bs+, C c) USING STRICT", stream)
+        assert pair_set(matches, [("bs", "x")]) == {((1, 2),)}
+
+    def test_strict_counts_kills(self):
+        from tests.engine.helpers import make_matcher, feed
+
+        matcher = make_matcher("PATTERN SEQ(A a, B b) USING STRICT")
+        feed(matcher, [E("A", 1), E("A", 2)])
+        assert matcher.stats.runs_killed_strict == 1
+
+
+class TestStrategyContainment:
+    """STRICT ⊆ SKIP_TILL_NEXT ⊆ SKIP_TILL_ANY on the same stream."""
+
+    def signatures(self, strategy, stream):
+        matches = run_pattern(
+            f"PATTERN SEQ(A a, B b, C c) WHERE c.x > a.x USING {strategy}", stream
+        )
+        return pair_set(matches, [("a", "x"), ("b", "x"), ("c", "x")])
+
+    def test_containment_chain(self):
+        stream = [
+            E("A", 1, x=1),
+            E("B", 2, x=2),
+            E("A", 3, x=3),
+            E("C", 4, x=4),
+            E("B", 5, x=5),
+            E("C", 6, x=6),
+        ]
+        strict = self.signatures("STRICT", stream)
+        skip_next = self.signatures("SKIP_TILL_NEXT", stream)
+        skip_any = self.signatures("SKIP_TILL_ANY", stream)
+        assert strict <= skip_next <= skip_any
+        assert len(skip_any) > len(skip_next) or skip_next == skip_any

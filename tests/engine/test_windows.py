@@ -1,0 +1,78 @@
+"""Unit tests for epoch tracking and tumbling evaluation."""
+
+from repro.engine.windows import EpochTracker
+from repro.events.event import Event
+from repro.language.ast_nodes import WindowKind, WindowSpec
+
+from tests.engine.helpers import feed, make_matcher, pair_set
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestEpochTracker:
+    def test_count_epochs(self):
+        tracker = EpochTracker(WindowSpec(WindowKind.COUNT, 10))
+        event = Event("A", 0.0)
+        for seq, expected in [(0, 0), (9, 0), (10, 1), (25, 2)]:
+            event.seq = seq
+            assert tracker.epoch_of(event) == expected
+
+    def test_time_epochs(self):
+        tracker = EpochTracker(WindowSpec(WindowKind.TIME, 5.0))
+        assert tracker.epoch_of(Event("A", 0.0)) == 0
+        assert tracker.epoch_of(Event("A", 4.999)) == 0
+        assert tracker.epoch_of(Event("A", 5.0)) == 1
+        assert tracker.epoch_of(Event("A", 12.5)) == 2
+
+    def test_epoch_of_point(self):
+        tracker = EpochTracker(WindowSpec(WindowKind.COUNT, 4))
+        assert tracker.epoch_of_point(7, 0.0) == 1
+
+    def test_epoch_bounds(self):
+        tracker = EpochTracker(WindowSpec(WindowKind.TIME, 5.0))
+        assert tracker.epoch_bounds(2) == (10.0, 15.0)
+
+
+class TestTumblingMatcher:
+    def test_runs_killed_at_epoch_boundary(self):
+        matcher = make_matcher(
+            "PATTERN SEQ(A a, B b) WITHIN 3 EVENTS", tumbling=True
+        )
+        # A at seq 0 (epoch 0); B at seq 3 (epoch 1) → run must not survive.
+        matches = feed(matcher, [E("A", 1), E("Z", 2), E("Z", 3), E("B", 4)])
+        assert matches == []
+        assert matcher.stats.runs_expired == 1
+
+    def test_match_within_one_epoch(self):
+        matcher = make_matcher(
+            "PATTERN SEQ(A a, B b) WITHIN 3 EVENTS", tumbling=True
+        )
+        matches = feed(matcher, [E("A", 1), E("B", 2)])
+        assert len(matches) == 1
+
+    def test_new_run_starts_in_new_epoch(self):
+        matcher = make_matcher(
+            "PATTERN SEQ(A a, B b) WITHIN 2 EVENTS", tumbling=True
+        )
+        matches = feed(
+            matcher, [E("A", 1, p=1), E("Z", 2), E("A", 3, p=2), E("B", 4, p=3)]
+        )
+        # epoch 1 covers seqs 2-3: A(seq 2) with B(seq 3) matches.
+        assert pair_set(matches, [("a", "p")]) == {(2,)}
+
+    def test_tumbling_requires_window(self):
+        import pytest
+
+        with pytest.raises(ValueError, match="requires a WITHIN"):
+            make_matcher("PATTERN SEQ(A a)", tumbling=True)
+
+    def test_time_epoch_boundary(self):
+        matcher = make_matcher(
+            "PATTERN SEQ(A a, B b) WITHIN 5 SECONDS", tumbling=True
+        )
+        # A at t=4 (epoch 0), B at t=6 (epoch 1): killed at the boundary
+        # even though the sliding span (2s) would have allowed it.
+        matches = feed(matcher, [E("A", 4.0), E("B", 6.0)])
+        assert matches == []

@@ -1,0 +1,101 @@
+"""Unit tests for the Event record."""
+
+import pytest
+
+from repro.events.event import Event
+
+
+class TestConstruction:
+    def test_basic_fields(self):
+        event = Event("Buy", 1.5, symbol="ACME", price=10.0)
+        assert event.event_type == "Buy"
+        assert event.timestamp == 1.5
+        assert event.payload == {"symbol": "ACME", "price": 10.0}
+
+    def test_timestamp_coerced_to_float(self):
+        assert isinstance(Event("A", 3).timestamp, float)
+
+    def test_seq_unassigned_by_default(self):
+        assert Event("A", 0).seq == -1
+
+    def test_from_mapping(self):
+        event = Event.from_mapping("A", 2.0, {"x": 1})
+        assert event["x"] == 1
+        assert event.timestamp == 2.0
+
+    def test_from_mapping_copies_payload(self):
+        payload = {"x": 1}
+        event = Event.from_mapping("A", 0.0, payload)
+        payload["x"] = 99
+        assert event["x"] == 1
+
+
+class TestAttributeAccess:
+    def test_getitem(self):
+        assert Event("A", 0, x=7)["x"] == 7
+
+    def test_getitem_missing_raises_keyerror_with_context(self):
+        event = Event("A", 0, x=7)
+        with pytest.raises(KeyError, match="no attribute 'y'"):
+            event["y"]
+
+    def test_get_with_default(self):
+        event = Event("A", 0, x=7)
+        assert event.get("x") == 7
+        assert event.get("y") is None
+        assert event.get("y", 0) == 0
+
+    def test_contains(self):
+        event = Event("A", 0, x=7)
+        assert "x" in event
+        assert "y" not in event
+
+    def test_iter_yields_attribute_names(self):
+        assert sorted(Event("A", 0, x=1, y=2)) == ["x", "y"]
+
+
+class TestEqualityAndHash:
+    def test_structural_equality(self):
+        assert Event("A", 1, x=1) == Event("A", 1, x=1)
+
+    def test_inequality_on_type(self):
+        assert Event("A", 1, x=1) != Event("B", 1, x=1)
+
+    def test_inequality_on_payload(self):
+        assert Event("A", 1, x=1) != Event("A", 1, x=2)
+
+    def test_seq_excluded_from_equality(self):
+        a, b = Event("A", 1, x=1), Event("A", 1, x=1)
+        a.seq = 5
+        assert a == b
+
+    def test_hash_consistent_with_equality(self):
+        assert hash(Event("A", 1, x=1)) == hash(Event("A", 1, x=1))
+
+    def test_not_equal_to_other_types(self):
+        assert Event("A", 1) != "A"
+
+
+class TestReplace:
+    def test_replace_updates_attribute(self):
+        original = Event("A", 1, x=1, y=2)
+        clone = original.replace(x=10)
+        assert clone["x"] == 10 and clone["y"] == 2
+        assert original["x"] == 1
+
+    def test_replace_preserves_seq(self):
+        original = Event("A", 1, x=1)
+        original.seq = 42
+        assert original.replace(x=2).seq == 42
+
+
+class TestRepr:
+    def test_repr_contains_type_and_attrs(self):
+        text = repr(Event("Buy", 1.0, price=10.0))
+        assert "Buy" in text and "price=10.0" in text
+
+    def test_repr_shows_seq_once_assigned(self):
+        event = Event("A", 1.0)
+        assert "seq=" not in repr(event)
+        event.seq = 3
+        assert "seq=3" in repr(event)

@@ -1,0 +1,69 @@
+"""Unit tests for duration parsing and sequence assignment."""
+
+import pytest
+
+from repro.events.event import Event
+from repro.events.time import OutOfOrderError, SequenceAssigner, parse_duration
+
+
+class TestParseDuration:
+    @pytest.mark.parametrize(
+        "value,unit,expected",
+        [
+            (500, "MILLISECONDS", 0.5),
+            (1, "ms", 0.001),
+            (10, "SECONDS", 10.0),
+            (2, "second", 2.0),
+            (10, "MINUTES", 600.0),
+            (1, "min", 60.0),
+            (2, "HOURS", 7200.0),
+            (1, "h", 3600.0),
+            (1, "DAYS", 86400.0),
+            (1.5, "minutes", 90.0),
+        ],
+    )
+    def test_conversions(self, value, unit, expected):
+        assert parse_duration(value, unit) == expected
+
+    def test_unknown_unit(self):
+        with pytest.raises(ValueError, match="unknown duration unit"):
+            parse_duration(1, "fortnights")
+
+
+class TestSequenceAssigner:
+    def test_assigns_monotone_sequence(self):
+        assigner = SequenceAssigner()
+        events = [Event("A", t) for t in (1.0, 2.0, 3.0)]
+        for event in events:
+            assigner.assign(event)
+        assert [e.seq for e in events] == [0, 1, 2]
+        assert assigner.next_seq == 3
+        assert assigner.last_timestamp == 3.0
+
+    def test_custom_start(self):
+        assigner = SequenceAssigner(start=100)
+        event = assigner.assign(Event("A", 1.0))
+        assert event.seq == 100
+
+    def test_out_of_order_counted_when_lenient(self):
+        assigner = SequenceAssigner()
+        assigner.assign(Event("A", 5.0))
+        assigner.assign(Event("A", 3.0))
+        assert assigner.out_of_order_count == 1
+
+    def test_out_of_order_raises_when_strict(self):
+        assigner = SequenceAssigner(strict=True)
+        assigner.assign(Event("A", 5.0))
+        with pytest.raises(OutOfOrderError):
+            assigner.assign(Event("A", 3.0))
+
+    def test_equal_timestamps_allowed_in_strict_mode(self):
+        assigner = SequenceAssigner(strict=True)
+        assigner.assign(Event("A", 5.0))
+        assigner.assign(Event("A", 5.0))
+        assert assigner.out_of_order_count == 0
+
+    def test_assign_all_is_lazy_and_complete(self):
+        assigner = SequenceAssigner()
+        stamped = list(assigner.assign_all(Event("A", t) for t in (1.0, 2.0)))
+        assert [e.seq for e in stamped] == [0, 1]

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script must run and produce its report."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent.parent / "examples"
+
+
+def run_example(name, *args, timeout=120):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "Ranked Buy→Sell matches" in out
+        assert "#1 ACME" in out
+
+    def test_stock_trading(self):
+        out = run_example("stock_trading.py", "3000")
+        assert "best trades" in out
+        assert "momentum" in out
+        assert "throughput" in out
+
+    def test_health_monitoring(self):
+        out = run_example("health_monitoring.py", "8000")
+        assert "tachycardia" in out
+        assert "processed 8000 readings" in out
+
+    def test_smart_transportation(self):
+        out = run_example("smart_transportation.py", "8000")
+        assert "congestion onsets" in out
+
+    def test_pareto_trades(self):
+        out = run_example("pareto_trades.py", "3000")
+        assert "Pareto front" in out
+
+    def test_hierarchical_cep(self):
+        out = run_example("hierarchical_cep.py", "6000")
+        assert "Trade events derived" in out
+        assert "level 2" in out
+
+    def test_backtesting(self):
+        out = run_example("backtesting.py", "4000")
+        assert "backtesting 3 candidates" in out
+        assert "second half only" in out
+
+    @pytest.mark.slow
+    def test_live_monitor(self):
+        out = run_example("live_monitor.py", "1.0", timeout=60)
+        assert "CEPR monitor" in out
+
+    def test_all_examples_are_covered(self):
+        scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        covered = {
+            "quickstart.py",
+            "stock_trading.py",
+            "health_monitoring.py",
+            "smart_transportation.py",
+            "pareto_trades.py",
+            "backtesting.py",
+            "hierarchical_cep.py",
+            "live_monitor.py",
+        }
+        assert scripts == covered, "new example scripts need smoke tests"

@@ -1,0 +1,307 @@
+"""Unit tests for expression compilation and evaluation."""
+
+import pytest
+
+from repro.events.event import Event
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    FuncCall,
+    Literal,
+    PrevRef,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+from repro.language.errors import EvaluationError
+from repro.language.expressions import (
+    EvalContext,
+    VacuousPredicate,
+    compile_expr,
+    evaluate_predicate,
+)
+from repro.language.parser import parse_query
+
+
+def compile_text(expr_text: str):
+    """Compile an expression written as a WHERE clause."""
+    query = parse_query(f"PATTERN SEQ(A a, B bs+) WHERE {expr_text}")
+    return compile_expr(query.where)
+
+
+def ctx(**bindings):
+    return EvalContext(bindings=bindings)
+
+
+class TestLeaves:
+    def test_literal(self):
+        assert compile_expr(Literal(42))(ctx()) == 42
+
+    def test_attr_ref_singleton(self):
+        evaluator = compile_expr(AttrRef("a", "x"))
+        assert evaluator(ctx(a=Event("A", 0, x=5))) == 5
+
+    def test_attr_ref_unbound_raises(self):
+        with pytest.raises(EvaluationError, match="not bound"):
+            compile_expr(AttrRef("a", "x"))(ctx())
+
+    def test_attr_ref_missing_attr(self):
+        with pytest.raises(EvaluationError, match="no attribute"):
+            compile_expr(AttrRef("a", "y"))(ctx(a=Event("A", 0, x=5)))
+
+    def test_attr_ref_on_kleene_binding_raises(self):
+        with pytest.raises(EvaluationError, match="Kleene binding"):
+            compile_expr(AttrRef("a", "x"))(ctx(a=[Event("A", 0, x=5)]))
+
+    def test_attr_ref_uses_current_event(self):
+        evaluator = compile_expr(AttrRef("a", "x"))
+        context = EvalContext(
+            bindings={}, current_var="a", current_event=Event("A", 0, x=9)
+        )
+        assert evaluator(context) == 9
+
+    def test_bare_var_ref_rejected_at_compile(self):
+        with pytest.raises(EvaluationError, match="not a value"):
+            compile_expr(VarRef("a"))
+
+
+class TestPrev:
+    def test_prev_reads_last_accepted(self):
+        evaluator = compile_expr(PrevRef("bs", "x"))
+        context = EvalContext(
+            bindings={"bs": [Event("B", 0, x=1), Event("B", 1, x=2)]},
+            current_var="bs",
+            current_event=Event("B", 2, x=3),
+        )
+        assert evaluator(context) == 2
+
+    def test_prev_on_first_element_is_vacuous(self):
+        evaluator = compile_expr(PrevRef("bs", "x"))
+        context = EvalContext(
+            bindings={}, current_var="bs", current_event=Event("B", 0, x=1)
+        )
+        with pytest.raises(VacuousPredicate):
+            evaluator(context)
+
+    def test_prev_outside_its_variable_errors(self):
+        evaluator = compile_expr(PrevRef("bs", "x"))
+        with pytest.raises(EvaluationError, match="only valid while binding"):
+            evaluator(ctx(bs=[Event("B", 0, x=1)]))
+
+
+class TestAggregates:
+    def make_binding(self, *values):
+        return [Event("B", i, x=v) for i, v in enumerate(values)]
+
+    @pytest.mark.parametrize(
+        "func,expected",
+        [
+            ("count", 3),
+            ("len", 3),
+            ("sum", 9.0),
+            ("avg", 3.0),
+            ("min", 2.0),
+            ("max", 4.0),
+            ("first", 2.0),
+            ("last", 4.0),
+        ],
+    )
+    def test_each_aggregate(self, func, expected):
+        attr = None if func in ("count", "len") else "x"
+        evaluator = compile_expr(Aggregate(func, "bs", attr))
+        assert evaluator(ctx(bs=self.make_binding(2.0, 3.0, 4.0))) == expected
+
+    def test_aggregate_over_singleton_binding(self):
+        evaluator = compile_expr(Aggregate("avg", "a", "x"))
+        assert evaluator(ctx(a=Event("A", 0, x=7.0))) == 7.0
+
+    def test_empty_aggregate_in_incremental_context_is_vacuous(self):
+        evaluator = compile_expr(Aggregate("avg", "bs", "x"))
+        context = EvalContext(
+            bindings={}, current_var="bs", current_event=Event("B", 0, x=1)
+        )
+        with pytest.raises(VacuousPredicate):
+            evaluator(context)
+
+    def test_empty_aggregate_elsewhere_errors(self):
+        evaluator = compile_expr(Aggregate("avg", "bs", "x"))
+        with pytest.raises(EvaluationError, match="empty binding"):
+            evaluator(ctx())
+
+    def test_incremental_aggregate_excludes_current(self):
+        evaluator = compile_expr(Aggregate("max", "bs", "x"))
+        context = EvalContext(
+            bindings={"bs": self.make_binding(1.0, 2.0)},
+            current_var="bs",
+            current_event=Event("B", 9, x=100.0),
+        )
+        assert evaluator(context) == 2.0
+
+    def test_agg_lookup_fast_path_used(self):
+        calls = []
+
+        def lookup(var, func, attr):
+            calls.append((var, func, attr))
+            return 42.0
+
+        evaluator = compile_expr(Aggregate("avg", "bs", "x"))
+        context = EvalContext(bindings={"bs": self.make_binding(1.0)}, agg_lookup=lookup)
+        assert evaluator(context) == 42.0
+        assert calls == [("bs", "avg", "x")]
+
+    def test_agg_lookup_none_falls_back(self):
+        evaluator = compile_expr(Aggregate("avg", "bs", "x"))
+        context = EvalContext(
+            bindings={"bs": self.make_binding(5.0)}, agg_lookup=lambda *a: None
+        )
+        assert evaluator(context) == 5.0
+
+
+class TestFunctions:
+    def test_duration(self):
+        evaluator = compile_text("duration() >= 0")
+        context = ctx(a=Event("A", 1.0), bs=[Event("B", 4.0)])
+        assert evaluator(context) is True
+        assert context.duration() == 3.0
+
+    def test_duration_without_events_errors(self):
+        with pytest.raises(EvaluationError, match="no events bound"):
+            ctx().duration()
+
+    def test_timestamp(self):
+        evaluator = compile_expr(FuncCall("timestamp", (VarRef("a"),)))
+        assert evaluator(ctx(a=Event("A", 2.5))) == 2.5
+
+    def test_ts_alias(self):
+        evaluator = compile_expr(FuncCall("ts", (VarRef("a"),)))
+        assert evaluator(ctx(a=Event("A", 2.5))) == 2.5
+
+    @pytest.mark.parametrize(
+        "name,value,expected",
+        [
+            ("abs", -3.0, 3.0),
+            ("round", 2.6, 3),
+            ("floor", 2.6, 2),
+            ("ceil", 2.1, 3),
+            ("sqrt", 9.0, 3.0),
+            ("exp", 0.0, 1.0),
+            ("sign", -5.0, -1),
+            ("sign", 0.0, 0),
+            ("sign", 2.0, 1),
+        ],
+    )
+    def test_math_functions(self, name, value, expected):
+        evaluator = compile_expr(FuncCall(name, (Literal(value),)))
+        assert evaluator(ctx()) == expected
+
+    def test_sqrt_of_negative_errors(self):
+        with pytest.raises(EvaluationError):
+            compile_expr(FuncCall("sqrt", (Literal(-1.0),)))(ctx())
+
+    def test_log(self):
+        import math
+
+        evaluator = compile_expr(FuncCall("log", (Literal(math.e),)))
+        assert evaluator(ctx()) == pytest.approx(1.0)
+
+    def test_min2_max2(self):
+        assert compile_expr(FuncCall("min2", (Literal(1), Literal(2))))(ctx()) == 1
+        assert compile_expr(FuncCall("max2", (Literal(1), Literal(2))))(ctx()) == 2
+
+    def test_math_on_non_number_errors(self):
+        with pytest.raises(EvaluationError, match="expected a number"):
+            compile_expr(FuncCall("abs", (Literal("hi"),)))(ctx())
+
+
+class TestOperators:
+    def test_arithmetic(self):
+        assert compile_text("1 + 2 * 3 == 7")(ctx()) is True
+        assert compile_text("10 / 4 == 2.5")(ctx()) is True
+        assert compile_text("7 % 3 == 1")(ctx()) is True
+        assert compile_text("1 - 5 == -4")(ctx()) is True
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError, match="division by zero"):
+            compile_text("1 / 0 > 0")(ctx())
+
+    def test_modulo_by_zero(self):
+        with pytest.raises(EvaluationError, match="modulo by zero"):
+            compile_text("1 % 0 > 0")(ctx())
+
+    def test_arith_type_error(self):
+        with pytest.raises(EvaluationError, match="expected a number"):
+            compile_text("a.x + 1 > 0")(ctx(a=Event("A", 0, x="str")))
+
+    def test_equality_any_types(self):
+        assert compile_text("a.x == 'hi'")(ctx(a=Event("A", 0, x="hi"))) is True
+        assert compile_text("a.x != 3")(ctx(a=Event("A", 0, x="hi"))) is True
+
+    def test_ordering_numbers(self):
+        assert compile_text("2 < 3")(ctx()) is True
+        assert compile_text("3 <= 3")(ctx()) is True
+        assert compile_text("2 > 3")(ctx()) is False
+        assert compile_text("3 >= 4")(ctx()) is False
+
+    def test_ordering_strings(self):
+        assert compile_text("a.x < 'b'")(ctx(a=Event("A", 0, x="a"))) is True
+
+    def test_ordering_mixed_types_errors(self):
+        with pytest.raises(EvaluationError, match="numbers or both strings"):
+            compile_text("a.x < 3")(ctx(a=Event("A", 0, x="str")))
+
+    def test_and_short_circuits(self):
+        # The right side would divide by zero; False AND ... must not reach it.
+        assert compile_text("1 > 2 AND 1 / 0 > 0")(ctx()) is False
+
+    def test_or_short_circuits(self):
+        assert compile_text("2 > 1 OR 1 / 0 > 0")(ctx()) is True
+
+    def test_boolean_context_requires_bool(self):
+        with pytest.raises(EvaluationError, match="expected a boolean"):
+            compile_text("1 AND 2 > 0")(ctx())
+
+    def test_not(self):
+        assert compile_text("NOT 1 > 2")(ctx()) is True
+
+    def test_unary_minus(self):
+        assert compile_text("-(1 + 2) == -3")(ctx()) is True
+
+    def test_unary_minus_type_error(self):
+        with pytest.raises(EvaluationError):
+            compile_text("-a.x > 0")(ctx(a=Event("A", 0, x="s")))
+
+
+class TestEvaluatePredicate:
+    def test_pass_and_fail(self):
+        assert evaluate_predicate(compile_text("1 < 2"), ctx()) is True
+        assert evaluate_predicate(compile_text("1 > 2"), ctx()) is False
+
+    def test_vacuous_counts_as_pass(self):
+        evaluator = compile_text("bs.x > prev(bs.x)")
+        context = EvalContext(
+            bindings={}, current_var="bs", current_event=Event("B", 0, x=1)
+        )
+        assert evaluate_predicate(evaluator, context) is True
+
+    def test_non_boolean_result_rejected(self):
+        with pytest.raises(EvaluationError, match="expected a boolean"):
+            evaluate_predicate(compile_expr(Literal(3)), ctx())
+
+
+class TestContextHelpers:
+    def test_events_of_singleton(self):
+        context = ctx(a=Event("A", 0, x=1))
+        assert len(context.events_of("a")) == 1
+
+    def test_events_of_missing(self):
+        assert ctx().events_of("zz") == ()
+
+    def test_all_events_includes_current(self):
+        context = EvalContext(
+            bindings={"a": Event("A", 1.0)},
+            current_var="b",
+            current_event=Event("B", 2.0),
+        )
+        assert [e.timestamp for e in context.all_events()] == [1.0, 2.0]

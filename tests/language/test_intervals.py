@@ -1,0 +1,282 @@
+"""Unit tests for interval arithmetic and the partial-match bound evaluator."""
+
+import math
+
+import pytest
+
+from repro.events.event import Event
+from repro.events.schema import Domain
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    FuncCall,
+    Literal,
+    PrevRef,
+    Unary,
+    UnaryOp,
+    VarRef,
+)
+from repro.language.intervals import Interval, IntervalEvaluator, PartialMatchView
+
+
+class TestIntervalArithmetic:
+    def test_exact_and_unbounded(self):
+        assert Interval.exact(3.0) == Interval(3.0, 3.0)
+        assert Interval.unbounded().lo == -math.inf
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            Interval(2.0, 1.0)
+
+    def test_add_sub(self):
+        a, b = Interval(1, 2), Interval(10, 20)
+        assert a + b == Interval(11, 22)
+        assert b - a == Interval(8, 19)
+
+    def test_mul_sign_cases(self):
+        assert Interval(2, 3) * Interval(4, 5) == Interval(8, 15)
+        assert Interval(-2, 3) * Interval(4, 5) == Interval(-10, 15)
+        assert Interval(-3, -2) * Interval(-5, -4) == Interval(8, 15)
+
+    def test_mul_with_infinity_and_zero(self):
+        product = Interval(0, 0) * Interval(0, math.inf)
+        assert product == Interval(0, 0)
+
+    def test_div(self):
+        assert Interval(10, 20) / Interval(2, 4) == Interval(2.5, 10)
+
+    def test_div_by_interval_containing_zero(self):
+        assert Interval(1, 2) / Interval(-1, 1) is None
+
+    def test_neg(self):
+        assert -Interval(1, 2) == Interval(-2, -1)
+
+    def test_abs(self):
+        assert Interval(1, 2).abs() == Interval(1, 2)
+        assert Interval(-2, -1).abs() == Interval(1, 2)
+        assert Interval(-3, 2).abs() == Interval(0, 3)
+
+    def test_hull(self):
+        assert Interval(0, 1).hull(Interval(5, 6)) == Interval(0, 6)
+
+    def test_monotone_map_failure_returns_none(self):
+        assert Interval(-4, -1).monotone_map(math.sqrt) is None
+
+    def test_from_domain(self):
+        assert Interval.from_domain(Domain(1, 5)) == Interval(1, 5)
+
+
+def make_view(
+    bindings=None,
+    open_vars=(),
+    domains=None,
+    kleene=(),
+    max_count=None,
+    duration_so_far=0.0,
+    max_duration=None,
+    latest_ts=None,
+):
+    domains = domains or {}
+
+    def domain_of(event_type, attr):
+        return domains.get((event_type, attr))
+
+    return PartialMatchView(
+        bindings=bindings or {},
+        var_types={"a": "A", "b": "B", "ks": "K"},
+        kleene_vars=frozenset(kleene),
+        open_vars=frozenset(open_vars),
+        domain_of=domain_of,
+        max_kleene_count=max_count,
+        duration_so_far=duration_so_far,
+        max_duration=max_duration,
+        latest_timestamp=latest_ts,
+    )
+
+
+class TestAttrBounds:
+    def test_bound_variable_is_exact(self):
+        view = make_view(bindings={"a": Event("A", 0, x=5.0)}, open_vars={"b"})
+        bound = IntervalEvaluator(view).bound(AttrRef("a", "x"))
+        assert bound == Interval.exact(5.0)
+
+    def test_unbound_variable_uses_domain(self):
+        view = make_view(open_vars={"a", "b"}, domains={("B", "x"): Domain(0, 10)})
+        bound = IntervalEvaluator(view).bound(AttrRef("b", "x"))
+        assert bound == Interval(0, 10)
+
+    def test_unbound_variable_without_domain_is_none(self):
+        view = make_view(open_vars={"b"})
+        assert IntervalEvaluator(view).bound(AttrRef("b", "x")) is None
+
+    def test_string_attribute_is_none(self):
+        view = make_view(bindings={"a": Event("A", 0, x="str")})
+        assert IntervalEvaluator(view).bound(AttrRef("a", "x")) is None
+
+    def test_literal(self):
+        assert IntervalEvaluator(make_view()).bound(Literal(4)) == Interval.exact(4.0)
+        assert IntervalEvaluator(make_view()).bound(Literal("s")) is None
+        assert IntervalEvaluator(make_view()).bound(Literal(True)) is None
+
+    def test_prev_ref_is_none(self):
+        assert IntervalEvaluator(make_view()).bound(PrevRef("ks", "x")) is None
+
+
+class TestAggregateBounds:
+    def kleene_view(self, values, is_open, domain=Domain(0, 10), max_count=5):
+        events = tuple(Event("K", i, x=v) for i, v in enumerate(values))
+        return make_view(
+            bindings={"ks": events},
+            open_vars={"ks"} if is_open else set(),
+            kleene={"ks"},
+            domains={("K", "x"): domain},
+            max_count=max_count,
+        )
+
+    def test_closed_kleene_aggregates_are_exact(self):
+        view = self.kleene_view([2.0, 4.0], is_open=False)
+        evaluator = IntervalEvaluator(view)
+        assert evaluator.bound(Aggregate("sum", "ks", "x")) == Interval.exact(6.0)
+        assert evaluator.bound(Aggregate("avg", "ks", "x")) == Interval.exact(3.0)
+        assert evaluator.bound(Aggregate("min", "ks", "x")) == Interval.exact(2.0)
+        assert evaluator.bound(Aggregate("max", "ks", "x")) == Interval.exact(4.0)
+        assert evaluator.bound(Aggregate("count", "ks", None)) == Interval.exact(2.0)
+        assert evaluator.bound(Aggregate("first", "ks", "x")) == Interval.exact(2.0)
+        assert evaluator.bound(Aggregate("last", "ks", "x")) == Interval.exact(4.0)
+
+    def test_open_count_bound_by_window(self):
+        view = self.kleene_view([1.0, 2.0], is_open=True, max_count=5)
+        bound = IntervalEvaluator(view).bound(Aggregate("count", "ks", None))
+        assert bound == Interval(2.0, 5.0)
+
+    def test_open_count_unbounded_without_cap(self):
+        view = self.kleene_view([1.0], is_open=True, max_count=None)
+        bound = IntervalEvaluator(view).bound(Aggregate("count", "ks", None))
+        assert bound.hi == math.inf
+
+    def test_open_min_can_only_decrease(self):
+        view = self.kleene_view([4.0, 6.0], is_open=True)
+        bound = IntervalEvaluator(view).bound(Aggregate("min", "ks", "x"))
+        assert bound == Interval(0.0, 4.0)
+
+    def test_open_max_can_only_increase(self):
+        view = self.kleene_view([4.0, 6.0], is_open=True)
+        bound = IntervalEvaluator(view).bound(Aggregate("max", "ks", "x"))
+        assert bound == Interval(6.0, 10.0)
+
+    def test_open_first_is_pinned_once_observed(self):
+        view = self.kleene_view([4.0], is_open=True)
+        bound = IntervalEvaluator(view).bound(Aggregate("first", "ks", "x"))
+        assert bound == Interval.exact(4.0)
+
+    def test_open_last_floats_in_domain(self):
+        view = self.kleene_view([4.0], is_open=True)
+        bound = IntervalEvaluator(view).bound(Aggregate("last", "ks", "x"))
+        assert bound == Interval(0.0, 10.0)
+
+    def test_open_sum_uses_remaining_count(self):
+        # observed sum 3, up to 3 more elements each in [0, 10]
+        view = self.kleene_view([1.0, 2.0], is_open=True, max_count=5)
+        bound = IntervalEvaluator(view).bound(Aggregate("sum", "ks", "x"))
+        assert bound == Interval(3.0, 33.0)
+
+    def test_open_aggregate_without_domain_is_none(self):
+        view = self.kleene_view([1.0], is_open=True, domain=None)
+        view = make_view(
+            bindings=view.bindings,
+            open_vars={"ks"},
+            kleene={"ks"},
+            domains={},
+            max_count=5,
+        )
+        assert IntervalEvaluator(view).bound(Aggregate("sum", "ks", "x")) is None
+
+    def test_sum_soundness_on_concrete_completion(self):
+        """Any completion's actual sum must lie inside the bound."""
+        view = self.kleene_view([1.0, 2.0], is_open=True, max_count=4)
+        bound = IntervalEvaluator(view).bound(Aggregate("sum", "ks", "x"))
+        for future in ([], [10.0], [0.0, 10.0]):
+            total = 3.0 + sum(future)
+            assert bound.lo <= total <= bound.hi
+
+
+class TestFunctionBounds:
+    def test_duration_bound(self):
+        view = make_view(duration_so_far=2.0, max_duration=10.0)
+        bound = IntervalEvaluator(view).bound(FuncCall("duration", ()))
+        assert bound == Interval(2.0, 10.0)
+
+    def test_duration_unbounded_without_cap(self):
+        view = make_view(duration_so_far=2.0)
+        bound = IntervalEvaluator(view).bound(FuncCall("duration", ()))
+        assert bound.hi == math.inf
+
+    def test_timestamp_bound_var(self):
+        view = make_view(bindings={"a": Event("A", 3.5)})
+        bound = IntervalEvaluator(view).bound(FuncCall("timestamp", (VarRef("a"),)))
+        assert bound == Interval.exact(3.5)
+
+    def test_timestamp_unbound_var_starts_at_latest(self):
+        view = make_view(open_vars={"b"}, latest_ts=7.0)
+        bound = IntervalEvaluator(view).bound(FuncCall("ts", (VarRef("b"),)))
+        assert bound.lo == 7.0 and bound.hi == math.inf
+
+    def test_abs_bound(self):
+        view = make_view(bindings={"a": Event("A", 0, x=-4.0)})
+        expr = FuncCall("abs", (AttrRef("a", "x"),))
+        assert IntervalEvaluator(view).bound(expr) == Interval.exact(4.0)
+
+    def test_sign_bound(self):
+        view = make_view(open_vars={"b"}, domains={("B", "x"): Domain(-5, 5)})
+        bound = IntervalEvaluator(view).bound(FuncCall("sign", (AttrRef("b", "x"),)))
+        assert bound == Interval(-1.0, 1.0)
+
+    def test_min2_max2_bounds(self):
+        view = make_view(
+            open_vars={"b"},
+            bindings={"a": Event("A", 0, x=3.0)},
+            domains={("B", "x"): Domain(0, 10)},
+        )
+        lo = IntervalEvaluator(view).bound(
+            FuncCall("min2", (AttrRef("a", "x"), AttrRef("b", "x")))
+        )
+        hi = IntervalEvaluator(view).bound(
+            FuncCall("max2", (AttrRef("a", "x"), AttrRef("b", "x")))
+        )
+        assert lo == Interval(0.0, 3.0)
+        assert hi == Interval(3.0, 10.0)
+
+
+class TestOperatorBounds:
+    def view(self):
+        return make_view(
+            bindings={"a": Event("A", 0, x=3.0)},
+            open_vars={"b"},
+            domains={("B", "x"): Domain(0, 10)},
+        )
+
+    def test_subtraction_bound(self):
+        expr = Binary(BinaryOp.SUB, AttrRef("b", "x"), AttrRef("a", "x"))
+        assert IntervalEvaluator(self.view()).bound(expr) == Interval(-3.0, 7.0)
+
+    def test_multiplication_bound(self):
+        expr = Binary(BinaryOp.MUL, AttrRef("b", "x"), Literal(2))
+        assert IntervalEvaluator(self.view()).bound(expr) == Interval(0.0, 20.0)
+
+    def test_division_bound(self):
+        expr = Binary(BinaryOp.DIV, AttrRef("a", "x"), Literal(2))
+        assert IntervalEvaluator(self.view()).bound(expr) == Interval.exact(1.5)
+
+    def test_boolean_ops_have_no_bound(self):
+        expr = Binary(BinaryOp.GT, AttrRef("a", "x"), Literal(1))
+        assert IntervalEvaluator(self.view()).bound(expr) is None
+
+    def test_negation_bound(self):
+        expr = Unary(UnaryOp.NEG, AttrRef("b", "x"))
+        assert IntervalEvaluator(self.view()).bound(expr) == Interval(-10.0, 0.0)
+
+    def test_propagates_none(self):
+        expr = Binary(BinaryOp.ADD, AttrRef("b", "nodomain"), Literal(1))
+        assert IntervalEvaluator(self.view()).bound(expr) is None

@@ -1,0 +1,123 @@
+"""Unit tests for the expression optimiser."""
+
+from repro.language.ast_nodes import (
+    AttrRef,
+    Binary,
+    BinaryOp,
+    FuncCall,
+    Literal,
+    Unary,
+    UnaryOp,
+)
+from repro.language.optimizer import optimize
+from repro.language.parser import parse_query
+
+
+def opt_text(expr_text):
+    return optimize(parse_query(f"PATTERN SEQ(A a) WHERE {expr_text}").where)
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        assert opt_text("2 * 3 + 1 > a.x") == Binary(
+            BinaryOp.GT, Literal(7), AttrRef("a", "x")
+        )
+
+    def test_nested_folding(self):
+        assert opt_text("a.x > (2 + 3) * (1 + 1)") == Binary(
+            BinaryOp.GT, AttrRef("a", "x"), Literal(10)
+        )
+
+    def test_comparison_of_literals_folds(self):
+        assert opt_text("1 < 2") == Literal(True)
+        assert opt_text("2 < 1") == Literal(False)
+
+    def test_string_equality_folds(self):
+        assert opt_text("'a' == 'a'") == Literal(True)
+
+    def test_division_by_zero_not_folded(self):
+        result = opt_text("1 / 0 > 1")
+        assert not isinstance(result, Literal)
+
+    def test_negation_of_numeric_literal(self):
+        assert opt_text("a.x > -(5)") == Binary(
+            BinaryOp.GT, AttrRef("a", "x"), Literal(-5)
+        )
+
+    def test_not_of_boolean_literal(self):
+        assert opt_text("NOT TRUE") == Literal(False)
+
+    def test_foldable_functions(self):
+        assert opt_text("a.x > abs(-3)") == Binary(
+            BinaryOp.GT, AttrRef("a", "x"), Literal(3)
+        )
+        assert opt_text("a.x > min2(4, 7)").right == Literal(4)
+
+    def test_sqrt_of_negative_not_folded(self):
+        result = opt_text("a.x > sqrt(-1)")
+        assert isinstance(result.right, FuncCall)
+
+
+class TestBooleanIdentities:
+    def test_and_true_elided(self):
+        assert opt_text("a.x > 1 AND TRUE") == opt_text("a.x > 1")
+        assert opt_text("TRUE AND a.x > 1") == opt_text("a.x > 1")
+
+    def test_false_and_shortcircuits(self):
+        assert opt_text("FALSE AND a.x > 1") == Literal(False)
+
+    def test_or_false_elided(self):
+        assert opt_text("a.x > 1 OR FALSE") == opt_text("a.x > 1")
+        assert opt_text("FALSE OR a.x > 1") == opt_text("a.x > 1")
+
+    def test_true_or_shortcircuits(self):
+        assert opt_text("TRUE OR a.x > 1") == Literal(True)
+
+    def test_and_false_right_not_folded(self):
+        # p AND FALSE keeps p: p may raise, which must still happen first.
+        result = opt_text("a.x > 1 AND FALSE")
+        assert isinstance(result, Binary) and result.op is BinaryOp.AND
+
+    def test_double_not_preserved(self):
+        # NOT NOT p would silently legalise non-boolean p; must be kept.
+        result = opt_text("NOT NOT a.flag")
+        assert isinstance(result, Unary) and isinstance(result.operand, Unary)
+
+
+class TestAlgebraicIdentities:
+    def test_add_zero(self):
+        assert opt_text("a.x + 0 > 1").left == AttrRef("a", "x")
+        assert opt_text("0 + a.x > 1").left == AttrRef("a", "x")
+
+    def test_sub_zero(self):
+        assert opt_text("a.x - 0 > 1").left == AttrRef("a", "x")
+
+    def test_mul_one(self):
+        assert opt_text("a.x * 1 > 1").left == AttrRef("a", "x")
+        assert opt_text("1 * a.x > 1").left == AttrRef("a", "x")
+
+    def test_div_one(self):
+        assert opt_text("a.x / 1 > 1").left == AttrRef("a", "x")
+
+    def test_mul_zero_not_elided(self):
+        # x * 0 → 0 would hide a type error when x is a string.
+        result = opt_text("a.x * 0 > 1")
+        assert isinstance(result.left, Binary)
+
+    def test_double_negation_of_attr_preserved(self):
+        result = opt_text("-(-a.x) > 1")
+        assert isinstance(result.left, Unary)
+
+
+class TestLeavesUntouched:
+    def test_attr_refs_pass_through(self):
+        expr = AttrRef("a", "x")
+        assert optimize(expr) is expr
+
+    def test_aggregates_pass_through(self):
+        query = parse_query(
+            "PATTERN SEQ(B bs+) WHERE avg(bs.x) > 2 + 3"
+        )
+        result = optimize(query.where)
+        assert result.right == Literal(5)
+        assert result.left == query.where.left

@@ -1,0 +1,244 @@
+"""Unit tests for the CEPR-QL parser."""
+
+import pytest
+
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Direction,
+    EmitKind,
+    FuncCall,
+    Literal,
+    PrevRef,
+    SelectionStrategy,
+    Unary,
+    UnaryOp,
+    VarRef,
+    WindowKind,
+)
+from repro.language.errors import CEPRSyntaxError
+from repro.language.parser import parse_query
+
+
+def parse_expr(expr_text: str):
+    query = parse_query(f"PATTERN SEQ(A a) WHERE {expr_text}")
+    return query.where
+
+
+class TestPatternClause:
+    def test_simple_sequence(self):
+        query = parse_query("PATTERN SEQ(Buy b, Sell s)")
+        assert [(e.event_type, e.variable) for e in query.pattern] == [
+            ("Buy", "b"),
+            ("Sell", "s"),
+        ]
+
+    def test_kleene_plus(self):
+        query = parse_query("PATTERN SEQ(A a, B bs+)")
+        assert not query.pattern[0].kleene
+        assert query.pattern[1].kleene
+
+    def test_negation(self):
+        query = parse_query("PATTERN SEQ(A a, NOT C c, B b)")
+        assert query.pattern[1].negated
+        assert query.negated_elements()[0].variable == "c"
+        assert [e.variable for e in query.positive_elements()] == ["a", "b"]
+
+    def test_negated_kleene_rejected(self):
+        with pytest.raises(CEPRSyntaxError, match="cannot be Kleene"):
+            parse_query("PATTERN SEQ(A a, NOT C cs+, B b)")
+
+    def test_missing_pattern_keyword(self):
+        with pytest.raises(CEPRSyntaxError, match="expected 'PATTERN'"):
+            parse_query("SEQ(A a)")
+
+    def test_missing_variable(self):
+        with pytest.raises(CEPRSyntaxError, match="pattern variable"):
+            parse_query("PATTERN SEQ(A)")
+
+    def test_name_clause(self):
+        query = parse_query("NAME hot_pairs PATTERN SEQ(A a)")
+        assert query.name == "hot_pairs"
+
+
+class TestWindowClause:
+    def test_count_window(self):
+        query = parse_query("PATTERN SEQ(A a) WITHIN 50 EVENTS")
+        assert query.window.kind is WindowKind.COUNT and query.window.span == 50
+
+    def test_time_window_minutes(self):
+        query = parse_query("PATTERN SEQ(A a) WITHIN 10 MINUTES")
+        assert query.window.kind is WindowKind.TIME and query.window.span == 600.0
+
+    def test_time_window_seconds(self):
+        assert parse_query("PATTERN SEQ(A a) WITHIN 2 SECONDS").window.span == 2.0
+
+    def test_fractional_count_rejected(self):
+        with pytest.raises(CEPRSyntaxError, match="must be an integer"):
+            parse_query("PATTERN SEQ(A a) WITHIN 2.5 EVENTS")
+
+    def test_missing_unit(self):
+        with pytest.raises(CEPRSyntaxError, match="expected EVENTS or a time unit"):
+            parse_query("PATTERN SEQ(A a) WITHIN 50")
+
+
+class TestOtherClauses:
+    def test_strategy_aliases(self):
+        for text, expected in [
+            ("STRICT", SelectionStrategy.STRICT),
+            ("STRICT_CONTIGUITY", SelectionStrategy.STRICT),
+            ("SKIP_TILL_NEXT_MATCH", SelectionStrategy.SKIP_TILL_NEXT),
+            ("skip_till_any", SelectionStrategy.SKIP_TILL_ANY),
+        ]:
+            query = parse_query(f"PATTERN SEQ(A a) USING {text}")
+            assert query.strategy is expected
+
+    def test_unknown_strategy(self):
+        with pytest.raises(CEPRSyntaxError, match="unknown selection strategy"):
+            parse_query("PATTERN SEQ(A a) USING SOMETIMES")
+
+    def test_partition_by(self):
+        query = parse_query("PATTERN SEQ(A a) PARTITION BY symbol, region")
+        assert query.partition_by == ("symbol", "region")
+
+    def test_rank_by_directions(self):
+        query = parse_query(
+            "PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY a.x DESC, a.y ASC, a.z"
+        )
+        directions = [k.direction for k in query.rank_by]
+        assert directions == [Direction.DESC, Direction.ASC, Direction.ASC]
+
+    def test_limit(self):
+        assert parse_query("PATTERN SEQ(A a) WITHIN 5 EVENTS LIMIT 7").limit == 7
+
+    @pytest.mark.parametrize("bad", ["0", "-1", "2.5"])
+    def test_invalid_limit(self, bad):
+        with pytest.raises(CEPRSyntaxError):
+            parse_query(f"PATTERN SEQ(A a) LIMIT {bad}")
+
+    def test_emit_on_window_close(self):
+        query = parse_query("PATTERN SEQ(A a) WITHIN 5 EVENTS EMIT ON WINDOW CLOSE")
+        assert query.emit.kind is EmitKind.ON_WINDOW_CLOSE
+
+    def test_emit_eager(self):
+        assert parse_query("PATTERN SEQ(A a) EMIT EAGER").emit.kind is EmitKind.EAGER
+
+    def test_emit_every_events(self):
+        emit = parse_query("PATTERN SEQ(A a) EMIT EVERY 10 EVENTS").emit
+        assert emit.kind is EmitKind.EVERY
+        assert emit.period == 10 and emit.period_kind is WindowKind.COUNT
+
+    def test_emit_every_seconds(self):
+        emit = parse_query("PATTERN SEQ(A a) EMIT EVERY 5 SECONDS").emit
+        assert emit.period == 5.0 and emit.period_kind is WindowKind.TIME
+
+    def test_duplicate_clause_rejected(self):
+        with pytest.raises(CEPRSyntaxError, match="duplicate WHERE"):
+            parse_query("PATTERN SEQ(A a) WHERE a.x > 1 WHERE a.y > 1")
+
+    def test_clauses_in_any_order(self):
+        query = parse_query(
+            "PATTERN SEQ(A a) LIMIT 2 WITHIN 5 EVENTS RANK BY a.x WHERE a.x > 0"
+        )
+        assert query.limit == 2 and query.window is not None
+        assert query.where is not None and len(query.rank_by) == 1
+
+    def test_trailing_garbage(self):
+        with pytest.raises(CEPRSyntaxError, match="expected a clause keyword"):
+            parse_query("PATTERN SEQ(A a) bogus")
+
+
+class TestExpressions:
+    def test_attr_ref(self):
+        assert parse_expr("a.price > 1") == Binary(
+            BinaryOp.GT, AttrRef("a", "price"), Literal(1)
+        )
+
+    def test_equality_spellings(self):
+        assert parse_expr("a.x = 1") == parse_expr("a.x == 1")
+        assert parse_expr("a.x != 1") == parse_expr("a.x <> 1")
+
+    def test_arithmetic_precedence(self):
+        expr = parse_expr("a.x + a.y * 2 > 0")
+        assert isinstance(expr.left, Binary) and expr.left.op is BinaryOp.ADD
+        assert expr.left.right.op is BinaryOp.MUL
+
+    def test_parentheses_override(self):
+        expr = parse_expr("(a.x + a.y) * 2 > 0")
+        assert expr.left.op is BinaryOp.MUL
+        assert expr.left.left.op is BinaryOp.ADD
+
+    def test_boolean_precedence_and_binds_tighter(self):
+        expr = parse_expr("a.x > 1 OR a.y > 2 AND a.z > 3")
+        assert expr.op is BinaryOp.OR
+        assert expr.right.op is BinaryOp.AND
+
+    def test_not(self):
+        expr = parse_expr("NOT a.x > 1")
+        assert isinstance(expr, Unary) and expr.op is UnaryOp.NOT
+
+    def test_unary_minus(self):
+        expr = parse_expr("-a.x < 0")
+        assert isinstance(expr.left, Unary) and expr.left.op is UnaryOp.NEG
+
+    def test_string_literal(self):
+        expr = parse_expr("a.name == 'ACME'")
+        assert expr.right == Literal("ACME")
+
+    def test_boolean_literals(self):
+        assert parse_expr("TRUE") == Literal(True)
+        assert parse_expr("false") == Literal(False)
+
+    def test_aggregate_with_attr(self):
+        expr = parse_expr("avg(a.price) > 1")
+        assert expr.left == Aggregate("avg", "a", "price")
+
+    def test_count_bare_variable(self):
+        expr = parse_expr("count(a) > 1")
+        assert expr.left == Aggregate("count", "a", None)
+
+    def test_sum_requires_attr(self):
+        with pytest.raises(CEPRSyntaxError, match="expects v.attr"):
+            parse_expr("sum(a) > 1")
+
+    def test_prev(self):
+        expr = parse_expr("a.x > prev(a.x)")
+        assert expr.right == PrevRef("a", "x")
+
+    def test_prev_requires_attr_ref(self):
+        with pytest.raises(CEPRSyntaxError, match="prev"):
+            parse_expr("prev(1) > 0")
+
+    def test_duration(self):
+        assert parse_expr("duration() < 5").left == FuncCall("duration", ())
+
+    def test_timestamp_of_var(self):
+        expr = parse_expr("timestamp(a) > 0")
+        assert expr.left == FuncCall("timestamp", (VarRef("a"),))
+
+    def test_abs(self):
+        expr = parse_expr("abs(a.x - 1) > 0")
+        assert isinstance(expr.left, FuncCall) and expr.left.name == "abs"
+
+    def test_min2(self):
+        expr = parse_expr("min2(a.x, a.y) > 0")
+        assert expr.left.name == "min2" and len(expr.left.args) == 2
+
+    def test_wrong_arity(self):
+        with pytest.raises(CEPRSyntaxError, match="takes 1 argument"):
+            parse_expr("abs(a.x, a.y) > 0")
+
+    def test_unknown_function(self):
+        with pytest.raises(CEPRSyntaxError, match="unknown function"):
+            parse_expr("frobnicate(a.x) > 0")
+
+    def test_modulo(self):
+        expr = parse_expr("a.x % 2 == 0")
+        assert expr.left.op is BinaryOp.MOD
+
+    def test_left_associativity_of_subtraction(self):
+        expr = parse_expr("a.x - a.y - a.z > 0")
+        # (a.x - a.y) - a.z
+        assert expr.left.left.op is BinaryOp.SUB

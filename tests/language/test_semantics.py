@@ -1,0 +1,263 @@
+"""Unit tests for semantic analysis: predicate decomposition and validation."""
+
+import pytest
+
+from repro.events.schema import EventSchema, SchemaRegistry
+from repro.language.ast_nodes import Direction, EmitKind, SelectionStrategy
+from repro.language.errors import CEPRSemanticError
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+
+
+def analyze_text(text, registry=None):
+    return analyze(parse_query(text), registry)
+
+
+class TestVariableResolution:
+    def test_positions(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B bs+, C c)")
+        assert [v.name for v in analyzed.positives] == ["a", "bs", "c"]
+        assert analyzed.variables["bs"].is_kleene
+        assert analyzed.variables["c"].position == 2
+
+    def test_duplicate_variable(self):
+        with pytest.raises(CEPRSemanticError, match="duplicate pattern variable"):
+            analyze_text("PATTERN SEQ(A x, B x)")
+
+    def test_leading_negation_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="must follow at least one"):
+            analyze_text("PATTERN SEQ(NOT C c, A a)")
+
+    def test_all_negative_pattern_rejected(self):
+        with pytest.raises(CEPRSemanticError):
+            analyze_text("PATTERN SEQ(NOT C c)")
+
+    def test_internal_negation_positions(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, NOT C c, B b)")
+        negation = analyzed.negations[0]
+        assert negation.after == 0 and negation.before == 1
+        assert not negation.before_is_end
+
+    def test_trailing_negation_requires_window(self):
+        with pytest.raises(CEPRSemanticError, match="requires a WITHIN window"):
+            analyze_text("PATTERN SEQ(A a, NOT C c)")
+
+    def test_trailing_negation_with_window(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, NOT C c) WITHIN 10 EVENTS")
+        assert analyzed.negations[0].before_is_end
+
+    def test_relevant_types_include_negations(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, NOT C c, B b)")
+        assert analyzed.relevant_types == {"A", "B", "C"}
+
+
+class TestPredicateDecomposition:
+    def test_single_var_predicate_anchored_at_var(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B b) WHERE a.x > 1")
+        assert len(analyzed.predicates_at["a"]) == 1
+        assert not analyzed.predicates_at["b"]
+
+    def test_cross_var_predicate_anchored_at_latest(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B b) WHERE a.x < b.x")
+        assert len(analyzed.predicates_at["b"]) == 1
+
+    def test_conjuncts_split(self):
+        analyzed = analyze_text(
+            "PATTERN SEQ(A a, B b) WHERE a.x > 1 AND b.x > 2 AND a.x < b.x"
+        )
+        assert len(analyzed.predicates_at["a"]) == 1
+        assert len(analyzed.predicates_at["b"]) == 2
+
+    def test_disjunction_not_split(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B b) WHERE a.x > 1 OR b.x > 2")
+        assert len(analyzed.predicates_at["b"]) == 1
+        assert not analyzed.predicates_at["a"]
+
+    def test_kleene_attr_ref_is_incremental(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B bs+) WHERE bs.x > a.x")
+        specs = analyzed.predicates_at["bs"]
+        assert len(specs) == 1 and specs[0].incremental
+
+    def test_prev_is_incremental(self):
+        analyzed = analyze_text("PATTERN SEQ(B bs+) WHERE bs.x > prev(bs.x)")
+        assert analyzed.predicates_at["bs"][0].incremental
+
+    def test_incremental_forward_reference_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="references later variable"):
+            analyze_text("PATTERN SEQ(A as+, B b) WHERE as.x < b.x")
+
+    def test_two_kleene_per_element_refs_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="at most one Kleene"):
+            analyze_text("PATTERN SEQ(A as+, B bs+) WHERE as.x < bs.x")
+
+    def test_aggregate_of_kleene_anchored_at_next_var(self):
+        analyzed = analyze_text("PATTERN SEQ(A as+, B b) WHERE avg(as.x) < b.x")
+        assert len(analyzed.predicates_at["b"]) == 1
+        assert not analyzed.predicates_at["b"][0].incremental
+
+    def test_aggregate_of_trailing_kleene_is_completion_predicate(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B bs+) WHERE avg(bs.x) > 1")
+        assert len(analyzed.completion_predicates) == 1
+
+    def test_vacuous_constant_predicate_folded_away(self):
+        analyzed = analyze_text("PATTERN SEQ(A a) WHERE 1 < 2")
+        assert analyzed.completion_predicates == []
+        assert not analyzed.predicates_at["a"]
+
+    def test_false_constant_predicate_kept_as_completion(self):
+        analyzed = analyze_text("PATTERN SEQ(A a) WHERE 1 > 2")
+        assert len(analyzed.completion_predicates) == 1
+
+    def test_unfoldable_constant_is_completion(self):
+        # 1/0 cannot fold (it would raise); it stays, deferred to runtime.
+        analyzed = analyze_text("PATTERN SEQ(A a) WHERE 1 / 0 > 1")
+        assert len(analyzed.completion_predicates) == 1
+
+    def test_duration_anchored_at_last_singleton(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B b) WHERE duration() < 5")
+        assert len(analyzed.predicates_at["b"]) == 1
+
+    def test_duration_with_trailing_kleene_is_completion(self):
+        analyzed = analyze_text("PATTERN SEQ(A a, B bs+) WHERE duration() < 5")
+        assert len(analyzed.completion_predicates) == 1
+
+    def test_unknown_variable_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="unknown pattern variable"):
+            analyze_text("PATTERN SEQ(A a) WHERE zz.x > 1")
+
+    def test_prev_on_non_kleene_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="is not a Kleene variable"):
+            analyze_text("PATTERN SEQ(A a, B b) WHERE b.x > prev(a.x)")
+
+    def test_timestamp_of_kleene_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="ambiguous"):
+            analyze_text("PATTERN SEQ(A as+, B b) WHERE timestamp(as) < 5")
+
+
+class TestNegationPredicates:
+    def test_negation_predicate_attached_to_spec(self):
+        analyzed = analyze_text(
+            "PATTERN SEQ(A a, NOT C c, B b) WHERE c.x > a.x"
+        )
+        assert len(analyzed.negations[0].predicates) == 1
+        assert not analyzed.predicates_at["a"]
+
+    def test_negation_predicate_forward_reference_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="guard interval opens"):
+            analyze_text("PATTERN SEQ(A a, NOT C c, B b) WHERE c.x > b.x")
+
+    def test_two_negated_vars_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="at most one negated"):
+            analyze_text(
+                "PATTERN SEQ(A a, NOT C c, B b, NOT D d) "
+                "WITHIN 5 EVENTS WHERE c.x > d.x"
+            )
+
+    def test_duration_with_negated_var_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="duration"):
+            analyze_text(
+                "PATTERN SEQ(A a, NOT C c, B b) WHERE c.x > duration()"
+            )
+
+    def test_aggregate_over_negated_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="negated variable"):
+            analyze_text("PATTERN SEQ(A a, NOT C c, B b) WHERE avg(c.x) > 1")
+
+    def test_kleene_mixed_with_negation_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="cannot mix"):
+            analyze_text(
+                "PATTERN SEQ(A as+, NOT C c, B b) WHERE as.x > c.x"
+            )
+
+
+class TestRankKeys:
+    def test_compiled_keys_and_directions(self):
+        analyzed = analyze_text(
+            "PATTERN SEQ(A a, B b) WITHIN 5 EVENTS RANK BY b.x - a.x DESC, a.x ASC"
+        )
+        assert [k.direction for k in analyzed.rank_keys] == [
+            Direction.DESC,
+            Direction.ASC,
+        ]
+        assert analyzed.is_ranked
+
+    def test_rank_requires_window(self):
+        with pytest.raises(CEPRSemanticError, match="RANK BY requires a WITHIN"):
+            analyze_text("PATTERN SEQ(A a) RANK BY a.x")
+
+    def test_rank_on_negated_var_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="negated variable"):
+            analyze_text(
+                "PATTERN SEQ(A a, NOT C c, B b) WITHIN 5 EVENTS RANK BY c.x"
+            )
+
+    def test_rank_on_kleene_attr_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="through an aggregate"):
+            analyze_text("PATTERN SEQ(A as+) WITHIN 5 EVENTS RANK BY as.x")
+
+    def test_rank_on_kleene_aggregate_allowed(self):
+        analyzed = analyze_text(
+            "PATTERN SEQ(A as+) WITHIN 5 EVENTS RANK BY avg(as.x) DESC"
+        )
+        assert analyzed.is_ranked
+
+    def test_prev_in_rank_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="prev"):
+            analyze_text("PATTERN SEQ(A as+) WITHIN 5 EVENTS RANK BY prev(as.x)")
+
+    def test_unknown_var_in_rank_rejected(self):
+        with pytest.raises(CEPRSemanticError, match="unknown pattern variable"):
+            analyze_text("PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY zz.x")
+
+
+class TestDefaultsAndClauseInteractions:
+    def test_default_strategy(self):
+        analyzed = analyze_text("PATTERN SEQ(A a)")
+        assert analyzed.strategy is SelectionStrategy.SKIP_TILL_NEXT
+
+    def test_explicit_strategy_kept(self):
+        analyzed = analyze_text("PATTERN SEQ(A a) USING STRICT")
+        assert analyzed.strategy is SelectionStrategy.STRICT
+
+    def test_ranked_default_emit_is_window_close(self):
+        analyzed = analyze_text("PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY a.x")
+        assert analyzed.emit.kind is EmitKind.ON_WINDOW_CLOSE
+
+    def test_unranked_default_emit_is_eager(self):
+        analyzed = analyze_text("PATTERN SEQ(A a)")
+        assert analyzed.emit.kind is EmitKind.EAGER
+
+    def test_window_close_requires_window(self):
+        with pytest.raises(CEPRSemanticError, match="EMIT ON WINDOW CLOSE requires"):
+            analyze_text("PATTERN SEQ(A a) EMIT ON WINDOW CLOSE")
+
+    def test_limit_without_rank_requires_window(self):
+        with pytest.raises(CEPRSemanticError, match="LIMIT requires"):
+            analyze_text("PATTERN SEQ(A a) LIMIT 3")
+
+    def test_limit_with_window_but_no_rank_allowed(self):
+        analyzed = analyze_text("PATTERN SEQ(A a) WITHIN 5 EVENTS LIMIT 3")
+        assert analyzed.limit == 3 and not analyzed.is_ranked
+
+    def test_name_propagates(self):
+        assert analyze_text("NAME q PATTERN SEQ(A a)").name == "q"
+
+
+class TestSchemaChecks:
+    def test_partition_attr_must_exist_on_all_types(self):
+        registry = SchemaRegistry(
+            [EventSchema.build("A", sym="str"), EventSchema.build("B", other="str")]
+        )
+        with pytest.raises(CEPRSemanticError, match="PARTITION BY attribute"):
+            analyze_text("PATTERN SEQ(A a, B b) PARTITION BY sym", registry)
+
+    def test_partition_ok_when_declared_everywhere(self):
+        registry = SchemaRegistry(
+            [EventSchema.build("A", sym="str"), EventSchema.build("B", sym="str")]
+        )
+        analyzed = analyze_text("PATTERN SEQ(A a, B b) PARTITION BY sym", registry)
+        assert analyzed.partition_by == ("sym",)
+
+    def test_unknown_event_types_pass_without_schema(self):
+        registry = SchemaRegistry([EventSchema.build("A", sym="str")])
+        analyze_text("PATTERN SEQ(A a, Z z) PARTITION BY sym", registry)

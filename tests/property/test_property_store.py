@@ -1,0 +1,69 @@
+"""Property tests for the event log: slicing is exactly list filtering."""
+
+import tempfile
+from pathlib import Path
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.events.event import Event
+from repro.store.log import EventLog
+
+records = st.lists(
+    st.tuples(
+        st.sampled_from(["A", "B", "C"]),
+        st.integers(min_value=0, max_value=5),  # ts gap
+        st.integers(min_value=0, max_value=100),
+    ),
+    max_size=60,
+)
+
+
+def build(specs):
+    events, ts = [], 0.0
+    for event_type, gap, value in specs:
+        ts += gap
+        events.append(Event(event_type, ts, v=value))
+    return events
+
+
+class TestScanEquivalence:
+    @given(
+        records,
+        st.integers(min_value=1, max_value=7),  # index stride
+        st.floats(min_value=-10, max_value=310, allow_nan=False),
+        st.floats(min_value=-10, max_value=310, allow_nan=False),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_range_scan_equals_filter(self, specs, stride, a, b):
+        start, end = min(a, b), max(a, b)
+        events = build(specs)
+        with tempfile.TemporaryDirectory() as tmp:
+            log = EventLog(Path(tmp) / "events.log", index_stride=stride)
+            log.append_all(events)
+            expected = [e for e in events if start <= e.timestamp < end]
+            assert list(log.scan(start_ts=start, end_ts=end)) == expected
+            log.close()
+
+    @given(records, st.sampled_from([["A"], ["A", "B"], ["C"]]))
+    @settings(max_examples=100, deadline=None)
+    def test_type_filter_equals_filter(self, specs, types):
+        events = build(specs)
+        with tempfile.TemporaryDirectory() as tmp:
+            log = EventLog(Path(tmp) / "events.log")
+            log.append_all(events)
+            expected = [e for e in events if e.event_type in set(types)]
+            assert list(log.scan(types=types)) == expected
+            log.close()
+
+    @given(records, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_reopen_preserves_content(self, specs, stride):
+        events = build(specs)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "events.log"
+            with EventLog(path, index_stride=stride) as log:
+                log.append_all(events)
+            reopened = EventLog(path, index_stride=stride)
+            assert list(reopened.scan()) == events
+            assert len(reopened) == len(events)

@@ -1,0 +1,131 @@
+"""Emission-policy edge cases across features."""
+
+from repro import CEPREngine, EmissionKind, Event
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestTumblingWithTrailingNegation:
+    QUERY = """
+        PATTERN SEQ(A a, B b, NOT C c)
+        WITHIN 4 EVENTS
+        RANK BY b.x - a.x DESC
+        LIMIT 2
+        EMIT ON WINDOW CLOSE
+    """
+
+    def test_pending_confirmed_at_boundary_competes_in_its_epoch(self):
+        engine = CEPREngine()
+        handle = engine.register_query(self.QUERY)
+        engine.run(
+            [
+                E("A", 1, x=0),
+                E("B", 2, x=5),
+                E("Z", 3),
+                E("Z", 4),
+                E("A", 5, x=0),  # epoch 1 event confirms the pending
+                E("B", 6, x=1),
+            ]
+        )
+        emissions = handle.results()
+        epochs = {e.epoch: [m.rank_values[0] for m in e.ranking] for e in emissions}
+        assert epochs[0] == [5]
+        assert epochs[1] == [1]
+
+    def test_violated_pending_never_ranks(self):
+        engine = CEPREngine()
+        handle = engine.register_query(self.QUERY)
+        engine.run(
+            [E("A", 1, x=0), E("B", 2, x=5), E("C", 3), E("A", 5, x=0)]
+        )
+        assert all(not e.ranking for e in handle.results())
+
+
+class TestFinalEmissions:
+    def test_sliding_final_snapshot_kind(self):
+        engine = CEPREngine()
+        handle = engine.register_query(
+            "PATTERN SEQ(A a) WITHIN 100 EVENTS RANK BY a.x DESC "
+            "EMIT EVERY 50 EVENTS"
+        )
+        engine.run([E("A", 1, x=1)])
+        kinds = [e.kind for e in handle.results()]
+        assert kinds == [EmissionKind.FINAL]
+
+    def test_eager_final_snapshot_not_duplicated(self):
+        engine = CEPREngine()
+        handle = engine.register_query(
+            "PATTERN SEQ(A a) WITHIN 100 EVENTS RANK BY a.x DESC LIMIT 1 "
+            "EMIT EAGER"
+        )
+        engine.run([E("A", 1, x=1)])
+        # one eager snapshot when the match arrived + one final snapshot
+        kinds = [e.kind for e in handle.results()]
+        assert kinds == [EmissionKind.EAGER, EmissionKind.FINAL]
+
+    def test_periodic_boundary_exact(self):
+        engine = CEPREngine()
+        handle = engine.register_query(
+            "PATTERN SEQ(A a) WITHIN 100 EVENTS RANK BY a.x DESC "
+            "EMIT EVERY 3 EVENTS"
+        )
+        engine.run([E("A", float(i), x=i) for i in range(6)])
+        periodic = [
+            e for e in handle.results() if e.kind is EmissionKind.PERIODIC
+        ]
+        assert [e.at_seq for e in periodic] == [2, 5]
+
+
+class TestRevisionsAndDeltas:
+    def test_exit_by_expiry_reported(self):
+        engine = CEPREngine()
+        handle = engine.register_query(
+            "PATTERN SEQ(A a) WITHIN 3 EVENTS RANK BY a.x DESC LIMIT 1 "
+            "EMIT EAGER"
+        )
+        engine.push(E("A", 1, x=100))
+        engine.push(E("Z", 2))
+        engine.push(E("Z", 3))
+        emissions = engine.push(E("A", 4, x=1))  # x=100 expired
+        [emission] = emissions
+        assert [m.rank_values[0] for m in emission.entered] == [1]
+        assert [m.rank_values[0] for m in emission.exited] == [100]
+
+    def test_snapshot_empty_after_total_expiry(self):
+        engine = CEPREngine()
+        handle = engine.register_query(
+            "PATTERN SEQ(A a) WHERE a.x > 0 WITHIN 2 EVENTS "
+            "RANK BY a.x DESC EMIT EAGER"
+        )
+        engine.push(E("A", 1, x=7))
+        # routed (type A) but non-matching fillers advance the query's view
+        engine.push(E("A", 2, x=0))
+        emissions = engine.push(E("A", 3, x=0))
+        # the only match expired: eager emits the (now empty) snapshot
+        assert len(emissions) == 1
+        assert emissions[0].ranking == []
+
+
+class TestMonitorExtras:
+    def test_pending_and_derived_shown(self):
+        from repro import Monitor
+
+        engine = CEPREngine()
+        engine.register_query(
+            "PATTERN SEQ(A a, B b, NOT C c) WITHIN 10 EVENTS YIELD D(x = a.v)"
+        )
+        engine.push(E("A", 1.0, v=1.0))
+        engine.push(E("B", 2.0))
+        text = Monitor(engine).render()
+        assert "pending=1" in text
+        assert "derived_type=D" in text
+
+    def test_eval_errors_shown(self):
+        from repro import Monitor
+
+        engine = CEPREngine(lenient_errors=True)
+        engine.register_query("PATTERN SEQ(A a) WHERE a.v > 1")
+        engine.push(E("A", 1.0))  # missing v
+        assert "eval_errors=1" in Monitor(engine).render()

@@ -1,0 +1,66 @@
+"""Unit tests for normalised ranking keys."""
+
+import pytest
+
+from repro.language.ast_nodes import Direction
+from repro.language.errors import EvaluationError
+from repro.ranking.keys import ReversedStr, normalise_bound, normalise_component
+
+
+class TestNormaliseComponent:
+    def test_numeric_asc_unchanged(self):
+        assert normalise_component(3.5, Direction.ASC) == 3.5
+
+    def test_numeric_desc_negated(self):
+        assert normalise_component(3.5, Direction.DESC) == -3.5
+
+    def test_bool_treated_as_int(self):
+        assert normalise_component(True, Direction.ASC) == 1
+        assert normalise_component(True, Direction.DESC) == -1
+
+    def test_string_asc_unchanged(self):
+        assert normalise_component("abc", Direction.ASC) == "abc"
+
+    def test_string_desc_wrapped(self):
+        wrapped = normalise_component("abc", Direction.DESC)
+        assert isinstance(wrapped, ReversedStr)
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(EvaluationError, match="numbers or strings"):
+            normalise_component([1], Direction.ASC)
+
+    def test_desc_ordering_property(self):
+        # smaller normalised = better; DESC means big raw values are better
+        assert normalise_component(10, Direction.DESC) < normalise_component(
+            5, Direction.DESC
+        )
+
+
+class TestReversedStr:
+    def test_comparison_is_reversed(self):
+        assert ReversedStr("b") < ReversedStr("a")
+        assert not ReversedStr("a") < ReversedStr("b")
+
+    def test_equality_and_hash(self):
+        assert ReversedStr("x") == ReversedStr("x")
+        assert hash(ReversedStr("x")) == hash(ReversedStr("x"))
+        assert ReversedStr("x") != ReversedStr("y")
+
+    def test_not_comparable_to_plain_str(self):
+        with pytest.raises(TypeError):
+            ReversedStr("x") < "y"
+
+    def test_sorting_reverses_lexicographic(self):
+        values = [ReversedStr(s) for s in ["b", "a", "c"]]
+        assert [v.value for v in sorted(values)] == ["c", "b", "a"]
+
+    def test_repr(self):
+        assert "abc" in repr(ReversedStr("abc"))
+
+
+class TestNormaliseBound:
+    def test_asc_keeps_value(self):
+        assert normalise_bound(2.0, Direction.ASC) == 2.0
+
+    def test_desc_negates(self):
+        assert normalise_bound(2.0, Direction.DESC) == -2.0

@@ -1,0 +1,146 @@
+"""Unit tests for the Scorer and Emission helpers."""
+
+import pytest
+
+from repro.engine.match import Match
+from repro.events.event import Event
+from repro.language.errors import EvaluationError
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+from repro.ranking.emission import Emission, EmissionKind, snapshot_delta
+from repro.ranking.score import Scorer
+
+
+def make_scorer(text):
+    return Scorer(analyze(parse_query(text)).rank_keys)
+
+
+def make_match(**bindings):
+    events = [b for b in bindings.values()]
+    return Match(
+        bindings=bindings,
+        first_seq=0,
+        last_seq=len(events) - 1,
+        first_ts=min(e.timestamp for e in events),
+        last_ts=max(e.timestamp for e in events),
+        detection_index=0,
+    )
+
+
+class TestScorer:
+    def test_fills_raw_and_normalised(self):
+        scorer = make_scorer(
+            "PATTERN SEQ(A a, B b) WITHIN 5 EVENTS RANK BY b.x - a.x DESC, a.x ASC"
+        )
+        match = make_match(a=Event("A", 1, x=2.0), b=Event("B", 2, x=10.0))
+        scorer.score(match)
+        assert match.rank_values == (8.0, 2.0)
+        assert match.score == (-8.0, 2.0)
+
+    def test_unranked_scorer_sets_empty_score(self):
+        scorer = Scorer(())
+        match = make_match(a=Event("A", 1, x=1))
+        scorer.score(match)
+        assert match.score == () and match.rank_values == ()
+        assert not scorer.is_ranked
+
+    def test_duration_in_rank(self):
+        scorer = make_scorer(
+            "PATTERN SEQ(A a, B b) WITHIN 5 SECONDS RANK BY duration() ASC"
+        )
+        match = make_match(a=Event("A", 1.0), b=Event("B", 3.5))
+        scorer.score(match)
+        assert match.rank_values == (2.5,)
+
+    def test_kleene_aggregate_in_rank(self):
+        scorer = make_scorer(
+            "PATTERN SEQ(B bs+) WITHIN 5 EVENTS RANK BY avg(bs.x) DESC"
+        )
+        match = Match(
+            bindings={"bs": (Event("B", 1, x=2.0), Event("B", 2, x=4.0))},
+            first_seq=0,
+            last_seq=1,
+            first_ts=1.0,
+            last_ts=2.0,
+        )
+        scorer.score(match)
+        assert match.rank_values == (3.0,)
+
+    def test_scoring_error_is_wrapped(self):
+        scorer = make_scorer("PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY a.x DESC")
+        match = make_match(a=Event("A", 1))  # x missing
+        with pytest.raises(EvaluationError, match="RANK BY key"):
+            scorer.score(match)
+
+    def test_sort_key_includes_detection_tiebreak(self):
+        scorer = make_scorer("PATTERN SEQ(A a) WITHIN 5 EVENTS RANK BY a.x ASC")
+        first = make_match(a=Event("A", 1, x=1.0))
+        second = make_match(a=Event("A", 2, x=1.0))
+        second.detection_index = 1
+        scorer.score(first)
+        scorer.score(second)
+        assert first.sort_key() < second.sort_key()
+
+
+class TestMatchHelpers:
+    def test_events_iteration_and_size(self):
+        match = Match(
+            bindings={
+                "a": Event("A", 1),
+                "bs": (Event("B", 2), Event("B", 3)),
+            },
+            first_seq=0,
+            last_seq=2,
+            first_ts=1.0,
+            last_ts=3.0,
+        )
+        assert match.size == 3
+        assert len(list(match.events())) == 3
+        assert match.duration == 2.0
+
+    def test_describe_mentions_bindings_and_score(self):
+        match = make_match(a=Event("A", 1))
+        match.rank_values = (4.5,)
+        text = match.describe()
+        assert "a=A@1" in text and "4.5" in text
+
+    def test_getitem(self):
+        event = Event("A", 1)
+        match = make_match(a=event)
+        assert match["a"] is event
+
+
+class TestSnapshotDelta:
+    def matches(self, *indexes):
+        out = []
+        for index in indexes:
+            match = make_match(a=Event("A", 1))
+            match.detection_index = index
+            out.append(match)
+        return out
+
+    def test_entered_and_exited(self):
+        prev = self.matches(1, 2)
+        cur = self.matches(2, 3)
+        entered, exited = snapshot_delta(prev, cur)
+        assert [m.detection_index for m in entered] == [3]
+        assert [m.detection_index for m in exited] == [1]
+
+    def test_no_change(self):
+        prev = self.matches(1)
+        entered, exited = snapshot_delta(prev, prev)
+        assert entered == [] and exited == []
+
+    def test_emission_describe_and_top(self):
+        match = make_match(a=Event("A", 1))
+        emission = Emission(
+            kind=EmissionKind.WINDOW_CLOSE,
+            ranking=[match],
+            at_seq=5,
+            at_ts=2.0,
+            epoch=0,
+        )
+        assert emission.top is match
+        assert "#1" in emission.describe()
+        empty = Emission(EmissionKind.EAGER, [], 0, 0.0)
+        assert empty.top is None

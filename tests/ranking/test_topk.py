@@ -1,0 +1,122 @@
+"""Unit tests for the top-k containers."""
+
+from repro.engine.match import Match
+from repro.language.ast_nodes import WindowKind, WindowSpec
+from repro.ranking.topk import EpochTopK, SlidingRanking
+
+
+def make_match(score, index, last_seq=0, last_ts=0.0):
+    return Match(
+        bindings={},
+        first_seq=last_seq,
+        last_seq=last_seq,
+        first_ts=last_ts,
+        last_ts=last_ts,
+        detection_index=index,
+        score=(score,),
+    )
+
+
+class TestEpochTopK:
+    def test_keeps_best_k(self):
+        topk = EpochTopK(2)
+        for i, score in enumerate([5.0, 1.0, 3.0, 0.5]):
+            topk.insert(make_match(score, i))
+        assert [m.score[0] for m in topk.ranking()] == [0.5, 1.0]
+
+    def test_insert_returns_retention(self):
+        topk = EpochTopK(1)
+        assert topk.insert(make_match(5.0, 0)) is True
+        assert topk.insert(make_match(9.0, 1)) is False
+        assert topk.insert(make_match(1.0, 2)) is True
+
+    def test_unbounded_when_k_none(self):
+        topk = EpochTopK(None)
+        for i in range(10):
+            topk.insert(make_match(float(-i), i))
+        assert len(topk) == 10
+        assert topk.kth_key() is None
+        assert not topk.is_full
+
+    def test_kth_key_only_when_full(self):
+        topk = EpochTopK(2)
+        topk.insert(make_match(1.0, 0))
+        assert topk.kth_key() is None
+        topk.insert(make_match(2.0, 1))
+        assert topk.kth_key() == (2.0, 1)
+
+    def test_discarded_counter(self):
+        topk = EpochTopK(1)
+        topk.insert(make_match(1.0, 0))
+        topk.insert(make_match(2.0, 1))  # rejected
+        topk.insert(make_match(0.5, 2))  # evicts
+        assert topk.discarded == 2
+
+    def test_ties_break_by_detection_order(self):
+        topk = EpochTopK(1)
+        topk.insert(make_match(1.0, 5))
+        topk.insert(make_match(1.0, 2))
+        assert topk.ranking()[0].detection_index == 2
+
+    def test_ranking_is_sorted(self):
+        topk = EpochTopK(5)
+        for i, score in enumerate([3.0, 1.0, 2.0]):
+            topk.insert(make_match(score, i))
+        assert [m.score[0] for m in topk.ranking()] == [1.0, 2.0, 3.0]
+
+    def test_iteration(self):
+        topk = EpochTopK(3)
+        topk.insert(make_match(1.0, 0))
+        assert len(list(topk)) == 1
+
+
+class TestSlidingRanking:
+    def window(self, span=5, kind=WindowKind.COUNT):
+        return WindowSpec(kind, span)
+
+    def test_ranking_orders_live_matches(self):
+        sliding = SlidingRanking(2, self.window())
+        for i, score in enumerate([3.0, 1.0, 2.0]):
+            sliding.insert(make_match(score, i))
+        assert [m.score[0] for m in sliding.ranking()] == [1.0, 2.0]
+
+    def test_k_none_returns_all_sorted(self):
+        sliding = SlidingRanking(None, self.window())
+        for i, score in enumerate([3.0, 1.0]):
+            sliding.insert(make_match(score, i))
+        assert [m.score[0] for m in sliding.ranking()] == [1.0, 3.0]
+
+    def test_count_expiry(self):
+        sliding = SlidingRanking(10, self.window(span=3))
+        sliding.insert(make_match(1.0, 0, last_seq=0))
+        sliding.insert(make_match(2.0, 1, last_seq=2))
+        dropped = sliding.expire(now_seq=3, now_ts=0.0)
+        assert dropped == 1 and len(sliding) == 1
+        assert sliding.expired == 1
+
+    def test_time_expiry(self):
+        sliding = SlidingRanking(10, self.window(span=5.0, kind=WindowKind.TIME))
+        sliding.insert(make_match(1.0, 0, last_ts=0.0))
+        sliding.insert(make_match(2.0, 1, last_ts=4.0))
+        dropped = sliding.expire(now_seq=0, now_ts=6.0)
+        assert dropped == 1
+
+    def test_expiry_promotes_dominated_match(self):
+        sliding = SlidingRanking(1, self.window(span=3))
+        sliding.insert(make_match(1.0, 0, last_seq=0))  # best but old
+        sliding.insert(make_match(2.0, 1, last_seq=2))
+        assert sliding.ranking()[0].score[0] == 1.0
+        sliding.expire(now_seq=3, now_ts=0.0)
+        assert sliding.ranking()[0].score[0] == 2.0
+
+    def test_no_window_never_expires(self):
+        sliding = SlidingRanking(1, None)
+        sliding.insert(make_match(1.0, 0))
+        assert sliding.expire(10_000, 10_000.0) == 0
+
+    def test_expire_all(self):
+        sliding = SlidingRanking(1, self.window(span=1))
+        sliding.insert(make_match(1.0, 0, last_seq=0))
+        sliding.insert(make_match(1.5, 1, last_seq=0))
+        assert sliding.expire(now_seq=5, now_ts=0.0) == 2
+        assert sliding.ranking() == []

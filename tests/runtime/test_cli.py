@@ -1,0 +1,152 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+QUERY = """
+PATTERN SEQ(Buy b, Sell s)
+WHERE b.symbol == s.symbol AND s.price > b.price
+WITHIN 20 EVENTS
+USING SKIP_TILL_ANY
+RANK BY s.price - b.price DESC
+LIMIT 2
+EMIT ON WINDOW CLOSE
+"""
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "trades.ceprql"
+    path.write_text(QUERY)
+    return path
+
+
+@pytest.fixture
+def events_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    rows = [
+        {"type": "Buy", "timestamp": 1.0, "symbol": "X", "price": 10.0},
+        {"type": "Sell", "timestamp": 2.0, "symbol": "X", "price": 15.0},
+        {"type": "Sell", "timestamp": 3.0, "symbol": "X", "price": 12.0},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    return path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestValidate:
+    def test_valid_query_prints_plan(self, query_file):
+        code, output = run_cli("validate", str(query_file))
+        assert code == 0
+        assert "evaluation plan:" in output
+        assert "rank by: s.price - b.price DESC" in output
+        assert "1 query file(s) valid" in output
+
+    def test_invalid_query_fails(self, tmp_path):
+        bad = tmp_path / "bad.ceprql"
+        bad.write_text("PATTERN SEQ(")
+        code, output = run_cli("validate", str(bad))
+        assert code == 1
+        assert "error:" in output
+
+    def test_missing_file_fails(self, tmp_path):
+        code, output = run_cli("validate", str(tmp_path / "nope.ceprql"))
+        assert code == 1 and "error:" in output
+
+
+class TestRun:
+    def test_text_output(self, query_file, events_file):
+        code, output = run_cli(
+            "run", str(query_file), "--events", str(events_file)
+        )
+        assert code == 0
+        assert "[trades]" in output
+        assert "#1" in output
+        assert "score=(5)" in output
+
+    def test_jsonl_output_is_parseable(self, query_file, events_file):
+        code, output = run_cli(
+            "run", str(query_file), "--events", str(events_file), "--output", "jsonl"
+        )
+        assert code == 0
+        records = [json.loads(line) for line in output.strip().splitlines()]
+        assert records
+        top = records[-1]["ranking"][0]
+        assert top["query"] == "trades"
+        assert top["rank_values"] == [5.0]
+        assert top["bindings"]["b"]["symbol"] == "X"
+
+    def test_stats_flag(self, query_file, events_file):
+        code, output = run_cli(
+            "run", str(query_file), "--events", str(events_file), "--stats"
+        )
+        assert code == 0
+        assert "-- statistics --" in output
+        assert "matches=2" in output
+
+    def test_no_results_message(self, query_file, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, output = run_cli("run", str(query_file), "--events", str(empty))
+        assert code == 0
+        assert "(no results)" in output
+
+    def test_csv_events(self, query_file, tmp_path):
+        csv_path = tmp_path / "events.csv"
+        csv_path.write_text(
+            "type,timestamp,symbol,price\n"
+            "Buy,1.0,X,10.0\nSell,2.0,X,15.0\n"
+        )
+        code, output = run_cli("run", str(query_file), "--events", str(csv_path))
+        assert code == 0 and "#1" in output
+
+    def test_unsupported_event_format(self, query_file, tmp_path):
+        bad = tmp_path / "events.parquet"
+        bad.write_text("")
+        code, output = run_cli("run", str(query_file), "--events", str(bad))
+        assert code == 1 and "unsupported event file" in output
+
+    def test_multiple_query_files(self, query_file, events_file, tmp_path):
+        second = tmp_path / "all_sells.ceprql"
+        second.write_text("PATTERN SEQ(Sell s)")
+        code, output = run_cli(
+            "run", str(query_file), str(second), "--events", str(events_file)
+        )
+        assert code == 0
+        assert "[all_sells]" in output and "[trades]" in output
+
+    def test_no_pruning_flag(self, query_file, events_file):
+        code, _ = run_cli(
+            "run", str(query_file), "--events", str(events_file), "--no-pruning"
+        )
+        assert code == 0
+
+
+class TestDemo:
+    @pytest.mark.parametrize("workload", ["stock", "vitals", "traffic", "generic"])
+    def test_generates_jsonl(self, tmp_path, workload):
+        out_path = tmp_path / "events.jsonl"
+        code, output = run_cli(
+            "demo", workload, "--events", "50", "--seed", "3", "--out", str(out_path)
+        )
+        assert code == 0
+        assert "wrote 50" in output
+        assert len(out_path.read_text().strip().splitlines()) == 50
+
+    def test_demo_then_run_round_trip(self, tmp_path, query_file):
+        out_path = tmp_path / "stock.jsonl"
+        run_cli("demo", "stock", "--events", "500", "--out", str(out_path))
+        code, output = run_cli(
+            "run", str(query_file), "--events", str(out_path), "--stats"
+        )
+        assert code == 0
+        assert "-- statistics --" in output

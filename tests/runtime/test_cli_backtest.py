@@ -1,0 +1,89 @@
+"""CLI backtest subcommand tests."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+QUERY = """
+PATTERN SEQ(Buy b, Sell s)
+WHERE b.symbol == s.symbol AND s.price > b.price
+WITHIN 20 EVENTS
+RANK BY s.price - b.price DESC
+LIMIT 2
+EMIT ON WINDOW CLOSE
+"""
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "trades.ceprql"
+    path.write_text(QUERY)
+    return path
+
+
+@pytest.fixture
+def log_file(tmp_path):
+    path = tmp_path / "events.jsonl"
+    rows = [
+        {"type": "Buy", "timestamp": 1.0, "symbol": "X", "price": 10.0},
+        {"type": "Sell", "timestamp": 2.0, "symbol": "X", "price": 15.0},
+        {"type": "Buy", "timestamp": 10.0, "symbol": "X", "price": 10.0},
+        {"type": "Sell", "timestamp": 11.0, "symbol": "X", "price": 20.0},
+    ]
+    path.write_text("\n".join(json.dumps(r) for r in rows) + "\n")
+    return path
+
+
+class TestBacktest:
+    def test_full_log(self, query_file, log_file):
+        code, output = run_cli("backtest", str(query_file), "--log", str(log_file))
+        assert code == 0
+        assert "backtest over" in output
+        assert "trades: 2 matches over 4 events" in output
+
+    def test_time_slice(self, query_file, log_file):
+        code, output = run_cli(
+            "backtest",
+            str(query_file),
+            "--log",
+            str(log_file),
+            "--start",
+            "5",
+        )
+        assert code == 0
+        assert "trades: 1 matches over 2 events" in output
+
+    def test_multiple_candidates(self, query_file, log_file, tmp_path):
+        second = tmp_path / "tight.ceprql"
+        # a threshold no recorded pair clears (best markup is 2.0x)
+        second.write_text(QUERY.replace("s.price > b.price", "s.price > b.price * 2.5"))
+        code, output = run_cli(
+            "backtest", str(query_file), str(second), "--log", str(log_file)
+        )
+        assert code == 0
+        assert "trades: 2 matches" in output
+        assert "tight: 0 matches" in output
+
+    def test_empty_log_fails(self, query_file, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code, output = run_cli("backtest", str(query_file), "--log", str(empty))
+        assert code == 1 and "empty" in output
+
+    def test_demo_then_backtest_round_trip(self, query_file, tmp_path):
+        log_path = tmp_path / "stock.jsonl"
+        run_cli("demo", "stock", "--events", "400", "--out", str(log_path))
+        code, output = run_cli(
+            "backtest", str(query_file), "--log", str(log_path), "--no-pruning"
+        )
+        assert code == 0
+        assert "backtest over" in output

@@ -1,0 +1,128 @@
+"""Tests for the threaded engine runner."""
+
+import threading
+
+import pytest
+
+from repro import CEPREngine, Event
+from repro.runtime.concurrent import ThreadedEngineRunner
+from repro.workloads.generic import GenericWorkload
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+class TestLifecycle:
+    def test_submit_process_stop(self):
+        engine = CEPREngine()
+        handle = engine.register_query("PATTERN SEQ(A a, B b)")
+        with ThreadedEngineRunner(engine) as runner:
+            runner.submit(E("A", 1))
+            runner.submit(E("B", 2))
+        assert runner.events_processed == 2
+        assert len(handle.matches()) == 1
+
+    def test_emission_callback_invoked_on_consumer(self):
+        received = []
+        engine = CEPREngine()
+        engine.register_query("PATTERN SEQ(A a)")
+        with ThreadedEngineRunner(engine, on_emission=received.append) as runner:
+            runner.submit(E("A", 1))
+            runner.submit(E("A", 2))
+        assert len(received) == 2
+
+    def test_flush_emissions_delivered_at_stop(self):
+        received = []
+        engine = CEPREngine()
+        engine.register_query(
+            "PATTERN SEQ(A a) WITHIN 100 EVENTS RANK BY a.x DESC "
+            "EMIT ON WINDOW CLOSE"
+        )
+        with ThreadedEngineRunner(engine, on_emission=received.append) as runner:
+            runner.submit(E("A", 1, x=1))
+        assert len(received) == 1  # the epoch closed at flush
+
+    def test_double_start_rejected(self):
+        runner = ThreadedEngineRunner(CEPREngine())
+        runner.start()
+        with pytest.raises(RuntimeError, match="already started"):
+            runner.start()
+        runner.stop()
+
+    def test_submit_after_stop_rejected(self):
+        runner = ThreadedEngineRunner(CEPREngine()).start()
+        runner.stop()
+        with pytest.raises(RuntimeError, match="stopped"):
+            runner.submit(E("A", 1))
+
+    def test_stop_is_idempotent(self):
+        runner = ThreadedEngineRunner(CEPREngine()).start()
+        runner.stop()
+        runner.stop()
+
+
+class TestConcurrency:
+    def test_many_producers_one_engine(self):
+        engine = CEPREngine()
+        handle = engine.register_query("PATTERN SEQ(A a)")
+        runner = ThreadedEngineRunner(engine).start()
+
+        def produce(offset):
+            for i in range(200):
+                runner.submit(E("A", float(offset * 1000 + i)))
+
+        threads = [threading.Thread(target=produce, args=(n,)) for n in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        runner.stop()
+        assert runner.events_processed == 800
+        assert len(handle.matches()) == 800
+
+    def test_results_match_sequential_run(self):
+        workload = GenericWorkload(seed=9, alphabet_size=3)
+        events = list(workload.events(1000))
+        query = (
+            "PATTERN SEQ(A a, B b) WITHIN 30 EVENTS USING SKIP_TILL_ANY "
+            "RANK BY b.value - a.value DESC LIMIT 3 EMIT ON WINDOW CLOSE"
+        )
+
+        threaded_engine = CEPREngine()
+        threaded_handle = threaded_engine.register_query(query)
+        with ThreadedEngineRunner(threaded_engine) as runner:
+            runner.submit_all(
+                Event(e.event_type, e.timestamp, **e.payload) for e in events
+            )
+
+        sequential_engine = CEPREngine()
+        sequential_handle = sequential_engine.register_query(query)
+        sequential_engine.run(
+            Event(e.event_type, e.timestamp, **e.payload) for e in events
+        )
+
+        def fp(handle):
+            return [
+                (e.epoch, tuple(tuple(m.rank_values) for m in e.ranking))
+                for e in handle.results()
+            ]
+
+        assert fp(threaded_handle) == fp(sequential_handle)
+
+    def test_engine_failure_surfaces_to_producer(self):
+        engine = CEPREngine()
+        engine.register_query("PATTERN SEQ(A a) WHERE a.x > 1")
+        runner = ThreadedEngineRunner(engine).start()
+        runner.submit(E("A", 1))  # missing x: strict mode raises in thread
+        with pytest.raises(RuntimeError, match="engine thread failed"):
+            runner.stop()
+        assert runner.failure is not None
+
+    def test_backlog_visible(self):
+        engine = CEPREngine()
+        engine.register_query("PATTERN SEQ(A a)")
+        runner = ThreadedEngineRunner(engine)
+        # not started: queue only fills
+        runner._queue.put(E("A", 1))
+        assert runner.backlog == 1

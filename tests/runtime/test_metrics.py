@@ -1,0 +1,68 @@
+"""Unit tests for metrics primitives."""
+
+from repro.runtime.metrics import EngineMetrics, LatencyRecorder, QueryMetrics
+
+
+class TestLatencyRecorder:
+    def test_basic_stats(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.count == 3
+        assert recorder.mean == 2.0
+        assert recorder.maximum == 3.0
+
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for i in range(1, 101):
+            recorder.record(float(i))
+        assert recorder.percentile(50) in (50.0, 51.0)
+        assert recorder.percentile(99) >= 98.0
+        assert recorder.percentile(100) == 100.0
+
+    def test_empty_percentile(self):
+        assert LatencyRecorder().percentile(99) == 0.0
+        assert LatencyRecorder().mean == 0.0
+
+    def test_reservoir_caps_memory(self):
+        recorder = LatencyRecorder(capacity=10)
+        for i in range(1000):
+            recorder.record(float(i))
+        assert recorder.count == 1000
+        assert len(recorder._samples) == 10
+
+    def test_reservoir_is_deterministic(self):
+        def fill():
+            recorder = LatencyRecorder(capacity=5, seed=42)
+            for i in range(100):
+                recorder.record(float(i))
+            return recorder._samples
+
+        assert fill() == fill()
+
+
+class TestQueryMetrics:
+    def test_snapshot_keys(self):
+        metrics = QueryMetrics()
+        metrics.events_routed = 3
+        metrics.latency.record(0.001)
+        snapshot = metrics.snapshot()
+        assert snapshot["events_routed"] == 3
+        assert snapshot["latency_mean_us"] > 0
+        assert "latency_p99_us" in snapshot
+
+
+class TestEngineMetrics:
+    def test_throughput_with_fake_clock(self):
+        times = iter([0.0, 1.0, 2.0])
+        metrics = EngineMetrics(clock=lambda: next(times))
+        metrics.on_push()
+        metrics.on_push()
+        metrics.on_push()
+        assert metrics.elapsed == 2.0
+        assert metrics.throughput == 1.5
+
+    def test_idle_engine(self):
+        metrics = EngineMetrics()
+        assert metrics.throughput == 0.0
+        assert metrics.elapsed == 0.0

@@ -1,0 +1,131 @@
+"""Unit tests for sinks, the router, and the live monitor."""
+
+import io
+
+from repro import CEPREngine, Event
+from repro.ranking.emission import Emission, EmissionKind
+from repro.runtime.monitor import Monitor
+from repro.runtime.router import EventRouter
+from repro.runtime.sinks import CallbackSink, CollectorSink, PrintSink
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+def make_emission(n=1):
+    return Emission(kind=EmissionKind.MATCH, ranking=[], at_seq=n, at_ts=float(n))
+
+
+class TestSinks:
+    def test_collector(self):
+        sink = CollectorSink()
+        sink.accept(make_emission(1))
+        sink.accept(make_emission(2))
+        assert len(sink) == 2
+        assert [e.at_seq for e in sink] == [1, 2]
+        assert sink.final_ranking() == []
+        sink.clear()
+        assert len(sink) == 0
+
+    def test_collector_matches_flattens_rankings(self):
+        from repro.engine.match import Match
+
+        match = Match(bindings={}, first_seq=0, last_seq=0, first_ts=0, last_ts=0)
+        emission = Emission(EmissionKind.MATCH, [match], 0, 0.0)
+        sink = CollectorSink()
+        sink.accept(emission)
+        assert sink.matches() == [match]
+
+    def test_callback(self):
+        seen = []
+        CallbackSink(seen.append).accept(make_emission())
+        assert len(seen) == 1
+
+    def test_print_sink(self):
+        out = io.StringIO()
+        PrintSink(out).accept(make_emission())
+        assert "match" in out.getvalue()
+
+
+class TestRouter:
+    def make_queries(self):
+        engine = CEPREngine()
+        qa = engine.register_query("PATTERN SEQ(A a)", name="qa")
+        qab = engine.register_query("PATTERN SEQ(A a, B b)", name="qab")
+        return qa, qab
+
+    def test_route_by_type(self):
+        qa, qab = self.make_queries()
+        router = EventRouter()
+        router.add(qa)
+        router.add(qab)
+        assert router.route(E("A", 1)) == [qa, qab]
+        assert router.route(E("B", 1)) == [qab]
+        assert router.route(E("Z", 1)) == []
+
+    def test_remove(self):
+        qa, qab = self.make_queries()
+        router = EventRouter()
+        router.add(qa)
+        router.add(qab)
+        router.remove(qab)
+        assert router.route(E("B", 1)) == []
+        assert len(router) == 1
+
+    def test_interested_types(self):
+        qa, qab = self.make_queries()
+        router = EventRouter()
+        router.add(qab)
+        assert router.interested_types() == {"A", "B"}
+
+
+class TestMonitor:
+    def make_engine(self):
+        engine = CEPREngine()
+        engine.register_query(
+            "NAME profits PATTERN SEQ(A a, B b) WITHIN 4 EVENTS "
+            "USING SKIP_TILL_ANY RANK BY b.x - a.x DESC LIMIT 2 "
+            "EMIT ON WINDOW CLOSE"
+        )
+        return engine
+
+    def test_render_before_any_events(self):
+        monitor = Monitor(self.make_engine())
+        text = monitor.render()
+        assert "CEPR monitor" in text
+        assert "profits" in text
+        assert "(no emissions yet)" in text
+
+    def test_render_shows_query_text_and_ranking(self):
+        engine = self.make_engine()
+        engine.run([E("A", 1, x=0), E("B", 2, x=7), E("Z", 3), E("Z", 4), E("Z", 5)])
+        text = Monitor(engine).render()
+        assert "PATTERN SEQ(A a, B b)" in text
+        assert "window_close" in text
+        assert "#1" in text
+        assert "score=(7)" in text
+
+    def test_top_n_truncation(self):
+        engine = CEPREngine()
+        engine.register_query(
+            "PATTERN SEQ(A a) WITHIN 8 EVENTS RANK BY a.x DESC "
+            "EMIT ON WINDOW CLOSE"
+        )
+        engine.run([E("A", i, x=i) for i in range(8)] + [E("Z", 9)])
+        text = Monitor(engine, top_n=3).render()
+        assert "more" in text
+
+    def test_run_live_bounded(self):
+        out = io.StringIO()
+        monitor = Monitor(self.make_engine())
+        sleeps = []
+        monitor.run_live(
+            refresh_seconds=0.5,
+            iterations=3,
+            out=out,
+            sleep=sleeps.append,
+            clear=False,
+        )
+        assert out.getvalue().count("CEPR monitor") == 3
+        assert sleeps == [0.5, 0.5]

@@ -1,0 +1,189 @@
+"""Derived streams (YIELD): hierarchical CEP."""
+
+import pytest
+
+from repro import CEPREngine, Event
+from repro.language.errors import CEPRSemanticError, CEPRSyntaxError
+from repro.language.parser import parse_query
+from repro.language.printer import format_query
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+TRADES = """
+    NAME trades
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 20 EVENTS
+    YIELD Trade(symbol = b.symbol, profit = s.price - b.price, held = duration())
+"""
+
+
+class TestLanguage:
+    def test_parse_and_roundtrip(self):
+        ast = parse_query(TRADES)
+        assert ast.yield_spec.event_type == "Trade"
+        assert [a for a, _ in ast.yield_spec.assignments] == [
+            "symbol",
+            "profit",
+            "held",
+        ]
+        assert parse_query(format_query(ast)) == ast
+
+    def test_duplicate_attribute_rejected(self):
+        with pytest.raises(CEPRSyntaxError, match="duplicate YIELD attribute"):
+            parse_query("PATTERN SEQ(A a) YIELD D(x = a.v, x = a.w)")
+
+    def test_self_feedback_rejected(self):
+        engine = CEPREngine()
+        with pytest.raises(CEPRSemanticError, match="self-feedback"):
+            engine.register_query("PATTERN SEQ(A a) YIELD A(x = a.v)")
+
+    def test_negated_variable_rejected(self):
+        engine = CEPREngine()
+        with pytest.raises(CEPRSemanticError, match="negated variable"):
+            engine.register_query(
+                "PATTERN SEQ(A a, NOT C c, B b) YIELD D(x = c.v)"
+            )
+
+    def test_kleene_attr_rejected(self):
+        engine = CEPREngine()
+        with pytest.raises(CEPRSemanticError, match="through an aggregate"):
+            engine.register_query("PATTERN SEQ(A as+) YIELD D(x = as.v)")
+
+    def test_explain_mentions_yield(self):
+        engine = CEPREngine()
+        handle = engine.register_query(TRADES)
+        assert "yield: derive Trade(" in handle.explain()
+
+
+class TestCascade:
+    def test_two_level_hierarchy(self):
+        engine = CEPREngine()
+        trades = engine.register_query(TRADES)
+        streaks = engine.register_query(
+            """
+            NAME streaks
+            PATTERN SEQ(Trade t1, Trade t2)
+            WHERE t1.symbol == t2.symbol AND t2.profit > t1.profit
+            """
+        )
+        engine.run(
+            [
+                E("Buy", 1.0, symbol="X", price=10.0),
+                E("Sell", 2.0, symbol="X", price=12.0),
+                E("Buy", 3.0, symbol="X", price=10.0),
+                E("Sell", 4.0, symbol="X", price=15.0),
+            ]
+        )
+        assert engine.derived_events == 2
+        [streak] = streaks.matches()
+        assert streak["t1"]["profit"] == 2.0
+        assert streak["t2"]["profit"] == 5.0
+
+    def test_derived_events_carry_emission_timestamp(self):
+        engine = CEPREngine()
+        engine.register_query(TRADES)
+        probe = engine.register_query("PATTERN SEQ(Trade t)")
+        engine.run(
+            [
+                E("Buy", 1.0, symbol="X", price=10.0),
+                E("Sell", 5.0, symbol="X", price=12.0),
+            ]
+        )
+        [match] = probe.matches()
+        assert match["t"].timestamp == 5.0
+        assert match["t"]["held"] == 4.0
+
+    def test_ranked_window_close_yields_only_winners(self):
+        engine = CEPREngine()
+        engine.register_query(
+            """
+            PATTERN SEQ(Buy b, Sell s)
+            WHERE b.symbol == s.symbol AND s.price > b.price
+            WITHIN 4 EVENTS
+            USING SKIP_TILL_ANY
+            RANK BY s.price - b.price DESC
+            LIMIT 1
+            EMIT ON WINDOW CLOSE
+            YIELD Best(profit = s.price - b.price)
+            """
+        )
+        probe = engine.register_query("PATTERN SEQ(Best x)")
+        engine.run(
+            [
+                E("Buy", 1.0, symbol="X", price=10.0),
+                E("Sell", 2.0, symbol="X", price=11.0),
+                E("Sell", 3.0, symbol="X", price=19.0),
+                E("Z", 4.0),
+                # epoch closure needs an event the trades query observes:
+                E("Buy", 5.0, symbol="X", price=50.0),
+            ]
+        )
+        # only the top-1 of the closed epoch derives an event
+        assert [m["x"]["profit"] for m in probe.matches()] == [9.0]
+
+    def test_eager_revisions_do_not_duplicate(self):
+        engine = CEPREngine()
+        engine.register_query(
+            """
+            PATTERN SEQ(A a)
+            WITHIN 100 EVENTS
+            RANK BY a.x DESC
+            LIMIT 2
+            EMIT EAGER
+            YIELD D(x = a.x)
+            """
+        )
+        probe = engine.register_query("PATTERN SEQ(D d)")
+        engine.run([E("A", 1.0, x=1), E("A", 2.0, x=2), E("A", 3.0, x=3)])
+        # match x=1 appears in revision 1, x=2 joins, x=3 replaces x=1:
+        # each distinct match derives exactly once.
+        assert sorted(m["d"]["x"] for m in probe.matches()) == [1, 2, 3]
+
+    def test_indirect_cycle_detected(self):
+        engine = CEPREngine(max_derivation_depth=4)
+        engine.register_query("PATTERN SEQ(P p) YIELD Q(n = p.n + 1)")
+        engine.register_query("PATTERN SEQ(Q q) YIELD P(n = q.n + 1)")
+        with pytest.raises(RuntimeError, match="max_derivation_depth"):
+            engine.push(E("P", 1.0, n=0))
+
+    def test_yield_errors_lenient(self):
+        engine = CEPREngine(lenient_errors=True)
+        handle = engine.register_query(
+            "PATTERN SEQ(A a) YIELD D(x = a.v * 2)"
+        )
+        probe = engine.register_query("PATTERN SEQ(D d)")
+        engine.push(E("A", 1.0))          # missing v: counted, skipped
+        engine.push(E("A", 2.0, v=5.0))
+        engine.flush()
+        assert handle.yield_errors == 1
+        assert [m["d"]["x"] for m in probe.matches()] == [10.0]
+
+    def test_yield_errors_strict(self):
+        engine = CEPREngine()
+        engine.register_query("PATTERN SEQ(A a) YIELD D(x = a.v * 2)")
+        from repro.language.errors import EvaluationError
+
+        with pytest.raises(EvaluationError):
+            engine.push(E("A", 1.0))
+
+    def test_heartbeat_emissions_cascade(self):
+        engine = CEPREngine()
+        engine.register_query(
+            """
+            PATTERN SEQ(A a)
+            WITHIN 10 SECONDS
+            RANK BY a.x DESC
+            LIMIT 1
+            EMIT ON WINDOW CLOSE
+            YIELD D(x = a.x)
+            """
+        )
+        probe = engine.register_query("PATTERN SEQ(D d)")
+        engine.push(E("A", 1.0, x=7))
+        engine.advance_time(15.0)  # closes the epoch → derives → cascades
+        engine.flush()
+        assert [m["d"]["x"] for m in probe.matches()] == [7]

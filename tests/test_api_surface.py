@@ -1,0 +1,54 @@
+"""The public API surface: every exported name resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.events",
+    "repro.language",
+    "repro.engine",
+    "repro.ranking",
+    "repro.runtime",
+    "repro.workloads",
+    "repro.baselines",
+    "repro.store",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert hasattr(package, "__all__"), f"{package_name} must declare __all__"
+    for name in package.__all__:
+        assert hasattr(package, name), f"{package_name}.{name} missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_classes_and_functions_have_docstrings(package_name):
+    package = importlib.import_module(package_name)
+    undocumented = []
+    for name in package.__all__:
+        obj = getattr(package, name)
+        if not callable(obj):
+            continue  # typing aliases (e.g. PruneHook) carry docs at use site
+        if getattr(obj, "__module__", "") == "typing":
+            continue
+        if not (getattr(obj, "__doc__", None) or "").strip():
+            undocumented.append(name)
+    assert not undocumented, f"{package_name}: missing docstrings: {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_package_docstrings():
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        assert (package.__doc__ or "").strip(), f"{package_name} needs a docstring"

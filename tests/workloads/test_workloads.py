@@ -1,0 +1,203 @@
+"""Workload generators: determinism, schema conformity, injected structure."""
+
+import pytest
+
+from repro.workloads.base import Workload
+from repro.workloads.clickstream import ClickstreamWorkload
+from repro.workloads.generic import GenericWorkload, type_alphabet
+from repro.workloads.sensor import VitalsWorkload
+from repro.workloads.stock import StockWorkload
+from repro.workloads.traffic import TrafficWorkload
+
+ALL_WORKLOADS = [
+    lambda seed: ClickstreamWorkload(seed=seed),
+    lambda seed: StockWorkload(seed=seed),
+    lambda seed: VitalsWorkload(seed=seed),
+    lambda seed: TrafficWorkload(seed=seed),
+    lambda seed: GenericWorkload(seed=seed),
+]
+
+
+class TestCommonProperties:
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_deterministic_given_seed(self, factory):
+        first = list(factory(42).events(200))
+        second = list(factory(42).events(200))
+        assert first == second
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_different_seeds_differ(self, factory):
+        assert list(factory(1).events(100)) != list(factory(2).events(100))
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_timestamps_non_decreasing(self, factory):
+        events = list(factory(0).events(500))
+        timestamps = [e.timestamp for e in events]
+        assert timestamps == sorted(timestamps)
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_events_conform_to_registry(self, factory):
+        workload = factory(0)
+        registry = workload.registry()
+        for event in workload.events(500):
+            registry.validate(event, strict=True)
+
+    @pytest.mark.parametrize("factory", ALL_WORKLOADS)
+    def test_reset_rewinds(self, factory):
+        workload = factory(5)
+        first = list(workload.events(100))
+        workload.reset()
+        assert list(workload.events(100)) == first
+
+
+class TestBaseWorkload:
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError, match="rate must be positive"):
+            Workload(rate=0)
+
+    def test_invalid_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            Workload(jitter=1.5)
+
+    def test_next_event_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Workload().next_event()
+
+    def test_stream_wrapper(self):
+        assert len(GenericWorkload().stream(10).collect()) == 10
+
+
+class TestStockWorkload:
+    def test_prices_within_domain(self):
+        workload = StockWorkload(seed=1)
+        for event in workload.events(1000):
+            assert workload.price_floor <= event["price"] <= workload.price_cap
+
+    def test_symbols_restricted(self):
+        workload = StockWorkload(seed=1, symbols=("AA", "BB"))
+        assert {e["symbol"] for e in workload.events(200)} == {"AA", "BB"}
+
+    def test_tick_fraction(self):
+        workload = StockWorkload(seed=1, tick_fraction=0.5)
+        types = [e.event_type for e in workload.events(500)]
+        assert types.count("Tick") > 100
+
+    def test_validation_errors(self):
+        with pytest.raises(ValueError):
+            StockWorkload(symbols=())
+        with pytest.raises(ValueError):
+            StockWorkload(price_floor=10, price_cap=5)
+
+
+class TestVitalsWorkload:
+    def test_episodes_raise_values(self):
+        workload = VitalsWorkload(seed=3, anomaly_rate=0.05)
+        events = list(workload.events(3000))
+        episode_hr = [
+            e["value"]
+            for e in events
+            if e.event_type == "HeartRate" and e["episode"]
+        ]
+        normal_hr = [
+            e["value"]
+            for e in events
+            if e.event_type == "HeartRate" and not e["episode"]
+        ]
+        assert episode_hr, "no episodes injected at 5% anomaly rate"
+        assert sum(episode_hr) / len(episode_hr) > sum(normal_hr) / len(normal_hr)
+
+    def test_zero_anomaly_rate_means_no_episodes(self):
+        workload = VitalsWorkload(seed=3, anomaly_rate=0.0)
+        assert not any(e["episode"] for e in workload.events(1000))
+
+    def test_patient_ids_in_range(self):
+        workload = VitalsWorkload(seed=0, patients=3)
+        assert {e["patient"] for e in workload.events(300)} <= {0, 1, 2}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VitalsWorkload(patients=0)
+        with pytest.raises(ValueError):
+            VitalsWorkload(anomaly_rate=2.0)
+
+
+class TestTrafficWorkload:
+    def test_incidents_slow_segments(self):
+        workload = TrafficWorkload(seed=2, incident_rate=0.02)
+        events = list(workload.events(5000))
+        speeds = [e["speed"] for e in events if e.event_type == "SpeedReport"]
+        clears = [e for e in events if e.event_type == "Clear"]
+        assert clears, "incidents should eventually clear"
+        assert min(speeds) < 40 < max(speeds)
+
+    def test_no_incidents_without_rate(self):
+        workload = TrafficWorkload(seed=2, incident_rate=0.0)
+        events = list(workload.events(2000))
+        assert all(e.event_type == "SpeedReport" for e in events)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrafficWorkload(segments=0)
+
+
+class TestClickstreamWorkload:
+    def test_funnels_are_ordered_per_user(self):
+        workload = ClickstreamWorkload(seed=4, users=5)
+        events = list(workload.events(3000))
+        carted: dict[int, float] = {}
+        for event in events:
+            if event.event_type == "AddToCart":
+                carted[event["user"]] = event["value"]
+            elif event.event_type == "Purchase":
+                # every purchase follows an AddToCart of the same value
+                assert carted.get(event["user"]) == event["value"]
+
+    def test_abandonment_rate_roughly_respected(self):
+        workload = ClickstreamWorkload(seed=4, users=10, abandon_rate=0.5)
+        events = list(workload.events(8000))
+        adds = sum(1 for e in events if e.event_type == "AddToCart")
+        purchases = sum(1 for e in events if e.event_type == "Purchase")
+        assert adds > 50
+        assert 0.3 < purchases / adds < 0.7
+
+    def test_no_abandonment_when_rate_zero(self):
+        workload = ClickstreamWorkload(seed=4, users=4, abandon_rate=0.0)
+        events = list(workload.events(4000))
+        adds = sum(1 for e in events if e.event_type == "AddToCart")
+        purchases = sum(1 for e in events if e.event_type == "Purchase")
+        # pending funnels at stream end explain any small shortfall
+        assert purchases >= adds - 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClickstreamWorkload(users=0)
+        with pytest.raises(ValueError):
+            ClickstreamWorkload(abandon_rate=1.5)
+
+
+class TestGenericWorkload:
+    def test_type_alphabet(self):
+        assert type_alphabet(3) == ("A", "B", "C")
+        with pytest.raises(ValueError):
+            type_alphabet(0)
+        with pytest.raises(ValueError):
+            type_alphabet(27)
+
+    def test_types_uniformish(self):
+        workload = GenericWorkload(seed=0, alphabet_size=2)
+        types = [e.event_type for e in workload.events(1000)]
+        assert 300 < types.count("A") < 700
+
+    def test_values_in_range(self):
+        workload = GenericWorkload(seed=0, value_range=(10.0, 20.0))
+        assert all(10.0 <= e["value"] <= 20.0 for e in workload.events(500))
+
+    def test_groups(self):
+        workload = GenericWorkload(seed=0, groups=4)
+        assert {e["group"] for e in workload.events(500)} == {0, 1, 2, 3}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GenericWorkload(value_range=(5.0, 5.0))
+        with pytest.raises(ValueError):
+            GenericWorkload(groups=0)
