@@ -190,6 +190,56 @@ def run_unranked(
     )
 
 
+def run_cepr_sharded(
+    query: str,
+    events: list[Event],
+    shards: int,
+    registry: SchemaRegistry | None = None,
+    enable_pruning: bool = True,
+    batch_size: int = 256,
+) -> RunResult:
+    """Run one query through the sharded runtime and collect fleet stats.
+
+    Timing covers submit-through-flush (the merge barrier included), so
+    the recorded throughput is end-to-end, not just enqueue speed.
+    """
+    from repro.runtime.sharded import ShardedEngineRunner
+
+    stream = fresh_events(events)
+    runner = ShardedEngineRunner(
+        shards=shards,
+        registry=registry,
+        enable_pruning=enable_pruning,
+        batch_size=batch_size,
+    )
+    view = runner.register_query(query)
+    runner.start()
+    started = time.perf_counter()
+    try:
+        runner.submit_all(stream)
+        runner.flush()
+    finally:
+        runner.stop()
+    elapsed = time.perf_counter() - started
+    stats = view.matcher.stats
+    metrics = view.metrics
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=metrics.matches,
+        emissions=metrics.emissions,
+        runs_created=stats.runs_created,
+        runs_pruned=stats.runs_pruned,
+        peak_live_runs=stats.peak_live_runs,
+        extra={
+            "shards": shards,
+            "final_ranking": [
+                (m.last_seq, m.rank_values) for m in view.final_ranking()
+            ],
+        },
+    )
+
+
 def run_multi_query(
     queries: Iterable[str],
     events: list[Event],

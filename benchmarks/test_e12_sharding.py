@@ -1,0 +1,91 @@
+"""E12 — Sharded partition-parallel execution.
+
+Sweep the shard count (1/2/4/8) over a partitioned stock workload and
+record end-to-end throughput (submit through the flush barrier).  The
+merge stage guarantees identical results at every shard count, so the
+sweep also double-checks equality of match/emission counts and the final
+ranking against the plain single-engine run.
+
+Interpreting the numbers: matching is pure Python, so shard *threads*
+contend on the GIL — on a single-core host (or any CPython without
+free-threading) the sweep records the overhead curve of the sharded
+runtime rather than a speedup.  The architecture targets per-key
+parallel speedup (≥ 1.5× at 4 shards on a multi-core free-threaded
+host); what this experiment asserts unconditionally is that sharding
+never changes results and that throughput stays within a sane factor of
+the single-engine baseline.
+"""
+
+from common import run_cepr, run_cepr_sharded, stock_rank_query
+
+SHARD_SWEEP = (1, 2, 4, 8)
+QUERY = stock_rank_query(window=100, k=5)
+
+
+def _reference(events, registry):
+    return run_cepr(QUERY, events, registry)
+
+
+def test_e12_sharding_sweep(stock_10k):
+    """The harness row: throughput at each shard count, results pinned."""
+    events, registry = stock_10k
+    baseline = _reference(events, registry)
+    rows = {}
+    for shards in SHARD_SWEEP:
+        result = run_cepr_sharded(QUERY, events, shards, registry)
+        rows[shards] = result
+        # Identical results at every shard count — the tentpole contract.
+        assert result.events == baseline.events
+        assert result.matches == baseline.matches
+        assert result.emissions == baseline.emissions
+        assert result.runs_created == baseline.runs_created
+    final_rankings = {tuple(r.extra["final_ranking"]) for r in rows.values()}
+    assert len(final_rankings) == 1  # same top-k regardless of shard count
+    # Record the throughput curve where pytest -rP and the harness find it.
+    print("\nE12 sharding sweep (stock, 10k events, partitioned top-5):")
+    print(f"  single-engine: {baseline.events_per_second:10.0f} ev/s")
+    for shards, result in rows.items():
+        print(f"  shards={shards}:     {result.events_per_second:10.0f} ev/s")
+    # No hard speedup floor: GIL-bound hosts cannot honour one.  Guard
+    # against pathological regressions instead.
+    assert rows[4].events_per_second > baseline.events_per_second / 10
+
+
+def test_e12_1_shard(benchmark, stock_10k):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_cepr_sharded(QUERY, events, 1, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.matches > 0
+
+
+def test_e12_2_shards(benchmark, stock_10k):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_cepr_sharded(QUERY, events, 2, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.matches > 0
+
+
+def test_e12_4_shards(benchmark, stock_10k):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_cepr_sharded(QUERY, events, 4, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.matches > 0
+
+
+def test_e12_8_shards(benchmark, stock_10k):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_cepr_sharded(QUERY, events, 8, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.matches > 0

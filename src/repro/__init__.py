@@ -46,6 +46,7 @@ from repro.ranking.emission import Emission, EmissionKind
 from repro.runtime.engine import CEPREngine
 from repro.runtime.monitor import Monitor
 from repro.runtime.query import RegisteredQuery
+from repro.runtime.sharded import ShardedEngineRunner
 from repro.runtime.sinks import CallbackSink, CollectorSink, PrintSink
 
 __version__ = "1.0.0"
@@ -70,6 +71,7 @@ __all__ = [
     "PrintSink",
     "RegisteredQuery",
     "SchemaRegistry",
+    "ShardedEngineRunner",
     "__version__",
     "format_query",
     "merge_streams",

@@ -76,6 +76,13 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--stats", action="store_true", help="print per-query statistics at the end"
     )
+    run.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run partitioned queries across N worker shards (default: 1)",
+    )
 
     backtest = commands.add_parser(
         "backtest", help="replay a slice of a recorded event log"
@@ -87,6 +94,13 @@ def build_parser() -> argparse.ArgumentParser:
     backtest.add_argument("--start", type=float, default=None, help="slice start ts")
     backtest.add_argument("--end", type=float, default=None, help="slice end ts")
     backtest.add_argument("--no-pruning", action="store_true")
+    backtest.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replay partitioned queries across N worker shards (default: 1)",
+    )
 
     demo = commands.add_parser("demo", help="generate a synthetic workload")
     demo.add_argument("workload", choices=sorted(_WORKLOADS))
@@ -143,6 +157,10 @@ def _load_events(path: Path) -> Iterable[Event]:
 
 
 def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
+    if args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1:
+        return _cmd_run_sharded(args, out)
     engine = CEPREngine(enable_pruning=not args.no_pruning)
     handles = []
     for path in args.query_files:
@@ -159,18 +177,53 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         _render(emission, args.output, out)
 
     if args.stats:
-        print("-- statistics --", file=out)
-        for name, stats in engine.stats_by_query().items():
-            print(
-                f"  {name}: events={stats['events_routed']:.0f} "
-                f"matches={stats['matches']:.0f} "
-                f"emissions={stats['emissions']:.0f} "
-                f"pruned={stats['runs_pruned']:.0f}",
-                file=out,
-            )
+        _print_stats(engine.stats_by_query(), out)
     if emission_count == 0 and args.output == "text":
         print("(no results)", file=out)
     return 0
+
+
+def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.runtime.sharded import ShardedEngineRunner
+
+    emission_count = 0
+
+    def render(emission: Emission) -> None:
+        nonlocal emission_count
+        emission_count += 1
+        _render(emission, args.output, out)
+
+    runner = ShardedEngineRunner(
+        shards=args.shards,
+        enable_pruning=not args.no_pruning,
+        on_emission=render,
+    )
+    for path in args.query_files:
+        runner.register_query(path.read_text(), name=path.stem)
+    runner.start()
+    try:
+        runner.submit_all(_load_events(args.events))
+        runner.flush()
+    finally:
+        runner.stop()
+
+    if args.stats:
+        _print_stats(runner.stats_by_query(), out)
+    if emission_count == 0 and args.output == "text":
+        print("(no results)", file=out)
+    return 0
+
+
+def _print_stats(stats_by_query: dict, out: TextIO) -> None:
+    print("-- statistics --", file=out)
+    for name, stats in stats_by_query.items():
+        print(
+            f"  {name}: events={stats['events_routed']:.0f} "
+            f"matches={stats['matches']:.0f} "
+            f"emissions={stats['emissions']:.0f} "
+            f"pruned={stats['runs_pruned']:.0f}",
+            file=out,
+        )
 
 
 def _cmd_backtest(args: argparse.Namespace, out: TextIO) -> int:
@@ -181,7 +234,12 @@ def _cmd_backtest(args: argparse.Namespace, out: TextIO) -> int:
     if len(log) == 0:
         print(f"error: event log {args.log} is empty", file=out)
         return 1
-    backtester = Backtester(log, enable_pruning=not args.no_pruning)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=out)
+        return 1
+    backtester = Backtester(
+        log, enable_pruning=not args.no_pruning, shards=args.shards
+    )
     queries = {
         path.stem: path.read_text() for path in args.query_files
     }

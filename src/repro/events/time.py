@@ -167,3 +167,32 @@ class SequenceAssigner:
         """Lazily stamp every event of an iterable."""
         for event in events:
             yield self.assign(event)
+
+
+class PreassignedSequencer(SequenceAssigner):
+    """A sequencer that trusts sequence numbers stamped upstream.
+
+    The sharded runtime assigns **global** sequence numbers once, at the
+    dispatch point, and then fans events out to per-shard engines.  Each
+    shard sees only a subsequence of the stream, so re-numbering locally
+    would corrupt count-window semantics (``WITHIN n EVENTS`` measures
+    global arrival positions).  An engine constructed with this sequencer
+    keeps the incoming ``event.seq`` untouched and only tracks stream time.
+    """
+
+    def assign(self, event: Event) -> Event:
+        if event.seq < 0:
+            raise ValueError(
+                "event reached a PreassignedSequencer without a sequence "
+                "number; the dispatching runner must stamp events first"
+            )
+        if self._last_timestamp is not None and event.timestamp < self._last_timestamp:
+            self.out_of_order_count += 1
+            if self.strict:
+                raise OutOfOrderError(
+                    f"event timestamp {event.timestamp} regresses below "
+                    f"{self._last_timestamp} (seq {event.seq})"
+                )
+        self._next_seq = event.seq + 1
+        self._last_timestamp = event.timestamp
+        return event

@@ -249,6 +249,17 @@ class Ranker:
         )
         return [emission] if emission is not None else []
 
+    def open_epochs(self) -> tuple[int, ...]:
+        """Tumbling epochs still buffered (not yet released), ascending.
+
+        The sharded runtime's merge stage uses this at barrier points to
+        know which epochs a shard may still contribute matches to; other
+        emission modes always return ``()``.
+        """
+        if not self._tumbling:
+            return ()
+        return tuple(sorted(self._epoch_buffers))
+
     def kth_bound_for_epoch(self, epoch: int) -> tuple | None:
         """The pruning bound for runs completing in ``epoch``.
 

@@ -15,10 +15,31 @@ Two containers for the two ranking scopes:
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterator
+import heapq
+import itertools
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.engine.match import Match
 from repro.language.ast_nodes import WindowKind, WindowSpec
+
+
+def merge_rankings(
+    rankings: Iterable[list[Match]],
+    k: int | None = None,
+    key: Callable[[Match], tuple[Any, ...]] = Match.sort_key,
+) -> list[Match]:
+    """K-way merge of already-ordered rankings into one best-first list.
+
+    Each input list must be sorted under ``key`` (smaller = better); the
+    merged result is truncated to ``k`` when given.  This is how the
+    sharded runtime combines per-shard top-k lists: because every shard
+    ranks its own matches with the same comparator, the global top-k is the
+    top-k of the merged per-shard top-k lists.
+    """
+    merged = heapq.merge(*rankings, key=key)
+    if k is None:
+        return list(merged)
+    return list(itertools.islice(merged, k))
 
 
 class EpochTopK:

@@ -8,6 +8,7 @@ from repro.runtime.monitor import Monitor
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.router import EventRouter
 from repro.runtime.serialize import emission_to_json, emission_to_line, match_to_json
+from repro.runtime.sharded import ShardedEngineRunner, ShardedQuery
 from repro.runtime.sinks import (
     CallbackSink,
     CollectorSink,
@@ -29,6 +30,8 @@ __all__ = [
     "QueryMetrics",
     "RegisteredQuery",
     "ResultSink",
+    "ShardedEngineRunner",
+    "ShardedQuery",
     "ThreadedEngineRunner",
     "emission_to_json",
     "emission_to_line",

@@ -129,3 +129,11 @@ class ThreadedEngineRunner:
             self.failure = exc
         finally:
             self._stopped.set()
+            # Unblock producers stuck in a full-queue put: anything
+            # submitted behind the stop sentinel (or a failure) is
+            # discarded, never left to wedge its producer forever.
+            while True:
+                try:
+                    self._queue.get_nowait()
+                except queue.Empty:
+                    break

@@ -66,6 +66,12 @@ class CEPREngine:
         Bound on YIELD cascades: an event derived from an event derived
         from ... more than this many levels deep raises (indirect feedback
         loop).  Direct self-feedback is rejected at registration.
+    sequencer:
+        Optional :class:`~repro.events.time.SequenceAssigner` override.
+        The sharded runtime passes a
+        :class:`~repro.events.time.PreassignedSequencer` so shard-local
+        engines keep the global sequence numbers stamped at dispatch
+        instead of renumbering their subsequence of the stream.
     """
 
     def __init__(
@@ -77,6 +83,7 @@ class CEPREngine:
         lenient_errors: bool = False,
         max_lateness: float | None = None,
         max_derivation_depth: int = 16,
+        sequencer: SequenceAssigner | None = None,
     ) -> None:
         self.registry = registry
         self.strict_schema = strict_schema
@@ -88,7 +95,7 @@ class CEPREngine:
         self.max_derivation_depth = max_derivation_depth
         #: total derived (YIELD) events processed.
         self.derived_events = 0
-        self._sequencer = SequenceAssigner(strict=strict_time)
+        self._sequencer = sequencer or SequenceAssigner(strict=strict_time)
         self._router = EventRouter()
         self._queries: dict[str, RegisteredQuery] = {}
         self.metrics = EngineMetrics()
@@ -187,11 +194,41 @@ class CEPREngine:
             emissions.extend(self._dispatch(event, depth + 1))
         return emissions
 
+    def push_batch(self, events: Iterable[Event]) -> list[Emission]:
+        """Ingest a batch of events through a hoisted hot path.
+
+        Semantically identical to calling :meth:`push` per event, but the
+        per-call guards and attribute lookups are hoisted out of the loop,
+        which matters when a consumer thread drains a queue in chunks (the
+        sharded runtime) or replays a recorded stream (CLI, backtests).
+        """
+        if self._flushed:
+            raise RuntimeError("engine already flushed; create a new engine")
+        emissions: list[Emission] = []
+        extend = emissions.extend
+        dispatch = self._dispatch
+        registry = self.registry
+        strict_schema = self.strict_schema
+        buffer = self.lateness_buffer
+        if buffer is None:
+            if registry is None:
+                for event in events:
+                    extend(dispatch(event))
+            else:
+                for event in events:
+                    registry.validate(event, strict=strict_schema)
+                    extend(dispatch(event))
+            return emissions
+        for event in events:
+            if registry is not None:
+                registry.validate(event, strict=strict_schema)
+            for released in buffer.push(event):
+                extend(dispatch(released))
+        return emissions
+
     def run(self, events: Iterable[Event], flush: bool = True) -> list[Emission]:
         """Push a whole stream; optionally flush at the end."""
-        emissions: list[Emission] = []
-        for event in events:
-            emissions.extend(self.push(event))
+        emissions = self.push_batch(events)
         if flush:
             emissions.extend(self.flush())
         return emissions
@@ -246,6 +283,10 @@ class CEPREngine:
                     "runs_pruned": matcher.runs_pruned,
                     "peak_live_runs": matcher.peak_live_runs,
                     "live_runs": registered.matcher.live_run_count,
+                    # Events that matched the query's types but carried no
+                    # partition key: they are skipped, and silently losing
+                    # them would mask upstream data problems.
+                    "partition_skips": matcher.events_skipped_no_key,
                 }
             )
             snapshot[name] = row

@@ -52,6 +52,23 @@ class LatencyRecorder:
         rank = max(0, min(len(ordered) - 1, round(q / 100 * (len(ordered) - 1))))
         return ordered[rank]
 
+    def absorb(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's observations in (fleet aggregation).
+
+        Exact for count/total/maximum; the percentile reservoir is merged
+        by pooling both sample sets and subsampling back to capacity with
+        the private RNG, which keeps the estimate representative when the
+        pooled set overflows.
+        """
+        self.count += other.count
+        self.total += other.total
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        pooled = self._samples + other._samples
+        if len(pooled) > self.capacity:
+            pooled = self._rng.sample(pooled, self.capacity)
+        self._samples = pooled
+
 
 @dataclass
 class QueryMetrics:
@@ -72,6 +89,23 @@ class QueryMetrics:
             "latency_mean_us": self.latency.mean * 1e6,
             "latency_p99_us": self.latency.percentile(99) * 1e6,
         }
+
+
+def aggregate_query_metrics(parts: "list[QueryMetrics]") -> "QueryMetrics":
+    """Combine per-shard :class:`QueryMetrics` into one fleet-wide view.
+
+    Counters sum; latency recorders are absorbed (see
+    :meth:`LatencyRecorder.absorb`), so means stay exact and percentiles
+    representative across the fleet.
+    """
+    total = QueryMetrics()
+    for part in parts:
+        total.events_routed += part.events_routed
+        total.matches += part.matches
+        total.emissions += part.emissions
+        total.revisions += part.revisions
+        total.latency.absorb(part.latency)
+    return total
 
 
 class EngineMetrics:

@@ -1,0 +1,910 @@
+"""Sharded partition-parallel execution.
+
+``PARTITION BY`` is the semantic lever that licenses parallelism: events
+only interact with runs of their own key, so distinct keys can be matched
+by distinct engines as long as every event keeps its **global** sequence
+number (count windows measure global arrival positions).
+:class:`ShardedEngineRunner` exploits exactly that:
+
+* the runner assigns global sequence numbers once, at the dispatch point,
+  then hashes each event's partition key across ``N`` worker shards;
+* each shard owns a private :class:`~repro.runtime.engine.CEPREngine`
+  (constructed with a :class:`~repro.events.time.PreassignedSequencer`)
+  driven on its own consumer thread behind a bounded queue — the same
+  backpressure discipline as
+  :class:`~repro.runtime.concurrent.ThreadedEngineRunner`;
+* a deterministic **ordered-merge stage** recombines per-shard emissions
+  into the exact single-engine output: per-epoch top-k lists are k-way
+  merged (:func:`~repro.ranking.topk.merge_rankings`) under a tie-break
+  key that provably reproduces the single-engine order, and pass-through
+  match emissions are re-sequenced by the global sequence number of the
+  event that triggered them.
+
+Exactness and placement
+-----------------------
+
+Not every query can be sharded without changing its output.  At
+:meth:`ShardedEngineRunner.start` each query is placed:
+
+* **sharded** — partitioned queries with ``EMIT ON WINDOW CLOSE``
+  (tumbling) or unranked pass-through emission: the merged output is
+  *identical* to a single-engine run (the differential test suite asserts
+  this match-for-match);
+* **solo** — everything else (unpartitioned queries, sliding
+  ``EMIT EVERY``/ranked ``EAGER`` scopes whose snapshots depend on the
+  *global* event order, and — whenever any query has a ``YIELD`` clause —
+  all queries, because derived events must cascade through one engine).
+  Solo queries run on a single dedicated engine, which is trivially exact.
+
+Equivalence is modulo bookkeeping: merged matches are re-stamped with
+fresh per-query ``detection_index``/``revision`` values assigned in the
+deterministic merge order, which coincides with single-engine detection
+order (scores, bindings, rankings, and emission points are identical).
+
+Barrier semantics
+-----------------
+
+``advance_time`` and ``flush`` are **barriers**: the runner drains every
+shard queue, broadcasts the operation to all shards, and then runs the
+merge stage.  Merged emissions are therefore released at barrier points
+(live deployments already call ``advance_time`` on a heartbeat).  A
+tumbling epoch is merged once no shard can still contribute to it —
+immediately for time windows closed by a heartbeat, at the next barrier
+after every shard moved past it for count windows, and at ``flush`` at the
+latest.
+
+Exactness assumes heartbeat timestamps never run *ahead* of later events'
+timestamps (the normal live contract — a watermark followed by earlier
+timestamps is a contradictory stream): a watermark that overtakes the
+stream lets a single engine close an epoch, then re-open it for matches
+arriving behind the watermark, an emission split the merge stage does not
+reproduce.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import zlib
+from collections import deque
+from typing import Any, Callable, Iterable
+
+from repro.engine.match import Match
+from repro.engine.matcher import MatcherStats
+from repro.engine.partitioner import Partitioner
+from repro.engine.windows import EpochTracker
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.events.time import LatenessBuffer, PreassignedSequencer, SequenceAssigner
+from repro.language.ast_nodes import EmitKind, Query, WindowKind
+from repro.language.errors import CEPRSemanticError
+from repro.language.parser import parse_query
+from repro.language.semantics import AnalyzedQuery, analyze
+from repro.ranking.emission import Emission, EmissionKind
+from repro.ranking.topk import merge_rankings
+from repro.runtime.engine import CEPREngine
+from repro.runtime.metrics import EngineMetrics, QueryMetrics, aggregate_query_metrics
+from repro.runtime.query import RegisteredQuery
+
+_INF = float("inf")
+
+
+def stable_shard(key: tuple[Any, ...], shards: int) -> int:
+    """Deterministic shard assignment for a partition key.
+
+    Uses CRC32 over the key's ``repr`` instead of :func:`hash` so the
+    assignment is stable across processes (``hash`` of strings is salted
+    per interpreter), which keeps per-shard statistics reproducible.
+    """
+    return zlib.crc32(repr(key).encode("utf-8", "backslashreplace")) % shards
+
+
+def _exactly_shardable(analyzed: AnalyzedQuery) -> bool:
+    """Whether partition-hash sharding reproduces this query's output.
+
+    Tumbling emission ranks within global epochs and pass-through emission
+    reacts only to the triggering event, so both recombine exactly from
+    per-shard output.  Sliding scopes (``EMIT EVERY``, ranked ``EAGER``)
+    expire and snapshot on *every* routed event — state a shard that sees
+    only its keys' events cannot maintain — so they stay solo.  Trailing
+    negations also stay solo: their pending matches confirm at heartbeats,
+    which can re-open an epoch the merge already released and confirms in
+    an engine-internal partition order no per-shard view reproduces.
+    """
+    if not analyzed.partition_by:
+        return False
+    if any(spec.trailing for spec in analyzed.negations):
+        return False
+    kind = analyzed.emit.kind
+    if kind is EmitKind.ON_WINDOW_CLOSE:
+        return True
+    if kind is EmitKind.EAGER and not analyzed.is_ranked:
+        # Pass-through; a per-epoch LIMIT counts emissions globally, which
+        # requires the single-engine view.
+        return analyzed.limit is None or analyzed.window is None
+    return False
+
+
+def aggregate_matcher_stats(parts: Iterable[MatcherStats]) -> MatcherStats:
+    """Sum matcher counters across shards (``peak_live_runs`` takes max)."""
+    total = MatcherStats()
+    for part in parts:
+        for spec in dataclasses.fields(MatcherStats):
+            current = getattr(total, spec.name)
+            value = getattr(part, spec.name)
+            if spec.name == "peak_live_runs":
+                setattr(total, spec.name, max(current, value))
+            else:
+                setattr(total, spec.name, current + value)
+    return total
+
+
+class _MergedResults:
+    """Collector-shaped view over a query's merged emissions."""
+
+    def __init__(self, emissions: list[Emission]) -> None:
+        self.emissions = emissions
+
+    def __len__(self) -> int:
+        return len(self.emissions)
+
+    def matches(self) -> list[Match]:
+        return [m for e in self.emissions for m in e.ranking]
+
+    def final_ranking(self) -> list[Match]:
+        return list(self.emissions[-1].ranking) if self.emissions else []
+
+
+class _FleetMatcherView:
+    """Matcher-shaped facade aggregating the per-shard matchers."""
+
+    def __init__(self, handles: list[RegisteredQuery]) -> None:
+        self._handles = handles
+
+    @property
+    def stats(self) -> MatcherStats:
+        return aggregate_matcher_stats(h.matcher.stats for h in self._handles)
+
+    @property
+    def live_run_count(self) -> int:
+        return sum(h.matcher.live_run_count for h in self._handles)
+
+    @property
+    def pending_count(self) -> int:
+        return sum(h.matcher.pending_count for h in self._handles)
+
+
+class ShardedQuery:
+    """Fleet-wide handle for one query registered on a sharded runner.
+
+    Shaped like :class:`~repro.runtime.query.RegisteredQuery` where it
+    matters (``results``/``matches``/``final_ranking``, ``metrics``,
+    ``matcher`` stats, ``analyzed``), so the monitor and existing tooling
+    work unchanged, but backed by the merge stage: ``results()`` returns
+    the deterministically merged emission stream.
+    """
+
+    def __init__(self, name: str, analyzed: AnalyzedQuery) -> None:
+        self.name = name
+        self.analyzed = analyzed
+        #: "sharded-tumbling" | "sharded-passthrough" | "solo"; set at start.
+        self.mode: str | None = None
+        self.handles: list[RegisteredQuery] = []
+        self._cursors: list[int] = []
+        self._merged: list[Emission] = []
+        self.collector = _MergedResults(self._merged)
+        self._revision = 0
+        self._detections = 0
+        # Global-stream bookkeeping maintained by the runner at dispatch.
+        self.last_routed_seq = -1
+        self.last_routed_ts = 0.0
+        self.last_ts = 0.0
+        self._tracker: EpochTracker | None = None
+        self._runner_epoch: int | None = None
+        #: close records: (first epoch strictly after the closed ones, seq, ts)
+        self._advances: deque[tuple[int, int, float]] = deque()
+        #: epoch -> list of (shard_index, per-shard WINDOW_CLOSE emission)
+        self._pending_epochs: dict[int, list[tuple[int, Emission]]] = {}
+
+    # -- wiring (runner internals) ------------------------------------------------
+
+    def _attach(self, mode: str, handles: list[RegisteredQuery]) -> None:
+        self.mode = mode
+        self.handles = handles
+        self._cursors = [0] * len(handles)
+        if mode == "sharded-tumbling":
+            assert self.analyzed.window is not None
+            self._tracker = EpochTracker(self.analyzed.window)
+
+    def _observe_routed(self, event: Event) -> None:
+        """Track the global stream point (called by the runner, pre-dispatch)."""
+        self.last_routed_seq = event.seq
+        self.last_routed_ts = event.timestamp
+        if event.timestamp > self.last_ts:
+            self.last_ts = event.timestamp
+        if self._tracker is None:
+            return
+        epoch = self._tracker.epoch_of(event)
+        if self._runner_epoch is None:
+            self._runner_epoch = epoch
+        elif epoch > self._runner_epoch:
+            self._advances.append((epoch, event.seq, event.timestamp))
+            self._runner_epoch = epoch
+
+    def _observe_advance(self, timestamp: float) -> None:
+        """Track a heartbeat barrier (closes time-window epochs globally)."""
+        if timestamp > self.last_ts:
+            self.last_ts = timestamp
+        if (
+            self._tracker is None
+            or self.analyzed.window is None
+            or self.analyzed.window.kind is not WindowKind.TIME
+        ):
+            return
+        epoch = self._tracker.epoch_of_point(self.last_routed_seq, timestamp)
+        if self._runner_epoch is None:
+            self._runner_epoch = epoch
+        elif epoch > self._runner_epoch:
+            self._advances.append((epoch, self.last_routed_seq, timestamp))
+            self._runner_epoch = epoch
+
+    # -- merge stage ---------------------------------------------------------------
+
+    def _drain_shards(self) -> list[tuple[int, int, Emission]]:
+        """New (shard, index, emission) triples since the last merge."""
+        drained: list[tuple[int, int, Emission]] = []
+        for shard, handle in enumerate(self.handles):
+            assert handle.collector is not None
+            emissions = handle.collector.emissions
+            start = self._cursors[shard]
+            for index in range(start, len(emissions)):
+                drained.append((shard, index, emissions[index]))
+            self._cursors[shard] = len(emissions)
+        return drained
+
+    def _merge_ready(
+        self, point: tuple[int, float] | None = None, final: bool = False
+    ) -> list[Emission]:
+        """Run the merge stage; returns newly released merged emissions.
+
+        ``point`` is the global ``(seq, ts)`` emission point for
+        barrier-produced output (heartbeat confirmations, flush releases);
+        ``final`` marks the flush barrier, after which every held epoch is
+        closable.
+        """
+        if self.mode == "solo":
+            released = [emission for _, _, emission in self._drain_shards()]
+        elif self.mode == "sharded-passthrough":
+            released = self._merge_passthrough(point)
+        else:
+            released = self._merge_tumbling(point, final)
+        self._merged.extend(released)
+        return released
+
+    def _merge_passthrough(self, point: tuple[int, float] | None) -> list[Emission]:
+        drained = self._drain_shards()
+        if not drained:
+            return []
+        if point is None:
+            # In-stream emissions carry the triggering event's global seq:
+            # ordering by it reproduces the single-engine emission order
+            # (ties share one shard, where collector order is detection
+            # order).
+            drained.sort(key=lambda t: (t[2].at_seq, t[0], t[1]))
+        else:
+            # Barrier-produced confirmations: per-shard at_seq is the
+            # shard-local stream tail, so re-stamp with the global point
+            # and order by the detection point of the match itself.
+            drained.sort(key=lambda t: (t[2].ranking[0].last_seq, t[0], t[1]))
+        released = []
+        for _, _, emission in drained:
+            at_seq, at_ts = (
+                (emission.at_seq, emission.at_ts) if point is None else point
+            )
+            for match in emission.ranking:
+                match.detection_index = self._detections
+                self._detections += 1
+            self._revision += 1
+            released.append(
+                Emission(
+                    kind=emission.kind,
+                    ranking=list(emission.ranking),
+                    at_seq=at_seq,
+                    at_ts=at_ts,
+                    revision=self._revision,
+                )
+            )
+        return released
+
+    def _merge_tumbling(
+        self, point: tuple[int, float] | None, final: bool
+    ) -> list[Emission]:
+        for shard, _, emission in self._drain_shards():
+            assert emission.epoch is not None
+            self._pending_epochs.setdefault(emission.epoch, []).append(
+                (shard, emission)
+            )
+        if not self._pending_epochs:
+            return []
+        # An epoch is mergeable once no shard still buffers it (or anything
+        # before it); epochs must release in ascending order.
+        if final:
+            min_open = _INF
+        else:
+            min_open = min(
+                (
+                    min(handle.ranker.open_epochs(), default=_INF)
+                    for handle in self.handles
+                ),
+                default=_INF,
+            )
+        released: list[Emission] = []
+        for epoch in sorted(self._pending_epochs):
+            if epoch >= min_open:
+                break
+            close = self._close_point(epoch, point, final)
+            if close is None:
+                break
+            released.append(
+                self._merge_epoch(epoch, self._pending_epochs.pop(epoch), close)
+            )
+        return released
+
+    def _close_point(
+        self, epoch: int, point: tuple[int, float] | None, final: bool
+    ) -> tuple[int, float] | None:
+        """Global ``(seq, ts)`` at which ``epoch`` closed, if known yet."""
+        advances = self._advances
+        while advances and advances[0][0] <= epoch:
+            advances.popleft()  # useless for this and every later epoch
+        if advances:
+            return (advances[0][1], advances[0][2])
+        if final or point is not None:
+            return point if point is not None else None
+        return None
+
+    def _merge_epoch(
+        self, epoch: int, parts: list[tuple[int, Emission]], close: tuple[int, float]
+    ) -> Emission:
+        # Re-stamp detection indices in global detection order: within a
+        # shard, collector/ranking order restricted to equal scores is
+        # detection order, and across shards the completing event's global
+        # seq orders detections (one event is matched by exactly one
+        # shard).  After re-stamping, each per-shard ranking is still
+        # sorted under Match.sort_key, so a k-way merge yields the global
+        # top-k — identical to the single-engine epoch ranking.
+        union = [
+            (match.last_seq, shard, match.detection_index, match)
+            for shard, emission in parts
+            for match in emission.ranking
+        ]
+        union.sort(key=lambda t: t[:3])
+        for _, _, _, match in union:
+            match.detection_index = self._detections
+            self._detections += 1
+        rankings = [list(emission.ranking) for _, emission in parts]
+        merged = merge_rankings(rankings, k=self.analyzed.limit)
+        self._revision += 1
+        return Emission(
+            kind=EmissionKind.WINDOW_CLOSE,
+            ranking=merged,
+            at_seq=close[0],
+            at_ts=close[1],
+            epoch=epoch,
+            revision=self._revision,
+        )
+
+    # -- results -------------------------------------------------------------------
+
+    def results(self) -> list[Emission]:
+        """All merged emissions released so far (complete after ``flush``)."""
+        return list(self._merged)
+
+    def matches(self) -> list[Match]:
+        return [m for e in self._merged for m in e.ranking]
+
+    def final_ranking(self) -> list[Match]:
+        return list(self._merged[-1].ranking) if self._merged else []
+
+    # -- introspection ---------------------------------------------------------------
+
+    @property
+    def has_yield(self) -> bool:
+        return self.analyzed.yield_spec is not None
+
+    @property
+    def relevant_types(self) -> frozenset[str]:
+        return self.analyzed.relevant_types
+
+    @property
+    def shards(self) -> int:
+        return len(self.handles)
+
+    @property
+    def metrics(self) -> QueryMetrics:
+        """Fleet-wide metrics: per-shard counters summed, latency pooled."""
+        total = aggregate_query_metrics([h.metrics for h in self.handles])
+        if self.mode != "solo":
+            # Per-shard counters tally shard-local releases (each shard
+            # closes its own copy of every epoch); what the deployment
+            # observed is the merged stream.
+            total.emissions = len(self._merged)
+            total.revisions = self._revision
+        return total
+
+    @property
+    def matcher(self) -> _FleetMatcherView:
+        return _FleetMatcherView(self.handles)
+
+    def explain(self) -> str:
+        return self.handles[0].explain()
+
+
+class _Worker:
+    """One shard: a private engine drained by a consumer thread."""
+
+    def __init__(self, engine: CEPREngine, max_queue: int, batch_size: int) -> None:
+        self.engine = engine
+        self.queue: queue.Queue = queue.Queue(maxsize=max_queue)
+        self.batch_size = batch_size
+        self.thread: threading.Thread | None = None
+        self.failure: BaseException | None = None
+        self.events_processed = 0
+
+    def start(self) -> None:
+        self.thread = threading.Thread(target=self._consume, daemon=True)
+        self.thread.start()
+
+    def put_event(self, event: Event, timeout: float | None = None) -> None:
+        self.queue.put(("event", event), timeout=timeout)
+
+    def put_op(self, op: tuple) -> None:
+        self.queue.put(op)
+
+    def _consume(self) -> None:
+        pending_op: tuple | None = None
+        while True:
+            item = pending_op if pending_op is not None else self.queue.get()
+            pending_op = None
+            kind = item[0]
+            if kind == "event":
+                # Batched hot path: greedily drain queued events so the
+                # engine amortises per-call overhead via push_batch.
+                batch = [item[1]]
+                while len(batch) < self.batch_size:
+                    try:
+                        nxt = self.queue.get_nowait()
+                    except queue.Empty:
+                        break
+                    if nxt[0] == "event":
+                        batch.append(nxt[1])
+                    else:
+                        pending_op = nxt
+                        break
+                if self.failure is None:
+                    try:
+                        self.engine.push_batch(batch)
+                        self.events_processed += len(batch)
+                    except BaseException as exc:  # surfaced via .failure
+                        self.failure = exc
+                continue
+            if kind == "stop":
+                # Discard anything queued behind the sentinel so no
+                # producer is left wedged in a full-queue put.
+                while True:
+                    try:
+                        self.queue.get_nowait()
+                    except queue.Empty:
+                        break
+                item[1].set()
+                return
+            # Barrier ops always acknowledge, even after a failure, so the
+            # runner can never deadlock waiting on a dead shard.
+            if self.failure is None and kind != "sync":
+                try:
+                    if kind == "advance":
+                        self.engine.advance_time(item[1])
+                    else:  # "flush"
+                        self.engine.flush()
+                except BaseException as exc:
+                    self.failure = exc
+            item[-1].set()
+
+
+class _Group:
+    """One fleet of shards serving queries that share a partition spec."""
+
+    def __init__(
+        self, attributes: tuple[str, ...], workers: list[_Worker]
+    ) -> None:
+        self.partitioner = Partitioner(attributes)
+        self.workers = workers
+        self.relevant_types: frozenset[str] = frozenset()
+
+
+class ShardedEngineRunner:
+    """Partition-parallel engine fleet with a deterministic merge stage.
+
+    Lifecycle mirrors :class:`~repro.runtime.concurrent.ThreadedEngineRunner`
+    — ``register_query`` (before ``start``), ``start``, ``submit`` from any
+    thread, ``advance_time``/``flush`` barriers, ``stop`` — but results per
+    query come from :class:`ShardedQuery` handles whose merged output is
+    identical to a single-engine run (see the module docstring for the
+    exactness contract).
+
+    Parameters mirror :class:`~repro.runtime.engine.CEPREngine` where they
+    share names; ``shards`` is the worker count per partition group,
+    ``max_queue`` bounds each shard's ingest queue (``submit`` blocks when
+    the target shard is saturated — backpressure, not unbounded memory),
+    and ``batch_size`` caps how many queued events a shard drains into one
+    ``push_batch`` call.  ``on_emission`` receives every *merged* emission,
+    on the barrier-calling thread.
+    """
+
+    def __init__(
+        self,
+        shards: int = 4,
+        registry: SchemaRegistry | None = None,
+        strict_schema: bool = False,
+        enable_pruning: bool = True,
+        strict_time: bool = False,
+        lenient_errors: bool = False,
+        max_lateness: float | None = None,
+        max_queue: int = 10_000,
+        batch_size: int = 256,
+        on_emission: Callable[[Emission], None] | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self.registry = registry
+        self.strict_schema = strict_schema
+        self.enable_pruning = enable_pruning
+        self.strict_time = strict_time
+        self.lenient_errors = lenient_errors
+        self.max_lateness = max_lateness
+        self.max_queue = max_queue
+        self.batch_size = batch_size
+        self.on_emission = on_emission
+
+        self._views: dict[str, ShardedQuery] = {}
+        self._asts: dict[str, Query] = {}
+        self._auto_name_counter = 0
+        self._started = False
+        self._stopped = False
+        self._flushed = False
+        self._lock = threading.Lock()
+        self._sequencer = SequenceAssigner(strict=strict_time)
+        self._lateness = (
+            LatenessBuffer(max_lateness) if max_lateness is not None else None
+        )
+        self.metrics = EngineMetrics()
+        self.events_submitted = 0
+
+        self._workers: list[_Worker] = []
+        self._groups: list[_Group] = []
+        self._solo_worker: _Worker | None = None
+        self._solo_types: frozenset[str] = frozenset()
+        #: event type -> sharded views whose global-stream point it advances
+        self._type_watchers: dict[str, list[ShardedQuery]] = {}
+        #: True when the runner stamps global seqs (any sharded group exists)
+        self._preassign = False
+
+    # -- registration -----------------------------------------------------------------
+
+    def register_query(
+        self, query: str | Query, name: str | None = None
+    ) -> ShardedQuery:
+        """Parse, analyse, and stage one query (before :meth:`start`)."""
+        if self._started:
+            raise RuntimeError("cannot register queries after start()")
+        ast = parse_query(query) if isinstance(query, str) else query
+        analyzed = analyze(ast, self.registry)
+        resolved = name or ast.name or self._next_auto_name()
+        if resolved in self._views:
+            raise CEPRSemanticError(
+                f"a query named {resolved!r} is already registered"
+            )
+        view = ShardedQuery(resolved, analyzed)
+        self._views[resolved] = view
+        self._asts[resolved] = ast
+        return view
+
+    def _next_auto_name(self) -> str:
+        self._auto_name_counter += 1
+        candidate = f"q{self._auto_name_counter}"
+        while candidate in self._views:
+            self._auto_name_counter += 1
+            candidate = f"q{self._auto_name_counter}"
+        return candidate
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def _new_engine(self, preassigned: bool) -> CEPREngine:
+        return CEPREngine(
+            registry=self.registry,
+            strict_schema=self.strict_schema,
+            enable_pruning=self.enable_pruning,
+            strict_time=False if preassigned else self.strict_time,
+            lenient_errors=self.lenient_errors,
+            max_lateness=None if preassigned else self.max_lateness,
+            sequencer=PreassignedSequencer() if preassigned else None,
+        )
+
+    def start(self) -> "ShardedEngineRunner":
+        if self._started:
+            raise RuntimeError("runner already started")
+        self._started = True
+
+        views = list(self._views.values())
+        # YIELD cascades derive events that must re-enter one global
+        # engine (and consume global sequence numbers), so any YIELD pins
+        # the whole deployment to the solo engine.
+        any_yield = any(view.has_yield for view in views)
+        solo: list[ShardedQuery] = []
+        grouped: dict[tuple[str, ...], list[ShardedQuery]] = {}
+        for view in views:
+            if (
+                self.shards == 1
+                or any_yield
+                or not _exactly_shardable(view.analyzed)
+            ):
+                solo.append(view)
+            else:
+                grouped.setdefault(view.analyzed.partition_by, []).append(view)
+        self._preassign = bool(grouped)
+
+        if solo:
+            engine = self._new_engine(preassigned=self._preassign)
+            worker = _Worker(engine, self.max_queue, self.batch_size)
+            self._solo_worker = worker
+            self._workers.append(worker)
+            types: set[str] = set()
+            for view in solo:
+                handle = engine.register_query(self._asts[view.name], name=view.name)
+                view._attach("solo", [handle])
+                types |= view.relevant_types
+            self._solo_types = frozenset(types)
+
+        for attributes, members in grouped.items():
+            workers = [
+                _Worker(
+                    self._new_engine(preassigned=True),
+                    self.max_queue,
+                    self.batch_size,
+                )
+                for _ in range(self.shards)
+            ]
+            group = _Group(attributes, workers)
+            types = set()
+            for view in members:
+                handles = [
+                    worker.engine.register_query(
+                        self._asts[view.name], name=view.name
+                    )
+                    for worker in workers
+                ]
+                mode = (
+                    "sharded-tumbling"
+                    if view.analyzed.emit.kind is EmitKind.ON_WINDOW_CLOSE
+                    else "sharded-passthrough"
+                )
+                view._attach(mode, handles)
+                types |= view.relevant_types
+                for event_type in view.relevant_types:
+                    self._type_watchers.setdefault(event_type, []).append(view)
+            group.relevant_types = frozenset(types)
+            self._groups.append(group)
+            self._workers.extend(workers)
+
+        for worker in self._workers:
+            worker.start()
+        return self
+
+    def __enter__(self) -> "ShardedEngineRunner":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Flush (if needed), stop every shard, and join the threads."""
+        if not self._started or self._stopped:
+            return
+        try:
+            if not self._flushed:
+                self.flush()
+        finally:
+            self._stopped = True
+            acks = []
+            for worker in self._workers:
+                ack = threading.Event()
+                worker.put_op(("stop", ack))
+                acks.append(ack)
+            for worker in self._workers:
+                assert worker.thread is not None
+                worker.thread.join(timeout=timeout)
+                if worker.thread.is_alive():
+                    raise TimeoutError("shard thread did not drain in time")
+        self._check_failures()
+
+    # -- producing --------------------------------------------------------------------
+
+    def submit(self, event: Event, timeout: float | None = None) -> None:
+        """Ingest one event (blocks when the target shard's queue is full)."""
+        if not self._started:
+            raise RuntimeError("runner not started")
+        if self._stopped or self._flushed:
+            raise RuntimeError("runner is stopped")
+        self._check_failures()
+        if self.registry is not None:
+            self.registry.validate(event, strict=self.strict_schema)
+        with self._lock:
+            if self._lateness is not None:
+                for released in self._lateness.push(event):
+                    self._ingest(released, timeout)
+            else:
+                self._ingest(event, timeout)
+            self.events_submitted += 1
+
+    def submit_all(self, events: Iterable[Event]) -> int:
+        count = 0
+        for event in events:
+            self.submit(event)
+            count += 1
+        return count
+
+    def _ingest(self, event: Event, timeout: float | None = None) -> None:
+        if self._preassign:
+            self._sequencer.assign(event)
+        self.metrics.on_push()
+        event_type = event.event_type
+        for view in self._type_watchers.get(event_type, ()):
+            view._observe_routed(event)
+        if self._solo_worker is not None and (
+            not self._preassign or event_type in self._solo_types
+        ):
+            self._solo_worker.put_event(event, timeout)
+        for group in self._groups:
+            if event_type not in group.relevant_types:
+                continue
+            key = group.partitioner.key_of(event)
+            # Key-less events cannot join any run; shard 0 still receives
+            # them so the skip is counted once, like a single engine would.
+            shard = 0 if key is None else stable_shard(key, len(group.workers))
+            group.workers[shard].put_event(event, timeout)
+
+    @property
+    def backlog(self) -> int:
+        """Events queued across all shards, not yet processed (approximate)."""
+        return sum(worker.queue.qsize() for worker in self._workers)
+
+    @property
+    def events_pushed(self) -> int:
+        return self.metrics.events_pushed
+
+    @property
+    def effective_shards(self) -> int:
+        """Worker threads actually running partitioned fleets (1 if none)."""
+        return self.shards if self._groups else 1
+
+    def _check_failures(self) -> None:
+        for worker in self._workers:
+            if worker.failure is not None:
+                raise RuntimeError("shard thread failed") from worker.failure
+
+    # -- barriers ---------------------------------------------------------------------
+
+    def _sync_all(self) -> None:
+        acks = []
+        for worker in self._workers:
+            ack = threading.Event()
+            worker.put_op(("sync", ack))
+            acks.append(ack)
+        for ack in acks:
+            ack.wait()
+
+    def _op_all(self, op_kind: str, *payload) -> None:
+        acks = []
+        for worker in self._workers:
+            ack = threading.Event()
+            worker.put_op((op_kind, *payload, ack))
+            acks.append(ack)
+        for ack in acks:
+            ack.wait()
+
+    def _release(self, per_view: list[tuple[int, list[Emission]]]) -> list[Emission]:
+        """Interleave per-view merged emissions into one global-order stream."""
+        tagged = [
+            (emission.at_seq, order, position, emission)
+            for order, emissions in per_view
+            for position, emission in enumerate(emissions)
+        ]
+        tagged.sort(key=lambda t: t[:3])
+        released = [emission for _, _, _, emission in tagged]
+        if self.on_emission is not None:
+            for emission in released:
+                self.on_emission(emission)
+        return released
+
+    def advance_time(self, timestamp: float) -> list[Emission]:
+        """Heartbeat barrier: broadcast to every shard, then merge.
+
+        Returns every merged emission this barrier released — both
+        heartbeat-triggered output (closed time epochs, confirmed
+        pendings) and in-stream output that became mergeable.
+        """
+        if not self._started:
+            raise RuntimeError("runner not started")
+        if self._stopped or self._flushed:
+            raise RuntimeError("runner is stopped")
+        with self._lock:
+            self._sync_all()
+            self._check_failures()
+            per_view: list[tuple[int, list[Emission]]] = []
+            views = list(self._views.values())
+            for order, view in enumerate(views):
+                per_view.append((order, view._merge_ready()))
+            for view in views:
+                if view.mode != "solo":
+                    view._observe_advance(timestamp)
+            self._op_all("advance", timestamp)
+            self._check_failures()
+            for order, view in enumerate(views):
+                point = (view.last_routed_seq, timestamp)
+                per_view.append((order, view._merge_ready(point=point)))
+            return self._release(per_view)
+
+    def flush(self) -> list[Emission]:
+        """End-of-stream barrier: flush every shard and merge everything."""
+        if not self._started:
+            raise RuntimeError("runner not started")
+        if self._flushed:
+            return []
+        with self._lock:
+            self._flushed = True
+            if self._lateness is not None:
+                for released in self._lateness.flush():
+                    self._ingest(released)
+            self._sync_all()
+            self._check_failures()
+            per_view: list[tuple[int, list[Emission]]] = []
+            views = list(self._views.values())
+            for order, view in enumerate(views):
+                per_view.append((order, view._merge_ready()))
+            self._op_all("flush")
+            self._check_failures()
+            for order, view in enumerate(views):
+                point = (view.last_routed_seq, view.last_ts)
+                per_view.append(
+                    (order, view._merge_ready(point=point, final=True))
+                )
+            return self._release(per_view)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def query(self, name: str) -> ShardedQuery:
+        return self._views[name]
+
+    def queries(self) -> list[ShardedQuery]:
+        return list(self._views.values())
+
+    def stats_by_query(self) -> dict[str, dict[str, float]]:
+        """Fleet-wide metrics per query, shaped like the engine's."""
+        snapshot: dict[str, dict[str, float]] = {}
+        for name, view in self._views.items():
+            row = view.metrics.snapshot()
+            stats = view.matcher.stats
+            row.update(
+                {
+                    "runs_created": stats.runs_created,
+                    "runs_pruned": stats.runs_pruned,
+                    "peak_live_runs": stats.peak_live_runs,
+                    "live_runs": view.matcher.live_run_count,
+                    "partition_skips": stats.events_skipped_no_key,
+                    "shards": len(view.handles),
+                }
+            )
+            snapshot[name] = row
+        return snapshot

@@ -63,10 +63,16 @@ class Backtester:
         log: EventLog,
         registry: SchemaRegistry | None = None,
         enable_pruning: bool = True,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
         self.log = log
         self.registry = registry
         self.enable_pruning = enable_pruning
+        #: replay partitioned queries across this many worker shards (the
+        #: sharded runtime's merge stage keeps results identical).
+        self.shards = shards
 
     def run(
         self,
@@ -76,6 +82,8 @@ class Backtester:
         name: str = "backtest",
     ) -> BacktestResult:
         """Evaluate ``query`` over ``[start_ts, end_ts)`` of the log."""
+        if self.shards > 1:
+            return self._run_sharded(query, start_ts, end_ts, name)
         engine = CEPREngine(
             registry=self.registry, enable_pruning=self.enable_pruning
         )
@@ -90,6 +98,34 @@ class Backtester:
             events_replayed=replayed,
             emissions=handle.results(),
             matches=handle.metrics.matches,
+        )
+
+    def _run_sharded(
+        self,
+        query: str,
+        start_ts: float | None,
+        end_ts: float | None,
+        name: str,
+    ) -> BacktestResult:
+        from repro.runtime.sharded import ShardedEngineRunner
+
+        runner = ShardedEngineRunner(
+            shards=self.shards,
+            registry=self.registry,
+            enable_pruning=self.enable_pruning,
+        )
+        view = runner.register_query(query, name=name)
+        runner.start()
+        try:
+            replayed = runner.submit_all(self.log.scan(start_ts, end_ts))
+            runner.flush()
+        finally:
+            runner.stop()
+        return BacktestResult(
+            query_name=name,
+            events_replayed=replayed,
+            emissions=view.results(),
+            matches=view.metrics.matches,
         )
 
     def compare(

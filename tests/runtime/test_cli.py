@@ -150,3 +150,63 @@ class TestDemo:
         )
         assert code == 0
         assert "-- statistics --" in output
+
+
+class TestRunSharded:
+    PARTITIONED_QUERY = """
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 50 EVENTS
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+    """
+
+    @pytest.fixture
+    def partitioned_query_file(self, tmp_path):
+        path = tmp_path / "partitioned.ceprql"
+        path.write_text(self.PARTITIONED_QUERY)
+        return path
+
+    @pytest.fixture
+    def stock_log(self, tmp_path):
+        path = tmp_path / "stock.jsonl"
+        code, _ = run_cli(
+            "demo", "stock", "--events", "600", "--seed", "3", "--out", str(path)
+        )
+        assert code == 0
+        return path
+
+    def test_sharded_run_matches_single(self, partitioned_query_file, stock_log):
+        """--shards N must not change the output: the merge stage keeps
+        results identical to the single-engine run."""
+        code_one, out_one = run_cli(
+            "run", str(partitioned_query_file), "--events", str(stock_log),
+            "--output", "jsonl",
+        )
+        code_four, out_four = run_cli(
+            "run", str(partitioned_query_file), "--events", str(stock_log),
+            "--output", "jsonl", "--shards", "4",
+        )
+        assert code_one == 0 and code_four == 0
+        assert out_four == out_one
+
+    def test_sharded_stats_report_fleet_totals(
+        self, partitioned_query_file, stock_log
+    ):
+        code, output = run_cli(
+            "run", str(partitioned_query_file), "--events", str(stock_log),
+            "--stats", "--shards", "2",
+        )
+        assert code == 0
+        assert "-- statistics --" in output
+        assert "events=600" in output
+
+    def test_invalid_shards_rejected(self, partitioned_query_file, stock_log):
+        code, output = run_cli(
+            "run", str(partitioned_query_file), "--events", str(stock_log),
+            "--shards", "0",
+        )
+        assert code == 1
+        assert "error:" in output

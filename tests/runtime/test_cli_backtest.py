@@ -87,3 +87,22 @@ class TestBacktest:
         )
         assert code == 0
         assert "backtest over" in output
+
+
+class TestBacktestSharded:
+    def test_sharded_backtest_matches_single(self, query_file, log_file):
+        code_one, out_one = run_cli(
+            "backtest", str(query_file), "--log", str(log_file)
+        )
+        code_two, out_two = run_cli(
+            "backtest", str(query_file), "--log", str(log_file), "--shards", "2"
+        )
+        assert code_one == 0 and code_two == 0
+        assert out_two == out_one
+
+    def test_invalid_shards_rejected(self, query_file, log_file):
+        code, output = run_cli(
+            "backtest", str(query_file), "--log", str(log_file), "--shards", "0"
+        )
+        assert code == 1
+        assert "error:" in output

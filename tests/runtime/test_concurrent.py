@@ -126,3 +126,90 @@ class TestConcurrency:
         # not started: queue only fills
         runner._queue.put(E("A", 1))
         assert runner.backlog == 1
+
+
+class TestStress:
+    """Adversarial schedules: races, mid-stream failures, saturation."""
+
+    def test_producers_racing_submit_against_stop(self):
+        """Producers hammering submit while the main thread stops the
+        runner must never deadlock or corrupt state: each submit either
+        lands or raises the runner-stopped error."""
+        engine = CEPREngine()
+        handle = engine.register_query("PATTERN SEQ(A a)")
+        runner = ThreadedEngineRunner(engine, max_queue=64).start()
+        start_gate = threading.Event()
+        rejected = threading.Event()
+
+        def produce(offset):
+            start_gate.wait()
+            for i in range(5000):
+                try:
+                    runner.submit(E("A", float(offset * 10_000 + i)))
+                except RuntimeError as exc:
+                    assert "stopped" in str(exc)
+                    rejected.set()
+                    return
+
+        threads = [
+            threading.Thread(target=produce, args=(n,)) for n in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        start_gate.set()
+        runner.stop()
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+        # Everything the consumer processed became a match; submits that
+        # arrived behind the stop sentinel were dropped, never processed.
+        assert len(handle.matches()) == runner.events_processed
+        assert runner.events_processed <= runner.events_submitted
+
+    def test_predicate_error_mid_stream_surfaces_and_joins(self):
+        """A predicate raising with lenient_errors=False must kill the
+        consumer cleanly: stop() re-raises with the cause attached and the
+        thread is joined, not leaked."""
+        engine = CEPREngine(lenient_errors=False)
+        engine.register_query("PATTERN SEQ(A a, B b) WHERE b.x / a.x > 0")
+        runner = ThreadedEngineRunner(engine).start()
+        runner.submit(E("A", 1, x=2))
+        runner.submit(E("B", 2, x=4))  # fine: 4 / 2
+        runner.submit(E("A", 3, x=0))
+        runner.submit(E("B", 4, x=1))  # 1 / 0 raises mid-stream
+        with pytest.raises(RuntimeError, match="engine thread failed") as info:
+            runner.stop()
+        assert info.value.__cause__ is runner.failure
+        assert runner._thread is not None and not runner._thread.is_alive()
+        # Producers see the failure too, rather than queueing into a void.
+        with pytest.raises(RuntimeError):
+            runner.submit(E("A", 5, x=1))
+
+    def test_submit_blocks_at_max_queue(self):
+        """Backpressure: with the consumer wedged, the bounded queue fills
+        and submit(timeout=...) raises queue.Full instead of growing
+        memory without bound."""
+        import queue as queue_module
+
+        gate = threading.Event()
+        engine = CEPREngine()
+        engine.register_query("PATTERN SEQ(A a)")
+        runner = ThreadedEngineRunner(
+            engine, on_emission=lambda emission: gate.wait(), max_queue=2
+        ).start()
+
+        # First event wedges the consumer inside on_emission; the rest can
+        # only pile into the queue, which holds exactly max_queue of them.
+        runner.submit(E("A", 1))
+        deadline = 50
+        while runner.backlog > 0 and deadline:  # consumer picked #1 up
+            threading.Event().wait(0.01)
+            deadline -= 1
+        runner.submit(E("A", 2))
+        runner.submit(E("A", 3))
+        with pytest.raises(queue_module.Full):
+            runner.submit(E("A", 4), timeout=0.2)
+        assert runner.backlog == 2
+        gate.set()  # unwedge; everything drains
+        runner.stop()
+        assert runner.events_processed == 3

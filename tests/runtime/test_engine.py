@@ -132,6 +132,25 @@ class TestMetrics:
         assert stats["matches"] == 1
         assert stats["runs_created"] == 1
 
+    def test_partition_skips_exposed_in_stats(self, engine):
+        """Regression: events missing a PARTITION BY attribute used to
+        vanish without trace.  They are counted and surfaced per query so
+        upstream data problems are visible in the monitor."""
+        engine.register_query(
+            "PATTERN SEQ(A a, B b) PARTITION BY sym", name="pairs"
+        )
+        engine.push(E("A", 1, sym="X"))
+        engine.push(E("A", 2))  # no key: skipped, but not silently
+        engine.push(E("B", 3))  # no key: skipped, but not silently
+        engine.push(E("B", 4, sym="X"))
+        stats = engine.stats_by_query()["pairs"]
+        assert stats["partition_skips"] == 2
+        assert stats["matches"] == 1
+        # Unpartitioned queries never skip.
+        engine.register_query("PATTERN SEQ(A a)", name="all_a")
+        engine.push(E("A", 5))
+        assert engine.stats_by_query()["all_a"]["partition_skips"] == 0
+
     def test_latency_recorded(self, engine):
         handle = engine.register_query("PATTERN SEQ(A a)")
         engine.push(E("A", 1))
