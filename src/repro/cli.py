@@ -1,8 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands:
+Five commands:
 
 * ``validate`` — parse and analyse a query file, print its evaluation plan.
+* ``lint`` — statically analyse query files and report coded diagnostics
+  (type errors, unsatisfiable predicates, unused bindings, shardability);
+  ``--json`` for machine-readable output, ``--schema registry.json`` to
+  enable schema-aware checks.  Exits non-zero when any error is found.
 * ``run`` — evaluate one or more query files over a recorded event stream
   (JSONL or CSV), printing ranked results as text or JSON lines.
 * ``backtest`` — replay a time slice of a recorded event log against one
@@ -10,10 +14,13 @@ Four commands:
 * ``demo`` — generate a seeded synthetic workload to a JSONL file, for use
   with ``run``/``backtest``.
 
+``run`` and ``backtest`` print analyzer warnings for each query to stderr
+at startup (results on stdout are unaffected).
+
 Examples::
 
     python -m repro demo stock --events 10000 --out ticks.jsonl
-    python -m repro validate query.ceprql
+    python -m repro lint query.ceprql --schema registry.json
     python -m repro run query.ceprql --events ticks.jsonl
 """
 
@@ -56,6 +63,22 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="parse a query file and print its evaluation plan"
     )
     validate.add_argument("query_files", nargs="+", type=Path)
+
+    lint = commands.add_parser(
+        "lint", help="statically analyse query files and report diagnostics"
+    )
+    lint.add_argument("query_files", nargs="+", type=Path)
+    lint.add_argument(
+        "--schema",
+        type=Path,
+        default=None,
+        help="JSON schema registry enabling type and domain checks",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit diagnostics as JSON instead of text",
+    )
 
     run = commands.add_parser("run", help="run queries over a recorded stream")
     run.add_argument("query_files", nargs="+", type=Path)
@@ -116,6 +139,8 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     try:
         if args.command == "validate":
             return _cmd_validate(args, out)
+        if args.command == "lint":
+            return _cmd_lint(args, out)
         if args.command == "run":
             return _cmd_run(args, out)
         if args.command == "backtest":
@@ -147,6 +172,58 @@ def _cmd_validate(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from repro.events.schema import load_registry
+    from repro.language.analysis import Severity, lint_text
+
+    registry = load_registry(args.schema) if args.schema is not None else None
+    reports = []
+    errors = warnings = 0
+    for path in args.query_files:
+        diagnostics = lint_text(path.read_text(), registry)
+        reports.append((path, diagnostics))
+        errors += sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+        warnings += sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+
+    if args.json:
+        payload = [
+            {"file": str(path), "diagnostics": [d.to_dict() for d in diags]}
+            for path, diags in reports
+        ]
+        print(json.dumps(payload, indent=2), file=out)
+        return 1 if errors else 0
+
+    for path, diags in reports:
+        if not diags:
+            print(f"{path}: clean", file=out)
+            continue
+        print(f"{path}:", file=out)
+        for diagnostic in diags:
+            print("  " + diagnostic.format().replace("\n", "\n  "), file=out)
+    total = errors + warnings
+    if total:
+        print(f"{total} problem(s) ({errors} error(s), {warnings} warning(s))", file=out)
+    else:
+        print("no problems", file=out)
+    return 1 if errors else 0
+
+
+def _report_diagnostics(label: str, diagnostics) -> None:
+    """Print non-info analyzer findings to stderr (stdout carries results)."""
+    from repro.language.analysis import Severity
+
+    for diagnostic in diagnostics:
+        if diagnostic.severity is Severity.INFO:
+            continue
+        print(
+            f"{diagnostic.severity.value}: {label}: {diagnostic.code} "
+            f"[{diagnostic.span}] {diagnostic.message}",
+            file=sys.stderr,
+        )
+
+
 def _load_events(path: Path) -> Iterable[Event]:
     suffix = path.suffix.lower()
     if suffix in (".jsonl", ".ndjson"):
@@ -165,6 +242,7 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     handles = []
     for path in args.query_files:
         handle = engine.register_query(path.read_text(), name=path.stem)
+        _report_diagnostics(str(path), handle.diagnostics)
         handles.append(handle)
 
     emission_count = 0
@@ -184,6 +262,7 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
+    from repro.language.analysis import run_analysis
     from repro.runtime.sharded import ShardedEngineRunner
 
     emission_count = 0
@@ -199,7 +278,8 @@ def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
         on_emission=render,
     )
     for path in args.query_files:
-        runner.register_query(path.read_text(), name=path.stem)
+        view = runner.register_query(path.read_text(), name=path.stem)
+        _report_diagnostics(str(path), run_analysis(view.analyzed))
     runner.start()
     try:
         runner.submit_all(_load_events(args.events))
@@ -240,9 +320,13 @@ def _cmd_backtest(args: argparse.Namespace, out: TextIO) -> int:
     backtester = Backtester(
         log, enable_pruning=not args.no_pruning, shards=args.shards
     )
-    queries = {
-        path.stem: path.read_text() for path in args.query_files
-    }
+    from repro.language.analysis import lint_text
+
+    queries = {}
+    for path in args.query_files:
+        text = path.read_text()
+        _report_diagnostics(str(path), lint_text(text))
+        queries[path.stem] = text
     results = backtester.compare(queries, start_ts=args.start, end_ts=args.end)
     lo, hi = log.time_range
     window = f"[{args.start if args.start is not None else lo:g}, "              f"{args.end if args.end is not None else hi:g})"

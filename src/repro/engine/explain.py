@@ -57,6 +57,7 @@ def explain(automaton: PatternAutomaton, pruning_enabled: bool = False) -> str:
 
     if analyzed is not None:
         lines.extend(_describe_ranking(analyzed, pruning_enabled))
+        lines.extend(_describe_sharding(analyzed))
     return "\n".join(lines)
 
 
@@ -103,6 +104,17 @@ def _describe_ranking(analyzed: AnalyzedQuery, pruning_enabled: bool) -> list[st
     else:
         status = "disabled by engine configuration"
     lines.append(f"  score-bound pruning: {status}")
+    return lines
+
+
+def _describe_sharding(analyzed: AnalyzedQuery) -> list[str]:
+    """Render the analyzer's shardability certificate."""
+    from repro.language.analysis.shardability import certify_shardability
+
+    report = certify_shardability(analyzed)
+    described = report.describe()
+    lines = [f"  sharding: {described[0]}"]
+    lines.extend(f"  {line}" for line in described[1:])
     return lines
 
 

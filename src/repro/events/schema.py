@@ -210,3 +210,78 @@ class SchemaRegistry:
             return None
         spec = schema.attribute(attribute)
         return spec.domain if spec is not None else None
+
+
+def registry_from_dict(spec: Mapping[str, Mapping[str, Any]]) -> SchemaRegistry:
+    """Build a registry from a plain-dict description (JSON-shaped).
+
+    ::
+
+        {
+          "Buy": {
+            "symbol": "str",
+            "price": {"dtype": "float", "domain": [0, 10000]},
+            "note":  {"dtype": "str", "required": false}
+          }
+        }
+
+    Attribute values are either a dtype string or an object with ``dtype``
+    plus optional ``domain`` (``[lo, hi]``) and ``required`` keys.
+    """
+    schemas: list[EventSchema] = []
+    for event_type, attrs in spec.items():
+        if not isinstance(attrs, Mapping):
+            raise SchemaError(
+                f"schema for {event_type!r} must be an object mapping "
+                f"attribute names to declarations"
+            )
+        specs: list[AttributeSpec] = []
+        for name, decl in attrs.items():
+            if isinstance(decl, str):
+                specs.append(AttributeSpec(name, decl))
+                continue
+            if not isinstance(decl, Mapping):
+                raise SchemaError(
+                    f"attribute {event_type}.{name}: declaration must be a "
+                    f"dtype string or an object, got {type(decl).__name__}"
+                )
+            unknown = set(decl) - {"dtype", "domain", "required"}
+            if unknown:
+                raise SchemaError(
+                    f"attribute {event_type}.{name}: unknown declaration "
+                    f"keys {sorted(unknown)}"
+                )
+            domain = None
+            if decl.get("domain") is not None:
+                bounds = decl["domain"]
+                if not isinstance(bounds, (list, tuple)) or len(bounds) != 2:
+                    raise SchemaError(
+                        f"attribute {event_type}.{name}: domain must be a "
+                        f"[lo, hi] pair"
+                    )
+                domain = Domain(float(bounds[0]), float(bounds[1]))
+            specs.append(
+                AttributeSpec(
+                    name,
+                    decl.get("dtype", "float"),
+                    domain,
+                    bool(decl.get("required", True)),
+                )
+            )
+        schemas.append(EventSchema(event_type, tuple(specs)))
+    return SchemaRegistry(schemas)
+
+
+def load_registry(path: Any) -> SchemaRegistry:
+    """Load a :func:`registry_from_dict`-shaped JSON file."""
+    import json
+    from pathlib import Path
+
+    text = Path(path).read_text()
+    try:
+        spec = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"schema file {path}: invalid JSON ({exc})") from exc
+    if not isinstance(spec, dict):
+        raise SchemaError(f"schema file {path}: top level must be an object")
+    return registry_from_dict(spec)

@@ -1,0 +1,115 @@
+"""Static analysis of CEPR-QL queries.
+
+This package runs between :func:`repro.language.semantics.analyze` and
+NFA compilation (:mod:`repro.engine.compiler`) and produces a list of
+structured :class:`~repro.language.analysis.diagnostics.Diagnostic`
+records instead of raising: the engine still registers a query with
+warnings, the ``cepr lint`` command renders them, and
+:class:`~repro.runtime.sharded.ShardedEngineRunner` consumes the
+shardability certificate to place queries.
+
+Entry points
+------------
+
+* :func:`lint_text` — full front-to-back lint of query source text:
+  syntax (``CEPR001``) and semantic (``CEPR002``) failures are reported
+  as diagnostics rather than exceptions.
+* :func:`lint_query` — the same, starting from a parsed AST.
+* :func:`run_analysis` — the post-semantic pass alone, for callers that
+  already hold an :class:`~repro.language.semantics.AnalyzedQuery`
+  (:class:`~repro.runtime.query.RegisteredQuery` attaches its result as
+  ``.diagnostics``).
+* :func:`certify_shardability` — the sharding decision table, also
+  included in :func:`run_analysis` output as informational diagnostics.
+
+The full diagnostic catalogue lives in ``docs/ANALYZER.md``.
+"""
+
+from __future__ import annotations
+
+from repro.events.schema import SchemaRegistry
+from repro.language.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    Severity,
+    has_errors,
+    max_severity,
+)
+from repro.language.analysis.satisfiability import (
+    check_satisfiability,
+    check_zero_divisors,
+)
+from repro.language.analysis.shardability import (
+    ShardabilityReport,
+    certify_shardability,
+)
+from repro.language.analysis.typecheck import CeprType, TypeChecker, check_types
+from repro.language.analysis.usage import check_ast, check_usage
+from repro.language.ast_nodes import Query
+from repro.language.errors import CEPRSemanticError, CEPRSyntaxError
+from repro.language.parser import parse_query
+from repro.language.semantics import AnalyzedQuery, analyze
+
+__all__ = [
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "Severity",
+    "CeprType",
+    "TypeChecker",
+    "ShardabilityReport",
+    "certify_shardability",
+    "check_ast",
+    "check_satisfiability",
+    "check_types",
+    "check_usage",
+    "check_zero_divisors",
+    "has_errors",
+    "lint_query",
+    "lint_text",
+    "max_severity",
+    "run_analysis",
+]
+
+
+def run_analysis(
+    analyzed: AnalyzedQuery, registry: SchemaRegistry | None = None
+) -> list[Diagnostic]:
+    """Run every post-semantic check over one analysed query."""
+    diagnostics: list[Diagnostic] = []
+    diagnostics.extend(check_types(analyzed, registry))
+    diagnostics.extend(check_satisfiability(analyzed, registry))
+    diagnostics.extend(check_zero_divisors(analyzed))
+    diagnostics.extend(check_usage(analyzed))
+    diagnostics.extend(certify_shardability(analyzed).blockers)
+    return diagnostics
+
+
+def lint_query(
+    query: Query, registry: SchemaRegistry | None = None
+) -> list[Diagnostic]:
+    """Lint a parsed query: AST checks, semantic analysis, full analysis."""
+    diagnostics = check_ast(query)
+    if has_errors(diagnostics):
+        # e.g. LIMIT 0: semantic analysis would reject it with the same
+        # complaint, so stop at the coded diagnostic.
+        return diagnostics
+    try:
+        analyzed = analyze(query, registry)
+    except CEPRSemanticError as exc:
+        diagnostics.append(
+            Diagnostic("CEPR002", Severity.ERROR, "query", str(exc))
+        )
+        return diagnostics
+    diagnostics.extend(run_analysis(analyzed, registry))
+    return diagnostics
+
+
+def lint_text(
+    text: str, registry: SchemaRegistry | None = None
+) -> list[Diagnostic]:
+    """Lint query source text; never raises on bad queries."""
+    try:
+        query = parse_query(text)
+    except CEPRSyntaxError as exc:
+        return [Diagnostic("CEPR001", Severity.ERROR, "query", str(exc))]
+    return lint_query(query, registry)

@@ -1,0 +1,132 @@
+"""Diagnostic records produced by the static query analyzer.
+
+Every check in :mod:`repro.language.analysis` reports its findings as
+:class:`Diagnostic` values — a stable machine-readable code, a severity,
+the clause span the finding anchors to, a human message, and (usually) a
+fix hint.  The full code catalogue lives in :data:`DIAGNOSTIC_CODES` and
+is documented with triggering examples in ``docs/ANALYZER.md``; the golden
+corpus under ``tests/language/analysis/`` pins one bad query per code.
+
+Severity contract:
+
+* ``ERROR`` — the query is wrong: it can never match, will raise at
+  runtime, or references fields that do not exist.  ``cepr lint`` exits
+  non-zero when any error is present.
+* ``WARNING`` — the query is legal but almost certainly not what the
+  author meant (dead predicates, tautologies, unused bindings).
+* ``INFO`` — neutral facts worth surfacing, e.g. the shardability
+  certificate explaining why a query runs solo under ``--shards N``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any
+
+
+class Severity(Enum):
+    """How bad a diagnostic is; ordered so comparisons are meaningful."""
+
+    INFO = "info"
+    WARNING = "warning"
+    ERROR = "error"
+
+    @property
+    def rank(self) -> int:
+        return _SEVERITY_RANK[self]
+
+
+_SEVERITY_RANK = {Severity.INFO: 0, Severity.WARNING: 1, Severity.ERROR: 2}
+
+
+#: code -> short kebab-case title.  Stable API: codes are never reused.
+DIAGNOSTIC_CODES: dict[str, str] = {
+    # 0xx — front-end failures surfaced through the lint pipeline
+    "CEPR001": "syntax-error",
+    "CEPR002": "semantic-error",
+    # 1xx — type inference against the schema registry
+    "CEPR101": "unknown-attribute",
+    "CEPR102": "comparison-type-mismatch",
+    "CEPR103": "non-numeric-arithmetic",
+    "CEPR104": "non-numeric-rank-key",
+    "CEPR105": "non-boolean-predicate",
+    "CEPR106": "mixed-type-equality",
+    "CEPR107": "non-numeric-function-argument",
+    "CEPR108": "boolean-ordering",
+    # 2xx — satisfiability in the interval domain
+    "CEPR201": "contradictory-predicates",
+    "CEPR202": "tautological-predicate",
+    "CEPR203": "constant-true-predicate",
+    "CEPR204": "constant-false-predicate",
+    "CEPR205": "domain-contradiction",
+    "CEPR206": "constant-division-by-zero",
+    # 3xx — usage and reachability
+    "CEPR301": "unused-variable",
+    "CEPR302": "dead-negation",
+    "CEPR303": "zero-limit",
+    "CEPR304": "window-too-short",
+    "CEPR305": "duplicate-predicate",
+    "CEPR306": "constant-rank-key",
+    "CEPR307": "duplicate-rank-key",
+    # 4xx — shardability certification (informational)
+    "CEPR401": "solo-no-partition-by",
+    "CEPR402": "solo-trailing-negation",
+    "CEPR403": "solo-sliding-emission",
+    "CEPR404": "solo-global-limit",
+    "CEPR405": "solo-yield-cascade",
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding.
+
+    ``span`` names the clause locus the finding anchors to, rendered in
+    canonical query text (e.g. ``WHERE a.price < 5`` or ``LIMIT 0``), so
+    tools and tests can point at it without source positions.
+    """
+
+    code: str
+    severity: Severity
+    span: str
+    message: str
+    hint: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.code not in DIAGNOSTIC_CODES:
+            raise ValueError(f"unknown diagnostic code {self.code!r}")
+
+    @property
+    def title(self) -> str:
+        return DIAGNOSTIC_CODES[self.code]
+
+    def format(self) -> str:
+        """Render as one (possibly two-line) human-readable entry."""
+        text = f"{self.severity.value:<7} {self.code}  [{self.span}] {self.message}"
+        if self.hint:
+            text += f"\n        hint: {self.hint}"
+        return text
+
+    def to_dict(self) -> dict[str, Any]:
+        record: dict[str, Any] = {
+            "code": self.code,
+            "title": self.title,
+            "severity": self.severity.value,
+            "span": self.span,
+            "message": self.message,
+        }
+        if self.hint:
+            record["hint"] = self.hint
+        return record
+
+
+def max_severity(diagnostics: list[Diagnostic]) -> Severity | None:
+    """The worst severity present, or ``None`` for a clean report."""
+    if not diagnostics:
+        return None
+    return max((d.severity for d in diagnostics), key=lambda s: s.rank)
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity is Severity.ERROR for d in diagnostics)

@@ -1,0 +1,469 @@
+"""Satisfiability and dead-predicate detection over WHERE conjuncts.
+
+Two complementary mechanisms:
+
+1. **Range narrowing** — atomic comparisons of the shape
+   ``var.attr <op> literal`` are intersected per ``(var, attr)`` into a
+   feasible range (with open/closed endpoints).  An empty intersection of
+   the predicates alone is a contradiction (``CEPR201``); predicates that
+   are individually fine but exclude the attribute's declared
+   :class:`~repro.events.schema.Domain` entirely can never be satisfied by
+   a schema-valid event (``CEPR205``); a predicate that does not narrow
+   the declared domain at all is tautological (``CEPR202``).
+
+2. **Interval evaluation** — non-atomic comparisons (``a.x - b.y > c``)
+   are bounded with :class:`~repro.language.intervals.IntervalEvaluator`
+   over a fully-unbound partial match, i.e. every variable ranges over
+   its schema domain.  A comparison whose side intervals are disjoint in
+   the right direction is decided before any event arrives.
+
+Constant conjuncts are classified via the optimizer: a conjunct that
+folds to ``TRUE`` is reported ``CEPR203`` (and dropped by semantic
+analysis anyway); one folding to ``FALSE`` is ``CEPR204`` — the query can
+never match.  ``CEPR206`` flags literal zero divisors anywhere in the
+query, which raise on first evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.events.schema import SchemaRegistry
+from repro.language.analysis.diagnostics import Diagnostic, Severity
+from repro.language.ast_nodes import (
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Expr,
+    Literal,
+    WindowKind,
+    iter_subexpressions,
+    referenced_variables,
+    split_conjuncts,
+)
+from repro.language.intervals import IntervalEvaluator, PartialMatchView
+from repro.language.optimizer import optimize
+from repro.language.printer import format_expr
+from repro.language.semantics import AnalyzedQuery
+
+_INF = math.inf
+
+_ORDERINGS = {BinaryOp.LT, BinaryOp.LTE, BinaryOp.GT, BinaryOp.GTE}
+_FLIPPED = {
+    BinaryOp.LT: BinaryOp.GT,
+    BinaryOp.LTE: BinaryOp.GTE,
+    BinaryOp.GT: BinaryOp.LT,
+    BinaryOp.GTE: BinaryOp.LTE,
+    BinaryOp.EQ: BinaryOp.EQ,
+}
+
+
+@dataclass(frozen=True)
+class _Range:
+    """A numeric range with independently open/closed endpoints."""
+
+    lo: float = -_INF
+    hi: float = _INF
+    lo_open: bool = False
+    hi_open: bool = False
+
+    @property
+    def empty(self) -> bool:
+        if self.lo > self.hi:
+            return True
+        return self.lo == self.hi and (self.lo_open or self.hi_open)
+
+    def narrow(self, op: BinaryOp, value: float) -> "_Range":
+        """Intersect with ``x <op> value``."""
+        if op is BinaryOp.EQ:
+            return self.narrow(BinaryOp.GTE, value).narrow(BinaryOp.LTE, value)
+        if op in (BinaryOp.GT, BinaryOp.GTE):
+            strict = op is BinaryOp.GT
+            if value > self.lo or (value == self.lo and strict and not self.lo_open):
+                return replace(self, lo=value, lo_open=strict)
+            return self
+        strict = op is BinaryOp.LT
+        if value < self.hi or (value == self.hi and strict and not self.hi_open):
+            return replace(self, hi=value, hi_open=strict)
+        return self
+
+
+@dataclass(frozen=True)
+class _Constraint:
+    """One atomic conjunct: ``var.attr <op> value``."""
+
+    var: str
+    attr: str
+    op: BinaryOp
+    value: float
+    text: str
+
+
+def _atomic_constraint(conjunct: Expr) -> _Constraint | None:
+    """Recognise ``var.attr <op> number`` (either operand order)."""
+    if not isinstance(conjunct, Binary):
+        return None
+    op = conjunct.op
+    if op not in _ORDERINGS and op is not BinaryOp.EQ:
+        return None
+    left, right = conjunct.left, conjunct.right
+    if isinstance(left, AttrRef) and _is_number(right):
+        ref, value = left, right
+    elif isinstance(right, AttrRef) and _is_number(left):
+        ref, value, op = right, left, _FLIPPED[op]
+    else:
+        return None
+    assert isinstance(value, Literal)
+    return _Constraint(
+        ref.var, ref.attr, op, float(value.value), format_expr(conjunct)
+    )
+
+
+def _is_number(expr: Expr) -> bool:
+    return (
+        isinstance(expr, Literal)
+        and not isinstance(expr.value, bool)
+        and isinstance(expr.value, (int, float))
+    )
+
+
+def _unbound_view(
+    analyzed: AnalyzedQuery, registry: SchemaRegistry
+) -> PartialMatchView:
+    """A partial match with nothing bound: every completion is possible."""
+    var_types = {
+        name: info.event_type for name, info in analyzed.variables.items()
+    }
+    window = analyzed.window
+    max_kleene = None
+    max_duration = None
+    if window is not None:
+        if window.kind is WindowKind.COUNT:
+            max_kleene = int(window.span)
+        else:
+            max_duration = window.span
+    return PartialMatchView(
+        bindings={},
+        var_types=var_types,
+        kleene_vars=analyzed.kleene_variable_names(),
+        open_vars=frozenset(var_types),
+        domain_of=registry.domain_of,
+        max_kleene_count=max_kleene,
+        max_duration=max_duration,
+    )
+
+
+def _decide_comparison(
+    op: BinaryOp, left: "object", right: "object"
+) -> bool | None:
+    """Decide a comparison between two intervals, if possible."""
+    from repro.language.intervals import Interval
+
+    assert isinstance(left, Interval) and isinstance(right, Interval)
+    if op is BinaryOp.LT:
+        if left.hi < right.lo:
+            return True
+        if left.lo >= right.hi:
+            return False
+    elif op is BinaryOp.LTE:
+        if left.hi <= right.lo:
+            return True
+        if left.lo > right.hi:
+            return False
+    elif op is BinaryOp.GT:
+        if left.lo > right.hi:
+            return True
+        if left.hi <= right.lo:
+            return False
+    elif op is BinaryOp.GTE:
+        if left.lo >= right.hi:
+            return True
+        if left.hi < right.lo:
+            return False
+    elif op is BinaryOp.EQ:
+        if left.hi < right.lo or right.hi < left.lo:
+            return False
+        if left.is_exact and right.is_exact and left.lo == right.lo:
+            return True
+    elif op is BinaryOp.NEQ:
+        if left.hi < right.lo or right.hi < left.lo:
+            return True
+        if left.is_exact and right.is_exact and left.lo == right.lo:
+            return False
+    return None
+
+
+def check_satisfiability(
+    analyzed: AnalyzedQuery, registry: SchemaRegistry | None
+) -> list[Diagnostic]:
+    diagnostics: list[Diagnostic] = []
+    evaluator = (
+        IntervalEvaluator(_unbound_view(analyzed, registry))
+        if registry is not None
+        else None
+    )
+
+    # predicate-only and domain-seeded feasible ranges per (var, attr)
+    pred_ranges: dict[tuple[str, str], _Range] = {}
+    pred_texts: dict[tuple[str, str], list[str]] = {}
+
+    for conjunct in split_conjuncts(analyzed.ast.where):
+        span = f"WHERE {format_expr(conjunct)}"
+        folded = optimize(conjunct)
+        if isinstance(folded, Literal) and folded.value is True:
+            diagnostics.append(
+                Diagnostic(
+                    "CEPR203",
+                    Severity.WARNING,
+                    span,
+                    "conjunct folds to TRUE and filters nothing",
+                    hint="drop it, or fix the constant it compares",
+                )
+            )
+            continue
+        if isinstance(folded, Literal) and folded.value is False:
+            diagnostics.append(
+                Diagnostic(
+                    "CEPR204",
+                    Severity.ERROR,
+                    span,
+                    "conjunct folds to FALSE: the query can never match",
+                )
+            )
+            continue
+
+        constraint = _atomic_constraint(folded)
+        if constraint is not None:
+            diagnostics.extend(
+                _apply_constraint(
+                    constraint, span, pred_ranges, pred_texts, analyzed, registry
+                )
+            )
+            continue
+
+        if evaluator is not None:
+            diagnostics.extend(_interval_decide(folded, span, evaluator, analyzed))
+
+    return diagnostics
+
+
+def _apply_constraint(
+    constraint: _Constraint,
+    span: str,
+    pred_ranges: dict[tuple[str, str], _Range],
+    pred_texts: dict[tuple[str, str], list[str]],
+    analyzed: AnalyzedQuery,
+    registry: SchemaRegistry | None,
+) -> list[Diagnostic]:
+    out: list[Diagnostic] = []
+    key = (constraint.var, constraint.attr)
+    domain_range = _domain_range(constraint, analyzed, registry)
+
+    # Tautology against the declared domain, judged in isolation so the
+    # verdict does not depend on conjunct order.
+    if domain_range is not None:
+        alone = domain_range.narrow(constraint.op, constraint.value)
+        if alone == domain_range:
+            out.append(
+                Diagnostic(
+                    "CEPR202",
+                    Severity.WARNING,
+                    span,
+                    f"already implied by the declared domain "
+                    f"[{domain_range.lo:g}, {domain_range.hi:g}] of "
+                    f"{constraint.var}.{constraint.attr}",
+                    hint="the predicate never rejects a schema-valid event",
+                )
+            )
+
+    # An unsatisfiable constraint on a *negated* variable does not make the
+    # query unmatchable — it makes the negation a no-op (it never kills a
+    # run), which is a dead-negation warning rather than an error.
+    info = analyzed.variables.get(constraint.var)
+    on_negated = info is not None and info.is_negated
+
+    current = pred_ranges.get(key, _Range())
+    narrowed = current.narrow(constraint.op, constraint.value)
+    if narrowed.empty and not current.empty:
+        conflicting = pred_texts.get(key, [])
+        if on_negated:
+            out.append(
+                Diagnostic(
+                    "CEPR302",
+                    Severity.WARNING,
+                    span,
+                    f"contradicts {' AND '.join(conflicting)}: the negation "
+                    f"predicates on {constraint.var!r} are unsatisfiable, so "
+                    f"the negation never kills a run",
+                    hint="fix the predicate bounds or drop the negation",
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    "CEPR201",
+                    Severity.ERROR,
+                    span,
+                    f"contradicts {' AND '.join(conflicting)}: no value of "
+                    f"{constraint.var}.{constraint.attr} satisfies both",
+                )
+            )
+    elif (
+        domain_range is not None
+        and not narrowed.empty
+        and _intersect(narrowed, domain_range).empty
+    ):
+        if on_negated:
+            out.append(
+                Diagnostic(
+                    "CEPR302",
+                    Severity.WARNING,
+                    span,
+                    f"excludes the declared domain "
+                    f"[{domain_range.lo:g}, {domain_range.hi:g}] of "
+                    f"{constraint.var}.{constraint.attr}: the negation never "
+                    f"kills a run",
+                    hint="fix the predicate bounds or drop the negation",
+                )
+            )
+        else:
+            out.append(
+                Diagnostic(
+                    "CEPR205",
+                    Severity.ERROR,
+                    span,
+                    f"excludes the entire declared domain "
+                    f"[{domain_range.lo:g}, {domain_range.hi:g}] of "
+                    f"{constraint.var}.{constraint.attr}: no schema-valid "
+                    f"event can satisfy it",
+                )
+            )
+    pred_ranges[key] = narrowed
+    pred_texts.setdefault(key, []).append(constraint.text)
+    return out
+
+
+def _domain_range(
+    constraint: _Constraint,
+    analyzed: AnalyzedQuery,
+    registry: SchemaRegistry | None,
+) -> _Range | None:
+    if registry is None:
+        return None
+    info = analyzed.variables.get(constraint.var)
+    if info is None:
+        return None
+    domain = registry.domain_of(info.event_type, constraint.attr)
+    if domain is None:
+        return None
+    return _Range(domain.lo, domain.hi)
+
+
+def _intersect(a: _Range, b: _Range) -> _Range:
+    lo, lo_open = max((a.lo, a.lo_open), (b.lo, b.lo_open))
+    hi, hi_open = min((a.hi, not a.hi_open), (b.hi, not b.hi_open))
+    result = _Range(lo, hi, lo_open, not hi_open)
+    return result
+
+
+def _interval_decide(
+    conjunct: Expr,
+    span: str,
+    evaluator: IntervalEvaluator,
+    analyzed: AnalyzedQuery,
+) -> list[Diagnostic]:
+    """Decide a non-atomic comparison by bounding both sides over domains."""
+    if not isinstance(conjunct, Binary):
+        return []
+    if conjunct.op not in _ORDERINGS and conjunct.op not in (
+        BinaryOp.EQ,
+        BinaryOp.NEQ,
+    ):
+        return []
+    left = evaluator.bound(conjunct.left)
+    right = evaluator.bound(conjunct.right)
+    if left is None or right is None:
+        return []
+    decided = _decide_comparison(conjunct.op, left, right)
+    if decided is True:
+        return [
+            Diagnostic(
+                "CEPR202",
+                Severity.WARNING,
+                span,
+                f"always true over the declared domains "
+                f"(left in {left}, right in {right})",
+                hint="the predicate never rejects a schema-valid event",
+            )
+        ]
+    if decided is False:
+        on_negated = any(
+            analyzed.variables[name].is_negated
+            for name in referenced_variables(conjunct)
+            if name in analyzed.variables
+        )
+        if on_negated:
+            return [
+                Diagnostic(
+                    "CEPR302",
+                    Severity.WARNING,
+                    span,
+                    f"always false over the declared domains "
+                    f"(left in {left}, right in {right}): the negation "
+                    f"never kills a run",
+                    hint="fix the predicate bounds or drop the negation",
+                )
+            ]
+        return [
+            Diagnostic(
+                "CEPR205",
+                Severity.ERROR,
+                span,
+                f"always false over the declared domains "
+                f"(left in {left}, right in {right}): no schema-valid stream "
+                f"can satisfy it",
+            )
+        ]
+    return []
+
+
+def check_zero_divisors(analyzed: AnalyzedQuery) -> list[Diagnostic]:
+    """``CEPR206``: literal zero divisors raise on first evaluation."""
+    diagnostics: list[Diagnostic] = []
+    clauses: list[tuple[str, Expr]] = []
+    for conjunct in split_conjuncts(analyzed.ast.where):
+        clauses.append((f"WHERE {format_expr(conjunct)}", conjunct))
+    for key in analyzed.ast.rank_by:
+        clauses.append((f"RANK BY {format_expr(key.expr)}", key.expr))
+    if analyzed.ast.yield_spec is not None:
+        for attr, expr in analyzed.ast.yield_spec.assignments:
+            clauses.append(
+                (
+                    f"YIELD {analyzed.ast.yield_spec.event_type}"
+                    f"({attr} = {format_expr(expr)})",
+                    expr,
+                )
+            )
+    for span, expr in clauses:
+        for node in iter_subexpressions(expr):
+            if (
+                isinstance(node, Binary)
+                and node.op in (BinaryOp.DIV, BinaryOp.MOD)
+                and _is_number(node.right)
+                and isinstance(node.right, Literal)
+                and float(node.right.value) == 0.0
+            ):
+                word = "division" if node.op is BinaryOp.DIV else "modulo"
+                diagnostics.append(
+                    Diagnostic(
+                        "CEPR206",
+                        Severity.WARNING,
+                        span,
+                        f"{word} by constant zero in {format_expr(node)} "
+                        f"raises on first evaluation",
+                        hint="the optimizer deliberately leaves the error in "
+                        "place; fix the divisor",
+                    )
+                )
+    return diagnostics

@@ -1,0 +1,131 @@
+"""Shardability certification.
+
+Partition-hash sharding (:mod:`repro.runtime.sharded`) reproduces a
+query's single-engine output exactly only for a specific shape of query.
+This rule encodes that decision table once, as an analyzer rule, and
+reports *which* property pins a query to the solo engine:
+
+* ``CEPR401`` — no ``PARTITION BY``: there is no key to hash events by;
+* ``CEPR402`` — a trailing negation: pending matches confirm at
+  heartbeats in an engine-internal order, and confirmation can re-open an
+  epoch the merge stage already released;
+* ``CEPR403`` — a sliding emission scope (``EMIT EVERY`` or ranked
+  ``EAGER``): snapshots expire and re-rank on *every* routed event, state
+  a shard that sees only its own keys cannot maintain;
+* ``CEPR404`` — pass-through emission with a global ``LIMIT`` inside a
+  window: the per-epoch emission quota counts matches across all
+  partitions, which requires the single-engine view;
+* ``CEPR405`` — a ``YIELD`` clause: derived events must cascade through
+  one engine and consume global sequence numbers (this pins the *whole
+  deployment* solo, not just the yielding query).
+
+:meth:`ShardedEngineRunner.start` consumes the certificate to place each
+query, ``engine/explain.py`` renders it, and ``cepr lint`` reports the
+blockers as informational diagnostics.  The differential test suite
+(``tests/runtime/test_sharded_differential.py``) pins the placement
+decisions this module makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.language.analysis.diagnostics import Diagnostic, Severity
+from repro.language.ast_nodes import EmitKind
+from repro.language.semantics import AnalyzedQuery
+
+
+@dataclass(frozen=True)
+class ShardabilityReport:
+    """Why (or why not) a query can run partition-sharded exactly.
+
+    ``mode`` is the placement the sharded runner would choose given
+    ``shards > 1`` and no deployment-level YIELD pin:
+    ``"sharded-tumbling"``, ``"sharded-passthrough"``, or ``"solo"``.
+    """
+
+    shardable: bool
+    mode: str
+    blockers: tuple[Diagnostic, ...] = ()
+
+    def describe(self) -> list[str]:
+        """Human-readable certificate lines (used by ``explain``)."""
+        if self.shardable:
+            return [f"exactly shardable ({self.mode})"]
+        lines = ["solo (not exactly shardable):"]
+        for blocker in self.blockers:
+            lines.append(f"  {blocker.code}: {blocker.message}")
+        return lines
+
+
+def certify_shardability(analyzed: AnalyzedQuery) -> ShardabilityReport:
+    """Certify whether partition-hash sharding reproduces this query."""
+    blockers: list[Diagnostic] = []
+
+    if not analyzed.partition_by:
+        blockers.append(
+            _info(
+                "CEPR401",
+                "no PARTITION BY clause: there is no key to hash events "
+                "across shards",
+                hint="partition by an attribute shared by every pattern "
+                "element to enable sharding",
+            )
+        )
+    if any(spec.trailing for spec in analyzed.negations):
+        blockers.append(
+            _info(
+                "CEPR402",
+                "trailing negation: pending matches confirm at heartbeats "
+                "in an engine-internal order no per-shard view reproduces",
+            )
+        )
+
+    kind = analyzed.emit.kind
+    mode = "solo"
+    if kind is EmitKind.ON_WINDOW_CLOSE:
+        mode = "sharded-tumbling"
+    elif kind is EmitKind.EAGER and not analyzed.is_ranked:
+        if analyzed.limit is not None and analyzed.window is not None:
+            blockers.append(
+                _info(
+                    "CEPR404",
+                    "pass-through emission with a per-epoch LIMIT counts "
+                    "emissions globally, which requires the single-engine "
+                    "view",
+                    hint="drop the LIMIT or emit ON WINDOW CLOSE",
+                )
+            )
+        else:
+            mode = "sharded-passthrough"
+    else:
+        scope = (
+            "ranked EAGER emission re-ranks"
+            if kind is EmitKind.EAGER
+            else "EMIT EVERY snapshots"
+        )
+        blockers.append(
+            _info(
+                "CEPR403",
+                f"sliding emission scope: {scope} on every routed event, "
+                f"state a shard that only sees its own keys cannot maintain",
+                hint="EMIT ON WINDOW CLOSE (tumbling) shards exactly",
+            )
+        )
+
+    if analyzed.yield_spec is not None:
+        blockers.append(
+            _info(
+                "CEPR405",
+                "YIELD derives events that must cascade through one global "
+                "engine; this pins the whole deployment solo",
+            )
+        )
+
+    if blockers:
+        return ShardabilityReport(False, "solo", tuple(blockers))
+    return ShardabilityReport(True, mode)
+
+
+def _info(code: str, message: str, hint: str | None = None) -> Diagnostic:
+    return Diagnostic(code, Severity.INFO, "query", message, hint)

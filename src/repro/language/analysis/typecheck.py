@@ -1,0 +1,322 @@
+"""Type inference of query expressions against the schema registry.
+
+CEPR-QL is dynamically evaluated — :mod:`repro.language.expressions`
+raises :class:`~repro.language.errors.EvaluationError` on the first
+ill-typed event — but with a :class:`~repro.events.schema.SchemaRegistry`
+most of those failures are decidable at registration time.  This pass
+infers a coarse type lattice (:class:`CeprType`) bottom-up over every
+WHERE conjunct, RANK BY key, and YIELD assignment and reports:
+
+* ``CEPR101`` — attribute not declared on the variable's event type;
+* ``CEPR102`` — ordering comparison between a number and a string;
+* ``CEPR103`` — arithmetic over a non-numeric operand;
+* ``CEPR104`` — RANK BY key that is not numeric;
+* ``CEPR105`` — a predicate position holding a non-boolean value;
+* ``CEPR106`` — ``==``/``!=`` across types (legal, always false/true);
+* ``CEPR107`` — non-numeric argument to a numeric built-in/aggregate;
+* ``CEPR108`` — ordering comparison over booleans.
+
+Inference is *optimistic*: anything it cannot prove is ``UNKNOWN`` and
+never reported, so queries over unregistered event types lint clean.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.events.schema import SchemaRegistry
+from repro.language.analysis.diagnostics import Diagnostic, Severity
+from repro.language.ast_nodes import (
+    Aggregate,
+    AttrRef,
+    Binary,
+    BinaryOp,
+    Expr,
+    FuncCall,
+    Literal,
+    PrevRef,
+    Unary,
+    UnaryOp,
+    VarRef,
+    split_conjuncts,
+)
+from repro.language.printer import format_expr
+from repro.language.semantics import AnalyzedQuery
+
+
+class CeprType(Enum):
+    """The coarse static type of an expression."""
+
+    NUMBER = "number"
+    STRING = "string"
+    BOOLEAN = "boolean"
+    UNKNOWN = "unknown"
+
+
+_DTYPE_TO_TYPE = {
+    "int": CeprType.NUMBER,
+    "float": CeprType.NUMBER,
+    "str": CeprType.STRING,
+    "bool": CeprType.BOOLEAN,
+}
+
+_ARITH_OPS = {BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV, BinaryOp.MOD}
+_ORDERING_OPS = {BinaryOp.LT, BinaryOp.LTE, BinaryOp.GT, BinaryOp.GTE}
+_EQUALITY_OPS = {BinaryOp.EQ, BinaryOp.NEQ}
+_LOGICAL_OPS = {BinaryOp.AND, BinaryOp.OR}
+
+#: Built-ins returning a number regardless of (checked) arguments.
+_NUMERIC_FUNCS = frozenset(
+    {"abs", "round", "floor", "ceil", "sqrt", "log", "exp", "sign", "min2", "max2"}
+)
+#: Aggregates whose runtime combiner requires numeric inputs.
+_NUMERIC_AGGS = frozenset({"sum", "avg"})
+
+
+class TypeChecker:
+    """Infers expression types for one query and collects diagnostics."""
+
+    def __init__(self, analyzed: AnalyzedQuery, registry: SchemaRegistry) -> None:
+        self.analyzed = analyzed
+        self.registry = registry
+        self.diagnostics: list[Diagnostic] = []
+        self._seen: set[tuple[str, str, str]] = set()
+
+    # -- entry point ---------------------------------------------------------
+
+    def check(self) -> list[Diagnostic]:
+        for conjunct in split_conjuncts(self.analyzed.ast.where):
+            span = f"WHERE {format_expr(conjunct)}"
+            inferred = self.infer(conjunct, span)
+            if inferred not in (CeprType.BOOLEAN, CeprType.UNKNOWN):
+                self._report(
+                    "CEPR105",
+                    Severity.ERROR,
+                    span,
+                    f"WHERE conjunct evaluates to a {inferred.value}, not a boolean",
+                    hint="compare the value against something, e.g. `... > 0`",
+                )
+        for key in self.analyzed.ast.rank_by:
+            span = f"RANK BY {format_expr(key.expr)}"
+            inferred = self.infer(key.expr, span)
+            if inferred in (CeprType.STRING, CeprType.BOOLEAN):
+                self._report(
+                    "CEPR104",
+                    Severity.ERROR,
+                    span,
+                    f"RANK BY key evaluates to a {inferred.value}; ranking "
+                    f"requires a numeric score",
+                    hint="rank by a numeric attribute or aggregate",
+                )
+        if self.analyzed.ast.yield_spec is not None:
+            for attr, expr in self.analyzed.ast.yield_spec.assignments:
+                span = (
+                    f"YIELD {self.analyzed.ast.yield_spec.event_type}"
+                    f"({attr} = {format_expr(expr)})"
+                )
+                self.infer(expr, span)
+        return self.diagnostics
+
+    # -- inference -----------------------------------------------------------
+
+    def infer(self, expr: Expr, span: str) -> CeprType:
+        if isinstance(expr, Literal):
+            if isinstance(expr.value, bool):
+                return CeprType.BOOLEAN
+            if isinstance(expr.value, str):
+                return CeprType.STRING
+            return CeprType.NUMBER
+        if isinstance(expr, (AttrRef, PrevRef)):
+            return self._infer_attr(expr.var, expr.attr, span)
+        if isinstance(expr, Aggregate):
+            return self._infer_aggregate(expr, span)
+        if isinstance(expr, FuncCall):
+            return self._infer_func(expr, span)
+        if isinstance(expr, VarRef):
+            return CeprType.UNKNOWN  # only legal as a built-in argument
+        if isinstance(expr, Binary):
+            return self._infer_binary(expr, span)
+        if isinstance(expr, Unary):
+            return self._infer_unary(expr, span)
+        return CeprType.UNKNOWN
+
+    def _infer_attr(self, var: str, attr: str, span: str) -> CeprType:
+        info = self.analyzed.variables.get(var)
+        if info is None:
+            return CeprType.UNKNOWN  # semantics already rejected unknown vars
+        schema = self.registry.get(info.event_type)
+        if schema is None:
+            return CeprType.UNKNOWN
+        spec = schema.attribute(attr)
+        if spec is None:
+            self._report(
+                "CEPR101",
+                Severity.ERROR,
+                span,
+                f"{var}.{attr}: event type {info.event_type!r} declares no "
+                f"attribute {attr!r}",
+                hint=f"declared attributes: "
+                f"{', '.join(sorted(schema.attribute_names())) or '(none)'}",
+                dedupe=(var, attr),
+            )
+            return CeprType.UNKNOWN
+        return _DTYPE_TO_TYPE.get(spec.dtype, CeprType.UNKNOWN)
+
+    def _infer_aggregate(self, expr: Aggregate, span: str) -> CeprType:
+        if expr.func in ("count", "len"):
+            return CeprType.NUMBER
+        assert expr.attr is not None
+        element = self._infer_attr(expr.var, expr.attr, span)
+        if expr.func in _NUMERIC_AGGS:
+            if element in (CeprType.STRING, CeprType.BOOLEAN):
+                self._report(
+                    "CEPR107",
+                    Severity.ERROR,
+                    span,
+                    f"{expr.func}({expr.var}.{expr.attr}): aggregate requires "
+                    f"numeric elements, {expr.attr!r} is a {element.value}",
+                )
+            return CeprType.NUMBER
+        # min/max/first/last preserve the element type.
+        return element
+
+    def _infer_func(self, expr: FuncCall, span: str) -> CeprType:
+        if expr.name in ("duration", "timestamp", "ts"):
+            for arg in expr.args:
+                self.infer(arg, span)
+            return CeprType.NUMBER
+        if expr.name in _NUMERIC_FUNCS:
+            for arg in expr.args:
+                inferred = self.infer(arg, span)
+                if inferred in (CeprType.STRING, CeprType.BOOLEAN):
+                    self._report(
+                        "CEPR107",
+                        Severity.ERROR,
+                        span,
+                        f"{expr.name}({format_expr(arg)}): expected a number, "
+                        f"got a {inferred.value}",
+                    )
+            return CeprType.NUMBER
+        for arg in expr.args:
+            self.infer(arg, span)
+        return CeprType.UNKNOWN
+
+    def _infer_binary(self, expr: Binary, span: str) -> CeprType:
+        left = self.infer(expr.left, span)
+        right = self.infer(expr.right, span)
+        op = expr.op
+
+        if op in _ARITH_OPS:
+            for side, inferred in ((expr.left, left), (expr.right, right)):
+                if inferred in (CeprType.STRING, CeprType.BOOLEAN):
+                    self._report(
+                        "CEPR103",
+                        Severity.ERROR,
+                        span,
+                        f"arithmetic {op.value!r} over non-numeric operand "
+                        f"{format_expr(side)} (a {inferred.value})",
+                    )
+            return CeprType.NUMBER
+
+        if op in _ORDERING_OPS:
+            if CeprType.BOOLEAN in (left, right):
+                self._report(
+                    "CEPR108",
+                    Severity.ERROR,
+                    span,
+                    f"ordering {op.value!r} over a boolean operand; booleans "
+                    f"have no order in CEPR-QL",
+                    hint="test the boolean directly or with NOT",
+                )
+            elif _definitely_mismatched(left, right):
+                self._report(
+                    "CEPR102",
+                    Severity.ERROR,
+                    span,
+                    f"comparison {op.value!r} between a {left.value} and a "
+                    f"{right.value} raises at evaluation time",
+                    hint="compare numbers with numbers and strings with strings",
+                )
+            return CeprType.BOOLEAN
+
+        if op in _EQUALITY_OPS:
+            if _definitely_mismatched(left, right):
+                always = "false" if op is BinaryOp.EQ else "true"
+                self._report(
+                    "CEPR106",
+                    Severity.WARNING,
+                    span,
+                    f"{op.value!r} between a {left.value} and a {right.value} "
+                    f"is always {always}",
+                    hint="did you quote a number, or compare the wrong attribute?",
+                )
+            return CeprType.BOOLEAN
+
+        if op in _LOGICAL_OPS:
+            for side, inferred in ((expr.left, left), (expr.right, right)):
+                if inferred in (CeprType.NUMBER, CeprType.STRING):
+                    self._report(
+                        "CEPR105",
+                        Severity.ERROR,
+                        span,
+                        f"{op.value} operand {format_expr(side)} is a "
+                        f"{inferred.value}, not a boolean",
+                    )
+            return CeprType.BOOLEAN
+
+        return CeprType.UNKNOWN
+
+    def _infer_unary(self, expr: Unary, span: str) -> CeprType:
+        inner = self.infer(expr.operand, span)
+        if expr.op is UnaryOp.NEG:
+            if inner in (CeprType.STRING, CeprType.BOOLEAN):
+                self._report(
+                    "CEPR103",
+                    Severity.ERROR,
+                    span,
+                    f"unary '-' over non-numeric operand "
+                    f"{format_expr(expr.operand)} (a {inner.value})",
+                )
+            return CeprType.NUMBER
+        if inner in (CeprType.NUMBER, CeprType.STRING):
+            self._report(
+                "CEPR105",
+                Severity.ERROR,
+                span,
+                f"NOT operand {format_expr(expr.operand)} is a "
+                f"{inner.value}, not a boolean",
+            )
+        return CeprType.BOOLEAN
+
+    # -- reporting -----------------------------------------------------------
+
+    def _report(
+        self,
+        code: str,
+        severity: Severity,
+        span: str,
+        message: str,
+        hint: str | None = None,
+        dedupe: tuple[str, str] | None = None,
+    ) -> None:
+        key = (code, span, message) if dedupe is None else (code,) + dedupe
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.diagnostics.append(Diagnostic(code, severity, span, message, hint))
+
+
+def _definitely_mismatched(left: CeprType, right: CeprType) -> bool:
+    """Both types known, and provably incompatible for comparison."""
+    if CeprType.UNKNOWN in (left, right):
+        return False
+    return left is not right
+
+
+def check_types(
+    analyzed: AnalyzedQuery, registry: SchemaRegistry | None
+) -> list[Diagnostic]:
+    """Run type inference; no registry means nothing is provable."""
+    if registry is None:
+        return []
+    return TypeChecker(analyzed, registry).check()

@@ -30,6 +30,7 @@ from __future__ import annotations
 from typing import Union
 
 from repro.language.ast_nodes import (
+    Aggregate,
     Binary,
     BinaryOp,
     Expr,
@@ -73,8 +74,10 @@ def _try_fold(expr: Expr) -> Expr:
     """Evaluate a literal-only expression now; keep it if evaluation fails."""
     try:
         value = compile_expr(expr)(_EMPTY_CONTEXT)
-    except EvaluationError:
-        return expr  # e.g. 1/0: defer the error to runtime
+    except (EvaluationError, OverflowError):
+        # e.g. 1/0 or exp(1e9): defer the error to runtime so it surfaces
+        # on the first evaluation, not at registration.
+        return expr
     if isinstance(value, (bool, int, float, str)):
         return Literal(value)
     return expr
@@ -105,6 +108,47 @@ def _is_boolean_shaped(expr: Expr) -> bool:
     return False
 
 
+#: Built-ins whose evaluator coerces/validates to a number (or raises).
+_NUMERIC_FUNCS = frozenset(
+    {
+        "abs", "round", "floor", "ceil", "sqrt", "log", "exp", "sign",
+        "min2", "max2", "duration", "timestamp", "ts",
+    }
+)
+#: Aggregates that can only return a number (or raise): ``min``/``max``/
+#: ``first``/``last`` pass element values through and may yield strings.
+_NUMERIC_AGGS = frozenset({"count", "len", "sum", "avg"})
+
+
+def _is_numeric_shaped(expr: Expr) -> bool:
+    """Whether ``expr`` provably evaluates to a number (or raises).
+
+    Identity elision (``x + 0`` → ``x``) may only keep operands that
+    cannot silently produce a non-numeric value: the original expression
+    would have raised :class:`EvaluationError` on them, and eliding the
+    arithmetic must not swallow that error.
+    """
+    if isinstance(expr, Literal):
+        return not isinstance(expr.value, bool) and isinstance(
+            expr.value, (int, float)
+        )
+    if isinstance(expr, Unary):
+        return expr.op is UnaryOp.NEG
+    if isinstance(expr, Binary):
+        return expr.op in (
+            BinaryOp.ADD,
+            BinaryOp.SUB,
+            BinaryOp.MUL,
+            BinaryOp.DIV,
+            BinaryOp.MOD,
+        )
+    if isinstance(expr, FuncCall):
+        return expr.name in _NUMERIC_FUNCS
+    if isinstance(expr, Aggregate):
+        return expr.func in _NUMERIC_AGGS
+    return False
+
+
 def _optimize_binary(expr: Binary) -> Expr:
     left = optimize(expr.left)
     right = optimize(expr.right)
@@ -132,19 +176,21 @@ def _optimize_binary(expr: Binary) -> Expr:
     if _is_literal(left) and _is_literal(right):
         return _try_fold(rebuilt)
 
-    # x + 0, x - 0, x * 1, x / 1, x * 0 has sign/type caveats: keep the
-    # clearly safe identities only.
-    if expr.op is BinaryOp.ADD and _is_zero(right):
+    # x + 0, x - 0, x * 1, x / 1 — but only when x is numeric-shaped:
+    # the arithmetic raises on strings/booleans, and eliding it must not
+    # silently pass such a value through.  (x * 0 has sign/type caveats
+    # either way and is never elided.)
+    if expr.op is BinaryOp.ADD and _is_zero(right) and _is_numeric_shaped(left):
         return left
-    if expr.op is BinaryOp.ADD and _is_zero(left):
+    if expr.op is BinaryOp.ADD and _is_zero(left) and _is_numeric_shaped(right):
         return right
-    if expr.op is BinaryOp.SUB and _is_zero(right):
+    if expr.op is BinaryOp.SUB and _is_zero(right) and _is_numeric_shaped(left):
         return left
-    if expr.op is BinaryOp.MUL and _is_one(right):
+    if expr.op is BinaryOp.MUL and _is_one(right) and _is_numeric_shaped(left):
         return left
-    if expr.op is BinaryOp.MUL and _is_one(left):
+    if expr.op is BinaryOp.MUL and _is_one(left) and _is_numeric_shaped(right):
         return right
-    if expr.op is BinaryOp.DIV and _is_one(right):
+    if expr.op is BinaryOp.DIV and _is_one(right) and _is_numeric_shaped(left):
         return left
     return rebuilt
 

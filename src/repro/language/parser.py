@@ -305,10 +305,13 @@ class Parser:
         return RankKey(expr, direction)
 
     def _parse_limit(self) -> int:
+        # LIMIT 0 parses (so the static analyzer can report it as CEPR303
+        # with a span and fix hint); semantic analysis rejects it before
+        # anything reaches the runtime.
         token = self._expect(TokenType.NUMBER, "limit")
         value = token.value
-        if value != int(value) or value <= 0:
-            raise self._error("LIMIT must be a positive integer", token)
+        if value != int(value) or value < 0:
+            raise self._error("LIMIT must be a non-negative integer", token)
         return int(value)
 
     def _parse_emit(self) -> EmitSpec:

@@ -190,6 +190,14 @@ def analyze(query: Query, registry: SchemaRegistry | None = None) -> AnalyzedQue
     window = query.window
     emit = _default_emit(query)
 
+    if query.limit == 0:
+        # The parser accepts LIMIT 0 so the static analyzer can report it
+        # as CEPR303; the runtime must never see k=0 (an empty top-k has
+        # no kth bound and every emission would be empty).
+        raise CEPRSemanticError(
+            "LIMIT 0 keeps zero results; use a positive k or drop the "
+            "LIMIT clause"
+        )
     if rank_keys and window is None:
         raise CEPRSemanticError(
             "RANK BY requires a WITHIN window: the window defines the scope "

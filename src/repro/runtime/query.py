@@ -9,6 +9,7 @@ from __future__ import annotations
 import time
 
 from repro.engine.compiler import compile_automaton
+from repro.language.analysis import run_analysis
 from repro.engine.match import Match
 from repro.engine.matcher import PatternMatcher
 from repro.events.event import Event
@@ -40,6 +41,11 @@ class RegisteredQuery:
     ) -> None:
         self.name = name
         self.analyzed = analyzed
+        # Static analysis runs between semantic analysis and compilation;
+        # findings never block registration (errors at this level mean "the
+        # query cannot do useful work", e.g. contradictory predicates, but
+        # running it is still well-defined).  The CLI surfaces them.
+        self.diagnostics = run_analysis(analyzed, registry)
         self.automaton = compile_automaton(analyzed)
         self.scorer = Scorer(analyzed.rank_keys)
         self.ranker = Ranker(analyzed, self.scorer, lenient_errors=lenient_errors)

@@ -64,6 +64,7 @@ reproduce.
 from __future__ import annotations
 
 import dataclasses
+import logging
 import queue
 import threading
 import zlib
@@ -77,7 +78,11 @@ from repro.engine.windows import EpochTracker
 from repro.events.event import Event
 from repro.events.schema import SchemaRegistry
 from repro.events.time import LatenessBuffer, PreassignedSequencer, SequenceAssigner
-from repro.language.ast_nodes import EmitKind, Query, WindowKind
+from repro.language.analysis.shardability import (
+    ShardabilityReport,
+    certify_shardability,
+)
+from repro.language.ast_nodes import Query, WindowKind
 from repro.language.errors import CEPRSemanticError
 from repro.language.parser import parse_query
 from repro.language.semantics import AnalyzedQuery, analyze
@@ -100,30 +105,13 @@ def stable_shard(key: tuple[Any, ...], shards: int) -> int:
     return zlib.crc32(repr(key).encode("utf-8", "backslashreplace")) % shards
 
 
-def _exactly_shardable(analyzed: AnalyzedQuery) -> bool:
-    """Whether partition-hash sharding reproduces this query's output.
-
-    Tumbling emission ranks within global epochs and pass-through emission
-    reacts only to the triggering event, so both recombine exactly from
-    per-shard output.  Sliding scopes (``EMIT EVERY``, ranked ``EAGER``)
-    expire and snapshot on *every* routed event — state a shard that sees
-    only its keys' events cannot maintain — so they stay solo.  Trailing
-    negations also stay solo: their pending matches confirm at heartbeats,
-    which can re-open an epoch the merge already released and confirms in
-    an engine-internal partition order no per-shard view reproduces.
-    """
-    if not analyzed.partition_by:
-        return False
-    if any(spec.trailing for spec in analyzed.negations):
-        return False
-    kind = analyzed.emit.kind
-    if kind is EmitKind.ON_WINDOW_CLOSE:
-        return True
-    if kind is EmitKind.EAGER and not analyzed.is_ranked:
-        # Pass-through; a per-epoch LIMIT counts emissions globally, which
-        # requires the single-engine view.
-        return analyzed.limit is None or analyzed.window is None
-    return False
+# The shardability decision table lives in the static analyzer
+# (language/analysis/shardability.py): certify_shardability() reports
+# which property of a query — no PARTITION BY, trailing negation, sliding
+# emission, global LIMIT, YIELD — forces solo execution.  The runner
+# consumes the certificate at start() and logs the blockers whenever
+# ``shards > 1`` degrades to a solo engine.
+_log = logging.getLogger(__name__)
 
 
 def aggregate_matcher_stats(parts: Iterable[MatcherStats]) -> MatcherStats:
@@ -188,6 +176,10 @@ class ShardedQuery:
     def __init__(self, name: str, analyzed: AnalyzedQuery) -> None:
         self.name = name
         self.analyzed = analyzed
+        #: The analyzer's certificate: why this query can(not) be sharded.
+        self.shardability: ShardabilityReport = certify_shardability(analyzed)
+        #: True when ``shards > 1`` was requested but this query ran solo.
+        self.solo_fallback = False
         #: "sharded-tumbling" | "sharded-passthrough" | "solo"; set at start.
         self.mode: str | None = None
         self.handles: list[RegisteredQuery] = []
@@ -645,12 +637,28 @@ class ShardedEngineRunner:
         solo: list[ShardedQuery] = []
         grouped: dict[tuple[str, ...], list[ShardedQuery]] = {}
         for view in views:
-            if (
-                self.shards == 1
-                or any_yield
-                or not _exactly_shardable(view.analyzed)
-            ):
+            report = view.shardability
+            if self.shards == 1 or any_yield or not report.shardable:
                 solo.append(view)
+                # shards == 1 is not a downgrade — solo IS the request.
+                if self.shards > 1:
+                    view.solo_fallback = True
+                    if not report.shardable:
+                        reasons = "; ".join(
+                            f"{b.code}: {b.message}" for b in report.blockers
+                        )
+                    else:
+                        reasons = (
+                            "CEPR405: another query's YIELD pins the whole "
+                            "deployment to the solo engine"
+                        )
+                    _log.warning(
+                        "query %r falls back to a solo engine despite "
+                        "--shards %d (%s)",
+                        view.name,
+                        self.shards,
+                        reasons,
+                    )
             else:
                 grouped.setdefault(view.analyzed.partition_by, []).append(view)
         self._preassign = bool(grouped)
@@ -685,12 +693,7 @@ class ShardedEngineRunner:
                     )
                     for worker in workers
                 ]
-                mode = (
-                    "sharded-tumbling"
-                    if view.analyzed.emit.kind is EmitKind.ON_WINDOW_CLOSE
-                    else "sharded-passthrough"
-                )
-                view._attach(mode, handles)
+                view._attach(view.shardability.mode, handles)
                 types |= view.relevant_types
                 for event_type in view.relevant_types:
                     self._type_watchers.setdefault(event_type, []).append(view)
@@ -904,6 +907,7 @@ class ShardedEngineRunner:
                     "live_runs": view.matcher.live_run_count,
                     "partition_skips": stats.events_skipped_no_key,
                     "shards": len(view.handles),
+                    "solo_fallback": 1.0 if view.solo_fallback else 0.0,
                 }
             )
             snapshot[name] = row

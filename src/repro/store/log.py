@@ -164,8 +164,11 @@ class EventLog:
     def _seek_offset(self, start_ts: float | None) -> int:
         if start_ts is None or not self._index_ts:
             return 0
-        # rightmost index entry with timestamp <= start_ts
-        position = bisect.bisect_right(self._index_ts, start_ts) - 1
+        # Rightmost index entry with timestamp strictly below start_ts.
+        # An entry *at* start_ts cannot be used: with duplicate timestamps
+        # the indexed event may not be the first one at that instant, and
+        # seeking to it would skip its same-timestamp predecessors.
+        position = bisect.bisect_left(self._index_ts, start_ts) - 1
         if position < 0:
             return 0
         return self._index_offset[position]

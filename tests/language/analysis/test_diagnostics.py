@@ -1,0 +1,71 @@
+"""The Diagnostic record type and its helpers."""
+
+import pytest
+
+from repro.language.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    Diagnostic,
+    Severity,
+    has_errors,
+    max_severity,
+)
+
+
+class TestDiagnostic:
+    def test_unknown_code_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic("CEPR999", Severity.ERROR, "query", "nope")
+
+    def test_title_comes_from_catalogue(self):
+        d = Diagnostic("CEPR301", Severity.WARNING, "PATTERN Sell b", "unused")
+        assert d.title == DIAGNOSTIC_CODES["CEPR301"]
+
+    def test_format_without_hint(self):
+        d = Diagnostic("CEPR201", Severity.ERROR, "WHERE a.x < 5", "contradiction")
+        assert d.format() == "error   CEPR201  [WHERE a.x < 5] contradiction"
+
+    def test_format_with_hint(self):
+        d = Diagnostic(
+            "CEPR201", Severity.ERROR, "WHERE a.x < 5", "contradiction",
+            hint="drop one side",
+        )
+        assert d.format().endswith("\n        hint: drop one side")
+
+    def test_to_dict_omits_missing_hint(self):
+        d = Diagnostic("CEPR202", Severity.WARNING, "WHERE a.x >= 0", "tautology")
+        payload = d.to_dict()
+        assert payload["code"] == "CEPR202"
+        assert payload["severity"] == "warning"
+        assert "hint" not in payload
+
+    def test_to_dict_includes_hint(self):
+        d = Diagnostic(
+            "CEPR202", Severity.WARNING, "WHERE a.x >= 0", "tautology",
+            hint="remove it",
+        )
+        assert d.to_dict()["hint"] == "remove it"
+
+
+class TestSeverityHelpers:
+    def _diags(self, *severities):
+        return [
+            Diagnostic("CEPR202", severity, "query", "m") for severity in severities
+        ]
+
+    def test_max_severity(self):
+        diags = self._diags(Severity.INFO, Severity.ERROR, Severity.WARNING)
+        assert max_severity(diags) is Severity.ERROR
+
+    def test_max_severity_empty(self):
+        assert max_severity([]) is None
+
+    def test_has_errors(self):
+        assert has_errors(self._diags(Severity.WARNING, Severity.ERROR))
+        assert not has_errors(self._diags(Severity.WARNING, Severity.INFO))
+
+    def test_severity_rank_ordering(self):
+        assert Severity.ERROR.rank > Severity.WARNING.rank > Severity.INFO.rank
+
+    def test_catalogue_codes_are_well_formed(self):
+        for code in DIAGNOSTIC_CODES:
+            assert code.startswith("CEPR") and len(code) == 7

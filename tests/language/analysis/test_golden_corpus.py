@@ -1,0 +1,222 @@
+"""Golden corpus: known-bad queries must produce exactly these diagnostics.
+
+Each case pins the analyzer's output down to (code, span) pairs, so any
+change in what a check fires on — or where it points — shows up here.
+Informational diagnostics (the CEPR4xx shardability certificate) are
+excluded from the exact-match assertion; they are covered by
+``test_shardability.py``.
+"""
+
+import pytest
+
+from repro.events.schema import Domain, EventSchema, SchemaRegistry
+from repro.language.analysis import Severity, lint_text
+
+REGISTRY = SchemaRegistry(
+    [
+        EventSchema.build(
+            "Buy", symbol="str", price=("float", Domain(0, 10000)), urgent="bool"
+        ),
+        EventSchema.build("Sell", symbol="str", price="float"),
+        EventSchema.build("Cancel", symbol="str"),
+    ]
+)
+
+# (name, query, use_schema, expected {(code, span)})
+CORPUS = [
+    (
+        "syntax-error",
+        "PATTERN SEQ(",
+        False,
+        {("CEPR001", "query")},
+    ),
+    (
+        "semantic-unbound-variable",
+        "PATTERN SEQ(Buy a) WHERE z.price > 5",
+        False,
+        {("CEPR002", "query")},
+    ),
+    (
+        "unknown-attribute",
+        "PATTERN SEQ(Buy a) WHERE a.sym > 5",
+        True,
+        {("CEPR101", "WHERE a.sym > 5")},
+    ),
+    (
+        "comparison-type-mismatch",
+        "PATTERN SEQ(Buy a) WHERE a.symbol > 5",
+        True,
+        {("CEPR102", "WHERE a.symbol > 5")},
+    ),
+    (
+        "non-numeric-arithmetic",
+        "PATTERN SEQ(Buy a) WHERE a.symbol + 1 > 2",
+        True,
+        {("CEPR103", "WHERE a.symbol + 1 > 2")},
+    ),
+    (
+        "non-numeric-rank-key",
+        "PATTERN SEQ(Buy a) WHERE a.price > 0 WITHIN 10 EVENTS "
+        "RANK BY a.symbol DESC LIMIT 5",
+        True,
+        {("CEPR104", "RANK BY a.symbol")},
+    ),
+    (
+        "non-boolean-predicate",
+        "PATTERN SEQ(Buy a) WHERE a.price + 1",
+        True,
+        {("CEPR105", "WHERE a.price + 1")},
+    ),
+    (
+        "mixed-type-equality",
+        "PATTERN SEQ(Buy a) WHERE a.price == 'cheap'",
+        True,
+        {("CEPR106", "WHERE a.price == 'cheap'")},
+    ),
+    (
+        "non-numeric-function-argument",
+        "PATTERN SEQ(Buy a) WHERE sqrt(a.symbol) > 1",
+        True,
+        {("CEPR107", "WHERE sqrt(a.symbol) > 1")},
+    ),
+    (
+        "boolean-ordering",
+        "PATTERN SEQ(Buy a, Sell b) WHERE (a.price > 1) > (b.price > 2)",
+        True,
+        {("CEPR108", "WHERE (a.price > 1) > (b.price > 2)")},
+    ),
+    (
+        "contradictory-predicates",
+        "PATTERN SEQ(Buy a) WHERE a.price > 10 AND a.price < 5",
+        False,
+        {("CEPR201", "WHERE a.price < 5")},
+    ),
+    (
+        "tautology-against-domain",
+        "PATTERN SEQ(Buy a) WHERE a.price >= 0",
+        True,
+        {("CEPR202", "WHERE a.price >= 0")},
+    ),
+    (
+        "constant-true-predicate",
+        "PATTERN SEQ(Buy a) WHERE 1 < 2 AND a.price > 0",
+        False,
+        {("CEPR203", "WHERE 1 < 2")},
+    ),
+    (
+        "constant-false-predicate",
+        "PATTERN SEQ(Buy a) WHERE 1 > 2 AND a.price > 0",
+        False,
+        {("CEPR204", "WHERE 1 > 2")},
+    ),
+    (
+        "domain-contradiction",
+        "PATTERN SEQ(Buy a) WHERE a.price > 20000",
+        True,
+        {("CEPR205", "WHERE a.price > 20000")},
+    ),
+    (
+        "constant-division-by-zero",
+        "PATTERN SEQ(Buy a) WHERE a.price / 0 > 1",
+        False,
+        {("CEPR206", "WHERE a.price / 0 > 1")},
+    ),
+    (
+        "unused-variable",
+        "PATTERN SEQ(Buy a, Sell b) WHERE a.price > 5",
+        False,
+        {("CEPR301", "PATTERN Sell b")},
+    ),
+    (
+        "dead-negation-under-strict",
+        "PATTERN SEQ(Buy a, NOT Cancel c, Sell b) "
+        "WHERE a.price > 0 AND b.price > 0 AND c.symbol == 'X' USING STRICT",
+        False,
+        {("CEPR302", "NOT Cancel c")},
+    ),
+    (
+        "unsatisfiable-negation-predicates",
+        "PATTERN SEQ(Buy a, NOT Cancel c, Sell b) "
+        "WHERE a.price > 0 AND b.price > 0 AND c.price > 10 AND c.price < 5 "
+        "USING SKIP_TILL_ANY",
+        False,
+        {("CEPR302", "WHERE c.price < 5")},
+    ),
+    (
+        "zero-limit",
+        "PATTERN SEQ(Buy a) WITHIN 5 EVENTS LIMIT 0",
+        False,
+        {("CEPR303", "LIMIT 0")},
+    ),
+    (
+        "window-too-short",
+        "PATTERN SEQ(Buy a, Sell b) WHERE a.price > 0 AND b.price > 0 "
+        "WITHIN 1 EVENTS",
+        False,
+        {("CEPR304", "WITHIN 1 EVENTS")},
+    ),
+    (
+        "duplicate-predicate",
+        "PATTERN SEQ(Buy a) WHERE a.price > 5 AND a.price > 5",
+        False,
+        {("CEPR305", "WHERE a.price > 5")},
+    ),
+    (
+        "constant-rank-key",
+        "PATTERN SEQ(Buy a) WHERE a.price > 0 WITHIN 10 EVENTS "
+        "RANK BY 1 + 2 ASC LIMIT 5",
+        False,
+        {("CEPR306", "RANK BY 1 + 2")},
+    ),
+    (
+        "duplicate-rank-key",
+        "PATTERN SEQ(Buy a) WHERE a.price > 0 WITHIN 10 EVENTS "
+        "RANK BY a.price DESC, a.price ASC LIMIT 5",
+        False,
+        {("CEPR307", "RANK BY a.price")},
+    ),
+]
+
+
+def _significant(diagnostics):
+    return {
+        (d.code, d.span)
+        for d in diagnostics
+        if d.severity is not Severity.INFO
+    }
+
+
+class TestGoldenCorpus:
+    @pytest.mark.parametrize(
+        "query,use_schema,expected",
+        [case[1:] for case in CORPUS],
+        ids=[case[0] for case in CORPUS],
+    )
+    def test_exact_codes_and_spans(self, query, use_schema, expected):
+        registry = REGISTRY if use_schema else None
+        assert _significant(lint_text(query, registry)) == expected
+
+    def test_corpus_is_large_enough(self):
+        assert len(CORPUS) >= 20
+
+    def test_every_error_code_family_is_covered(self):
+        covered = {code for case in CORPUS for code, _span in case[3]}
+        for family in ("CEPR0", "CEPR1", "CEPR2", "CEPR3"):
+            assert any(code.startswith(family) for code in covered)
+
+
+class TestCleanQueries:
+    """The canonical well-formed queries produce zero diagnostics."""
+
+    CLEAN = [
+        "PATTERN SEQ(Buy a, Sell b) "
+        "WHERE a.symbol == b.symbol AND b.price > a.price "
+        "WITHIN 50 EVENTS USING SKIP_TILL_ANY PARTITION BY symbol "
+        "RANK BY b.price - a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE",
+        "PATTERN SEQ(Buy a) WHERE a.price > 100 WITHIN 10 EVENTS "
+        "PARTITION BY symbol EMIT ON WINDOW CLOSE",
+    ]
+
+    @pytest.mark.parametrize("query", CLEAN)
+    def test_no_diagnostics_at_all(self, query):
+        assert lint_text(query, REGISTRY) == []

@@ -1,0 +1,129 @@
+"""The shardability certificate: decision table and blocker codes.
+
+``certify_shardability`` replaced the runner-private ``_exactly_shardable``
+predicate; these tests pin the decision table and, unlike the old boolean,
+the *reason* each solo query cannot shard.
+"""
+
+import pytest
+
+from repro.language.analysis.shardability import certify_shardability
+from repro.language.parser import parse_query
+from repro.language.semantics import analyze
+
+
+def certify(text):
+    return certify_shardability(analyze(parse_query(text)))
+
+
+BASE = (
+    "PATTERN SEQ(Buy a, Sell b) WHERE a.symbol == b.symbol "
+    "WITHIN 50 EVENTS PARTITION BY symbol "
+)
+
+
+def blocker_codes(report):
+    return [d.code for d in report.blockers]
+
+
+class TestShardable:
+    def test_partitioned_tumbling_is_shardable(self):
+        report = certify(BASE + "RANK BY b.price DESC LIMIT 5 EMIT ON WINDOW CLOSE")
+        assert report.shardable
+        assert report.mode == "sharded-tumbling"
+        assert report.blockers == ()
+
+    def test_partitioned_eager_unranked_is_passthrough(self):
+        report = certify(
+            "PATTERN SEQ(Buy a, Sell b) WHERE a.symbol == b.symbol "
+            "PARTITION BY symbol"
+        )
+        assert report.shardable
+        assert report.mode == "sharded-passthrough"
+
+    def test_describe_shardable(self):
+        report = certify(BASE + "EMIT ON WINDOW CLOSE")
+        assert report.describe() == ["exactly shardable (sharded-tumbling)"]
+
+
+class TestSoloBlockers:
+    def test_no_partition_by(self):
+        report = certify(
+            "PATTERN SEQ(Buy a, Sell b) WHERE a.symbol == b.symbol "
+            "WITHIN 50 EVENTS EMIT ON WINDOW CLOSE"
+        )
+        assert not report.shardable
+        assert report.mode == "solo"
+        assert blocker_codes(report) == ["CEPR401"]
+
+    def test_trailing_negation(self):
+        report = certify(
+            "PATTERN SEQ(Buy a, Sell b, NOT Cancel c) "
+            "WHERE a.symbol == b.symbol WITHIN 50 EVENTS "
+            "PARTITION BY symbol EMIT ON WINDOW CLOSE"
+        )
+        assert not report.shardable
+        assert "CEPR402" in blocker_codes(report)
+
+    def test_eager_ranked_sliding_emission(self):
+        report = certify(BASE + "RANK BY b.price DESC LIMIT 5 EMIT EAGER")
+        assert not report.shardable
+        assert blocker_codes(report) == ["CEPR403"]
+
+    def test_emit_every_sliding_emission(self):
+        report = certify(BASE + "EMIT EVERY 10 EVENTS")
+        assert not report.shardable
+        assert blocker_codes(report) == ["CEPR403"]
+
+    def test_eager_unranked_with_global_limit_and_window(self):
+        report = certify(
+            "PATTERN SEQ(Buy a, Sell b) WHERE a.symbol == b.symbol "
+            "WITHIN 50 EVENTS PARTITION BY symbol LIMIT 5"
+        )
+        assert not report.shardable
+        assert blocker_codes(report) == ["CEPR404"]
+
+    def test_own_yield(self):
+        report = certify(BASE + "EMIT ON WINDOW CLOSE YIELD Spike(sym = a.symbol)")
+        assert not report.shardable
+        assert blocker_codes(report) == ["CEPR405"]
+
+    def test_blockers_accumulate(self):
+        report = certify(
+            "PATTERN SEQ(Buy a, Sell b, NOT Cancel c) "
+            "WHERE a.symbol == b.symbol WITHIN 50 EVENTS EMIT ON WINDOW CLOSE"
+        )
+        codes = blocker_codes(report)
+        assert "CEPR401" in codes and "CEPR402" in codes
+
+    def test_blockers_are_info_severity(self):
+        report = certify(BASE + "RANK BY b.price DESC LIMIT 5 EMIT EAGER")
+        assert all(d.severity.value == "info" for d in report.blockers)
+        assert all(d.span == "query" for d in report.blockers)
+
+    def test_describe_solo_lists_reasons(self):
+        report = certify(BASE + "RANK BY b.price DESC LIMIT 5 EMIT EAGER")
+        described = report.describe()
+        assert described[0] == "solo (not exactly shardable):"
+        assert any("CEPR403" in line for line in described[1:])
+
+
+class TestExplainIntegration:
+    def test_explain_renders_certificate(self):
+        from repro.runtime.engine import CEPREngine
+
+        engine = CEPREngine()
+        handle = engine.register_query(BASE + "EMIT ON WINDOW CLOSE")
+        assert "sharding: exactly shardable (sharded-tumbling)" in handle.explain()
+
+    def test_explain_renders_solo_reasons(self):
+        from repro.runtime.engine import CEPREngine
+
+        engine = CEPREngine()
+        handle = engine.register_query(
+            "PATTERN SEQ(Buy a, Sell b) WHERE a.symbol == b.symbol "
+            "WITHIN 50 EVENTS EMIT ON WINDOW CLOSE"
+        )
+        output = handle.explain()
+        assert "sharding: solo (not exactly shardable):" in output
+        assert "CEPR401" in output

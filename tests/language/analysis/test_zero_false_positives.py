@@ -1,0 +1,75 @@
+"""Zero-false-positive sweep: the analyzer stays quiet on known-good queries.
+
+Every CEPR-QL query embedded in ``examples/`` and ``benchmarks/`` is a
+working, reviewed query; the analyzer must not raise errors or warnings on
+any of them (informational shardability notes are fine).  Queries are
+extracted from string literals in the sources; f-string templates (those
+containing ``{``) are skipped, but the benchmark query *factories* are
+invoked directly so their rendered output is swept too.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.language.analysis import Severity, lint_text
+
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+_STRING_LITERAL = re.compile(r'"""(.*?)"""|\'\'\'(.*?)\'\'\'|"([^"\n]*)"', re.DOTALL)
+
+
+def _embedded_queries(source: str):
+    for match in _STRING_LITERAL.finditer(source):
+        text = next(group for group in match.groups() if group is not None)
+        if "PATTERN" not in text or "SEQ(" not in text:
+            continue
+        if "{" in text:  # f-string template; placeholders are not CEPR-QL
+            continue
+        yield text
+
+
+def _corpus():
+    cases = []
+    for directory in ("examples", "benchmarks"):
+        for path in sorted((REPO_ROOT / directory).glob("*.py")):
+            source = path.read_text()
+            for i, query in enumerate(_embedded_queries(source)):
+                cases.append(pytest.param(query, id=f"{path.name}:{i}"))
+    return cases
+
+
+def _factory_queries():
+    sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+    try:
+        import common
+    finally:
+        sys.path.pop(0)
+    return [
+        pytest.param(common.stock_rank_query(), id="stock_rank_query"),
+        pytest.param(common.stock_rank_query(k=None), id="stock_rank_query-unlimited"),
+        pytest.param(common.generic_rank_query(), id="generic_rank_query"),
+        pytest.param(common.kleene_rank_query(), id="kleene_rank_query"),
+    ]
+
+
+def _significant(query):
+    return [
+        d for d in lint_text(query) if d.severity is not Severity.INFO
+    ]
+
+
+class TestNoFalsePositives:
+    @pytest.mark.parametrize("query", _corpus())
+    def test_embedded_queries_are_clean(self, query):
+        assert _significant(query) == []
+
+    @pytest.mark.parametrize("query", _factory_queries())
+    def test_benchmark_factories_are_clean(self, query):
+        assert _significant(query) == []
+
+    def test_sweep_found_queries(self):
+        # Guard against the extractor silently matching nothing.
+        assert len(_corpus()) >= 10

@@ -113,10 +113,15 @@ class TestOtherClauses:
     def test_limit(self):
         assert parse_query("PATTERN SEQ(A a) WITHIN 5 EVENTS LIMIT 7").limit == 7
 
-    @pytest.mark.parametrize("bad", ["0", "-1", "2.5"])
+    @pytest.mark.parametrize("bad", ["-1", "2.5"])
     def test_invalid_limit(self, bad):
         with pytest.raises(CEPRSyntaxError):
             parse_query(f"PATTERN SEQ(A a) LIMIT {bad}")
+
+    def test_limit_zero_parses(self):
+        # Accepted by the grammar so the analyzer can point at the clause
+        # (CEPR303); rejected later by semantic analysis.
+        assert parse_query("PATTERN SEQ(A a) LIMIT 0").limit == 0
 
     def test_emit_on_window_close(self):
         query = parse_query("PATTERN SEQ(A a) WITHIN 5 EVENTS EMIT ON WINDOW CLOSE")

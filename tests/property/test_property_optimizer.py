@@ -90,3 +90,63 @@ class TestOptimizerEquivalence:
         before = sum(1 for _ in iter_subexpressions(expr))
         after = sum(1 for _ in iter_subexpressions(optimize(expr)))
         assert after <= before
+
+
+def identity_shapes() -> st.SearchStrategy[Expr]:
+    """Expressions shaped exactly like the algebraic-identity rewrites.
+
+    The general generator rarely hits ``x + 0`` / ``x * 1`` / ``x / 0``
+    with a non-numeric ``x``; this directed generator makes those shapes —
+    where the elision soundness bug lived — the whole search space.
+    """
+    inner = st.one_of(
+        st.sampled_from(["x", "y"]).map(lambda attr: AttrRef("a", attr)),
+        values.map(Literal),
+        st.sampled_from(["x", "y"]).map(
+            lambda attr: FuncCall("abs", (AttrRef("a", attr),))
+        ),
+    )
+    zero_or_one = st.sampled_from([Literal(0), Literal(1), Literal(0.0), Literal(1.0)])
+    ops = st.sampled_from(
+        [BinaryOp.ADD, BinaryOp.SUB, BinaryOp.MUL, BinaryOp.DIV, BinaryOp.MOD]
+    )
+
+    def build(op, x, unit, flipped):
+        return Binary(op, unit, x) if flipped else Binary(op, x, unit)
+
+    return st.builds(build, ops, inner, zero_or_one, st.booleans())
+
+
+class TestFoldSoundness:
+    """Regression suite for the identity-elision and fold-error bugs."""
+
+    @given(identity_shapes(), values, values)
+    @settings(max_examples=200, deadline=None)
+    def test_identity_shapes_preserve_outcome(self, expr, x, y):
+        ctx = EvalContext(bindings={"a": Event("A", 0.0, x=x, y=y)})
+        assert outcome(expr, ctx) == outcome(optimize(expr), ctx), (
+            f"{expr} -> {optimize(expr)}"
+        )
+
+    def test_string_plus_zero_still_raises(self):
+        expr = Binary(BinaryOp.ADD, AttrRef("a", "x"), Literal(0))
+        optimized = optimize(expr)
+        ctx = EvalContext(bindings={"a": Event("A", 0.0, x="alpha")})
+        assert outcome(optimized, ctx) == ("error",)
+
+    def test_numeric_shaped_operand_still_elides(self):
+        expr = Binary(
+            BinaryOp.ADD, FuncCall("abs", (AttrRef("a", "x"),)), Literal(0)
+        )
+        assert optimize(expr) == FuncCall("abs", (AttrRef("a", "x"),))
+
+    def test_division_by_zero_literal_not_folded(self):
+        expr = Binary(BinaryOp.DIV, Literal(1), Literal(0))
+        assert optimize(expr) == expr
+
+    def test_overflowing_fold_deferred_to_runtime(self):
+        # exp(1000) overflows float; optimisation must not crash, and the
+        # error must still surface on evaluation.
+        expr = FuncCall("exp", (Literal(1000),))
+        optimized = optimize(expr)
+        assert optimized == expr

@@ -210,3 +210,131 @@ class TestRunSharded:
         )
         assert code == 1
         assert "error:" in output
+
+
+SCHEMA_JSON = """
+{
+  "Buy":  {"symbol": "str", "price": {"dtype": "float", "domain": [0, 10000]}},
+  "Sell": {"symbol": "str", "price": "float"}
+}
+"""
+
+
+@pytest.fixture
+def schema_file(tmp_path):
+    path = tmp_path / "registry.json"
+    path.write_text(SCHEMA_JSON)
+    return path
+
+
+class TestLint:
+    def _write(self, tmp_path, text, name="q.ceprql"):
+        path = tmp_path / name
+        path.write_text(text)
+        return path
+
+    def test_query_with_only_infos_passes(self, query_file):
+        # The fixture query is unpartitioned: the shardability certificate
+        # shows as info, which neither fails the lint nor counts as a problem.
+        code, output = run_cli("lint", str(query_file))
+        assert code == 0
+        assert "CEPR401" in output
+        assert "no problems" in output
+
+    def test_clean_query(self, tmp_path):
+        clean = self._write(
+            tmp_path,
+            "PATTERN SEQ(Buy a, Sell b) "
+            "WHERE a.symbol == b.symbol AND b.price > a.price "
+            "WITHIN 50 EVENTS PARTITION BY symbol "
+            "RANK BY b.price - a.price DESC LIMIT 5 EMIT ON WINDOW CLOSE",
+        )
+        code, output = run_cli("lint", str(clean))
+        assert code == 0
+        assert f"{clean}: clean" in output
+        assert "no problems" in output
+
+    def test_error_sets_exit_code(self, tmp_path):
+        bad = self._write(
+            tmp_path, "PATTERN SEQ(Buy a) WHERE a.price > 10 AND a.price < 5"
+        )
+        code, output = run_cli("lint", str(bad))
+        assert code == 1
+        assert "CEPR201" in output
+        assert "1 problem(s) (1 error(s), 0 warning(s))" in output
+
+    def test_warnings_do_not_fail(self, tmp_path):
+        warn = self._write(
+            tmp_path, "PATTERN SEQ(Buy a) WHERE a.price > 5 AND a.price > 5"
+        )
+        code, output = run_cli("lint", str(warn))
+        assert code == 0
+        assert "CEPR305" in output
+        assert "warning" in output
+
+    def test_syntax_error_is_a_diagnostic(self, tmp_path):
+        bad = self._write(tmp_path, "PATTERN SEQ(")
+        code, output = run_cli("lint", str(bad))
+        assert code == 1
+        assert "CEPR001" in output
+
+    def test_schema_enables_type_checks(self, tmp_path, schema_file):
+        bad = self._write(tmp_path, "PATTERN SEQ(Buy a) WHERE a.sym == 'X'")
+        code, without = run_cli("lint", str(bad))
+        assert code == 0
+        assert "CEPR101" not in without
+        code, with_schema = run_cli(
+            "lint", str(bad), "--schema", str(schema_file)
+        )
+        assert code == 1
+        assert "CEPR101" in with_schema
+        assert "declared attributes: price, symbol" in with_schema
+
+    def test_json_output(self, tmp_path):
+        bad = self._write(tmp_path, "PATTERN SEQ(Buy a, Sell b) WITHIN 1 EVENTS LIMIT 0")
+        code, output = run_cli("lint", "--json", str(bad))
+        assert code == 1
+        payload = json.loads(output)
+        assert payload[0]["file"] == str(bad)
+        codes = [d["code"] for d in payload[0]["diagnostics"]]
+        assert codes == ["CEPR303"]
+        assert payload[0]["diagnostics"][0]["span"] == "LIMIT 0"
+
+    def test_multiple_files_aggregate(self, tmp_path, query_file):
+        bad = self._write(tmp_path, "PATTERN SEQ(", name="bad.ceprql")
+        code, output = run_cli("lint", str(query_file), str(bad))
+        assert code == 1
+        assert str(query_file) in output
+        assert "CEPR001" in output
+
+    def test_bad_schema_file_reports_error(self, tmp_path, query_file):
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        code, output = run_cli(
+            "lint", str(query_file), "--schema", str(broken)
+        )
+        assert code == 1
+        assert "error:" in output
+
+
+class TestStartupDiagnostics:
+    def test_run_prints_warnings_to_stderr(self, tmp_path, events_file, capsys):
+        query = tmp_path / "warned.ceprql"
+        query.write_text(
+            "PATTERN SEQ(Buy a) WHERE a.price > 5 AND a.price > 5"
+        )
+        code, output = run_cli(
+            "run", str(query), "--events", str(events_file), "--output", "jsonl"
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "CEPR305" in captured.err
+        # results channel stays clean
+        assert "CEPR305" not in output
+
+    def test_clean_query_prints_nothing(self, query_file, events_file, capsys):
+        code, _output = run_cli(
+            "run", str(query_file), "--events", str(events_file)
+        )
+        assert code == 0
+        assert capsys.readouterr().err == ""
