@@ -152,6 +152,35 @@ def run_cepr(
     )
 
 
+def run_observability(
+    query: str,
+    events: list[Event],
+    registry: SchemaRegistry | None = None,
+    tracing: bool = False,
+    enable_profiling: bool = True,
+) -> RunResult:
+    """Run the full engine facade under a given observability configuration.
+
+    ``enable_profiling=False`` is the bare baseline (single whole-pipeline
+    latency measurement); the default config adds per-stage timing; and
+    ``tracing=True`` additionally records a span per pipeline step.
+    """
+    stream = fresh_events(events)
+    engine = CEPREngine(
+        registry=registry, tracing=tracing, enable_profiling=enable_profiling
+    )
+    handle = engine.register_query(query, collect_results=False)
+    started = time.perf_counter()
+    engine.run(stream)
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=handle.metrics.matches,
+        emissions=handle.metrics.emissions,
+    )
+
+
 def run_match_then_rank(
     query: str, events: list[Event], registry: SchemaRegistry | None = None
 ) -> RunResult:

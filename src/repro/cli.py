@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands:
+Seven commands:
 
 * ``validate`` — parse and analyse a query file, print its evaluation plan.
 * ``lint`` — statically analyse query files and report coded diagnostics
@@ -9,19 +9,29 @@ Five commands:
   enable schema-aware checks.  Exits non-zero when any error is found.
 * ``run`` — evaluate one or more query files over a recorded event stream
   (JSONL or CSV), printing ranked results as text or JSON lines.
+* ``stats`` — replay a stream and export the engine's metrics registry as
+  Prometheus text (``--prom``), JSON (``--json``), or a plain table;
+  ``--watch`` renders the live monitor while the replay runs.
+* ``trace`` — replay a stream with span tracing enabled and print the full
+  provenance of an emission (events bound per variable, rank keys, and the
+  run-lifecycle competition that led to it).
 * ``backtest`` — replay a time slice of a recorded event log against one
   or more candidate queries and compare their result counts.
 * ``demo`` — generate a seeded synthetic workload to a JSONL file, for use
   with ``run``/``backtest``.
 
-``run`` and ``backtest`` print analyzer warnings for each query to stderr
-at startup (results on stdout are unaffected).
+``run``, ``stats``, ``trace``, and ``backtest`` report analyzer warnings
+for each query through :mod:`repro.observability.log` at startup (stderr
+by default; results on stdout are unaffected).  ``--log-json`` switches
+all operational logging to JSON lines.
 
 Examples::
 
     python -m repro demo stock --events 10000 --out ticks.jsonl
     python -m repro lint query.ceprql --schema registry.json
     python -m repro run query.ceprql --events ticks.jsonl
+    python -m repro stats query.ceprql --events ticks.jsonl --prom
+    python -m repro trace query.ceprql --events ticks.jsonl
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ from typing import Iterable, TextIO
 from repro.events.event import Event
 from repro.events.sources import CSVSource, JSONLSource, write_jsonl
 from repro.language.errors import CEPRError
+from repro.observability.log import configure_logging, get_logger
 from repro.ranking.emission import Emission
 from repro.runtime.engine import CEPREngine
 from repro.runtime.serialize import emission_to_line
@@ -42,6 +53,8 @@ from repro.workloads.generic import GenericWorkload
 from repro.workloads.sensor import VitalsWorkload
 from repro.workloads.stock import StockWorkload
 from repro.workloads.traffic import TrafficWorkload
+
+_log = get_logger(__name__)
 
 _WORKLOADS = {
     "clickstream": ClickstreamWorkload,
@@ -56,6 +69,20 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="CEPR: ranked pattern matching over event streams",
+        # Abbreviation would make subcommand options like `backtest --log`
+        # ambiguous against the global --log-* flags during classification.
+        allow_abbrev=False,
+    )
+    parser.add_argument(
+        "--log-level",
+        default="warning",
+        choices=("debug", "info", "warning", "error"),
+        help="operational log threshold (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit operational logs as JSON lines instead of text",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -107,6 +134,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="run partitioned queries across N worker shards (default: 1)",
     )
 
+    stats = commands.add_parser(
+        "stats", help="replay a stream and export engine metrics"
+    )
+    stats.add_argument("query_files", nargs="+", type=Path)
+    stats.add_argument(
+        "--events", required=True, type=Path, help="JSONL or CSV event file"
+    )
+    stats.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replay partitioned queries across N worker shards (default: 1)",
+    )
+    stats_format = stats.add_mutually_exclusive_group()
+    stats_format.add_argument(
+        "--prom",
+        action="store_true",
+        help="export as Prometheus text exposition (version 0.0.4)",
+    )
+    stats_format.add_argument(
+        "--json",
+        action="store_true",
+        help="export as a JSON document",
+    )
+    stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="render the live monitor while the replay runs",
+    )
+    stats.add_argument(
+        "--refresh",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="monitor refresh interval for --watch (default: 0.5)",
+    )
+
+    trace = commands.add_parser(
+        "trace", help="replay a stream and print emission provenance"
+    )
+    trace.add_argument("query_files", nargs="+", type=Path)
+    trace.add_argument(
+        "--events", required=True, type=Path, help="JSONL or CSV event file"
+    )
+    trace.add_argument(
+        "--query",
+        default=None,
+        metavar="NAME",
+        help="only trace emissions of this query (default: all queries)",
+    )
+    trace_select = trace.add_mutually_exclusive_group()
+    trace_select.add_argument(
+        "--emission",
+        type=int,
+        default=-1,
+        metavar="INDEX",
+        help="which emission to trace, 0-based; negatives count from the "
+        "end (default: -1, the last)",
+    )
+    trace_select.add_argument(
+        "--all", action="store_true", help="trace every emission"
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit traces as JSON instead of text",
+    )
+
     backtest = commands.add_parser(
         "backtest", help="replay a slice of a recorded event log"
     )
@@ -136,6 +232,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(level=args.log_level, json_lines=args.log_json)
     try:
         if args.command == "validate":
             return _cmd_validate(args, out)
@@ -143,6 +240,10 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
             return _cmd_lint(args, out)
         if args.command == "run":
             return _cmd_run(args, out)
+        if args.command == "stats":
+            return _cmd_stats(args, out)
+        if args.command == "trace":
+            return _cmd_trace(args, out)
         if args.command == "backtest":
             return _cmd_backtest(args, out)
         return _cmd_demo(args, out)
@@ -211,16 +312,26 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _report_diagnostics(label: str, diagnostics) -> None:
-    """Print non-info analyzer findings to stderr (stdout carries results)."""
+    """Log non-info analyzer findings (stdout carries results only)."""
+    import logging
+
     from repro.language.analysis import Severity
 
     for diagnostic in diagnostics:
         if diagnostic.severity is Severity.INFO:
             continue
-        print(
-            f"{diagnostic.severity.value}: {label}: {diagnostic.code} "
-            f"[{diagnostic.span}] {diagnostic.message}",
-            file=sys.stderr,
+        level = (
+            logging.ERROR
+            if diagnostic.severity is Severity.ERROR
+            else logging.WARNING
+        )
+        _log.log(
+            level,
+            "%s: %s [%s] %s",
+            label,
+            diagnostic.code,
+            diagnostic.span,
+            diagnostic.message,
         )
 
 
@@ -304,6 +415,176 @@ def _print_stats(stats_by_query: dict, out: TextIO) -> None:
             f"pruned={stats['runs_pruned']:.0f}",
             file=out,
         )
+
+
+def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
+    if args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1:
+        registry = _stats_sharded(args, out)
+    else:
+        registry = _stats_single(args, out)
+    _export_registry(registry, args, out)
+    return 0
+
+
+def _stats_single(args: argparse.Namespace, out: TextIO):
+    engine = CEPREngine()
+    for path in args.query_files:
+        handle = engine.register_query(path.read_text(), name=path.stem)
+        _report_diagnostics(str(path), handle.diagnostics)
+    if args.watch:
+        from repro.runtime.concurrent import ThreadedEngineRunner
+
+        runner = ThreadedEngineRunner(engine).start()
+        try:
+            _watch_replay(engine, runner.submit, _load_events(args.events),
+                          args.refresh, out)
+        finally:
+            runner.stop()
+        _render_monitor_frame(engine, out)
+        return runner.metrics_registry()
+    for event in _load_events(args.events):
+        engine.push(event)
+    engine.flush()
+    return engine.metrics_registry()
+
+
+def _stats_sharded(args: argparse.Namespace, out: TextIO):
+    from repro.language.analysis import run_analysis
+    from repro.runtime.sharded import ShardedEngineRunner
+
+    runner = ShardedEngineRunner(shards=args.shards)
+    for path in args.query_files:
+        view = runner.register_query(path.read_text(), name=path.stem)
+        _report_diagnostics(str(path), run_analysis(view.analyzed))
+    runner.start()
+    try:
+        if args.watch:
+            _watch_replay(runner, runner.submit, _load_events(args.events),
+                          args.refresh, out)
+        else:
+            runner.submit_all(_load_events(args.events))
+        runner.flush()
+    finally:
+        runner.stop()
+    if args.watch:
+        _render_monitor_frame(runner, out)
+    return runner.metrics_registry()
+
+
+def _watch_replay(source, submit, events: Iterable[Event],
+                  refresh: float, out: TextIO) -> None:
+    """Render the live monitor while a producer thread replays the stream."""
+    import threading
+
+    from repro.runtime.monitor import Monitor
+
+    failures: list[BaseException] = []
+    done = threading.Event()
+
+    def produce() -> None:
+        try:
+            for event in events:
+                submit(event)
+        except BaseException as exc:
+            failures.append(exc)
+        finally:
+            done.set()
+
+    monitor = Monitor(source)
+    clear = bool(getattr(out, "isatty", lambda: False)())
+    thread = threading.Thread(target=produce, daemon=True)
+    thread.start()
+    while not done.wait(refresh):
+        monitor.run_live(iterations=1, out=out, clear=clear)
+    thread.join()
+    if failures:
+        raise failures[0]
+
+
+def _render_monitor_frame(source, out: TextIO) -> None:
+    from repro.runtime.monitor import Monitor
+
+    clear = bool(getattr(out, "isatty", lambda: False)())
+    Monitor(source).run_live(iterations=1, out=out, clear=clear)
+
+
+def _export_registry(registry, args: argparse.Namespace, out: TextIO) -> None:
+    import json
+
+    if args.prom:
+        out.write(registry.to_prometheus())
+        return
+    if args.json:
+        print(json.dumps(registry.to_json(), indent=2), file=out)
+        return
+    print(f"-- metrics ({registry.namespace}) --", file=out)
+    for sample in registry.collect():
+        labels = ",".join(
+            f"{key}={value}" for key, value in sorted(sample.labels.items())
+        )
+        series = f"{sample.name}{{{labels}}}" if labels else sample.name
+        if sample.kind == "histogram":
+            quantiles = " ".join(
+                f"p{quantile * 100:g}={value:g}"
+                for quantile, value in sorted(sample.quantiles.items())
+            )
+            detail = f"count={sample.count} sum={sample.value:g}"
+            print(f"  {series} {detail} {quantiles}".rstrip(), file=out)
+        else:
+            print(f"  {series} {sample.value:g}", file=out)
+
+
+def _cmd_trace(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    engine = CEPREngine(tracing=True)
+    names = set()
+    for path in args.query_files:
+        handle = engine.register_query(path.read_text(), name=path.stem)
+        _report_diagnostics(str(path), handle.diagnostics)
+        names.add(handle.name)
+    if args.query is not None and args.query not in names:
+        raise ValueError(
+            f"--query {args.query!r} does not name a registered query "
+            f"(have: {', '.join(sorted(names))})"
+        )
+
+    emissions: list[Emission] = []
+    for event in _load_events(args.events):
+        emissions.extend(engine.push(event))
+    emissions.extend(engine.flush())
+    if args.query is not None:
+        emissions = [
+            emission
+            for emission in emissions
+            if emission.ranking and emission.ranking[0].query_name == args.query
+        ]
+    if not emissions:
+        print("(no emissions to trace)", file=out)
+        return 1
+
+    if args.all:
+        targets = emissions
+    else:
+        try:
+            targets = [emissions[args.emission]]
+        except IndexError:
+            raise ValueError(
+                f"--emission {args.emission} out of range: "
+                f"{len(emissions)} emission(s) were produced"
+            ) from None
+
+    if args.json:
+        payload = [engine.trace(emission).to_dict() for emission in targets]
+        print(json.dumps(payload, indent=2), file=out)
+        return 0
+    for position, emission in enumerate(targets):
+        if position:
+            print("", file=out)
+        print(engine.trace(emission).describe(), file=out)
+    return 0
 
 
 def _cmd_backtest(args: argparse.Namespace, out: TextIO) -> int:

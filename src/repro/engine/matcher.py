@@ -48,9 +48,17 @@ from repro.language.ast_nodes import SelectionStrategy
 from repro.language.errors import EvaluationError
 from repro.language.expressions import EvalContext, Evaluator, evaluate_predicate
 from repro.language.semantics import NegationSpec
+from repro.observability.tracing import SpanKind, Tracer
 
 #: ``prune_hook(run, latest_event) -> True`` discards the partial run.
 PruneHook = Callable[[Run, Event], bool]
+
+# Span kinds pre-bound so traced hot paths skip the enum attribute lookup.
+_RUN_CREATE = SpanKind.RUN_CREATE
+_RUN_EXTEND = SpanKind.RUN_EXTEND
+_RUN_KILL = SpanKind.RUN_KILL
+_NFA_TRANSITION = SpanKind.NFA_TRANSITION
+_MATCH = SpanKind.MATCH
 
 
 @dataclass
@@ -113,6 +121,10 @@ class PatternMatcher:
         #: ``stats.evaluation_errors``.
         self.lenient_errors = lenient_errors
         self.stats = MatcherStats()
+        #: Attached by the observability layer when tracing is enabled;
+        #: every hot-path record site guards on ``is not None`` so the
+        #: disabled cost is one attribute load per site.
+        self.tracer: Tracer | None = None
         self.tumbling = tumbling
         if tumbling and automaton.window is None:
             raise ValueError("tumbling evaluation requires a WITHIN window")
@@ -235,13 +247,25 @@ class PatternMatcher:
         epoch = self._epochs.epoch_of(event) if self._epochs is not None else None
 
         survivors: list[Run] = []
+        tracer = self.tracer
         for run in partition.runs:
             dead = run.window_excludes(event)
+            reason = "expired" if dead else "epoch"
             if not dead and epoch is not None:
                 assert self._epochs is not None
                 dead = self._epochs.epoch_of_point(run.first_seq, run.first_ts) < epoch
             if dead:
                 self.stats.runs_expired += 1
+                if tracer is not None:
+                    tracer.record(
+                        _RUN_KILL,
+                        event.seq,
+                        event.timestamp,
+                        self.query_name,
+                        partition=run.partition_key,
+                        reason=reason,
+                        stage=run.stage,
+                    )
             else:
                 survivors.append(run)
         partition.runs = survivors
@@ -275,6 +299,7 @@ class PatternMatcher:
 
         # Trailing negations only ever threaten pending matches: their guard
         # opens at completion, which is exactly when a run becomes pending.
+        tracer = self.tracer
         if partition.pendings and self._trailing_negations:
             survivors: list[_Pending] = []
             for pending in partition.pendings:
@@ -283,6 +308,16 @@ class PatternMatcher:
                     survivors.append(pending)
                 elif self._pending_violated(pending, event):
                     self.stats.pending_killed += 1
+                    if tracer is not None:
+                        tracer.record(
+                            _RUN_KILL,
+                            event.seq,
+                            event.timestamp,
+                            self.query_name,
+                            partition=pending.run.partition_key,
+                            reason="negation",
+                            pending=True,
+                        )
                 else:
                     survivors.append(pending)
             partition.pendings = survivors
@@ -299,6 +334,16 @@ class PatternMatcher:
             outcome = self._check_internal_negations(run, event)
             if outcome is None:
                 self.stats.runs_killed_negation += 1
+                if tracer is not None:
+                    tracer.record(
+                        _RUN_KILL,
+                        event.seq,
+                        event.timestamp,
+                        self.query_name,
+                        partition=run.partition_key,
+                        reason="negation",
+                        stage=run.stage,
+                    )
                 continue
             new_runs.append(outcome)
         partition.runs = new_runs
@@ -372,12 +417,23 @@ class PatternMatcher:
     ) -> None:
         strategy = self.automaton.strategy
         next_runs: list[Run] = []
+        tracer = self.tracer
 
         for run in partition.runs:
             options, consumed = self._options_for(run, event, completed)
             if not consumed:
                 if strategy is SelectionStrategy.STRICT:
                     self.stats.runs_killed_strict += 1
+                    if tracer is not None:
+                        tracer.record(
+                            _RUN_KILL,
+                            event.seq,
+                            event.timestamp,
+                            self.query_name,
+                            partition=run.partition_key,
+                            reason="strict",
+                            stage=run.stage,
+                        )
                 else:
                     next_runs.append(run)
                 continue
@@ -405,6 +461,15 @@ class PatternMatcher:
             return
         run = new_run(self.automaton, event, key, self._tracked_attrs)
         self.stats.runs_created += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                _RUN_CREATE,
+                event.seq,
+                event.timestamp,
+                self.query_name,
+                partition=key,
+                stage=0,
+            )
         if run.is_complete:  # single-element singleton pattern
             self._try_complete(run, completed)
             return
@@ -437,6 +502,16 @@ class PatternMatcher:
             ):
                 extended = run.extend_kleene(stage, event)
                 self.stats.runs_extended += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        _RUN_EXTEND,
+                        event.seq,
+                        event.timestamp,
+                        self.query_name,
+                        partition=run.partition_key,
+                        stage=run.stage,
+                        transition="take",
+                    )
                 consumed = True
                 if run.stage == self._last_stage_index:
                     # Trailing Kleene: every accepted prefix is a candidate
@@ -456,7 +531,9 @@ class PatternMatcher:
                     )
                     if advanced is not None:
                         consumed = True
-                        self._register_partial(advanced, next_stage, options, completed)
+                        self._register_partial(
+                            advanced, next_stage, event, options, completed
+                        )
             return options, consumed
 
         # Awaiting the current stage's first (or only) event.
@@ -466,17 +543,32 @@ class PatternMatcher:
             bound = self._try_bind_stage(run, stage, event)
             if bound is not None:
                 consumed = True
-                self._register_partial(bound, stage, options, completed)
+                self._register_partial(bound, stage, event, options, completed)
         return options, consumed
 
     def _register_partial(
-        self, run: Run, stage: Stage, options: list[Run], completed: list[Match]
+        self,
+        run: Run,
+        stage: Stage,
+        event: Event,
+        options: list[Run],
+        completed: list[Match],
     ) -> None:
         """Route a freshly extended run to completion and/or the run list."""
         if run.is_complete:
             self._try_complete(run, completed)
             return
         self.stats.runs_extended += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                _RUN_EXTEND,
+                event.seq,
+                event.timestamp,
+                self.query_name,
+                partition=run.partition_key,
+                stage=stage.index,
+                transition="bind",
+            )
         if run.kleene_open and stage.index == self._last_stage_index:
             # First element of a trailing Kleene: candidate prefix match.
             self._try_complete(run.close_kleene(), completed)
@@ -487,13 +579,25 @@ class PatternMatcher:
         if stage.is_kleene:
             if not self._kleene_accepts(run, stage, event):
                 return None
-            return run.extend_kleene(stage, event)
-        variable = stage.variable.name
-        for predicate in stage.bind_predicates:
-            ctx = run.context(current_var=variable, current_event=event)
-            if not self._predicate_holds(predicate.evaluator, ctx):
-                return None
-        return run.bind_singleton(stage, event)
+            bound = run.extend_kleene(stage, event)
+        else:
+            variable = stage.variable.name
+            for predicate in stage.bind_predicates:
+                ctx = run.context(current_var=variable, current_event=event)
+                if not self._predicate_holds(predicate.evaluator, ctx):
+                    return None
+            bound = run.bind_singleton(stage, event)
+        if self.tracer is not None:
+            self.tracer.record(
+                _NFA_TRANSITION,
+                event.seq,
+                event.timestamp,
+                self.query_name,
+                partition=run.partition_key,
+                stage=stage.index,
+                variable=stage.variable.name,
+            )
+        return bound
 
     def _kleene_accepts(self, run: Run, stage: Stage, event: Event) -> bool:
         variable = stage.variable.name
@@ -528,7 +632,18 @@ class PatternMatcher:
         match = run.to_match(self._detection_counter, self.query_name)
         self._detection_counter += 1
         self.stats.matches_completed += 1
-        if self._trailing_negations:
+        parked = bool(self._trailing_negations)
+        if self.tracer is not None:
+            self.tracer.record(
+                _MATCH,
+                match.last_seq,
+                match.last_ts,
+                self.query_name,
+                partition=run.partition_key,
+                detection_index=match.detection_index,
+                pending=parked,
+            )
+        if parked:
             partition = self._partitions.setdefault(run.partition_key, _Partition())
             partition.pendings.append(_Pending(match=match, run=run))
             self.stats.pending_created += 1
@@ -542,5 +657,15 @@ class PatternMatcher:
             return True
         if self.prune_hook(run, event):
             self.stats.runs_pruned += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    _RUN_KILL,
+                    event.seq,
+                    event.timestamp,
+                    self.query_name,
+                    partition=run.partition_key,
+                    reason="pruned",
+                    stage=run.stage,
+                )
             return False
         return True

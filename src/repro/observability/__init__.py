@@ -1,0 +1,60 @@
+"""End-to-end observability: tracing, metrics, profiling, logging.
+
+This package is the engine's window into itself, built from three pillars
+(all zero-dependency, all safe to import from hot paths):
+
+* :mod:`repro.observability.tracing` — span-level tracing of the match
+  pipeline (``route → nfa_transition → run_create/extend/kill → match →
+  rank → emit``) plus per-emission *provenance*: which events fed a match,
+  which rank keys scored it, and which runs were pruned en route.  Off by
+  default; enabling it is a module-level switch so the disabled cost is a
+  handful of ``is None`` checks.
+* :mod:`repro.observability.registry` — a typed metrics registry
+  (counters, gauges, histograms) every runtime component registers into,
+  exported as a JSON snapshot or Prometheus text exposition
+  (``cepr stats --prom``).
+* :mod:`repro.observability.profiling` — per-query per-stage wall-time
+  accounting (match vs. rank vs. emit), rendered by the monitor and
+  ``explain()``.
+
+:mod:`repro.observability.log` rounds the package out with structured
+(JSON or text) logging used by the CLI and the sharded runtime.
+"""
+
+from repro.observability.log import configure_logging, get_logger
+from repro.observability.profiling import StageProfile, StageTimer
+from repro.observability.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.observability.tracing import (
+    EmissionTrace,
+    MatchProvenance,
+    Span,
+    SpanKind,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    tracing_enabled,
+)
+
+__all__ = [
+    "Counter",
+    "EmissionTrace",
+    "Gauge",
+    "Histogram",
+    "MatchProvenance",
+    "MetricsRegistry",
+    "Span",
+    "SpanKind",
+    "StageProfile",
+    "StageTimer",
+    "Tracer",
+    "configure_logging",
+    "disable_tracing",
+    "enable_tracing",
+    "get_logger",
+    "tracing_enabled",
+]

@@ -1,0 +1,134 @@
+"""Structured logging for the CLI and the runtime.
+
+Everything operational the system says out-of-band (analyzer startup
+warnings, solo-fallback downgrades, watch-mode notes) goes through the
+standard :mod:`logging` tree under the ``repro.*`` namespace instead of
+bare ``print(..., file=sys.stderr)``.  :func:`configure_logging` installs
+one handler on the ``repro`` root logger rendering either human text
+(``warning: message``) or JSON lines (``{"level": "warning", ...}``).
+
+Two deliberate choices:
+
+* The default handler resolves ``sys.stderr`` **at emit time**, not at
+  configuration time, so stream redirection (tests, daemons re-opening
+  descriptors) is always honoured.
+* Configuration is idempotent and replaceable: calling
+  :func:`configure_logging` again swaps the handler/format instead of
+  stacking duplicates — the CLI reconfigures per invocation.
+
+Library use without configuration keeps stock logging behaviour
+(records propagate to the root logger), so embedding applications stay in
+control of their own logging setup.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+from typing import Any, TextIO
+
+_ROOT_LOGGER = "repro"
+_HANDLER_FLAG = "_repro_observability_handler"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.*`` logger for a module (qualifies bare names)."""
+    if name != _ROOT_LOGGER and not name.startswith(_ROOT_LOGGER + "."):
+        name = f"{_ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+class _DynamicStderrHandler(logging.StreamHandler):
+    """StreamHandler that re-reads ``sys.stderr`` on every emit."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stderr)
+
+    @property
+    def stream(self) -> TextIO:  # type: ignore[override]
+        return sys.stderr
+
+    @stream.setter
+    def stream(self, value: TextIO) -> None:  # the base __init__ assigns it
+        pass
+
+
+class TextFormatter(logging.Formatter):
+    """``level: message`` lines, with structured extras appended."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        fields = getattr(record, "data", None)
+        if fields:
+            rendered = " ".join(f"{key}={value}" for key, value in fields.items())
+            message = f"{message} ({rendered})"
+        line = f"{record.levelname.lower()}: {message}"
+        if record.exc_info:
+            line += "\n" + self.formatException(record.exc_info)
+        return line
+
+
+class JSONFormatter(logging.Formatter):
+    """One JSON object per record: level, logger, message, extras."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict[str, Any] = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        fields = getattr(record, "data", None)
+        if fields:
+            payload["data"] = fields
+        if record.exc_info:
+            payload["exc_info"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def configure_logging(
+    level: int | str = logging.WARNING,
+    json_lines: bool = False,
+    stream: TextIO | None = None,
+) -> logging.Logger:
+    """Install (or replace) the ``repro`` log handler.
+
+    Parameters
+    ----------
+    level:
+        Threshold for the ``repro`` logger tree (name or numeric).
+    json_lines:
+        Render records as JSON objects instead of ``level: message`` text.
+    stream:
+        Explicit output stream; default follows the *current*
+        ``sys.stderr`` on every record.
+    """
+    logger = logging.getLogger(_ROOT_LOGGER)
+    if isinstance(level, str):
+        level = logging.getLevelName(level.upper())
+        if not isinstance(level, int):
+            raise ValueError(f"unknown log level {level!r}")
+    logger.setLevel(level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    handler: logging.StreamHandler = (
+        logging.StreamHandler(stream) if stream is not None else _DynamicStderrHandler()
+    )
+    handler.setFormatter(JSONFormatter() if json_lines else TextFormatter())
+    setattr(handler, _HANDLER_FLAG, True)
+    logger.addHandler(handler)
+    # Propagation stays on: the root logger has no handlers in a normal
+    # CLI process (so nothing double-prints), and capturing harnesses
+    # (pytest's caplog) listen at the root.
+    return logger
+
+
+def reset_logging() -> None:
+    """Remove our handler and reset the tree's level (tests, embedders)."""
+    logger = logging.getLogger(_ROOT_LOGGER)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_FLAG, False):
+            logger.removeHandler(handler)
+    logger.setLevel(logging.NOTSET)

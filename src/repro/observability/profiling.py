@@ -1,0 +1,91 @@
+"""Per-query per-stage wall-time profiling.
+
+Every ``push`` travels ``match → rank → emit`` inside
+:meth:`~repro.runtime.query.RegisteredQuery.process`; this module holds
+the accounting for where that time goes.  A :class:`StageProfile` keeps
+one :class:`StageTimer` per stage — a three-float accumulator
+(count/total/max), deliberately cheaper than a reservoir because it is
+updated on *every* event even when tracing is off.  The monitor,
+``explain()``, and the metrics registry render it; the sharded runtime
+absorbs per-shard profiles into a fleet view.
+
+Profiling is on by default and costs two extra clock reads per event;
+construct the engine with ``enable_profiling=False`` (the observability
+benchmark's baseline) to fall back to the single whole-pipeline latency
+measurement.
+"""
+
+from __future__ import annotations
+
+STAGES = ("match", "rank", "emit")
+
+
+class StageTimer:
+    """Count/total/max accumulator for one pipeline stage."""
+
+    __slots__ = ("count", "total", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.maximum = 0.0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.maximum:
+            self.maximum = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def absorb(self, other: "StageTimer") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_us": self.mean * 1e6,
+            "max_us": self.maximum * 1e6,
+        }
+
+
+class StageProfile:
+    """Wall-time breakdown of one query's operator chain."""
+
+    __slots__ = ("match", "rank", "emit")
+
+    def __init__(self) -> None:
+        self.match = StageTimer()
+        self.rank = StageTimer()
+        self.emit = StageTimer()
+
+    def timers(self) -> tuple[tuple[str, StageTimer], ...]:
+        return (("match", self.match), ("rank", self.rank), ("emit", self.emit))
+
+    @property
+    def total_seconds(self) -> float:
+        return self.match.total + self.rank.total + self.emit.total
+
+    def absorb(self, other: "StageProfile") -> None:
+        """Fold another profile in (fleet aggregation across shards)."""
+        self.match.absorb(other.match)
+        self.rank.absorb(other.rank)
+        self.emit.absorb(other.emit)
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        return {name: timer.snapshot() for name, timer in self.timers()}
+
+    def describe(self) -> str:
+        """One-line rendering: per-stage mean and share of pipeline time."""
+        total = self.total_seconds
+        parts = []
+        for name, timer in self.timers():
+            share = (timer.total / total * 100) if total > 0 else 0.0
+            parts.append(f"{name}={timer.mean * 1e6:.0f}us({share:.0f}%)")
+        return " ".join(parts)

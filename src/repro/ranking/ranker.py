@@ -35,9 +35,12 @@ from repro.events.event import Event
 from repro.language.ast_nodes import EmitKind, WindowKind
 from repro.language.errors import EvaluationError
 from repro.language.semantics import AnalyzedQuery
+from repro.observability.tracing import SpanKind, Tracer
 from repro.ranking.emission import Emission, EmissionKind, snapshot_delta
 from repro.ranking.score import Scorer
 from repro.ranking.topk import EpochTopK, SlidingRanking
+
+_RANK = SpanKind.RANK
 
 
 class Ranker:
@@ -58,6 +61,8 @@ class Ranker:
         #: (and counted) instead of crashing the engine.
         self.lenient_errors = lenient_errors
         self.scoring_errors = 0
+        #: Attached by the observability layer when tracing is enabled.
+        self.tracer: Tracer | None = None
         self._revision = 0
         self._emissions_count = 0
 
@@ -141,9 +146,12 @@ class Ranker:
 
     def _score_all(self, matches: Sequence[Match]) -> Sequence[Match]:
         """Score matches, applying the evaluation-error policy."""
+        tracer = self.tracer
         if not self.lenient_errors:
             for match in matches:
                 self.scorer.score(match)
+                if tracer is not None:
+                    self._record_rank(tracer, match)
             return matches
         kept: list[Match] = []
         for match in matches:
@@ -152,8 +160,21 @@ class Ranker:
             except EvaluationError:
                 self.scoring_errors += 1
                 continue
+            if tracer is not None:
+                self._record_rank(tracer, match)
             kept.append(match)
         return kept
+
+    def _record_rank(self, tracer: Tracer, match: Match) -> None:
+        tracer.record(
+            _RANK,
+            match.last_seq,
+            match.last_ts,
+            self.analyzed.name,
+            partition=match.partition_key,
+            detection_index=match.detection_index,
+            rank_values=match.rank_values,
+        )
 
     def tick(
         self, matches: Sequence[Match], seq: int, timestamp: float

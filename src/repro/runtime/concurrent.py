@@ -19,6 +19,7 @@ import threading
 from typing import Callable
 
 from repro.events.event import Event
+from repro.observability.registry import MetricsRegistry
 from repro.ranking.emission import Emission
 from repro.runtime.engine import CEPREngine
 
@@ -107,6 +108,28 @@ class ThreadedEngineRunner:
     def backlog(self) -> int:
         """Events queued but not yet processed (approximate)."""
         return self._queue.qsize()
+
+    # -- observability -------------------------------------------------------------
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The engine's registry plus this runner's queue instruments."""
+        registry = self.engine.metrics_registry()
+        registry.counter(
+            "runner_events_submitted_total",
+            "Events accepted into the ingest queue",
+            fn=lambda: self.events_submitted,
+        )
+        registry.counter(
+            "runner_events_processed_total",
+            "Events drained from the queue into the engine",
+            fn=lambda: self.events_processed,
+        )
+        registry.gauge(
+            "runner_backlog",
+            "Events queued, not yet processed",
+            fn=lambda: self.backlog,
+        )
+        return registry
 
     # -- consuming ----------------------------------------------------------------
 

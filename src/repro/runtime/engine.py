@@ -18,7 +18,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Callable, Iterable
 
 from repro.events.event import Event
 from repro.events.schema import SchemaRegistry
@@ -27,6 +27,14 @@ from repro.language.ast_nodes import Query
 from repro.language.errors import CEPRSemanticError
 from repro.language.parser import parse_query
 from repro.language.semantics import analyze
+from repro.observability.profiling import StageProfile
+from repro.observability.registry import MetricsRegistry
+from repro.observability.tracing import (
+    EmissionTrace,
+    Tracer,
+    build_emission_trace,
+    tracing_enabled,
+)
 from repro.ranking.emission import Emission
 from repro.runtime.metrics import EngineMetrics
 from repro.runtime.query import RegisteredQuery
@@ -72,6 +80,16 @@ class CEPREngine:
         :class:`~repro.events.time.PreassignedSequencer` so shard-local
         engines keep the global sequence numbers stamped at dispatch
         instead of renumbering their subsequence of the stream.
+    tracing:
+        ``True`` attaches a span :class:`~repro.observability.tracing.
+        Tracer` to every registered query; ``False`` never does; ``None``
+        (default) follows the module-level switch
+        (:func:`~repro.observability.tracing.enable_tracing`) at
+        construction time.  Flip at runtime with :meth:`set_tracing`.
+    enable_profiling:
+        Per-stage (match/rank/emit) wall-time accounting on every query
+        (two extra clock reads per event).  On by default; the
+        observability overhead benchmark's baseline turns it off.
     """
 
     def __init__(
@@ -84,11 +102,14 @@ class CEPREngine:
         max_lateness: float | None = None,
         max_derivation_depth: int = 16,
         sequencer: SequenceAssigner | None = None,
+        tracing: bool | None = None,
+        enable_profiling: bool = True,
     ) -> None:
         self.registry = registry
         self.strict_schema = strict_schema
         self.enable_pruning = enable_pruning
         self.lenient_errors = lenient_errors
+        self.enable_profiling = enable_profiling
         self.lateness_buffer = (
             LatenessBuffer(max_lateness) if max_lateness is not None else None
         )
@@ -99,6 +120,8 @@ class CEPREngine:
         self._router = EventRouter()
         self._queries: dict[str, RegisteredQuery] = {}
         self.metrics = EngineMetrics()
+        want_tracing = tracing_enabled() if tracing is None else tracing
+        self.tracer: Tracer | None = Tracer() if want_tracing else None
         self._auto_name_counter = 0
         self._flushed = False
 
@@ -128,7 +151,9 @@ class CEPREngine:
             enable_pruning=self.enable_pruning,
             collect_results=collect_results,
             lenient_errors=self.lenient_errors,
+            enable_profiling=self.enable_profiling,
         )
+        registered.set_tracer(self.tracer)
         self._queries[resolved_name] = registered
         self._router.add(registered)
         return registered
@@ -291,6 +316,204 @@ class CEPREngine:
             )
             snapshot[name] = row
         return snapshot
+
+    # -- observability ---------------------------------------------------------------
+
+    def set_tracing(self, enabled: bool) -> Tracer | None:
+        """Attach (``True``) or detach (``False``) span tracing at runtime.
+
+        Attaching keeps an existing tracer (and its history); detaching
+        drops it.  Returns the active tracer, if any.
+        """
+        if enabled:
+            if self.tracer is None:
+                self.tracer = Tracer()
+        else:
+            self.tracer = None
+        for registered in self._queries.values():
+            registered.set_tracer(self.tracer)
+        return self.tracer
+
+    def trace(self, emission: Emission) -> EmissionTrace:
+        """Full provenance of one emission this engine produced.
+
+        Works without tracing enabled (match events and rank keys come from
+        the emission itself), but the run-lifecycle competition tallies
+        need the span history — enable tracing before the run for those.
+        """
+        query_name = (
+            emission.ranking[0].query_name if emission.ranking else None
+        )
+        registered = (
+            self._queries.get(query_name) if query_name is not None else None
+        )
+        return build_emission_trace(
+            emission,
+            analyzed=registered.analyzed if registered is not None else None,
+            tracer=self.tracer,
+            query=query_name,
+        )
+
+    def profiles_by_query(self) -> dict[str, StageProfile]:
+        """Per-query stage profiles (empty when profiling is disabled)."""
+        return {
+            name: registered.profile
+            for name, registered in self._queries.items()
+            if registered.profile is not None
+        }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """A typed, exportable registry over the engine's live counters.
+
+        Instruments are callback-backed views of the counters the hot path
+        already maintains, so building (and re-reading) the registry costs
+        nothing at steady state.  Build a fresh one per export; the sharded
+        runtime merges per-shard registries with
+        :meth:`~repro.observability.registry.MetricsRegistry.absorb`.
+        """
+        registry = MetricsRegistry()
+        metrics = self.metrics
+        registry.counter(
+            "events_pushed_total",
+            "Events ingested by the engine",
+            fn=lambda: metrics.events_pushed,
+        )
+        registry.counter(
+            "derived_events_total",
+            "YIELD-derived events fed back through the engine",
+            fn=lambda: self.derived_events,
+        )
+        registry.gauge(
+            "throughput_eps",
+            "Lifetime ingest rate (events/second)",
+            fn=lambda: metrics.throughput,
+            agg="max",
+        )
+        registry.gauge(
+            "recent_throughput_eps",
+            "Sliding-window ingest rate (events/second)",
+            fn=lambda: metrics.recent_throughput,
+        )
+        if self.lateness_buffer is not None:
+            buffer = self.lateness_buffer
+            registry.counter(
+                "late_drops_total",
+                "Events dropped for violating the lateness bound",
+                fn=lambda: buffer.late_drops,
+            )
+        if self.tracer is not None:
+            tracer = self.tracer
+            registry.counter(
+                "trace_spans_total",
+                "Spans recorded by the attached tracer",
+                fn=lambda: tracer.recorded,
+            )
+            registry.counter(
+                "trace_spans_dropped_total",
+                "Spans evicted from the trace ring buffer",
+                fn=lambda: tracer.dropped,
+            )
+        for name, registered in self._queries.items():
+            self._register_query_metrics(registry, name, registered)
+        return registry
+
+    @staticmethod
+    def _register_query_metrics(
+        registry: MetricsRegistry, name: str, registered: RegisteredQuery
+    ) -> None:
+        query_metrics = registered.metrics
+        stats = registered.matcher.stats
+        matcher = registered.matcher
+        counters: list[tuple[str, str, Callable[[], float]]] = [
+            (
+                "query_events_routed_total",
+                "Events routed to this query's operator chain",
+                lambda: query_metrics.events_routed,
+            ),
+            (
+                "query_matches_total",
+                "Matches completed (and confirmed)",
+                lambda: query_metrics.matches,
+            ),
+            (
+                "query_emissions_total",
+                "Emissions released to sinks",
+                lambda: query_metrics.emissions,
+            ),
+            (
+                "runs_created_total",
+                "Runs started at stage 0",
+                lambda: stats.runs_created,
+            ),
+            (
+                "runs_extended_total",
+                "Run extensions (binds and Kleene takes)",
+                lambda: stats.runs_extended,
+            ),
+            (
+                "runs_pruned_total",
+                "Partial runs cut by score-bound pruning",
+                lambda: stats.runs_pruned,
+            ),
+            (
+                "runs_expired_total",
+                "Runs dropped by window or epoch expiry",
+                lambda: stats.runs_expired,
+            ),
+            (
+                "partition_skips_total",
+                "Relevant events carrying no partition key",
+                lambda: stats.events_skipped_no_key,
+            ),
+            (
+                "evaluation_errors_total",
+                "Predicate evaluations failed under the lenient policy",
+                lambda: stats.evaluation_errors
+                + registered.ranker.scoring_errors
+                + registered.yield_errors,
+            ),
+        ]
+        for metric_name, help_text, fn in counters:
+            registry.counter(metric_name, help_text, fn=fn, query=name)
+        registry.gauge(
+            "live_runs",
+            "Partial runs currently alive",
+            fn=lambda: matcher.live_run_count,
+            query=name,
+        )
+        registry.gauge(
+            "peak_live_runs",
+            "High-water mark of live partial runs",
+            fn=lambda: stats.peak_live_runs,
+            agg="max",
+            query=name,
+        )
+        registry.histogram(
+            "latency_seconds",
+            "Per-event pipeline latency",
+            recorder=query_metrics.latency,
+            query=name,
+        )
+        for index, sink in enumerate(registered.sinks):
+            if not hasattr(sink, "emissions_accepted"):
+                continue
+            registry.counter(
+                "sink_emissions_total",
+                "Emissions delivered to each sink",
+                fn=lambda sink=sink: sink.emissions_accepted,
+                query=name,
+                sink=type(sink).__name__,
+                slot=str(index),
+            )
+        if registered.profile is not None:
+            for stage, timer in registered.profile.timers():
+                registry.counter(
+                    "stage_seconds_total",
+                    "Wall time spent per pipeline stage",
+                    fn=lambda timer=timer: timer.total,
+                    query=name,
+                    stage=stage,
+                )
 
     def _next_auto_name(self) -> str:
         self._auto_name_counter += 1

@@ -3,52 +3,81 @@
 The ICDE demo showed a GUI that tails each query's ranked results and lets
 the user watch the system in real time; this module provides the
 terminal-friendly equivalent: :class:`Monitor` renders a snapshot of every
-registered query (its text, metrics, and current top results) and
-:meth:`Monitor.run_live` refreshes it on an interval while a stream is
-being replayed.
+registered query (its text, metrics, stage-time breakdown, and current top
+results) and :meth:`Monitor.run_live` refreshes it on an interval while a
+stream is being replayed.
+
+The monitor is duck-typed over its source: a
+:class:`~repro.runtime.engine.CEPREngine` or a
+:class:`~repro.runtime.sharded.ShardedEngineRunner` both work (the runner's
+:class:`~repro.runtime.sharded.ShardedQuery` handles are shaped like
+registered queries, and its ``shard_stats()`` adds a per-shard block).
 """
 
 from __future__ import annotations
 
 import sys
 import time as _time
-from typing import Callable, TextIO
+from typing import Any, Callable, TextIO
 
 from repro.language.printer import format_query
 from repro.ranking.emission import Emission
-from repro.runtime.engine import CEPREngine
-from repro.runtime.query import RegisteredQuery
 
 _RULE = "=" * 72
 
 
 class Monitor:
-    """Renders engine state as plain text (see module docstring)."""
+    """Renders engine (or sharded-runner) state as plain text."""
 
-    def __init__(self, engine: CEPREngine, top_n: int = 5) -> None:
+    def __init__(self, engine: Any, top_n: int = 5) -> None:
         self.engine = engine
         self.top_n = top_n
 
     # -- rendering ------------------------------------------------------------
 
     def render(self) -> str:
-        """A full snapshot of the engine: header + one block per query."""
+        """A full snapshot of the source: header + one block per query."""
         lines = [self._header()]
+        shard_block = self._render_shards()
+        if shard_block:
+            lines.append(shard_block)
         for registered in self.engine.queries():
             lines.append(self._render_query(registered))
         return "\n".join(lines)
 
     def _header(self) -> str:
         metrics = self.engine.metrics
+        recent = getattr(metrics, "recent_throughput", 0.0)
+        backlog = getattr(self.engine, "backlog", None)
+        tail = f", {recent:,.0f} ev/s recent" if recent else ""
+        if backlog:
+            tail += f", backlog={backlog}"
         return (
             f"{_RULE}\n"
             f"CEPR monitor — {len(self.engine.queries())} queries, "
             f"{metrics.events_pushed} events, "
-            f"{metrics.throughput:,.0f} ev/s\n"
+            f"{metrics.throughput:,.0f} ev/s{tail}\n"
             f"{_RULE}"
         )
 
-    def _render_query(self, registered: RegisteredQuery) -> str:
+    def _render_shards(self) -> str | None:
+        """Per-shard block when the source is a sharded runner."""
+        shard_stats = getattr(self.engine, "shard_stats", None)
+        if shard_stats is None:
+            return None
+        rows = shard_stats()
+        if not rows:
+            return None
+        lines = [f"-- shards ({len(rows)} workers) " + "-" * 38]
+        for row in rows:
+            lines.append(
+                f"   shard {row['shard']} [{row['role']}]: "
+                f"events={row['events_processed']} "
+                f"backlog={row['backlog']} live_runs={row['live_runs']}"
+            )
+        return "\n".join(lines)
+
+    def _render_query(self, registered: Any) -> str:
         lines = [f"-- query {registered.name} " + "-" * max(0, 50 - len(registered.name))]
         for text_line in format_query(registered.analyzed.ast).splitlines():
             lines.append(f"   | {text_line}")
@@ -61,6 +90,13 @@ class Monitor:
             extras.append(f"derived_type={registered.analyzed.yield_spec.event_type}")
         if s.evaluation_errors:
             extras.append(f"eval_errors={s.evaluation_errors}")
+        if s.events_skipped_no_key:
+            extras.append(f"partition_skips={s.events_skipped_no_key}")
+        shards = getattr(registered, "shards", None)
+        if shards is not None:
+            extras.append(f"shards={shards}")
+        if getattr(registered, "solo_fallback", False):
+            extras.append("SOLO-FALLBACK")
         suffix = (" " + " ".join(extras)) if extras else ""
         lines.append(
             f"   events={m.events_routed} matches={m.matches} "
@@ -68,13 +104,17 @@ class Monitor:
             f"pruned={s.runs_pruned} p99={m.latency.percentile(99) * 1e6:.0f}us"
             f"{suffix}"
         )
+        profile = getattr(registered, "profile", None)
+        if profile is not None and profile.total_seconds > 0:
+            lines.append(f"   stages: {profile.describe()}")
         lines.extend(self._render_ranking(registered))
         return "\n".join(lines)
 
-    def _render_ranking(self, registered: RegisteredQuery) -> list[str]:
-        if registered.collector is None or not registered.collector.emissions:
+    def _render_ranking(self, registered: Any) -> list[str]:
+        collector = getattr(registered, "collector", None)
+        if collector is None or not collector.emissions:
             return ["   (no emissions yet)"]
-        last: Emission = registered.collector.emissions[-1]
+        last: Emission = collector.emissions[-1]
         lines = [
             f"   last emission: {last.kind.value} rev={last.revision} "
             f"t={last.at_ts:g}"
@@ -97,15 +137,26 @@ class Monitor:
     ) -> None:
         """Repeatedly render to ``out``.
 
+        With ``clear=True`` each frame redraws in place: the cursor homes,
+        every line is erased to end-of-line as it is rewritten, and
+        whatever a shorter frame leaves below is erased — no full-screen
+        clear, so the terminal never flickers.  ``clear=False`` appends
+        frames (pipes, logs, tests).
+
         Designed to run in a thread next to a replaying stream; pass
         ``iterations`` to bound the loop (required in tests) and a fake
         ``sleep`` to run instantly.
         """
         rendered = 0
         while iterations is None or rendered < iterations:
+            text = self.render()
             if clear:
-                out.write("\x1b[2J\x1b[H")
-            out.write(self.render() + "\n")
+                frame = "".join(
+                    line + "\x1b[K\n" for line in text.split("\n")
+                )
+                out.write("\x1b[H" + frame + "\x1b[J")
+            else:
+                out.write(text + "\n")
             out.flush()
             rendered += 1
             if iterations is not None and rendered >= iterations:

@@ -18,12 +18,17 @@ from repro.language.ast_nodes import EmitKind
 from repro.language.errors import EvaluationError
 from repro.language.expressions import EvalContext
 from repro.language.semantics import AnalyzedQuery
+from repro.observability.profiling import StageProfile
+from repro.observability.tracing import SpanKind, Tracer
 from repro.ranking.emission import Emission
 from repro.ranking.pruning import ScoreBoundPruner
 from repro.ranking.ranker import Ranker
 from repro.ranking.score import Scorer
 from repro.runtime.metrics import QueryMetrics
 from repro.runtime.sinks import CollectorSink, ResultSink
+
+_ROUTE = SpanKind.ROUTE
+_EMIT = SpanKind.EMIT
 
 
 class RegisteredQuery:
@@ -37,6 +42,7 @@ class RegisteredQuery:
         enable_pruning: bool = True,
         collect_results: bool = True,
         lenient_errors: bool = False,
+        enable_profiling: bool = True,
         clock=time.perf_counter,
     ) -> None:
         self.name = name
@@ -50,6 +56,13 @@ class RegisteredQuery:
         self.scorer = Scorer(analyzed.rank_keys)
         self.ranker = Ranker(analyzed, self.scorer, lenient_errors=lenient_errors)
         self.metrics = QueryMetrics()
+        #: per-stage wall-time breakdown (``None`` when profiling is off:
+        #: the observability benchmark's bare baseline).
+        self.profile: StageProfile | None = (
+            StageProfile() if enable_profiling else None
+        )
+        #: attached/detached by the engine via :meth:`set_tracer`.
+        self.tracer: Tracer | None = None
         self._clock = clock
         self._last_seq = -1
         self._last_ts = 0.0
@@ -86,6 +99,12 @@ class RegisteredQuery:
         self.sinks.append(sink)
         return self
 
+    def set_tracer(self, tracer: Tracer | None) -> None:
+        """Attach (or detach, with ``None``) a tracer to the whole chain."""
+        self.tracer = tracer
+        self.matcher.tracer = tracer
+        self.ranker.tracer = tracer
+
     @property
     def relevant_types(self) -> frozenset[str]:
         return self.analyzed.relevant_types
@@ -93,20 +112,76 @@ class RegisteredQuery:
     # -- processing --------------------------------------------------------------
 
     def process(self, event: Event) -> list[Emission]:
-        """Feed one (already sequenced) event through the operator chain."""
-        started = self._clock()
+        """Feed one (already sequenced) event through the operator chain.
+
+        With profiling enabled (the default) the pipeline is timed per
+        stage — two extra clock reads per event; with it disabled only the
+        whole-pipeline latency is measured (the observability benchmark's
+        bare baseline).
+        """
+        profile = self.profile
+        tracer = self.tracer
+        clock = self._clock
         self._last_seq = event.seq
         self._last_ts = event.timestamp
+        if tracer is not None:
+            tracer.record(_ROUTE, event.seq, event.timestamp, self.name)
+
+        if profile is None:
+            started = clock()
+            matches = self.matcher.process(event)
+            emissions = self.ranker.observe(event, matches)
+            self._account(event, matches, emissions, tracer)
+            self.metrics.latency.record(clock() - started)
+            return emissions
+
+        started = clock()
         matches = self.matcher.process(event)
+        after_match = clock()
         emissions = self.ranker.observe(event, matches)
+        after_rank = clock()
+        self._account(event, matches, emissions, tracer)
+        after_emit = clock()
+        self.metrics.latency.record(after_emit - started)
+        profile.match.add(after_match - started)
+        profile.rank.add(after_rank - after_match)
+        profile.emit.add(after_emit - after_rank)
+        return emissions
+
+    def _account(
+        self,
+        event: Event,
+        matches: list[Match],
+        emissions: list[Emission],
+        tracer: Tracer | None,
+    ) -> None:
+        """Shared bookkeeping + sink fan-out for :meth:`process`."""
         self.metrics.events_routed += 1
         self.metrics.matches += len(matches)
         self.metrics.emissions += len(emissions)
-        self.metrics.latency.record(self._clock() - started)
+        self._fan_out(emissions, event.seq, event.timestamp, tracer)
+
+    def _fan_out(
+        self,
+        emissions: list[Emission],
+        seq: int,
+        ts: float,
+        tracer: Tracer | None,
+    ) -> None:
+        """Deliver emissions to the sinks, recording one EMIT span each."""
         for emission in emissions:
+            if tracer is not None:
+                tracer.record(
+                    _EMIT,
+                    seq,
+                    ts,
+                    self.name,
+                    emission_kind=emission.kind.value,
+                    revision=emission.revision,
+                    matches=len(emission.ranking),
+                )
             for sink in self.sinks:
                 sink.accept(emission)
-        return emissions
 
     def advance_time(self, timestamp: float) -> list[Emission]:
         """Heartbeat: expire time windows and release due emissions."""
@@ -115,9 +190,7 @@ class RegisteredQuery:
         self._last_ts = max(self._last_ts, timestamp)
         self.metrics.matches += len(confirmed)
         self.metrics.emissions += len(emissions)
-        for emission in emissions:
-            for sink in self.sinks:
-                sink.accept(emission)
+        self._fan_out(emissions, self._last_seq, timestamp, self.tracer)
         return emissions
 
     def flush(self) -> list[Emission]:
@@ -131,9 +204,7 @@ class RegisteredQuery:
         )
         self.metrics.matches += len(final_matches)
         self.metrics.emissions += len(emissions)
-        for emission in emissions:
-            for sink in self.sinks:
-                sink.accept(emission)
+        self._fan_out(emissions, self._last_seq, self._last_ts, self.tracer)
         return emissions
 
     @property
@@ -170,10 +241,17 @@ class RegisteredQuery:
         return derived
 
     def explain(self) -> str:
-        """Readable evaluation plan: stages, predicate placement, ranking."""
+        """Readable evaluation plan: stages, predicate placement, ranking.
+
+        Once the query has processed events with profiling enabled, the
+        plan is annotated with the observed per-stage time split.
+        """
         from repro.engine.explain import explain
 
-        return explain(self.automaton, pruning_enabled=self.pruner is not None)
+        text = explain(self.automaton, pruning_enabled=self.pruner is not None)
+        if self.profile is not None and self.profile.total_seconds > 0:
+            text += f"\nstage profile: {self.profile.describe()}"
+        return text
 
     # -- results ------------------------------------------------------------------
 

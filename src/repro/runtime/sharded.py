@@ -64,7 +64,6 @@ reproduce.
 from __future__ import annotations
 
 import dataclasses
-import logging
 import queue
 import threading
 import zlib
@@ -86,6 +85,9 @@ from repro.language.ast_nodes import Query, WindowKind
 from repro.language.errors import CEPRSemanticError
 from repro.language.parser import parse_query
 from repro.language.semantics import AnalyzedQuery, analyze
+from repro.observability.log import get_logger
+from repro.observability.profiling import StageProfile
+from repro.observability.registry import MetricsRegistry, merge_registries
 from repro.ranking.emission import Emission, EmissionKind
 from repro.ranking.topk import merge_rankings
 from repro.runtime.engine import CEPREngine
@@ -111,7 +113,7 @@ def stable_shard(key: tuple[Any, ...], shards: int) -> int:
 # emission, global LIMIT, YIELD — forces solo execution.  The runner
 # consumes the certificate at start() and logs the blockers whenever
 # ``shards > 1`` degrades to a solo engine.
-_log = logging.getLogger(__name__)
+_log = get_logger(__name__)
 
 
 def aggregate_matcher_stats(parts: Iterable[MatcherStats]) -> MatcherStats:
@@ -428,6 +430,17 @@ class ShardedQuery:
     @property
     def matcher(self) -> _FleetMatcherView:
         return _FleetMatcherView(self.handles)
+
+    @property
+    def profile(self) -> StageProfile | None:
+        """Fleet-wide stage profile (``None`` when profiling is off)."""
+        parts = [h.profile for h in self.handles if h.profile is not None]
+        if not parts:
+            return None
+        total = StageProfile()
+        for part in parts:
+            total.absorb(part)
+        return total
 
     def explain(self) -> str:
         return self.handles[0].explain()
@@ -912,3 +925,79 @@ class ShardedEngineRunner:
             )
             snapshot[name] = row
         return snapshot
+
+    def shard_stats(self) -> list[dict[str, Any]]:
+        """Per-worker view: events drained, backlog, live runs, role."""
+        rows: list[dict[str, Any]] = []
+        for index, worker in enumerate(self._workers):
+            rows.append(
+                {
+                    "shard": index,
+                    "role": "solo" if worker is self._solo_worker else "sharded",
+                    "events_processed": worker.events_processed,
+                    "backlog": worker.queue.qsize(),
+                    "live_runs": sum(
+                        handle.matcher.live_run_count
+                        for handle in worker.engine.queries()
+                    ),
+                }
+            )
+        return rows
+
+    def profiles_by_query(self) -> dict[str, StageProfile]:
+        """Fleet-wide stage profiles per query (absorbed across shards)."""
+        profiles: dict[str, StageProfile] = {}
+        for name, view in self._views.items():
+            profile = view.profile
+            if profile is not None:
+                profiles[name] = profile
+        return profiles
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """One fleet registry: per-shard engine registries absorbed, plus
+        the runner's own dispatch/queue instruments.
+
+        The absorbed series are value snapshots (counters sum across
+        shards, ``max`` gauges take the fleet peak, latency reservoirs
+        pool); build a fresh registry per export.
+        """
+        fleet = merge_registries(
+            [worker.engine.metrics_registry() for worker in self._workers]
+        )
+        for name, view in self._views.items():
+            if view.mode == "solo":
+                continue
+            # Shard-local counters tally per-shard epoch releases; what the
+            # deployment observed is the merged emission stream (the same
+            # correction ShardedQuery.metrics applies).
+            fleet.counter("query_emissions_total", query=name).override(
+                view.metrics.emissions
+            )
+        fleet.counter(
+            "runner_events_submitted_total",
+            "Events accepted at the dispatch point",
+            fn=lambda: self.events_submitted,
+        )
+        fleet.gauge(
+            "runner_backlog",
+            "Events queued across all shards, not yet processed",
+            fn=lambda: self.backlog,
+        )
+        fleet.gauge(
+            "runner_shards",
+            "Worker threads in the fleet",
+            fn=lambda: float(len(self._workers)),
+        )
+        fleet.gauge(
+            "runner_recent_throughput_eps",
+            "Sliding-window dispatch rate (events/second)",
+            fn=lambda: self.metrics.recent_throughput,
+        )
+        for index, worker in enumerate(self._workers):
+            fleet.counter(
+                "shard_events_processed_total",
+                "Events drained by each shard's consumer thread",
+                fn=lambda worker=worker: worker.events_processed,
+                shard=str(index),
+            )
+        return fleet

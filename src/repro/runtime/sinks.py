@@ -24,8 +24,10 @@ class CollectorSink:
 
     def __init__(self) -> None:
         self.emissions: list[Emission] = []
+        self.emissions_accepted = 0
 
     def accept(self, emission: Emission) -> None:
+        self.emissions_accepted += 1
         self.emissions.append(emission)
 
     def __len__(self) -> int:
@@ -52,8 +54,10 @@ class CallbackSink:
 
     def __init__(self, callback: Callable[[Emission], None]) -> None:
         self._callback = callback
+        self.emissions_accepted = 0
 
     def accept(self, emission: Emission) -> None:
+        self.emissions_accepted += 1
         self._callback(emission)
 
 
@@ -62,8 +66,10 @@ class PrintSink:
 
     def __init__(self, out: TextIO) -> None:
         self._out = out
+        self.emissions_accepted = 0
 
     def accept(self, emission: Emission) -> None:
+        self.emissions_accepted += 1
         self._out.write(emission.describe() + "\n")
 
 
@@ -85,6 +91,10 @@ class JSONLSink:
             self._path = None
             self._handle = target
         self.emissions_written = 0
+
+    @property
+    def emissions_accepted(self) -> int:
+        return self.emissions_written
 
     def accept(self, emission: Emission) -> None:
         from repro.runtime.serialize import emission_to_line

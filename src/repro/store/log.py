@@ -18,9 +18,12 @@ import bisect
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.events.event import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.registry import MetricsRegistry
 
 
 class LogCorruptError(ValueError):
@@ -62,6 +65,11 @@ class EventLog:
         self.path = Path(path)
         self.index_stride = index_stride
         self.count = 0
+        # Session I/O counters (this process only; count covers the file).
+        self.events_appended = 0
+        self.events_read = 0
+        self.scans = 0
+        self.index_seeks = 0
         self.first_timestamp: float | None = None
         self.last_timestamp: float | None = None
         # sparse index: parallel arrays of timestamps and byte offsets
@@ -91,6 +99,7 @@ class EventLog:
             self.first_timestamp = event.timestamp
         self.last_timestamp = event.timestamp
         self.count += 1
+        self.events_appended += 1
 
     def append_all(self, events: Iterable[Event]) -> int:
         """Append every event; returns how many were written."""
@@ -142,8 +151,11 @@ class EventLog:
         self.flush()
         if not self.path.exists():
             return
+        self.scans += 1
         wanted = frozenset(types) if types is not None else None
         offset = self._seek_offset(start_ts)
+        if offset > 0:
+            self.index_seeks += 1
         with self.path.open() as handle:
             handle.seek(offset)
             lineno = 0  # line numbers are only used for error context
@@ -153,6 +165,7 @@ class EventLog:
                 if not line:
                     continue
                 event = _decode(line, lineno, self.path)
+                self.events_read += 1
                 if start_ts is not None and event.timestamp < start_ts:
                     continue
                 if end_ts is not None and event.timestamp >= end_ts:
@@ -209,3 +222,47 @@ class EventLog:
         """Current on-disk size in bytes (after flushing)."""
         self.flush()
         return os.path.getsize(self.path) if self.path.exists() else 0
+
+    # -- observability ------------------------------------------------------------
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Register this log's I/O counters (labelled by file name)."""
+        log = self.path.name
+        registry.counter(
+            "store_events_appended_total",
+            "Events appended to the log this session",
+            fn=lambda: self.events_appended,
+            log=log,
+        )
+        registry.counter(
+            "store_events_read_total",
+            "Event records decoded by scans",
+            fn=lambda: self.events_read,
+            log=log,
+        )
+        registry.counter(
+            "store_scans_total",
+            "Time-range scans started",
+            fn=lambda: self.scans,
+            log=log,
+        )
+        registry.counter(
+            "store_index_seeks_total",
+            "Scans that skipped ahead via the sparse time index",
+            fn=lambda: self.index_seeks,
+            log=log,
+        )
+        registry.gauge(
+            "store_events",
+            "Events in the log (including prior sessions)",
+            fn=lambda: self.count,
+            agg="max",
+            log=log,
+        )
+        registry.gauge(
+            "store_size_bytes",
+            "On-disk size of the log",
+            fn=lambda: float(self.sync_size()),
+            agg="max",
+            log=log,
+        )

@@ -1,0 +1,110 @@
+"""Tests for structured logging configuration and formatters."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.log import (
+    configure_logging,
+    get_logger,
+    reset_logging,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    reset_logging()
+    yield
+    reset_logging()
+
+
+class TestGetLogger:
+    def test_qualifies_bare_names(self):
+        assert get_logger("cli").name == "repro.cli"
+
+    def test_keeps_qualified_names(self):
+        assert get_logger("repro.runtime.sharded").name == "repro.runtime.sharded"
+        assert get_logger("repro").name == "repro"
+
+
+class TestConfigure:
+    def test_text_format(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("test").warning("shard %d downgraded", 3)
+        assert stream.getvalue() == "warning: shard 3 downgraded\n"
+
+    def test_text_format_renders_extras(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        get_logger("test").warning("fallback", extra={"data": {"shard": 2}})
+        assert stream.getvalue() == "warning: fallback (shard=2)\n"
+
+    def test_json_format(self):
+        stream = io.StringIO()
+        configure_logging(json_lines=True, stream=stream)
+        get_logger("test").error("boom", extra={"data": {"code": 7}})
+        record = json.loads(stream.getvalue())
+        assert record["level"] == "error"
+        assert record["logger"] == "repro.test"
+        assert record["message"] == "boom"
+        assert record["data"] == {"code": 7}
+        assert isinstance(record["ts"], float)
+
+    def test_level_threshold(self):
+        stream = io.StringIO()
+        configure_logging(level="error", stream=stream)
+        logger = get_logger("test")
+        logger.warning("quiet")
+        logger.error("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_level_accepts_names_and_numbers(self):
+        assert configure_logging(level="info").level == logging.INFO
+        assert configure_logging(level=logging.DEBUG).level == logging.DEBUG
+        with pytest.raises(ValueError):
+            configure_logging(level="loudest")
+
+    def test_reconfigure_replaces_handler(self):
+        configure_logging()
+        configure_logging(json_lines=True)
+        configure_logging()
+        assert len(logging.getLogger("repro").handlers) == 1
+
+    def test_default_handler_follows_current_stderr(self, capsys):
+        configure_logging()
+        get_logger("test").warning("redirected")
+        captured = capsys.readouterr()
+        assert "warning: redirected" in captured.err
+        assert captured.out == ""
+
+    def test_records_still_propagate_to_root(self):
+        """caplog-style capture at the root logger keeps working."""
+        configure_logging(stream=io.StringIO())
+        root_stream = io.StringIO()
+        root_handler = logging.StreamHandler(root_stream)
+        logging.getLogger().addHandler(root_handler)
+        try:
+            get_logger("test").warning("visible at root")
+        finally:
+            logging.getLogger().removeHandler(root_handler)
+        assert "visible at root" in root_stream.getvalue()
+
+    def test_reset_removes_handler(self):
+        configure_logging()
+        reset_logging()
+        assert logging.getLogger("repro").handlers == []
+
+    def test_exception_rendering(self):
+        stream = io.StringIO()
+        configure_logging(stream=stream)
+        try:
+            raise RuntimeError("kaput")
+        except RuntimeError:
+            get_logger("test").exception("operation failed")
+        output = stream.getvalue()
+        assert "error: operation failed" in output
+        assert "RuntimeError: kaput" in output

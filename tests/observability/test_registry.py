@@ -1,0 +1,184 @@
+"""Tests for the typed metrics registry and its exporters."""
+
+import json
+
+import pytest
+
+from repro.observability.registry import MetricsRegistry, merge_registries
+from repro.runtime.metrics import LatencyRecorder
+
+
+class TestInstruments:
+    def test_counter_owned(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("jobs_total", "Jobs seen")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5.0
+
+    def test_counter_rejects_decrease(self):
+        counter = MetricsRegistry().counter("jobs_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_callback_backed_counter_reads_live_value(self):
+        state = {"n": 0}
+        counter = MetricsRegistry().counter("live_total", fn=lambda: state["n"])
+        assert counter.value == 0.0
+        state["n"] = 7
+        assert counter.value == 7.0
+        with pytest.raises(TypeError):
+            counter.inc()
+
+    def test_gauge_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(2)
+        gauge.dec(5)
+        assert gauge.value == 7.0
+
+    def test_gauge_rejects_unknown_agg(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().gauge("depth", agg="median")
+
+    def test_histogram_owned_observe(self):
+        histogram = MetricsRegistry().histogram("latency_seconds")
+        for value in (1.0, 2.0, 3.0, 4.0):
+            histogram.observe(value)
+        assert histogram.count == 4
+        assert histogram.sum == 10.0
+        assert histogram.quantile(0.5) == 2.5
+
+    def test_histogram_bridges_live_recorder(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5)
+        histogram = MetricsRegistry().histogram("latency_seconds", recorder=recorder)
+        assert histogram.count == 1
+        recorder.record(1.5)
+        assert histogram.count == 2
+        assert histogram.sum == 2.0
+
+
+class TestRegistry:
+    def test_get_or_create_is_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("hits_total", query="q")
+        second = registry.counter("hits_total", query="q")
+        assert first is second
+        assert len(registry) == 1
+
+    def test_distinct_labels_distinct_series(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", query="a").inc()
+        registry.counter("hits_total", query="b").inc(2)
+        assert len(registry) == 2
+
+    def test_kind_clash_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x_total")
+        with pytest.raises(TypeError):
+            registry.gauge("x_total")
+
+    def test_invalid_names_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name")
+        with pytest.raises(ValueError):
+            registry.counter("ok_total", **{"0bad": "v"})
+        with pytest.raises(ValueError):
+            MetricsRegistry(namespace="not ok")
+
+    def test_collect_sorted_and_typed(self):
+        registry = MetricsRegistry()
+        registry.gauge("b_gauge").set(1)
+        registry.counter("a_total").inc()
+        names = [sample.name for sample in registry.collect()]
+        assert names == ["a_total", "b_gauge"]
+
+
+class TestMerge:
+    def build(self, hits, depth, latencies):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", query="q").inc(hits)
+        registry.gauge("depth", query="q").set(depth)
+        registry.gauge("peak", agg="max", query="q").set(depth)
+        histogram = registry.histogram("latency_seconds", query="q")
+        for value in latencies:
+            histogram.observe(value)
+        return registry
+
+    def test_absorb_semantics(self):
+        merged = merge_registries(
+            [self.build(3, 5, [1.0, 2.0]), self.build(4, 7, [3.0])]
+        )
+        by_name = {sample.name: sample for sample in merged.collect()}
+        assert by_name["hits_total"].value == 7.0  # counters sum
+        assert by_name["depth"].value == 12.0  # sum gauges sum
+        assert by_name["peak"].value == 7.0  # max gauges take the max
+        assert by_name["latency_seconds"].count == 3  # reservoirs pool
+        assert by_name["latency_seconds"].value == 6.0
+
+    def test_absorb_snapshots_callback_instruments(self):
+        live = MetricsRegistry()
+        state = {"n": 1}
+        live.counter("live_total", fn=lambda: state["n"])
+        merged = merge_registries([live])
+        state["n"] = 99  # the merged copy is a value object, not a view
+        assert merged.collect()[0].value == 1.0
+
+    def test_merge_empty_list(self):
+        assert len(merge_registries([])) == 0
+
+
+class TestExport:
+    def test_json_round_trips(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits", query="q").inc(2)
+        registry.histogram("latency_seconds", query="q").observe(0.25)
+        payload = json.loads(json.dumps(registry.to_json()))
+        assert payload["namespace"] == "cepr"
+        by_name = {row["name"]: row for row in payload["metrics"]}
+        assert by_name["hits_total"]["value"] == 2.0
+        assert by_name["latency_seconds"]["count"] == 1
+        assert by_name["latency_seconds"]["quantiles"]["0.5"] == 0.25
+
+    def test_prometheus_golden(self):
+        """Pin the exposition text exactly (format version 0.0.4)."""
+        registry = MetricsRegistry()
+        registry.counter("events_total", "Events seen", query="q1").inc(3)
+        registry.gauge("live_runs", "Live runs", query="q1").set(2)
+        histogram = registry.histogram("latency_seconds", "Latency", query="q1")
+        for value in (1.0, 3.0):
+            histogram.observe(value)
+        assert registry.to_prometheus() == (
+            '# HELP cepr_events_total Events seen\n'
+            '# TYPE cepr_events_total counter\n'
+            'cepr_events_total{query="q1"} 3\n'
+            '# HELP cepr_latency_seconds Latency\n'
+            '# TYPE cepr_latency_seconds summary\n'
+            'cepr_latency_seconds{quantile="0.5",query="q1"} 2\n'
+            'cepr_latency_seconds{quantile="0.9",query="q1"} 2.8\n'
+            'cepr_latency_seconds{quantile="0.99",query="q1"} 2.98\n'
+            'cepr_latency_seconds_sum{query="q1"} 4\n'
+            'cepr_latency_seconds_count{query="q1"} 2\n'
+            '# HELP cepr_live_runs Live runs\n'
+            '# TYPE cepr_live_runs gauge\n'
+            'cepr_live_runs{query="q1"} 2\n'
+        )
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("odd_total", log='a"b\\c\nd').inc()
+        text = registry.to_prometheus()
+        assert r'log="a\"b\\c\nd"' in text
+
+    def test_prometheus_empty_registry(self):
+        assert MetricsRegistry().to_prometheus() == ""
+
+    def test_prometheus_header_once_per_metric_family(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits", query="a").inc()
+        registry.counter("hits_total", "Hits", query="b").inc()
+        text = registry.to_prometheus()
+        assert text.count("# TYPE cepr_hits_total counter") == 1
+        assert text.count("cepr_hits_total{") == 2

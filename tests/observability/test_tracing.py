@@ -1,0 +1,195 @@
+"""Unit and integration tests for span tracing and emission provenance."""
+
+from repro import CEPREngine, Event
+from repro.observability.tracing import (
+    SpanKind,
+    Tracer,
+    build_emission_trace,
+    disable_tracing,
+    enable_tracing,
+    traced,
+    tracing_enabled,
+)
+
+QUERY = """
+NAME spread
+PATTERN SEQ(Buy b, Sell s)
+WHERE b.symbol == s.symbol AND s.price > b.price
+WITHIN 20 EVENTS
+PARTITION BY symbol
+RANK BY s.price - b.price DESC
+LIMIT 3
+EMIT ON WINDOW CLOSE
+"""
+
+
+def trades():
+    return [
+        Event("Buy", 1.0, symbol="X", price=10.0),
+        Event("Buy", 2.0, symbol="X", price=12.0),
+        Event("Sell", 3.0, symbol="X", price=15.0),
+        Event("Buy", 4.0, symbol="Y", price=5.0),
+        Event("Sell", 5.0, symbol="Y", price=9.0),
+    ]
+
+
+class TestTracer:
+    def test_record_and_filter(self):
+        tracer = Tracer()
+        tracer.record(SpanKind.ROUTE, 0, 1.0, "q1")
+        tracer.record(SpanKind.MATCH, 1, 2.0, "q1", detection_index=0)
+        tracer.record(SpanKind.ROUTE, 2, 3.0, "q2")
+        assert len(tracer) == 3
+        assert len(tracer.spans(kind=SpanKind.ROUTE)) == 2
+        assert len(tracer.spans(query="q1")) == 2
+        assert tracer.spans(kind=SpanKind.MATCH, query="q1")[0].detail == {
+            "detection_index": 0
+        }
+
+    def test_counts_by_kind(self):
+        tracer = Tracer()
+        for seq in range(3):
+            tracer.record(SpanKind.ROUTE, seq, float(seq), "q")
+        tracer.record(SpanKind.RUN_CREATE, 3, 3.0, "q")
+        assert tracer.counts_by_kind() == {"route": 3, "run_create": 1}
+        assert tracer.counts_by_kind(query="other") == {}
+
+    def test_ring_buffer_drops_oldest(self):
+        tracer = Tracer(capacity=4)
+        for seq in range(10):
+            tracer.record(SpanKind.ROUTE, seq, float(seq))
+        assert len(tracer) == 4
+        assert tracer.recorded == 10
+        assert tracer.dropped == 6
+        assert [span.seq for span in tracer.spans()] == [6, 7, 8, 9]
+
+    def test_clear(self):
+        tracer = Tracer()
+        tracer.record(SpanKind.ROUTE, 0, 0.0)
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.recorded == 0
+        assert tracer.dropped == 0
+
+    def test_span_describe(self):
+        tracer = Tracer()
+        tracer.record(SpanKind.RUN_KILL, 7, 1.5, "q", reason="expired")
+        text = tracer.spans()[0].describe()
+        assert "run_kill" in text
+        assert "seq=7" in text
+        assert "query=q" in text
+        assert "reason='expired'" in text
+
+    def test_partition_activity_scopes_by_partition_and_seq(self):
+        tracer = Tracer()
+        tracer.record(SpanKind.RUN_CREATE, 1, 1.0, "q", partition=("X",))
+        tracer.record(SpanKind.RUN_CREATE, 2, 2.0, "q", partition=("Y",))
+        tracer.record(
+            SpanKind.RUN_KILL, 3, 3.0, "q", partition=("X",), reason="pruned"
+        )
+        tracer.record(SpanKind.RUN_CREATE, 9, 9.0, "q", partition=("X",))
+        activity = tracer.partition_activity("q", ("X",), 0, 5)
+        assert activity == {"run_create": 1, "killed_pruned": 1}
+
+
+class TestGlobalSwitch:
+    def test_default_off(self):
+        assert tracing_enabled() is False
+
+    def test_enable_disable(self):
+        enable_tracing()
+        try:
+            assert tracing_enabled() is True
+        finally:
+            disable_tracing()
+        assert tracing_enabled() is False
+
+    def test_traced_context_manager_restores(self):
+        assert not tracing_enabled()
+        with traced():
+            assert tracing_enabled()
+        assert not tracing_enabled()
+
+    def test_engine_attaches_tracer_under_switch(self):
+        with traced():
+            engine = CEPREngine()
+        assert engine.tracer is not None
+        assert CEPREngine().tracer is None
+
+
+class TestEngineTracing:
+    def run_traced(self):
+        engine = CEPREngine(tracing=True)
+        engine.register_query(QUERY)
+        emissions = []
+        for event in trades():
+            emissions.extend(engine.push(event))
+        emissions.extend(engine.flush())
+        return engine, emissions
+
+    def test_pipeline_span_kinds_recorded(self):
+        engine, emissions = self.run_traced()
+        counts = engine.tracer.counts_by_kind("spread")
+        assert counts["route"] == 5
+        assert counts["run_create"] >= 2
+        assert counts["match"] >= 2
+        assert counts["rank"] >= 2
+        assert counts["emit"] == len(emissions) >= 1
+
+    def test_emission_trace_reconstructs_provenance(self):
+        engine, emissions = self.run_traced()
+        trace = engine.trace(emissions[-1])
+        assert trace.query == "spread"
+        assert trace.matches
+        best = trace.matches[0]
+        assert best.position == 1
+        variables = {variable for variable, _, _, _ in best.events}
+        assert variables == {"b", "s"}
+        (expr, direction, value) = best.rank_keys[0]
+        assert expr == "s.price - b.price"
+        assert direction == "DESC"
+        assert value == 5.0
+        assert best.competition.get("run_create", 0) >= 1
+        assert "emission window_close" in trace.describe()
+        assert trace.to_dict()["query"] == "spread"
+
+    def test_set_tracing_toggles_at_runtime(self):
+        engine = CEPREngine()
+        engine.register_query(QUERY)
+        assert engine.tracer is None
+        tracer = engine.set_tracing(True)
+        assert tracer is engine.tracer is not None
+        for event in trades():
+            engine.push(event)
+        assert len(tracer) > 0
+        engine.set_tracing(False)
+        assert engine.tracer is None
+
+    def test_untraced_engine_records_nothing_but_traces_degraded(self):
+        engine = CEPREngine()
+        engine.register_query(QUERY)
+        emissions = []
+        for event in trades():
+            emissions.extend(engine.push(event))
+        emissions.extend(engine.flush())
+        trace = engine.trace(emissions[-1])
+        # events and rank keys come from the matches themselves ...
+        assert trace.matches and trace.matches[0].events
+        assert trace.matches[0].rank_keys
+        # ... but span-derived competition tallies need the tracer.
+        assert trace.matches[0].competition == {}
+        assert trace.span_counts == {}
+
+    def test_build_emission_trace_without_analyzed_uses_positional_keys(self):
+        engine, emissions = self.run_traced()
+        trace = build_emission_trace(emissions[-1])
+        assert trace.matches[0].rank_keys[0][0] == "key[0]"
+
+    def test_dropped_spans_are_reported(self):
+        tracer = Tracer(capacity=2)
+        for seq in range(5):
+            tracer.record(SpanKind.ROUTE, seq, float(seq), "q")
+        engine, emissions = self.run_traced()
+        trace = build_emission_trace(emissions[-1], tracer=tracer, query="q")
+        assert trace.spans_dropped == 3
+        assert "overflowed" in trace.describe()

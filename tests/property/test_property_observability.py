@@ -1,0 +1,167 @@
+"""Property tests: fleet metric aggregation is split-invariant.
+
+Two layers:
+
+* Pure aggregation — :func:`aggregate_query_metrics` (and the
+  :class:`LatencyRecorder` absorb underneath it) over any K-way split of
+  the same observations equals the unsplit metrics: counters exactly,
+  percentiles within float tolerance while the pooled reservoir is under
+  capacity.
+* End-to-end — a :class:`ShardedEngineRunner` at K ∈ {1, 2, 4, 8} shards
+  reports the same per-query counters as a single :class:`CEPREngine` fed
+  the identical stream.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import CEPREngine, Event
+from repro.runtime.metrics import (
+    LatencyRecorder,
+    QueryMetrics,
+    aggregate_query_metrics,
+)
+from repro.runtime.sharded import ShardedEngineRunner
+
+SHARD_COUNTS = (1, 2, 4, 8)
+
+# (K, [(latency sample, shard it lands on), ...]) for K ∈ SHARD_COUNTS
+samples_and_splits = st.sampled_from(SHARD_COUNTS).flatmap(
+    lambda shards: st.lists(
+        st.tuples(
+            st.floats(
+                min_value=1e-7, max_value=1e-2,
+                allow_nan=False, allow_infinity=False,
+            ),
+            st.integers(min_value=0, max_value=shards - 1),
+        ),
+        min_size=0,
+        max_size=200,
+    ).map(lambda rows: (shards, rows))
+)
+
+
+class TestPureAggregation:
+    @given(samples_and_splits)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_absorb_is_split_invariant(self, case):
+        shards, rows = case
+        whole = LatencyRecorder()
+        parts = [LatencyRecorder() for _ in range(shards)]
+        for value, shard in rows:
+            whole.record(value)
+            parts[shard].record(value)
+
+        merged = LatencyRecorder()
+        for part in parts:
+            merged.absorb(part)
+
+        assert merged.count == whole.count
+        assert merged.total == pytest.approx(whole.total, rel=1e-12, abs=0.0)
+        assert merged.maximum == whole.maximum
+        # under reservoir capacity, pooling keeps every sample: the order
+        # statistics agree exactly (sorted sets are identical)
+        for q in (0, 50, 90, 99, 100):
+            assert merged.percentile(q) == pytest.approx(
+                whole.percentile(q), rel=1e-12, abs=0.0
+            )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),  # events_routed
+                st.integers(min_value=0, max_value=20),  # matches
+                st.integers(min_value=0, max_value=10),  # emissions
+                st.integers(min_value=0, max_value=10),  # revisions
+            ),
+            min_size=0,
+            max_size=8,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aggregate_query_metrics_sums_counters(self, parts_spec):
+        parts = []
+        for events_routed, matches, emissions, revisions in parts_spec:
+            part = QueryMetrics()
+            part.events_routed = events_routed
+            part.matches = matches
+            part.emissions = emissions
+            part.revisions = revisions
+            parts.append(part)
+        total = aggregate_query_metrics(parts)
+        assert total.events_routed == sum(p.events_routed for p in parts)
+        assert total.matches == sum(p.matches for p in parts)
+        assert total.emissions == sum(p.emissions for p in parts)
+        assert total.revisions == sum(p.revisions for p in parts)
+
+
+QUERY = """
+NAME spread
+PATTERN SEQ(Buy b, Sell s)
+WHERE b.symbol == s.symbol AND s.price > b.price
+WITHIN 30 EVENTS
+PARTITION BY symbol
+RANK BY s.price - b.price DESC
+LIMIT 3
+EMIT ON WINDOW CLOSE
+"""
+
+event_specs = st.lists(
+    st.tuples(
+        st.booleans(),  # Buy / Sell
+        st.integers(min_value=0, max_value=5),  # symbol
+        st.integers(min_value=1, max_value=100),  # price
+    ),
+    min_size=0,
+    max_size=120,
+)
+
+
+def build_stream(specs):
+    events = []
+    ts = 0.0
+    for is_buy, symbol, price in specs:
+        ts += 0.25
+        events.append(
+            Event(
+                "Buy" if is_buy else "Sell",
+                ts,
+                symbol=f"S{symbol}",
+                price=float(price),
+            )
+        )
+    return events
+
+
+class TestEndToEndShardSplit:
+    @given(specs=event_specs, shards=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=25, deadline=None)
+    def test_sharded_counters_equal_single_engine(self, specs, shards):
+        events = build_stream(specs)
+
+        engine = CEPREngine()
+        handle = engine.register_query(QUERY)
+        for event in events:
+            engine.push(event)
+        engine.flush()
+
+        runner = ShardedEngineRunner(shards=shards)
+        view = runner.register_query(QUERY)
+        runner.start()
+        try:
+            for event in events:
+                runner.submit(event)
+            runner.flush()
+        finally:
+            runner.stop()
+
+        single = handle.metrics
+        fleet = aggregate_query_metrics([h.metrics for h in view.handles])
+        assert fleet.events_routed == single.events_routed
+        assert fleet.matches == single.matches
+        # fleet latency pools one sample per routed event across shards
+        assert fleet.latency.count == single.latency.count
+        # emission counts compare on the merged stream view
+        assert view.metrics.emissions == single.emissions
+        assert view.metrics.events_routed == single.events_routed

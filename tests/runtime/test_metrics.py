@@ -12,13 +12,31 @@ class TestLatencyRecorder:
         assert recorder.mean == 2.0
         assert recorder.maximum == 3.0
 
-    def test_percentiles(self):
+    def test_percentiles_interpolate(self):
+        # 100 samples 1..100: position q/100 * 99 interpolates between
+        # adjacent order statistics (the numpy.percentile default).
         recorder = LatencyRecorder()
         for i in range(1, 101):
             recorder.record(float(i))
-        assert recorder.percentile(50) in (50.0, 51.0)
-        assert recorder.percentile(99) >= 98.0
+        assert recorder.percentile(50) == 50.5
+        assert recorder.percentile(99) == 99.01
         assert recorder.percentile(100) == 100.0
+        assert recorder.percentile(0) == 1.0
+
+    def test_percentile_small_sample_tail(self):
+        # Nearest-rank p99 of 10 samples would sit on the 9th largest;
+        # interpolation lands between the two largest.
+        recorder = LatencyRecorder()
+        for i in range(1, 11):
+            recorder.record(float(i))
+        assert recorder.percentile(99) == 9.91
+        assert recorder.percentile(50) == 5.5
+
+    def test_percentile_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(7.0)
+        assert recorder.percentile(1) == 7.0
+        assert recorder.percentile(99) == 7.0
 
     def test_empty_percentile(self):
         assert LatencyRecorder().percentile(99) == 0.0
@@ -66,3 +84,56 @@ class TestEngineMetrics:
         metrics = EngineMetrics()
         assert metrics.throughput == 0.0
         assert metrics.elapsed == 0.0
+        assert metrics.recent_throughput == 0.0
+
+    def test_recent_throughput_tracks_trailing_window(self):
+        # One event per second for 100s: the lifetime rate and the
+        # windowed rate agree on a steady stream.
+        now = [0.0]
+        metrics = EngineMetrics(clock=lambda: now[0], window_seconds=10.0)
+        for second in range(100):
+            now[0] = float(second)
+            metrics.on_push()
+        # Trailing 10s hold seconds 90..99 -> 10 events over the window.
+        assert metrics.recent_throughput == 1.0
+        assert metrics.throughput == 100 / 99
+
+    def test_recent_throughput_sees_bursts_lifetime_misses(self):
+        # 50 events in the first 5s, then nothing until t=1000, then a
+        # 100-event burst: the window reports the burst rate while the
+        # lifetime average is diluted to near zero.
+        now = [0.0]
+        metrics = EngineMetrics(clock=lambda: now[0], window_seconds=10.0)
+        for i in range(50):
+            now[0] = i * 0.1
+            metrics.on_push()
+        for i in range(100):
+            now[0] = 1000.0 + i * 0.01
+            metrics.on_push()
+        assert metrics.recent_throughput == 10.0  # 100 events / 10s window
+        assert metrics.throughput < 0.2
+
+    def test_recent_throughput_decays_when_idle(self):
+        now = [0.0]
+        metrics = EngineMetrics(clock=lambda: now[0], window_seconds=10.0)
+        for i in range(10):
+            metrics.on_push()
+        assert metrics.recent_throughput > 0.0
+        now[0] = 60.0  # stream went quiet; the burst ages out
+        assert metrics.recent_throughput == 0.0
+
+    def test_recent_throughput_short_history_uses_elapsed_span(self):
+        # 2 events 1s apart with a 10s window: rate over the observed
+        # 1s span, not diluted across the (mostly empty) full window.
+        now = [0.0]
+        metrics = EngineMetrics(clock=lambda: now[0], window_seconds=10.0)
+        metrics.on_push()
+        now[0] = 1.0
+        metrics.on_push()
+        assert metrics.recent_throughput == 2.0
+
+    def test_window_must_be_positive(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            EngineMetrics(window_seconds=0.0)

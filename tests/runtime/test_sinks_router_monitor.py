@@ -129,3 +129,70 @@ class TestMonitor:
         )
         assert out.getvalue().count("CEPR monitor") == 3
         assert sleeps == [0.5, 0.5]
+
+    def test_run_live_clear_redraws_in_place(self):
+        """clear=True homes the cursor and erases per line — no 2J flicker."""
+        out = io.StringIO()
+        monitor = Monitor(self.make_engine())
+        monitor.run_live(iterations=2, out=out, sleep=lambda _: None, clear=True)
+        frames = out.getvalue()
+        assert frames.count("\x1b[H") == 2  # cursor home per frame
+        assert "\x1b[K" in frames  # erase to end-of-line per line
+        assert frames.count("\x1b[J") == 2  # erase below each frame
+        assert "\x1b[2J" not in frames  # never a full-screen clear
+        # every rendered line carries its erase suffix
+        body = frames.split("\x1b[H")[1].split("\x1b[J")[0]
+        for line in body.splitlines():
+            assert line.endswith("\x1b[K")
+
+    def test_render_shows_stage_profile(self):
+        engine = self.make_engine()
+        engine.run([E("A", 1, x=0), E("B", 2, x=7), E("Z", 3)])
+        text = Monitor(engine).render()
+        assert "stages: match=" in text
+
+    def test_render_shows_partition_skips(self):
+        engine = CEPREngine()
+        engine.register_query(
+            "PATTERN SEQ(A a, B b) WITHIN 4 EVENTS PARTITION BY part "
+            "RANK BY b.x DESC LIMIT 1 EMIT ON WINDOW CLOSE"
+        )
+        engine.run([E("A", 1, x=0), E("A", 2, x=1, part="p")])  # first lacks key
+        text = Monitor(engine).render()
+        assert "partition_skips=1" in text
+
+    def test_render_sharded_runner_shows_shard_block(self):
+        from repro.runtime.sharded import ShardedEngineRunner
+
+        runner = ShardedEngineRunner(shards=2)
+        runner.register_query(
+            "NAME spread PATTERN SEQ(A a, B b) WITHIN 4 EVENTS "
+            "PARTITION BY part RANK BY b.x DESC LIMIT 2 EMIT ON WINDOW CLOSE"
+        )
+        runner.start()
+        try:
+            for index in range(8):
+                runner.submit(E("A", index + 1, x=index, part=index % 2))
+            runner.flush()
+        finally:
+            runner.stop()
+        text = Monitor(runner).render()
+        assert "-- shards (2 workers)" in text
+        assert "shard 0 [sharded]:" in text
+        assert "shard 1 [sharded]:" in text
+        assert "events=" in text and "backlog=" in text
+        assert "shards=2" in text
+
+    def test_render_solo_fallback_flagged(self):
+        from repro.runtime.sharded import ShardedEngineRunner
+
+        runner = ShardedEngineRunner(shards=2)
+        runner.register_query(  # no PARTITION BY: must fall back to solo
+            "NAME global PATTERN SEQ(A a, B b) WITHIN 4 EVENTS "
+            "RANK BY b.x DESC LIMIT 2 EMIT ON WINDOW CLOSE"
+        )
+        runner.start()
+        runner.stop()
+        text = Monitor(runner).render()
+        assert "SOLO-FALLBACK" in text
+        assert "[solo]" in text
