@@ -181,6 +181,55 @@ def run_observability(
     )
 
 
+def run_checkpointed(
+    query: str,
+    events: list[Event],
+    registry: SchemaRegistry | None = None,
+    checkpoint_every: int | None = None,
+    checkpoint_dir=None,
+) -> RunResult:
+    """Run one query with (or without) periodic durable checkpoints.
+
+    The event loop is identical in both configurations — one ``push`` per
+    event plus a modulo test — so the measured difference is exactly what
+    checkpointing costs: the engine snapshot, JSON encoding, and the
+    fsync'd atomic write.
+    """
+    from repro.store.checkpoint import CheckpointStore, Position
+
+    stream = fresh_events(events)
+    engine = CEPREngine(registry=registry)
+    handle = engine.register_query(query, collect_results=False)
+    store = (
+        CheckpointStore(checkpoint_dir)
+        if checkpoint_every is not None
+        else None
+    )
+    started = time.perf_counter()
+    consumed = 0
+    for event in stream:
+        engine.push(event)
+        consumed += 1
+        if store is not None and consumed % checkpoint_every == 0:
+            store.save(
+                engine.snapshot(),
+                Position(
+                    events_consumed=consumed,
+                    last_seq=consumed,
+                    last_ts=event.timestamp,
+                ),
+            )
+    engine.flush()
+    elapsed = time.perf_counter() - started
+    return RunResult(
+        seconds=elapsed,
+        events=len(stream),
+        matches=handle.metrics.matches,
+        emissions=handle.metrics.emissions,
+        extra={"checkpoints": store.saves if store is not None else 0},
+    )
+
+
 def run_match_then_rank(
     query: str, events: list[Event], registry: SchemaRegistry | None = None
 ) -> RunResult:

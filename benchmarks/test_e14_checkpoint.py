@@ -1,0 +1,89 @@
+"""E14 — Checkpoint overhead: what crash-safe durability costs on E1.
+
+Two configurations of the same ranked stock query over 10k events, fed
+through an identical per-event loop (see ``run_checkpointed``):
+
+* **no checkpoints** — the plain pipeline.
+* **checkpoint every 1000 events** — 10 durable snapshots per run, each
+  an engine snapshot + canonical JSON encode + fsync'd atomic rename.
+
+The acceptance gate (also run as the CI benchmark smoke job): periodic
+checkpointing at ``--checkpoint-every 1000`` costs at most 10% over the
+unprotected run.  Denser intervals are reported by the harness but not
+gated — checkpoint cost scales with frequency by design.
+"""
+
+import tempfile
+from pathlib import Path
+
+from common import run_checkpointed, stock_rank_query
+
+QUERY = stock_rank_query(window=100, k=5)
+
+#: multiplicative budget for checkpointing every 1000 events.
+CHECKPOINT_OVERHEAD_BUDGET = 1.10
+CHECKPOINT_EVERY = 1000
+
+
+def test_e14_no_checkpoints(benchmark, stock_10k):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_checkpointed(QUERY, events, registry),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.emissions > 0
+    assert result.extra["checkpoints"] == 0
+
+
+def test_e14_checkpoint_every_1000(benchmark, stock_10k, tmp_path):
+    events, registry = stock_10k
+    result = benchmark.pedantic(
+        lambda: run_checkpointed(
+            QUERY,
+            events,
+            registry,
+            checkpoint_every=CHECKPOINT_EVERY,
+            checkpoint_dir=tmp_path / "ckpt",
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.emissions > 0
+    assert result.extra["checkpoints"] == len(events) // CHECKPOINT_EVERY
+
+
+def test_e14_checkpoint_overhead_within_budget(stock_10k):
+    """Checkpointing every 1000 events stays within 10% of no checkpoints.
+
+    Interleaved min-of-N with retries, exactly like the E13 gate: each
+    attempt takes the minimum of three interleaved runs per configuration
+    and the gate passes on the best attempt, so shared-runner noise can't
+    fail the build spuriously.
+    """
+    events, registry = stock_10k
+    best_ratio = float("inf")
+    for _attempt in range(4):
+        bare_runs, checkpointed_runs = [], []
+        with tempfile.TemporaryDirectory() as tmp:
+            for _round in range(3):
+                bare_runs.append(
+                    run_checkpointed(QUERY, events, registry).seconds
+                )
+                checkpointed_runs.append(
+                    run_checkpointed(
+                        QUERY,
+                        events,
+                        registry,
+                        checkpoint_every=CHECKPOINT_EVERY,
+                        checkpoint_dir=Path(tmp) / "ckpt",
+                    ).seconds
+                )
+        best_ratio = min(best_ratio, min(checkpointed_runs) / min(bare_runs))
+        if best_ratio <= CHECKPOINT_OVERHEAD_BUDGET:
+            break
+    assert best_ratio <= CHECKPOINT_OVERHEAD_BUDGET, (
+        f"checkpointing every {CHECKPOINT_EVERY} events costs "
+        f"{(best_ratio - 1) * 100:.1f}% over the unprotected run "
+        f"(budget {(CHECKPOINT_OVERHEAD_BUDGET - 1) * 100:.0f}%)"
+    )

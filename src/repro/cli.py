@@ -133,6 +133,35 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run partitioned queries across N worker shards (default: 1)",
     )
+    run.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write emissions as JSON lines to PATH instead of stdout "
+        "(appends when resuming)",
+    )
+    run.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist crash-recovery checkpoints to DIR (see docs/RECOVERY.md)",
+    )
+    run.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="checkpoint every N consumed events (default: 1000; "
+        "requires --checkpoint-dir)",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the latest valid checkpoint in --checkpoint-dir, "
+        "skipping the already-consumed prefix of --events",
+    )
 
     stats = commands.add_parser(
         "stats", help="replay a stream and export engine metrics"
@@ -344,6 +373,66 @@ def _load_events(path: Path) -> Iterable[Event]:
     raise ValueError(f"unsupported event file {path}: expected .jsonl or .csv")
 
 
+def _checkpoint_store(args: argparse.Namespace):
+    """Validate the checkpoint flag combination; build the store (or None)."""
+    from repro.store.checkpoint import CheckpointStore
+
+    if args.checkpoint_every < 1:
+        raise ValueError(
+            f"--checkpoint-every must be >= 1, got {args.checkpoint_every}"
+        )
+    if args.checkpoint_dir is None:
+        if args.resume:
+            raise ValueError("--resume requires --checkpoint-dir")
+        return None
+    return CheckpointStore(args.checkpoint_dir)
+
+
+def _resume_consumed(store, args: argparse.Namespace, restore) -> int:
+    """Restore the latest checkpoint; returns the source prefix to skip."""
+    if store is None or not args.resume:
+        return 0
+    checkpoint = store.latest()
+    if checkpoint is None:
+        _log.warning(
+            "--resume: no valid checkpoint in %s, starting from the beginning",
+            store.directory,
+        )
+        return 0
+    restore(checkpoint.state)
+    _log.info(
+        "resumed from %s: skipping %d already-consumed event(s)",
+        checkpoint.path.name,
+        checkpoint.position.events_consumed,
+    )
+    return checkpoint.position.events_consumed
+
+
+def _maybe_checkpoint(store, every: int, consumed: int, last_ts: float,
+                      snapshot) -> None:
+    """Save a checkpoint if ``consumed`` sits on an ``every`` boundary."""
+    from repro.store.checkpoint import Position
+
+    if store is None or consumed % every:
+        return
+    state = snapshot()
+    last_seq = int(state["sequencer"]["next_seq"]) - 1
+    store.save(
+        state,
+        Position(events_consumed=consumed, last_seq=last_seq, last_ts=last_ts),
+    )
+
+
+def _make_emit(args: argparse.Namespace, out: TextIO):
+    """Emission callback + closer: JSONL file sink or stdout rendering."""
+    if args.out is not None:
+        from repro.runtime.sinks import JSONLSink
+
+        sink = JSONLSink(args.out, mode="a" if args.resume else "w")
+        return sink.accept, sink.close
+    return (lambda emission: _render(emission, args.output, out)), (lambda: None)
+
+
 def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     if args.shards < 1:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
@@ -356,18 +445,38 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         _report_diagnostics(str(path), handle.diagnostics)
         handles.append(handle)
 
+    store = _checkpoint_store(args)
+    skip = _resume_consumed(store, args, engine.restore)
+
     emission_count = 0
-    for event in _load_events(args.events):
-        for emission in engine.push(event):
-            emission_count += 1
-            _render(emission, args.output, out)
-    for emission in engine.flush():
+    emit, close = _make_emit(args, out)
+
+    def deliver(emission: Emission) -> None:
+        nonlocal emission_count
         emission_count += 1
-        _render(emission, args.output, out)
+        emit(emission)
+
+    try:
+        consumed = 0
+        for event in _load_events(args.events):
+            consumed += 1
+            if consumed <= skip:
+                continue
+            for emission in engine.push(event):
+                deliver(emission)
+            _maybe_checkpoint(
+                store, args.checkpoint_every, consumed, event.timestamp,
+                engine.snapshot,
+            )
+        for emission in engine.flush():
+            deliver(emission)
+    finally:
+        close()
 
     if args.stats:
         _print_stats(engine.stats_by_query(), out)
-    if emission_count == 0 and args.output == "text":
+        _print_checkpoint_stats(store, out)
+    if emission_count == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
     return 0
 
@@ -377,32 +486,64 @@ def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
     from repro.runtime.sharded import ShardedEngineRunner
 
     emission_count = 0
+    emit, close = _make_emit(args, out)
 
-    def render(emission: Emission) -> None:
+    def deliver(emission: Emission) -> None:
         nonlocal emission_count
         emission_count += 1
-        _render(emission, args.output, out)
+        emit(emission)
 
     runner = ShardedEngineRunner(
         shards=args.shards,
         enable_pruning=not args.no_pruning,
-        on_emission=render,
+        on_emission=deliver,
     )
     for path in args.query_files:
         view = runner.register_query(path.read_text(), name=path.stem)
         _report_diagnostics(str(path), run_analysis(view.analyzed))
+
+    store = _checkpoint_store(args)
     runner.start()
     try:
-        runner.submit_all(_load_events(args.events))
+        skip = _resume_consumed(store, args, runner.restore)
+        consumed = 0
+        for event in _load_events(args.events):
+            consumed += 1
+            if consumed <= skip:
+                continue
+            runner.submit(event)
+            _maybe_checkpoint(
+                store, args.checkpoint_every, consumed, event.timestamp,
+                runner.snapshot,
+            )
         runner.flush()
+    except BaseException:
+        # A failure mid-stream must behave like a crash: stop() would
+        # flush, emitting partial-epoch results the resumed run will
+        # produce again.  Tear the fleet down without flushing instead.
+        runner.kill()
+        raise
     finally:
-        runner.stop()
+        runner.stop()  # no-op after kill()
+        close()
 
     if args.stats:
         _print_stats(runner.stats_by_query(), out)
-    if emission_count == 0 and args.output == "text":
+        _print_checkpoint_stats(store, out)
+    if emission_count == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
     return 0
+
+
+def _print_checkpoint_stats(store, out: TextIO) -> None:
+    if store is None:
+        return
+    print(
+        f"  checkpoints: saves={store.saves} loads={store.loads} "
+        f"invalid_skipped={store.invalid_skipped} "
+        f"last_bytes={store.last_save_bytes}",
+        file=out,
+    )
 
 
 def _print_stats(stats_by_query: dict, out: TextIO) -> None:

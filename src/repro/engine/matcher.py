@@ -238,6 +238,22 @@ class PatternMatcher:
         for partition in self._partitions.values():
             yield from partition.runs
 
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-safe snapshot of all mutable state (runs, pendings, stats)."""
+        from repro.engine.snapshot import encode_matcher
+
+        return encode_matcher(self)
+
+    def restore(self, state: dict[str, Any]) -> None:
+        """Load a :meth:`snapshot` into this (freshly constructed) matcher.
+
+        The matcher must have been built from the same compiled automaton
+        the snapshot was taken from; runs are re-attached to it.
+        """
+        from repro.engine.snapshot import restore_matcher
+
+        restore_matcher(self, state)
+
     # -- phase 1: expiry ---------------------------------------------------------
 
     def _expire(

@@ -1,0 +1,105 @@
+"""Strict-JSON encoding of payloads that may carry non-finite floats.
+
+Python's ``json.dumps`` default emits ``NaN``/``Infinity``/``-Infinity``
+tokens, which are *not* JSON: ``JSON.parse``, jq, and most non-Python
+consumers reject the whole line.  Every serialisation boundary in CEPR
+(the event log, emission JSONL output, checkpoint files) therefore
+encodes with ``allow_nan=False`` and an explicit policy for non-finite
+floats:
+
+* **Flat payloads** (event attributes): a non-finite value is written as
+  ``null`` and its kind recorded in a ``"~nf"`` flag field mapping the
+  attribute name to ``"nan"``/``"inf"``/``"-inf"``; :func:`unscrub`
+  reverses it on decode.  ``~`` cannot start a CEPR-QL identifier, so the
+  flag field can never collide with a real attribute.
+* **Nested structures** (checkpoint state, rank values): a non-finite
+  float is replaced by the sentinel object ``{"~nf": kind}``;
+  :func:`desanitize` restores it.
+
+Either way the emitted bytes are valid JSON everywhere and the original
+values round-trip exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+#: Flag field carrying non-finite attribute kinds alongside a payload.
+NONFINITE_KEY = "~nf"
+
+_KIND_VALUES = {"nan": math.nan, "inf": math.inf, "-inf": -math.inf}
+
+
+def classify(value: Any) -> str | None:
+    """``"nan"``/``"inf"``/``"-inf"`` for a non-finite float, else ``None``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "nan"
+        return "inf" if value > 0 else "-inf"
+    return None
+
+
+def scrub(payload: dict[str, Any]) -> tuple[dict[str, Any], dict[str, str]]:
+    """Split a flat payload into a JSON-safe dict plus non-finite flags.
+
+    Returns ``(clean, flags)`` where every non-finite float value in
+    ``payload`` appears as ``None`` in ``clean`` and as ``attr -> kind``
+    in ``flags``.  When ``flags`` is empty the payload was already safe.
+    """
+    flags: dict[str, str] = {}
+    clean: dict[str, Any] = {}
+    for attr, value in payload.items():
+        kind = classify(value)
+        if kind is None:
+            clean[attr] = value
+        else:
+            clean[attr] = None
+            flags[attr] = kind
+    return clean, flags
+
+
+def unscrub(payload: dict[str, Any], flags: dict[str, str]) -> dict[str, Any]:
+    """Restore non-finite values recorded by :func:`scrub` (in place)."""
+    for attr, kind in flags.items():
+        payload[attr] = _KIND_VALUES[kind]
+    return payload
+
+
+def sanitize(obj: Any) -> Any:
+    """Deep-copy ``obj`` replacing non-finite floats with sentinel objects.
+
+    The result serialises under ``allow_nan=False``.  Dicts and lists are
+    recursed; tuples become lists (JSON has no tuple type — decoders that
+    need tuples restore them structurally).
+    """
+    kind = classify(obj)
+    if kind is not None:
+        return {NONFINITE_KEY: kind}
+    if isinstance(obj, dict):
+        return {key: sanitize(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [sanitize(value) for value in obj]
+    return obj
+
+
+def desanitize(obj: Any) -> Any:
+    """Inverse of :func:`sanitize` (sentinel objects back to floats)."""
+    if isinstance(obj, dict):
+        if set(obj) == {NONFINITE_KEY}:
+            return _KIND_VALUES[obj[NONFINITE_KEY]]
+        return {key: desanitize(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [desanitize(value) for value in obj]
+    return obj
+
+
+def dumps(obj: Any) -> str:
+    """``json.dumps`` that refuses to emit invalid NaN/Infinity tokens.
+
+    Raises :class:`ValueError` on a non-finite float that escaped the
+    scrub/sanitize policy — corrupting the output stream silently would
+    be strictly worse.
+    """
+    return json.dumps(obj, allow_nan=False)

@@ -168,6 +168,20 @@ class SequenceAssigner:
         for event in events:
             yield self.assign(event)
 
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the assignment position (for checkpoints)."""
+        return {
+            "next_seq": self._next_seq,
+            "last_timestamp": self._last_timestamp,
+            "out_of_order_count": self.out_of_order_count,
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` (strictness stays as constructed)."""
+        self._next_seq = int(state["next_seq"])
+        self._last_timestamp = state["last_timestamp"]
+        self.out_of_order_count = int(state["out_of_order_count"])
+
 
 class PreassignedSequencer(SequenceAssigner):
     """A sequencer that trusts sequence numbers stamped upstream.

@@ -297,6 +297,94 @@ class Ranker:
             return None
         return buffer.kth_key()
 
+    # -- checkpointing --------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the emission state machine.
+
+        Matches are stored without their scores (see
+        :mod:`repro.engine.snapshot`); :meth:`restore` re-scores them,
+        which is deterministic because scores are pure functions of the
+        bindings.
+        """
+        from repro.engine.snapshot import encode_match
+
+        state: dict = {
+            "revision": self._revision,
+            "emissions_count": self._emissions_count,
+            "scoring_errors": self.scoring_errors,
+        }
+        if self._tumbling:
+            state["mode"] = "tumbling"
+            state["current_epoch"] = self._current_epoch
+            state["epochs"] = {
+                str(epoch): {
+                    "matches": [encode_match(m) for m in buffer.ranking()],
+                    "discarded": buffer.discarded,
+                }
+                for epoch, buffer in self._epoch_buffers.items()
+            }
+        elif self._passthrough:
+            state["mode"] = "passthrough"
+            state["limit_epoch"] = self._limit_epoch
+            state["emitted_in_epoch"] = self._emitted_in_epoch
+        else:
+            state["mode"] = "sliding"
+            state["live"] = [encode_match(m) for m in self._sliding]
+            state["expired"] = self._sliding.expired
+            state["last_snapshot"] = [
+                encode_match(m) for m in self._last_snapshot
+            ]
+            state["events_since_emit"] = self._events_since_emit
+            state["last_emit_ts"] = self._last_emit_ts
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (freshly constructed) ranker."""
+        from repro.engine.snapshot import SnapshotFormatError, decode_match
+
+        mode = (
+            "tumbling"
+            if self._tumbling
+            else "passthrough" if self._passthrough else "sliding"
+        )
+        if state.get("mode") != mode:
+            raise SnapshotFormatError(
+                f"ranker mode mismatch: snapshot is {state.get('mode')!r}, "
+                f"query needs {mode!r}"
+            )
+
+        def rescore(item: dict) -> Match:
+            return self.scorer.score(decode_match(item))
+
+        self._revision = int(state["revision"])
+        self._emissions_count = int(state["emissions_count"])
+        self.scoring_errors = int(state["scoring_errors"])
+        if self._tumbling:
+            self._current_epoch = state["current_epoch"]
+            self._epoch_buffers = {}
+            for key, item in state["epochs"].items():
+                buffer = EpochTopK(self.limit)
+                # Stored best-first and within capacity, so re-inserting
+                # cannot evict; the discard count carries over verbatim.
+                for encoded in item["matches"]:
+                    buffer.insert(rescore(encoded))
+                buffer.discarded = int(item["discarded"])
+                self._epoch_buffers[int(key)] = buffer
+        elif self._passthrough:
+            self._limit_epoch = state["limit_epoch"]
+            self._emitted_in_epoch = int(state["emitted_in_epoch"])
+        else:
+            self._sliding = SlidingRanking(self.limit, self.window)
+            for encoded in state["live"]:
+                self._sliding.insert(rescore(encoded))
+            self._sliding.expired = int(state["expired"])
+            self._last_snapshot = [
+                rescore(encoded) for encoded in state["last_snapshot"]
+            ]
+            self._events_since_emit = int(state["events_since_emit"])
+            self._last_emit_ts = state["last_emit_ts"]
+
     # -- tumbling -------------------------------------------------------------------
 
     def _observe_tumbling(

@@ -18,6 +18,7 @@
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable, Iterable
 
 from repro.events.event import Event
@@ -39,6 +40,37 @@ from repro.ranking.emission import Emission
 from repro.runtime.metrics import EngineMetrics
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.router import EventRouter
+
+
+def snapshot_lateness(buffer: LatenessBuffer) -> dict:
+    """JSON-safe snapshot of a lateness buffer (for checkpoints)."""
+    from repro.engine.snapshot import encode_event
+
+    return {
+        "heap": [
+            [ts, counter, encode_event(event)]
+            for ts, counter, event in buffer._heap
+        ],
+        "counter": buffer._counter,
+        "max_seen": buffer._max_seen,
+        "last_released": buffer._last_released,
+        "late_drops": buffer.late_drops,
+    }
+
+
+def restore_lateness(buffer: LatenessBuffer, state: dict) -> None:
+    """Load a :func:`snapshot_lateness` state into ``buffer``."""
+    from repro.engine.snapshot import decode_event
+
+    buffer._heap = [
+        (float(ts), int(counter), decode_event(event))
+        for ts, counter, event in state["heap"]
+    ]
+    heapq.heapify(buffer._heap)
+    buffer._counter = int(state["counter"])
+    buffer._max_seen = float(state["max_seen"])
+    buffer._last_released = float(state["last_released"])
+    buffer.late_drops = int(state["late_drops"])
 
 
 class CEPREngine:
@@ -289,6 +321,68 @@ class CEPREngine:
         for registered in self._queries.values():
             emissions.extend(registered.flush())
         return emissions
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of all mutable engine state.
+
+        Save with :class:`~repro.store.checkpoint.CheckpointStore`; load
+        into a **fresh engine constructed the same way** (same options,
+        same queries registered under the same names, in any order) with
+        :meth:`restore`.  Replaying the event stream from the snapshot's
+        position then continues the uninterrupted run exactly (see
+        docs/RECOVERY.md).
+        """
+        state: dict = {
+            "sequencer": self._sequencer.snapshot(),
+            "derived_events": self.derived_events,
+            "flushed": self._flushed,
+            "events_pushed": self.metrics.events_pushed,
+            "queries": {
+                name: registered.snapshot()
+                for name, registered in self._queries.items()
+            },
+        }
+        state["lateness"] = (
+            None
+            if self.lateness_buffer is None
+            else snapshot_lateness(self.lateness_buffer)
+        )
+        return state
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this freshly constructed engine.
+
+        Every query named in the snapshot must already be registered (the
+        compiled automatons and scorers are rebuilt from query text; only
+        mutable state travels through the snapshot).
+        """
+        from repro.engine.snapshot import SnapshotFormatError
+
+        snapshot_queries = state["queries"]
+        missing = sorted(set(snapshot_queries) - set(self._queries))
+        extra = sorted(set(self._queries) - set(snapshot_queries))
+        if missing or extra:
+            raise SnapshotFormatError(
+                f"query set mismatch: snapshot has {sorted(snapshot_queries)}, "
+                f"engine has {sorted(self._queries)}"
+            )
+        lateness_state = state["lateness"]
+        if (lateness_state is None) != (self.lateness_buffer is None):
+            raise SnapshotFormatError(
+                "lateness-buffer configuration mismatch between snapshot "
+                "and engine (max_lateness must match)"
+            )
+        self._sequencer.restore(state["sequencer"])
+        self.derived_events = int(state["derived_events"])
+        self._flushed = bool(state["flushed"])
+        self.metrics.events_pushed = int(state["events_pushed"])
+        if lateness_state is not None:
+            assert self.lateness_buffer is not None
+            restore_lateness(self.lateness_buffer, lateness_state)
+        for name, query_state in snapshot_queries.items():
+            self._queries[name].restore(query_state)
 
     # -- introspection --------------------------------------------------------------
 

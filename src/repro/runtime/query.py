@@ -240,6 +240,47 @@ class RegisteredQuery:
                 derived.append(Event(spec.event_type, emission.at_ts, **payload))
         return derived
 
+    # -- checkpointing -------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-safe snapshot of the whole operator chain's mutable state.
+
+        Covers the matcher (runs, pendings), the ranker (scopes, revision
+        counters), and the bookkeeping needed for deterministic resume.
+        Collected emission *history* and latency reservoirs are not state —
+        they never influence future output — and are excluded.
+        """
+        return {
+            "last_seq": self._last_seq,
+            "last_ts": self._last_ts,
+            "flushed": self._flushed,
+            "yielded_ids": sorted(self._yielded_ids),
+            "yield_errors": self.yield_errors,
+            "matcher": self.matcher.snapshot(),
+            "ranker": self.ranker.snapshot(),
+            "metrics": {
+                "events_routed": self.metrics.events_routed,
+                "matches": self.metrics.matches,
+                "emissions": self.metrics.emissions,
+                "revisions": self.metrics.revisions,
+            },
+        }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this (freshly registered) query."""
+        self._last_seq = int(state["last_seq"])
+        self._last_ts = float(state["last_ts"])
+        self._flushed = bool(state["flushed"])
+        self._yielded_ids = set(state["yielded_ids"])
+        self.yield_errors = int(state["yield_errors"])
+        self.matcher.restore(state["matcher"])
+        self.ranker.restore(state["ranker"])
+        counters = state["metrics"]
+        self.metrics.events_routed = int(counters["events_routed"])
+        self.metrics.matches = int(counters["matches"])
+        self.metrics.emissions = int(counters["emissions"])
+        self.metrics.revisions = int(counters["revisions"])
+
     def explain(self) -> str:
         """Readable evaluation plan: stages, predicate placement, ranking.
 

@@ -5,6 +5,15 @@ Shared by the CLI's ``--output jsonl`` mode and
 stable schema: an emission object with a ``ranking`` array of match
 objects, each carrying its query name, rank values, time span, and full
 bindings.
+
+Non-finite floats (NaN/Infinity) are not valid JSON; bare ``json.dumps``
+would happily emit them and break strict parsers downstream.  Event
+payloads are scrubbed through :mod:`repro.events.jsonsafe` — affected
+attributes serialise as ``null`` plus a ``"~nf"`` flag field naming the
+original value — and rank values get the same treatment as a
+positional flag map.  :func:`event_from_json` and
+:func:`emission_from_line` reverse it, so a NaN sensor reading survives a
+round trip through a JSONL sink.
 """
 
 from __future__ import annotations
@@ -14,12 +23,26 @@ from typing import Any
 
 from repro.engine.match import Match
 from repro.events.event import Event
+from repro.events.jsonsafe import NONFINITE_KEY, classify, dumps, scrub, unscrub
 from repro.ranking.emission import Emission
 
 
 def event_to_json(event: Event) -> dict[str, Any]:
     """One event as a JSON-compatible dict (type + timestamp + payload)."""
-    return {"type": event.event_type, "t": event.timestamp, **event.payload}
+    payload, flags = scrub(event.payload)
+    doc = {"type": event.event_type, "t": event.timestamp, **payload}
+    if flags:
+        doc[NONFINITE_KEY] = flags
+    return doc
+
+
+def event_from_json(doc: dict[str, Any]) -> Event:
+    """Inverse of :func:`event_to_json` (non-finite flags restored)."""
+    payload = {
+        k: v for k, v in doc.items() if k not in ("type", "t", NONFINITE_KEY)
+    }
+    unscrub(payload, doc.get(NONFINITE_KEY, {}))
+    return Event(doc["type"], doc["t"], **payload)
 
 
 def match_to_json(match: Match) -> dict[str, Any]:
@@ -30,13 +53,25 @@ def match_to_json(match: Match) -> dict[str, Any]:
             bindings[var] = event_to_json(binding)
         else:
             bindings[var] = [event_to_json(e) for e in binding]
-    return {
+    rank_values: list[Any] = []
+    rank_flags: dict[str, str] = {}
+    for index, value in enumerate(match.rank_values):
+        kind = classify(value)
+        if kind is not None:
+            rank_flags[str(index)] = kind
+            rank_values.append(None)
+        else:
+            rank_values.append(value)
+    doc = {
         "query": match.query_name,
-        "rank_values": list(match.rank_values),
+        "rank_values": rank_values,
         "first_ts": match.first_ts,
         "last_ts": match.last_ts,
         "bindings": bindings,
     }
+    if rank_flags:
+        doc[NONFINITE_KEY] = rank_flags
+    return doc
 
 
 def emission_to_json(emission: Emission) -> dict[str, Any]:
@@ -51,5 +86,24 @@ def emission_to_json(emission: Emission) -> dict[str, Any]:
 
 
 def emission_to_line(emission: Emission) -> str:
-    """One emission as a compact JSON line."""
-    return json.dumps(emission_to_json(emission))
+    """One emission as a compact JSON line (strict: rejects bare NaN)."""
+    return dumps(emission_to_json(emission))
+
+
+def emission_from_line(line: str) -> dict[str, Any]:
+    """Parse one JSONL emission line back to a dict, restoring non-finite
+    rank values and payload attributes flagged by the encoder."""
+    doc = json.loads(line)
+    for match_doc in doc.get("ranking", []):
+        rank_flags = match_doc.pop(NONFINITE_KEY, {})
+        values = match_doc.get("rank_values", [])
+        unscrub_values = {int(i): kind for i, kind in rank_flags.items()}
+        for index, kind in unscrub_values.items():
+            restored: dict[str, Any] = {"v": None}
+            unscrub(restored, {"v": kind})
+            values[index] = restored["v"]
+        for binding in match_doc.get("bindings", {}).values():
+            event_docs = binding if isinstance(binding, list) else [binding]
+            for event_doc in event_docs:
+                unscrub(event_doc, event_doc.pop(NONFINITE_KEY, {}))
+    return doc

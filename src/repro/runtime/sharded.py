@@ -89,8 +89,9 @@ from repro.observability.log import get_logger
 from repro.observability.profiling import StageProfile
 from repro.observability.registry import MetricsRegistry, merge_registries
 from repro.ranking.emission import Emission, EmissionKind
+from repro.ranking.score import Scorer
 from repro.ranking.topk import merge_rankings
-from repro.runtime.engine import CEPREngine
+from repro.runtime.engine import CEPREngine, restore_lateness, snapshot_lateness
 from repro.runtime.metrics import EngineMetrics, QueryMetrics, aggregate_query_metrics
 from repro.runtime.query import RegisteredQuery
 
@@ -128,6 +129,41 @@ def aggregate_matcher_stats(parts: Iterable[MatcherStats]) -> MatcherStats:
             else:
                 setattr(total, spec.name, current + value)
     return total
+
+
+def _encode_emission(emission: Emission) -> dict:
+    """JSON-safe encoding of a shard-local emission (for checkpoints)."""
+    from repro.engine.snapshot import encode_match
+
+    return {
+        "kind": emission.kind.value,
+        "ranking": [encode_match(m) for m in emission.ranking],
+        "at_seq": emission.at_seq,
+        "at_ts": emission.at_ts,
+        "epoch": emission.epoch,
+        "revision": emission.revision,
+        "entered": [encode_match(m) for m in emission.entered],
+        "exited": [encode_match(m) for m in emission.exited],
+    }
+
+
+def _decode_emission(state: dict, scorer: Scorer) -> Emission:
+    """Inverse of :func:`_encode_emission`, re-scoring every match."""
+    from repro.engine.snapshot import decode_match
+
+    def rescore(item: dict) -> Match:
+        return scorer.score(decode_match(item))
+
+    return Emission(
+        kind=EmissionKind(state["kind"]),
+        ranking=[rescore(item) for item in state["ranking"]],
+        at_seq=int(state["at_seq"]),
+        at_ts=float(state["at_ts"]),
+        epoch=state["epoch"],
+        revision=int(state["revision"]),
+        entered=[rescore(item) for item in state["entered"]],
+        exited=[rescore(item) for item in state["exited"]],
+    )
 
 
 class _MergedResults:
@@ -242,6 +278,82 @@ class ShardedQuery:
         elif epoch > self._runner_epoch:
             self._advances.append((epoch, self.last_routed_seq, timestamp))
             self._runner_epoch = epoch
+
+    # -- checkpointing -------------------------------------------------------------
+
+    def _snapshot_merge_state(self) -> dict:
+        """Merge-stage state: pending epochs, counters, un-merged tails.
+
+        The merged emission *history* is output, not state — it never
+        influences future merges — and is not checkpointed (see
+        docs/RECOVERY.md).  What must travel is everything that feeds the
+        next merge: shard-collector emissions not yet drained, epochs
+        drained but not yet closable, and the re-stamping counters.
+        """
+        tails = []
+        for shard, handle in enumerate(self.handles):
+            assert handle.collector is not None
+            emissions = handle.collector.emissions
+            tails.append(
+                [
+                    _encode_emission(emission)
+                    for emission in emissions[self._cursors[shard] :]
+                ]
+            )
+        return {
+            "mode": self.mode,
+            "revision": self._revision,
+            "detections": self._detections,
+            "last_routed_seq": self.last_routed_seq,
+            "last_routed_ts": self.last_routed_ts,
+            "last_ts": self.last_ts,
+            "runner_epoch": self._runner_epoch,
+            "advances": [list(advance) for advance in self._advances],
+            "pending_epochs": {
+                str(epoch): [
+                    [shard, _encode_emission(emission)]
+                    for shard, emission in parts
+                ]
+                for epoch, parts in self._pending_epochs.items()
+            },
+            "shard_tails": tails,
+        }
+
+    def _restore_merge_state(self, state: dict) -> None:
+        from repro.engine.snapshot import SnapshotFormatError
+
+        if state["mode"] != self.mode:
+            raise SnapshotFormatError(
+                f"query {self.name!r}: snapshot placement {state['mode']!r} "
+                f"does not match current placement {self.mode!r}"
+            )
+        scorer = self.handles[0].scorer
+        self._revision = int(state["revision"])
+        self._detections = int(state["detections"])
+        self.last_routed_seq = int(state["last_routed_seq"])
+        self.last_routed_ts = float(state["last_routed_ts"])
+        self.last_ts = float(state["last_ts"])
+        self._runner_epoch = state["runner_epoch"]
+        self._advances = deque(
+            (int(epoch), int(seq), float(ts))
+            for epoch, seq, ts in state["advances"]
+        )
+        self._pending_epochs = {
+            int(epoch): [
+                (int(shard), _decode_emission(item, scorer))
+                for shard, item in parts
+            ]
+            for epoch, parts in state["pending_epochs"].items()
+        }
+        # Shard engines were restored with empty collectors; re-seed them
+        # with the un-merged tails and point the cursors at their start.
+        self._cursors = [0] * len(self.handles)
+        for shard, tail in enumerate(state["shard_tails"]):
+            collector = self.handles[shard].collector
+            assert collector is not None
+            collector.emissions.clear()
+            for item in tail:
+                collector.emissions.append(_decode_emission(item, scorer))
 
     # -- merge stage ---------------------------------------------------------------
 
@@ -744,6 +856,115 @@ class ShardedEngineRunner:
                 if worker.thread.is_alive():
                     raise TimeoutError("shard thread did not drain in time")
         self._check_failures()
+
+    def kill(self, timeout: float | None = 5.0) -> None:
+        """Stop every shard **without flushing** (crash simulation).
+
+        The fault-injection harness uses this to model a process dying
+        mid-stream: no flush barrier, no final merge, buffered state
+        simply vanishes.  Worker threads are joined so repeated
+        kill/restore cycles in a test session don't leak threads.
+        """
+        if not self._started or self._stopped:
+            return
+        self._stopped = True
+        for worker in self._workers:
+            worker.put_op(("stop", threading.Event()))
+        for worker in self._workers:
+            assert worker.thread is not None
+            worker.thread.join(timeout=timeout)
+
+    # -- checkpointing ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Coordinated JSON-safe snapshot of the whole fleet.
+
+        Takes a barrier: drains every shard queue, then captures the
+        dispatch state (sequencer, lateness buffer), every shard engine's
+        snapshot (in the deterministic worker order fixed by
+        :meth:`start`), and each query's merge-stage state.  Consistency
+        holds because the runner's lock blocks submits for the duration
+        and the sync barrier empties all queues first.
+        """
+        if not self._started:
+            raise RuntimeError("runner not started")
+        if self._stopped:
+            raise RuntimeError("runner is stopped")
+        with self._lock:
+            self._sync_all()
+            self._check_failures()
+            return {
+                "shards": self.shards,
+                "sequencer": self._sequencer.snapshot(),
+                "lateness": (
+                    None
+                    if self._lateness is None
+                    else snapshot_lateness(self._lateness)
+                ),
+                "events_submitted": self.events_submitted,
+                "events_pushed": self.metrics.events_pushed,
+                "engines": [
+                    worker.engine.snapshot() for worker in self._workers
+                ],
+                "views": {
+                    name: view._snapshot_merge_state()
+                    for name, view in self._views.items()
+                },
+            }
+
+    def restore(self, state: dict) -> None:
+        """Load a :meth:`snapshot` into this freshly started runner.
+
+        The runner must be configured identically to the one that took
+        the snapshot — same ``shards``, same ``max_lateness`` setting, and
+        the same queries registered under the same names — so its worker
+        list lines up positionally with the snapshot's engine list.
+        """
+        from repro.engine.snapshot import SnapshotFormatError
+
+        if not self._started:
+            raise RuntimeError("runner not started (call start() first)")
+        if self._stopped or self._flushed:
+            raise RuntimeError("runner is stopped")
+        if int(state["shards"]) != self.shards:
+            raise SnapshotFormatError(
+                f"shard count mismatch: snapshot has {state['shards']}, "
+                f"runner has {self.shards}"
+            )
+        missing = sorted(set(state["views"]) - set(self._views))
+        extra = sorted(set(self._views) - set(state["views"]))
+        if missing or extra:
+            raise SnapshotFormatError(
+                f"query set mismatch: snapshot has {sorted(state['views'])}, "
+                f"runner has {sorted(self._views)}"
+            )
+        if (state["lateness"] is None) != (self._lateness is None):
+            raise SnapshotFormatError(
+                "lateness-buffer configuration mismatch between snapshot "
+                "and runner (max_lateness must match)"
+            )
+        engines = state["engines"]
+        if len(engines) != len(self._workers):
+            raise SnapshotFormatError(
+                f"worker count mismatch: snapshot has {len(engines)} "
+                f"engines, runner has {len(self._workers)} workers"
+            )
+        with self._lock:
+            # Workers are idle (nothing submitted yet on a fresh runner;
+            # the sync barrier guarantees it regardless), so restoring
+            # their engines from the barrier thread is race-free.
+            self._sync_all()
+            self._check_failures()
+            self._sequencer.restore(state["sequencer"])
+            if state["lateness"] is not None:
+                assert self._lateness is not None
+                restore_lateness(self._lateness, state["lateness"])
+            self.events_submitted = int(state["events_submitted"])
+            self.metrics.events_pushed = int(state["events_pushed"])
+            for worker, engine_state in zip(self._workers, engines):
+                worker.engine.restore(engine_state)
+            for name, view_state in state["views"].items():
+                self._views[name]._restore_merge_state(view_state)
 
     # -- producing --------------------------------------------------------------------
 

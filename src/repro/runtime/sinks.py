@@ -79,17 +79,25 @@ class JSONLSink:
     Accepts an open text handle or a path; when given a path, the file is
     opened lazily on the first emission and must be closed by the caller
     via :meth:`close` (or use the sink as a context manager).
+
+    ``mode`` controls what happens to an existing file at that path:
+    ``"w"`` (default) truncates, ``"a"`` appends.  A resumed run
+    (``cepr run --resume``) must use ``"a"`` — truncating would destroy
+    the emissions already written before the crash.
     """
 
-    def __init__(self, target) -> None:
+    def __init__(self, target, mode: str = "w") -> None:
         from pathlib import Path
 
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', got {mode!r}")
         if isinstance(target, (str, Path)):
             self._path = Path(target)
             self._handle: TextIO | None = None
         else:
             self._path = None
             self._handle = target
+        self._mode = mode
         self.emissions_written = 0
 
     @property
@@ -101,7 +109,7 @@ class JSONLSink:
 
         if self._handle is None:
             assert self._path is not None
-            self._handle = self._path.open("w")
+            self._handle = self._path.open(self._mode)
         self._handle.write(emission_to_line(emission) + "\n")
         self.emissions_written += 1
 

@@ -1,0 +1,281 @@
+"""Atomic, versioned checkpoint files for crash-safe engine state.
+
+A checkpoint is one JSON document capturing everything a
+:class:`~repro.runtime.engine.CEPREngine` (or
+:class:`~repro.runtime.sharded.ShardedEngineRunner`) needs to continue a
+stream exactly where it left off: the engine ``snapshot()`` plus a
+*position* — how many source events were consumed, and the ``(seq, ts)``
+of the last one.  Recovery is restore + replay: load the latest valid
+checkpoint into a freshly built engine, skip the consumed prefix of the
+event source (or scan the :class:`~repro.store.log.EventLog` tail), and
+keep pushing.  docs/RECOVERY.md walks through the guarantees.
+
+Durability model
+----------------
+
+``save()`` never exposes a partially written file:
+
+1. the document is written to a temp file **in the checkpoint directory**
+   (same filesystem, so the rename below cannot degrade to copy+delete),
+2. flushed and ``fsync``-ed,
+3. atomically moved into place with ``os.replace``,
+4. the directory entry is ``fsync``-ed, making the rename itself durable.
+
+A crash during any step leaves either the previous checkpoint set intact
+or a stray ``*.tmp`` file that is ignored (and cleaned on the next save).
+On top of that, every document embeds a CRC-32 of its state payload;
+``latest()`` walks checkpoints newest-first and **skips** anything that
+fails to parse or verify instead of raising, so one bad file (torn disk
+write, partial copy) degrades recovery by one checkpoint interval instead
+of preventing it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any
+
+from repro.events.jsonsafe import desanitize, dumps, sanitize
+from repro.runtime.metrics import LatencyRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.observability.registry import MetricsRegistry
+
+#: magic value identifying checkpoint documents.
+CHECKPOINT_FORMAT = "cepr-checkpoint"
+#: current document version; readers reject versions they don't know.
+CHECKPOINT_VERSION = 1
+
+_PREFIX = "checkpoint-"
+_SUFFIX = ".json"
+
+
+class CheckpointError(ValueError):
+    """Raised on invalid save arguments (never by ``latest()``)."""
+
+
+@dataclass(frozen=True)
+class Position:
+    """Stream position a checkpoint was taken at.
+
+    ``events_consumed`` counts *source* events fed to the engine/runner
+    (before any lateness reordering), which is exactly the prefix to skip
+    on replay; ``last_seq``/``last_ts`` locate the same point in sequence
+    numbers and stream time for log-tail scans and sanity checks.
+    """
+
+    events_consumed: int
+    last_seq: int
+    last_ts: float
+
+    def as_json(self) -> dict[str, Any]:
+        return {
+            "events_consumed": self.events_consumed,
+            "last_seq": self.last_seq,
+            "last_ts": self.last_ts,
+        }
+
+    @classmethod
+    def from_json(cls, state: dict[str, Any]) -> "Position":
+        return cls(
+            events_consumed=int(state["events_consumed"]),
+            last_seq=int(state["last_seq"]),
+            last_ts=float(state["last_ts"]),
+        )
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One loaded (and verified) checkpoint."""
+
+    path: Path
+    position: Position
+    state: dict[str, Any]
+
+
+def _checksum(canonical: str) -> int:
+    return zlib.crc32(canonical.encode("utf-8"))
+
+
+def _canonical(state: Any) -> str:
+    # Key order is canonicalised so the checksum is a function of the
+    # state's *content*, not of dict construction order.
+    return json.dumps(state, allow_nan=False, sort_keys=True, separators=(",", ":"))
+
+
+class CheckpointStore:
+    """Writes and reads checkpoints in one directory (see module docs).
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory; created if missing.
+    keep:
+        How many most-recent checkpoints to retain after each save.
+        Retaining more than one means a latent corruption in the newest
+        file costs one checkpoint interval, not the whole run.
+    """
+
+    def __init__(self, directory: str | Path, keep: int = 3) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.saves = 0
+        self.loads = 0
+        #: checkpoint files skipped by ``latest()`` as unreadable/corrupt.
+        self.invalid_skipped = 0
+        self.pruned = 0
+        self.last_save_bytes = 0
+        self.save_latency = LatencyRecorder()
+
+    # -- writing ------------------------------------------------------------------
+
+    def save(self, state: dict[str, Any], position: Position) -> Path:
+        """Atomically persist ``state`` at ``position``; returns the path.
+
+        ``state`` is deep-sanitised (non-finite floats become sentinel
+        objects, tuples become lists), so engine snapshots can be passed
+        as-is.
+        """
+        if position.events_consumed < 0:
+            raise CheckpointError(
+                f"events_consumed must be >= 0, got {position.events_consumed}"
+            )
+        started = time.perf_counter()
+        safe_state = sanitize(state)
+        canonical = _canonical(safe_state)
+        document = dumps(
+            {
+                "format": CHECKPOINT_FORMAT,
+                "version": CHECKPOINT_VERSION,
+                "position": position.as_json(),
+                "checksum": _checksum(canonical),
+                "state": safe_state,
+            }
+        )
+        final = self.directory / (
+            f"{_PREFIX}{position.events_consumed:012d}{_SUFFIX}"
+        )
+        temp = final.with_suffix(final.suffix + ".tmp")
+        with temp.open("w") as handle:
+            handle.write(document)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, final)
+        self._fsync_directory()
+        self.saves += 1
+        self.last_save_bytes = len(document.encode("utf-8"))
+        self.save_latency.record(time.perf_counter() - started)
+        self.prune()
+        return final
+
+    def _fsync_directory(self) -> None:
+        # Makes the rename durable; not supported on every platform/FS.
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:  # pragma: no cover - platform-dependent
+            return
+        try:
+            os.fsync(fd)
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        finally:
+            os.close(fd)
+
+    def prune(self) -> None:
+        """Drop all but the ``keep`` newest checkpoints (and stray temps)."""
+        for stale in self._checkpoint_paths()[self.keep :]:
+            stale.unlink(missing_ok=True)
+            self.pruned += 1
+        for temp in self.directory.glob(f"{_PREFIX}*{_SUFFIX}.tmp"):
+            temp.unlink(missing_ok=True)
+
+    # -- reading ------------------------------------------------------------------
+
+    def latest(self) -> Checkpoint | None:
+        """The newest checkpoint that parses and verifies, or ``None``.
+
+        Invalid files (torn writes, wrong format/version, checksum
+        mismatch) are counted in :attr:`invalid_skipped` and skipped, so
+        recovery falls back to the previous checkpoint instead of failing.
+        """
+        for path in self._checkpoint_paths():
+            checkpoint = self._load(path)
+            if checkpoint is not None:
+                self.loads += 1
+                return checkpoint
+            self.invalid_skipped += 1
+        return None
+
+    def _checkpoint_paths(self) -> list[Path]:
+        """Checkpoint files, newest (highest position) first."""
+        return sorted(
+            self.directory.glob(f"{_PREFIX}*{_SUFFIX}"), reverse=True
+        )
+
+    def _load(self, path: Path) -> Checkpoint | None:
+        try:
+            document = json.loads(path.read_text())
+            if document.get("format") != CHECKPOINT_FORMAT:
+                return None
+            if document.get("version") != CHECKPOINT_VERSION:
+                return None
+            safe_state = document["state"]
+            if _checksum(_canonical(safe_state)) != int(document["checksum"]):
+                return None
+            position = Position.from_json(document["position"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        return Checkpoint(
+            path=path, position=position, state=desanitize(safe_state)
+        )
+
+    # -- observability ------------------------------------------------------------
+
+    def register_metrics(self, registry: "MetricsRegistry") -> None:
+        """Register checkpoint counters/latency (labelled by directory)."""
+        store = self.directory.name
+        registry.counter(
+            "checkpoint_saves_total",
+            "Checkpoints written",
+            fn=lambda: self.saves,
+            store=store,
+        )
+        registry.counter(
+            "checkpoint_loads_total",
+            "Checkpoints loaded for recovery",
+            fn=lambda: self.loads,
+            store=store,
+        )
+        registry.counter(
+            "checkpoint_invalid_skipped_total",
+            "Corrupt/unreadable checkpoint files skipped by recovery",
+            fn=lambda: self.invalid_skipped,
+            store=store,
+        )
+        registry.counter(
+            "checkpoint_pruned_total",
+            "Old checkpoints removed by retention",
+            fn=lambda: self.pruned,
+            store=store,
+        )
+        registry.gauge(
+            "checkpoint_last_save_bytes",
+            "Size of the most recently written checkpoint",
+            fn=lambda: float(self.last_save_bytes),
+            agg="max",
+            store=store,
+        )
+        registry.histogram(
+            "checkpoint_save_seconds",
+            "Latency of checkpoint saves",
+            recorder=self.save_latency,
+            store=store,
+        )

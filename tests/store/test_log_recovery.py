@@ -1,0 +1,200 @@
+"""Torn-tail recovery and non-finite payloads in the event log.
+
+The crash contract (see the module docs in ``repro/store/log.py``): a
+file whose *final* line was cut mid-write reopens cleanly — a complete
+record that merely lost its newline is kept, an undecodable tail is
+dropped (reported via ``recovered_tail_bytes``) and physically truncated
+before the next append.  The byte sweep below proves this at every
+possible cut position inside the final record.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.events.event import Event
+from repro.store.log import EventLog, LogCorruptError
+
+
+def E(t, ts, **attrs):
+    return Event(t, ts, **attrs)
+
+
+def build_file(path, count=5):
+    """A clean 5-record log; returns its raw bytes."""
+    with EventLog(path) as log:
+        log.append_all(E("A", float(i), n=i) for i in range(count))
+    return path.read_bytes()
+
+
+class TestTornTail:
+    def test_cut_at_every_byte_of_final_record(self, tmp_path):
+        path = tmp_path / "events.log"
+        data = build_file(path, count=5)
+        final_start = data.rindex(b"\n", 0, len(data) - 1) + 1
+        for cut in range(final_start, len(data) + 1):
+            path.write_bytes(data[:cut])
+            log = EventLog(path)
+            if cut >= len(data) - 1:
+                # Intact file, or only the trailing newline lost: the
+                # final record is complete and must be kept.
+                assert len(log) == 5, cut
+                assert log.recovered_tail_bytes == 0, cut
+            elif cut == final_start:
+                # Cut exactly between records: a clean shorter log.
+                assert len(log) == 4
+                assert log.recovered_tail_bytes == 0
+            else:
+                # Cut mid-record: the tail is dropped and accounted for.
+                assert len(log) == 4, cut
+                assert log.recovered_tail_bytes == cut - final_start, cut
+            assert [e["n"] for e in log.scan()] == list(range(len(log)))
+            assert log.last_timestamp == float(len(log) - 1)
+
+    def test_garbage_final_line_with_newline_recovered(self, tmp_path):
+        path = tmp_path / "events.log"
+        build_file(path, count=3)
+        with path.open("ab") as handle:
+            handle.write(b"garbage\n")
+        log = EventLog(path)
+        assert len(log) == 3
+        assert log.recovered_tail_bytes == len(b"garbage\n")
+
+    def test_append_after_torn_tail_truncates(self, tmp_path):
+        path = tmp_path / "events.log"
+        data = build_file(path, count=5)
+        final_start = data.rindex(b"\n", 0, len(data) - 1) + 1
+        path.write_bytes(data[: final_start + 3])
+        log = EventLog(path)
+        assert log.recovered_tail_bytes == 3
+        log.append(E("A", 10.0, n=99))
+        log.flush()
+        # the torn bytes were truncated away before the new record, so the
+        # file is fully valid again
+        reopened = EventLog(path)
+        assert reopened.recovered_tail_bytes == 0
+        assert [e["n"] for e in reopened.scan()] == [0, 1, 2, 3, 99]
+
+    def test_append_after_lost_newline_completes_separator(self, tmp_path):
+        path = tmp_path / "events.log"
+        data = build_file(path, count=3)
+        path.write_bytes(data[:-1])  # strip only the final newline
+        log = EventLog(path)
+        assert len(log) == 3
+        log.append(E("A", 9.0, n=9))
+        log.flush()
+        reopened = EventLog(path)
+        assert reopened.recovered_tail_bytes == 0
+        assert [e["n"] for e in reopened.scan()] == [0, 1, 2, 9]
+
+    def test_read_only_open_never_rewrites_the_file(self, tmp_path):
+        path = tmp_path / "events.log"
+        data = build_file(path, count=5)
+        torn = data[: len(data) - 4]
+        path.write_bytes(torn)
+        log = EventLog(path)
+        assert len(list(log.scan())) == 4
+        # no append happened, so recovery must not have touched the disk
+        assert path.read_bytes() == torn
+
+    def test_scan_never_reads_past_the_valid_region(self, tmp_path):
+        path = tmp_path / "events.log"
+        data = build_file(path, count=5)
+        path.write_bytes(data[: len(data) - 4])
+        log = EventLog(path)
+        assert [e.timestamp for e in log.scan(start_ts=2.0)] == [2.0, 3.0]
+
+    def test_interior_corruption_is_not_a_torn_tail(self, tmp_path):
+        path = tmp_path / "events.log"
+        path.write_text(
+            '{"type": "A", "timestamp": 1.0}\n'
+            "definitely not json\n"
+            '{"type": "A", "timestamp": 2.0}\n'
+        )
+        with pytest.raises(LogCorruptError, match="bad event record"):
+            EventLog(path)
+
+    def test_regressing_final_line_still_raises(self, tmp_path):
+        path = tmp_path / "events.log"
+        path.write_text(
+            '{"type": "A", "timestamp": 5.0}\n'
+            '{"type": "A", "timestamp": 1.0}'  # decodes fine; time regresses
+        )
+        with pytest.raises(LogCorruptError, match="regress"):
+            EventLog(path)
+
+    def test_recovered_tail_metric_registered(self, tmp_path):
+        from repro.observability.registry import MetricsRegistry
+
+        path = tmp_path / "events.log"
+        data = build_file(path, count=5)
+        path.write_bytes(data[: len(data) - 4])
+        log = EventLog(path)
+        registry = MetricsRegistry()
+        log.register_metrics(registry)
+        samples = {s.name: s.value for s in registry.collect()}
+        assert samples["store_recovered_tail_bytes_total"] == float(
+            log.recovered_tail_bytes
+        )
+        assert log.recovered_tail_bytes > 0
+
+
+class TestScanLineNumbers:
+    def test_error_reports_true_line_number_after_index_seek(self, tmp_path):
+        # Regression: scan() used to reset its line counter to zero after
+        # an index seek, reporting offsets-within-the-scan instead of file
+        # line numbers.
+        path = tmp_path / "events.log"
+        log = EventLog(path, index_stride=4)
+        log.append_all(E("A", float(i)) for i in range(20))
+        log.close()
+        # corrupt line 15 in place, preserving byte length so the sparse
+        # index (already built) stays valid
+        lines = path.read_bytes().split(b"\n")
+        lines[14] = b"x" * len(lines[14])
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(LogCorruptError, match=r":15:"):
+            list(log.scan(start_ts=10.0))
+
+
+class TestNonFinitePayloads:
+    def test_nan_payload_round_trips(self, tmp_path):
+        path = tmp_path / "events.log"
+        with EventLog(path) as log:
+            log.append(
+                E(
+                    "Reading",
+                    1.0,
+                    temp=float("nan"),
+                    hi=float("inf"),
+                    lo=float("-inf"),
+                    ok=2.5,
+                )
+            )
+        [event] = list(EventLog(path).scan())
+        assert math.isnan(event["temp"])
+        assert event["hi"] == math.inf
+        assert event["lo"] == -math.inf
+        assert event["ok"] == 2.5
+
+    def test_on_disk_lines_are_strict_json(self, tmp_path):
+        # bare json.dumps would emit NaN/Infinity literals that strict
+        # parsers (and our own decoder) reject
+        path = tmp_path / "events.log"
+        with EventLog(path) as log:
+            log.append(E("Reading", 1.0, temp=float("nan")))
+        for line in path.read_text().splitlines():
+            json.loads(
+                line,
+                parse_constant=lambda name: pytest.fail(
+                    f"non-strict JSON literal {name!r} on disk"
+                ),
+            )
+
+    def test_finite_payloads_have_no_flag_field(self, tmp_path):
+        path = tmp_path / "events.log"
+        with EventLog(path) as log:
+            log.append(E("Reading", 1.0, temp=36.5))
+        [line] = path.read_text().splitlines()
+        assert "~nf" not in json.loads(line)

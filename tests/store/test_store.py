@@ -88,9 +88,15 @@ class TestPersistence:
         with pytest.raises(ValueError, match="non-decreasing"):
             reopened.append(E("A", 1.0))
 
-    def test_corrupt_line_detected(self, tmp_path):
+    def test_corrupt_interior_line_detected(self, tmp_path):
+        # A bad line *before* the end of the file is real corruption, not a
+        # torn tail (torn-tail recovery is covered in test_log_recovery.py).
         path = tmp_path / "events.log"
-        path.write_text('{"type": "A", "timestamp": 1.0}\nnot json\n')
+        path.write_text(
+            '{"type": "A", "timestamp": 1.0}\n'
+            "not json\n"
+            '{"type": "A", "timestamp": 2.0}\n'
+        )
         with pytest.raises(LogCorruptError, match="bad event record"):
             EventLog(path)
 
