@@ -1,0 +1,100 @@
+"""Remote serving demo — drive a ``cepr serve`` process over TCP.
+
+Starts a CEPR server as a subprocess (the same way an operator would,
+via ``python -m repro serve``), then uses the blocking SDK
+(:class:`repro.serve.CEPRClient`) to do everything a remote consumer
+can:
+
+1. register a query dynamically,
+2. subscribe to its ranked emissions (filtered to window closes),
+3. push a generated stock stream in batches,
+4. ``sync`` for read-your-writes and print the top-ranked matches,
+5. fetch server metrics, and
+6. terminate the server with SIGTERM and collect its final flush.
+
+Run with::
+
+    python examples/remote_client.py
+"""
+
+import re
+import signal
+import subprocess
+import sys
+
+from repro.serve import CEPRClient
+from repro.workloads.stock import StockWorkload
+
+QUERY = """
+    NAME remote_profits
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 100 EVENTS
+    USING SKIP_TILL_ANY
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def start_server() -> tuple[subprocess.Popen, int]:
+    """Launch ``cepr serve`` on a free port; returns (process, port)."""
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before becoming ready")
+        matched = re.search(r"listening on [\d.]+:(\d+)", line)
+        if matched:
+            return process, int(matched.group(1))
+
+
+def main() -> None:
+    server, port = start_server()
+    print(f"server ready on port {port}")
+    try:
+        with CEPRClient(port=port) as client:
+            name = client.register(QUERY)
+            client.subscribe(name, kinds=["window_close"])
+            print(f"registered and subscribed to {name!r}")
+
+            events = list(StockWorkload(seed=7).events(2_000))
+            accepted = client.push_batch(events)
+            ingested = client.sync()  # barrier: server processed everything
+            print(f"pushed {accepted} events (server total: {ingested})")
+
+            for frame in client.pop_emissions():
+                emission = frame["emission"]
+                top = emission["ranking"][0] if emission["ranking"] else None
+                print(
+                    f"  window close at t={emission['at_ts']:g}: "
+                    f"{len(emission['ranking'])} ranked matches"
+                    + (f", best rank values {top['rank_values']}" if top else "")
+                )
+
+            metrics = client.stats()["metrics"]
+            pushed = next(
+                sample["value"]
+                for sample in metrics["metrics"]
+                if sample["name"] == "serve_events_ingested_total"
+            )
+            print(f"server metrics: {pushed:g} events ingested")
+
+            # Graceful shutdown: SIGTERM drains — the final flush arrives
+            # as emission frames before the server's closing `bye`.
+            server.send_signal(signal.SIGTERM)
+            final = client.drain(timeout=10.0)
+            print(f"drain delivered {len(final)} final emission frame(s)")
+    finally:
+        server.wait(timeout=15)
+    print(f"server exited with code {server.returncode}")
+
+
+if __name__ == "__main__":
+    main()

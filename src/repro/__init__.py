@@ -47,7 +47,13 @@ from repro.runtime.engine import CEPREngine
 from repro.runtime.monitor import Monitor
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.sharded import ShardedEngineRunner
-from repro.runtime.sinks import CallbackSink, CollectorSink, PrintSink
+from repro.runtime.sinks import (
+    CallbackSink,
+    CollectorSink,
+    JSONLSink,
+    PrintSink,
+    Subscription,
+)
 
 __version__ = "1.0.0"
 
@@ -66,12 +72,14 @@ __all__ = [
     "EventSchema",
     "EventStream",
     "EvaluationError",
+    "JSONLSink",
     "Match",
     "Monitor",
     "PrintSink",
     "RegisteredQuery",
     "SchemaRegistry",
     "ShardedEngineRunner",
+    "Subscription",
     "__version__",
     "format_query",
     "merge_streams",

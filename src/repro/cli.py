@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Seven commands:
+Eight commands:
 
 * ``validate`` — parse and analyse a query file, print its evaluation plan.
 * ``lint`` — statically analyse query files and report coded diagnostics
@@ -9,9 +9,14 @@ Seven commands:
   enable schema-aware checks.  Exits non-zero when any error is found.
 * ``run`` — evaluate one or more query files over a recorded event stream
   (JSONL or CSV), printing ranked results as text or JSON lines.
+* ``serve`` — expose queries over TCP (``repro.serve``): clients push
+  events and subscribe to ranked emissions through the frame protocol
+  documented in docs/SERVING.md; SIGTERM drains gracefully.
 * ``stats`` — replay a stream and export the engine's metrics registry as
   Prometheus text (``--prom``), JSON (``--json``), or a plain table;
-  ``--watch`` renders the live monitor while the replay runs.
+  ``--watch`` renders the live monitor while the replay runs;
+  ``--connect HOST:PORT`` fetches the registry from a running
+  ``serve`` instance instead of replaying.
 * ``trace`` — replay a stream with span tracing enabled and print the full
   provenance of an emission (events bound per variable, rank keys, and the
   run-lifecycle competition that led to it).
@@ -163,12 +168,102 @@ def build_parser() -> argparse.ArgumentParser:
         "skipping the already-consumed prefix of --events",
     )
 
+    serve = commands.add_parser(
+        "serve", help="serve queries over TCP (see docs/SERVING.md)"
+    )
+    serve.add_argument("query_files", nargs="*", type=Path)
+    serve.add_argument(
+        "--query-file",
+        action="append",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="additional query file (repeatable; merged with positionals)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7654,
+        help="TCP port to listen on (0 picks a free port; default: 7654)",
+    )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run partitioned queries across N worker shards (default: 1); "
+        "dynamic REGISTER requires --shards 1",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="persist crash-recovery checkpoints to DIR",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1000,
+        metavar="N",
+        help="checkpoint every N ingested events (default: 1000)",
+    )
+    serve.add_argument(
+        "--resume",
+        action="store_true",
+        help="restore the latest valid checkpoint in --checkpoint-dir at start",
+    )
+    serve.add_argument(
+        "--max-frame-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="reject inbound frames larger than N bytes (default: 4 MiB)",
+    )
+    serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="per-frame payload timeout; idle connections are fine "
+        "(default: 30)",
+    )
+    serve.add_argument(
+        "--subscriber-queue",
+        type=int,
+        default=256,
+        metavar="N",
+        help="bound of each connection's outbound emission queue "
+        "(default: 256)",
+    )
+    serve.add_argument(
+        "--slow-consumer",
+        choices=("disconnect", "drop"),
+        default="disconnect",
+        help="policy when a subscriber's queue is full (default: disconnect)",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="merge-release cadence for --shards > 1 (default: 0.05)",
+    )
+
     stats = commands.add_parser(
         "stats", help="replay a stream and export engine metrics"
     )
-    stats.add_argument("query_files", nargs="+", type=Path)
+    stats.add_argument("query_files", nargs="*", type=Path)
     stats.add_argument(
-        "--events", required=True, type=Path, help="JSONL or CSV event file"
+        "--events", type=Path, default=None, help="JSONL or CSV event file"
+    )
+    stats.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="fetch metrics from a running `serve` instance instead of "
+        "replaying (query files and --events are not needed)",
     )
     stats.add_argument(
         "--shards",
@@ -269,6 +364,8 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
             return _cmd_lint(args, out)
         if args.command == "run":
             return _cmd_run(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
         if args.command == "stats":
             return _cmd_stats(args, out)
         if args.command == "trace":
@@ -423,14 +520,13 @@ def _maybe_checkpoint(store, every: int, consumed: int, last_ts: float,
     )
 
 
-def _make_emit(args: argparse.Namespace, out: TextIO):
-    """Emission callback + closer: JSONL file sink or stdout rendering."""
-    if args.out is not None:
-        from repro.runtime.sinks import JSONLSink
+def _make_run_sink(args: argparse.Namespace, out: TextIO):
+    """The run commands' shared sink: JSONL file or stdout rendering."""
+    from repro.runtime.sinks import CallbackSink, JSONLSink
 
-        sink = JSONLSink(args.out, mode="a" if args.resume else "w")
-        return sink.accept, sink.close
-    return (lambda emission: _render(emission, args.output, out)), (lambda: None)
+    if args.out is not None:
+        return JSONLSink(args.out, mode="a" if args.resume else "w")
+    return CallbackSink(lambda emission: _render(emission, args.output, out))
 
 
 def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
@@ -438,23 +534,19 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
     if args.shards > 1:
         return _cmd_run_sharded(args, out)
+    from repro.runtime.sinks import close_sink
+
     engine = CEPREngine(enable_pruning=not args.no_pruning)
-    handles = []
+    sink = _make_run_sink(args, out)
     for path in args.query_files:
-        handle = engine.register_query(path.read_text(), name=path.stem)
+        handle = engine.register_query(
+            path.read_text(), name=path.stem, collect_results=False
+        )
         _report_diagnostics(str(path), handle.diagnostics)
-        handles.append(handle)
+        handle.subscribe(sink)
 
     store = _checkpoint_store(args)
     skip = _resume_consumed(store, args, engine.restore)
-
-    emission_count = 0
-    emit, close = _make_emit(args, out)
-
-    def deliver(emission: Emission) -> None:
-        nonlocal emission_count
-        emission_count += 1
-        emit(emission)
 
     try:
         consumed = 0
@@ -462,21 +554,23 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
             consumed += 1
             if consumed <= skip:
                 continue
-            for emission in engine.push(event):
-                deliver(emission)
+            engine.push(event)
             _maybe_checkpoint(
                 store, args.checkpoint_every, consumed, event.timestamp,
                 engine.snapshot,
             )
-        for emission in engine.flush():
-            deliver(emission)
-    finally:
-        close()
+    except BaseException:
+        # A failure mid-stream must behave like a crash: engine.close()
+        # would flush, emitting partial-window results the resumed run
+        # will produce again.  Close only the sink.
+        close_sink(sink)
+        raise
+    engine.close()  # flush + sink flush/close through the engine
 
     if args.stats:
         _print_stats(engine.stats_by_query(), out)
         _print_checkpoint_stats(store, out)
-    if emission_count == 0 and args.output == "text" and args.out is None:
+    if sink.emissions_accepted == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
     return 0
 
@@ -484,19 +578,15 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
 def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
     from repro.language.analysis import run_analysis
     from repro.runtime.sharded import ShardedEngineRunner
+    from repro.runtime.sinks import close_sink
 
-    emission_count = 0
-    emit, close = _make_emit(args, out)
-
-    def deliver(emission: Emission) -> None:
-        nonlocal emission_count
-        emission_count += 1
-        emit(emission)
-
+    # The global on_emission hook (not per-view subscriptions) preserves
+    # the interleaved cross-query emission order of earlier releases.
+    sink = _make_run_sink(args, out)
     runner = ShardedEngineRunner(
         shards=args.shards,
         enable_pruning=not args.no_pruning,
-        on_emission=deliver,
+        on_emission=sink.accept,
     )
     for path in args.query_files:
         view = runner.register_query(path.read_text(), name=path.stem)
@@ -525,13 +615,69 @@ def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
         raise
     finally:
         runner.stop()  # no-op after kill()
-        close()
+        close_sink(sink)
 
     if args.stats:
         _print_stats(runner.stats_by_query(), out)
         _print_checkpoint_stats(store, out)
-    if emission_count == 0 and args.output == "text" and args.out is None:
+    if sink.emissions_accepted == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
+    import asyncio
+
+    from repro.serve.protocol import DEFAULT_MAX_FRAME_BYTES
+    from repro.serve.server import CEPRServer
+
+    from repro.language.analysis import lint_text
+
+    paths = list(args.query_files) + list(args.query_file or [])
+    queries: dict[str, str] = {}
+    for path in paths:
+        if path.stem in queries:
+            raise ValueError(f"duplicate query name {path.stem!r} ({path})")
+        text = path.read_text()
+        _report_diagnostics(str(path), lint_text(text))
+        queries[path.stem] = text
+
+    server = CEPRServer(
+        queries,
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+        max_frame_bytes=(
+            args.max_frame_bytes
+            if args.max_frame_bytes is not None
+            else DEFAULT_MAX_FRAME_BYTES
+        ),
+        read_timeout=args.read_timeout,
+        outbound_queue=args.subscriber_queue,
+        slow_consumer=args.slow_consumer,
+        poll_interval=args.poll_interval,
+    )
+
+    def on_ready(ready: CEPRServer) -> None:
+        print(
+            f"cepr serve: listening on {ready.host}:{ready.bound_port} "
+            f"({len(queries)} queries, shards={args.shards})",
+            file=out,
+        )
+        out.flush()
+
+    asyncio.run(server.serve(on_ready=on_ready))
+    stats = server.stats
+    print(
+        f"cepr serve: drained "
+        f"(events={stats.events_ingested} "
+        f"emissions={stats.emissions_fanned_out} "
+        f"connections={stats.connections_total})",
+        file=out,
+    )
     return 0
 
 
@@ -559,6 +705,19 @@ def _print_stats(stats_by_query: dict, out: TextIO) -> None:
 
 
 def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
+    if args.connect is not None:
+        if args.watch:
+            raise ValueError("--connect does not support --watch")
+        if args.events is not None or args.query_files:
+            raise ValueError(
+                "--connect fetches metrics from a running server; "
+                "query files and --events do not apply"
+            )
+        return _stats_remote(args, out)
+    if args.events is None:
+        raise ValueError("stats requires --events (or --connect HOST:PORT)")
+    if not args.query_files:
+        raise ValueError("stats requires at least one query file")
     if args.shards < 1:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
     if args.shards > 1:
@@ -566,6 +725,47 @@ def _cmd_stats(args: argparse.Namespace, out: TextIO) -> int:
     else:
         registry = _stats_single(args, out)
     _export_registry(registry, args, out)
+    return 0
+
+
+def _stats_remote(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from repro.serve.client import CEPRClient
+
+    host, _, port_text = args.connect.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(
+            f"--connect expects HOST:PORT, got {args.connect!r}"
+        )
+    with CEPRClient(host=host, port=int(port_text)) as client:
+        doc = client.stats()
+    if args.prom:
+        out.write(doc["prom"])
+        return 0
+    if args.json:
+        print(json.dumps(doc["metrics"], indent=2), file=out)
+        return 0
+    metrics = doc["metrics"]
+    print(f"-- metrics ({metrics['namespace']}) --", file=out)
+    for sample in metrics["metrics"]:
+        labels = ",".join(
+            f"{key}={value}"
+            for key, value in sorted(sample.get("labels", {}).items())
+        )
+        series = f"{sample['name']}{{{labels}}}" if labels else sample["name"]
+        if sample["kind"] == "histogram":
+            quantiles = " ".join(
+                f"p{float(quantile) * 100:g}={value:g}"
+                for quantile, value in sorted(
+                    sample.get("quantiles", {}).items(),
+                    key=lambda kv: float(kv[0]),
+                )
+            )
+            detail = f"count={sample['count']} sum={sample['value']:g}"
+            print(f"  {series} {detail} {quantiles}".rstrip(), file=out)
+        else:
+            print(f"  {series} {sample['value']:g}", file=out)
     return 0
 
 
@@ -633,7 +833,7 @@ def _watch_replay(source, submit, events: Iterable[Event],
         finally:
             done.set()
 
-    monitor = Monitor(source)
+    monitor = Monitor(source).track()
     clear = bool(getattr(out, "isatty", lambda: False)())
     thread = threading.Thread(target=produce, daemon=True)
     thread.start()

@@ -272,6 +272,31 @@ class MetricsRegistry:
         """Get or create a histogram (``recorder`` bridges a live one)."""
         return self._register(Histogram, name, help, labels, recorder=recorder)
 
+    def prune(self, name: str | None = None, **labels: str) -> int:
+        """Remove instruments matching ``name`` and/or a label subset.
+
+        An instrument matches when its name equals ``name`` (if given) and
+        its labels contain every ``labels`` item — so ``prune(query="q1")``
+        drops all of one query's series while leaving engine-level ones.
+        Returns the number of instruments removed.  At least one criterion
+        is required (an unconstrained prune would silently empty the
+        registry).
+        """
+        if name is None and not labels:
+            raise ValueError("prune requires a name or at least one label")
+        matched = [
+            slot
+            for slot, instrument in self._instruments.items()
+            if (name is None or instrument.name == name)
+            and all(
+                instrument.labels.get(key) == str(value)
+                for key, value in labels.items()
+            )
+        ]
+        for slot in matched:
+            del self._instruments[slot]
+        return len(matched)
+
     # -- reading ---------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -3,27 +3,42 @@
 ``CEPREngine`` is single-threaded by design (one event at a time through
 the operator chain).  :class:`ThreadedEngineRunner` puts that engine behind
 a bounded queue: producers call :meth:`submit` from any thread, a single
-consumer thread drains the queue into the engine, and emissions fan out to
-a callback.  The bounded queue gives natural backpressure — a slow query
-slows producers instead of growing memory without bound.
+consumer thread drains the queue into the engine in ``push_batch`` batches,
+and emissions fan out to a callback.  The bounded queue gives natural
+backpressure — a slow query slows producers instead of growing memory
+without bound.
 
-This formalises what the live-monitor demo does ad hoc, with clean
-shutdown semantics: :meth:`stop` processes everything already queued,
-flushes the engine, and joins the thread.
+Beyond ingestion, the runner exposes the control surface the serving layer
+(:mod:`repro.serve`) needs to drive an engine it never touches directly:
+
+* :meth:`sync` — a read-your-writes barrier (returns once everything
+  submitted before it has been processed);
+* :meth:`advance_time` — heartbeat injection through the queue, so
+  watermarks serialise with events;
+* :meth:`pause` — a context manager that parks the consumer at a safe
+  point and yields the engine for exclusive access (used by
+  :meth:`snapshot`/:meth:`restore` and dynamic query registration);
+* :meth:`subscribe`/:meth:`register_query`/:meth:`unregister_query` —
+  pause-protected passthroughs to the engine's subscription API.
+
+Shutdown semantics are unchanged: :meth:`stop` processes everything
+already queued, flushes the engine, and joins the thread.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
-from typing import Callable
+from contextlib import contextmanager
+from typing import Callable, Iterator
 
 from repro.events.event import Event
+from repro.language.ast_nodes import Query
 from repro.observability.registry import MetricsRegistry
-from repro.ranking.emission import Emission
+from repro.ranking.emission import Emission, EmissionKind
 from repro.runtime.engine import CEPREngine
-
-_STOP = object()
+from repro.runtime.query import RegisteredQuery
+from repro.runtime.sinks import SinkLike, Subscription
 
 
 class ThreadedEngineRunner:
@@ -33,12 +48,16 @@ class ThreadedEngineRunner:
     ----------
     engine:
         The engine to drive; after :meth:`start` it must only be touched
-        through this runner.
+        through this runner (:meth:`pause` grants temporary exclusive
+        access when direct manipulation is unavoidable).
     on_emission:
         Optional callback invoked (on the consumer thread) for every
         emission produced.
     max_queue:
         Bound of the ingest queue; :meth:`submit` blocks when full.
+    batch_size:
+        How many queued events the consumer greedily drains into one
+        ``push_batch`` call (amortises per-push overhead under load).
     """
 
     def __init__(
@@ -46,9 +65,13 @@ class ThreadedEngineRunner:
         engine: CEPREngine,
         on_emission: Callable[[Emission], None] | None = None,
         max_queue: int = 10_000,
+        batch_size: int = 256,
     ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.engine = engine
         self.on_emission = on_emission
+        self.batch_size = batch_size
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._thread: threading.Thread | None = None
         self._started = False
@@ -72,7 +95,7 @@ class ThreadedEngineRunner:
         """Drain the queue, flush the engine, and join the thread."""
         if not self._started or self._stopped.is_set():
             return
-        self._queue.put(_STOP)
+        self._queue.put(("stop",))
         assert self._thread is not None
         self._thread.join(timeout=timeout)
         if self._thread.is_alive():
@@ -90,11 +113,8 @@ class ThreadedEngineRunner:
 
     def submit(self, event: Event, timeout: float | None = None) -> None:
         """Enqueue one event (blocks when the queue is full)."""
-        if self._stopped.is_set():
-            raise RuntimeError("runner is stopped")
-        if self.failure is not None:
-            raise RuntimeError("engine thread failed") from self.failure
-        self._queue.put(event, timeout=timeout)
+        self._ensure_running()
+        self._queue.put(("event", event), timeout=timeout)
         self.events_submitted += 1
 
     def submit_all(self, events) -> int:
@@ -108,6 +128,135 @@ class ThreadedEngineRunner:
     def backlog(self) -> int:
         """Events queued but not yet processed (approximate)."""
         return self._queue.qsize()
+
+    def _ensure_running(self) -> None:
+        if self.failure is not None:
+            raise RuntimeError("engine thread failed") from self.failure
+        if not self._started or self._stopped.is_set():
+            raise RuntimeError("runner is stopped")
+
+    def _release_if_dead(self) -> None:
+        """Cover the put-after-death race.
+
+        ``_ensure_running`` then ``put`` is not atomic: the consumer may
+        fail and finish its terminal queue drain in between, leaving the
+        op we just queued with no one to service it.  When that happens
+        the drain below releases its waiters instead of letting the
+        caller block forever.
+        """
+        if self._stopped.is_set():
+            self._drain_queue()
+
+    def _drain_queue(self) -> None:
+        while True:
+            try:
+                leftover = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            for part in leftover[1:]:
+                if isinstance(part, threading.Event):
+                    part.set()
+
+    # -- control barriers ----------------------------------------------------------
+
+    def sync(self, timeout: float | None = None) -> None:
+        """Barrier: return once everything submitted before it is processed.
+
+        Gives callers read-your-writes over engine results without
+        stopping the runner (the serving layer's ``sync`` op maps here).
+        """
+        self._ensure_running()
+        ack = threading.Event()
+        self._queue.put(("sync", ack))
+        self._release_if_dead()
+        if not ack.wait(timeout=timeout):
+            raise TimeoutError("sync barrier did not drain in time")
+        if self.failure is not None:
+            raise RuntimeError("engine thread failed") from self.failure
+
+    def advance_time(self, timestamp: float, timeout: float | None = None) -> None:
+        """Inject a heartbeat, serialised behind already-queued events.
+
+        Emissions it releases fan out to ``on_emission`` on the consumer
+        thread, like every other emission.
+        """
+        self._ensure_running()
+        ack = threading.Event()
+        self._queue.put(("advance", timestamp, ack))
+        self._release_if_dead()
+        if not ack.wait(timeout=timeout):
+            raise TimeoutError("advance barrier did not drain in time")
+        if self.failure is not None:
+            raise RuntimeError("engine thread failed") from self.failure
+
+    @contextmanager
+    def pause(self) -> Iterator[CEPREngine]:
+        """Park the consumer at a safe point and yield the engine.
+
+        While the ``with`` body runs, the consumer thread is blocked
+        between events, so the engine may be touched directly (snapshot,
+        restore, query registration).  Events submitted meanwhile queue up
+        and are processed after resume.
+        """
+        self._ensure_running()
+        entered = threading.Event()
+        resume = threading.Event()
+        self._queue.put(("pause", entered, resume))
+        self._release_if_dead()
+        entered.wait()
+        try:
+            if self.failure is not None:
+                raise RuntimeError("engine thread failed") from self.failure
+            yield self.engine
+        finally:
+            resume.set()
+
+    # -- engine passthroughs ---------------------------------------------------------
+
+    def _with_engine(self, fn: Callable[[CEPREngine], object]) -> object:
+        if self._started and not self._stopped.is_set():
+            with self.pause() as engine:
+                return fn(engine)
+        return fn(self.engine)
+
+    def subscribe(
+        self,
+        query_name: str,
+        target: SinkLike,
+        kinds: EmissionKind | str | list | tuple | None = None,
+    ) -> Subscription:
+        """Attach a subscription to one query, safely while running."""
+        result = self._with_engine(
+            lambda engine: engine.subscribe(query_name, target, kinds=kinds)
+        )
+        assert isinstance(result, Subscription)
+        return result
+
+    def register_query(
+        self, query: str | Query, name: str | None = None
+    ) -> RegisteredQuery:
+        """Register a query, pausing the consumer if already running."""
+        result = self._with_engine(
+            lambda engine: engine.register_query(query, name=name)
+        )
+        assert isinstance(result, RegisteredQuery)
+        return result
+
+    def unregister_query(self, name: str) -> None:
+        """Remove a query, pausing the consumer if already running."""
+        self._with_engine(lambda engine: engine.unregister_query(name))
+
+    # -- checkpointing ---------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Consistent engine snapshot taken at a pause point."""
+        with self.pause() as engine:
+            return engine.snapshot()
+
+    def restore(self, state: dict) -> None:
+        """Load a snapshot into the (paused) engine."""
+        with self.pause() as engine:
+            engine.restore(state)
 
     # -- observability -------------------------------------------------------------
 
@@ -133,30 +282,66 @@ class ThreadedEngineRunner:
 
     # -- consuming ----------------------------------------------------------------
 
+    def _fan_out(self, emissions: list[Emission]) -> None:
+        if self.on_emission is not None:
+            for emission in emissions:
+                self.on_emission(emission)
+
     def _consume(self) -> None:
+        pending_op: tuple | None = None
+        item: tuple | None = None
         try:
             while True:
-                item = self._queue.get()
-                if item is _STOP:
+                item = pending_op if pending_op is not None else self._queue.get()
+                pending_op = None
+                kind = item[0]
+                if kind == "event":
+                    # Batched hot path: greedily drain queued events so the
+                    # engine amortises per-call overhead via push_batch.
+                    batch = [item[1]]
+                    while len(batch) < self.batch_size:
+                        try:
+                            nxt = self._queue.get_nowait()
+                        except queue.Empty:
+                            break
+                        if nxt[0] == "event":
+                            batch.append(nxt[1])
+                        else:
+                            pending_op = nxt
+                            break
+                    emissions = self.engine.push_batch(batch)
+                    self.events_processed += len(batch)
+                    self._fan_out(emissions)
+                    continue
+                if kind == "stop":
                     break
-                emissions = self.engine.push(item)
-                self.events_processed += 1
-                if self.on_emission is not None:
-                    for emission in emissions:
-                        self.on_emission(emission)
+                if kind == "pause":
+                    item[1].set()  # caller owns the engine now
+                    item[2].wait()  # ...until it resumes us
+                    continue
+                if kind == "sync":
+                    item[1].set()
+                    continue
+                if kind == "advance":
+                    self._fan_out(self.engine.advance_time(item[1]))
+                    item[2].set()
+                    continue
+                raise AssertionError(f"unknown control op {kind!r}")
             final = self.engine.flush()
-            if self.on_emission is not None:
-                for emission in final:
-                    self.on_emission(emission)
+            self._fan_out(final)
         except BaseException as exc:  # surfaced to producers via .failure
             self.failure = exc
         finally:
             self._stopped.set()
-            # Unblock producers stuck in a full-queue put: anything
-            # submitted behind the stop sentinel (or a failure) is
-            # discarded, never left to wedge its producer forever.
-            while True:
-                try:
-                    self._queue.get_nowait()
-                except queue.Empty:
-                    break
+            # Unblock producers stuck in a full-queue put and release any
+            # barrier waiters queued behind the stop sentinel (or a
+            # failure) — nothing may be left to wedge its caller forever.
+            # That includes ops already pulled OUT of the queue: the op
+            # being processed when the engine raised (`item`) and one the
+            # greedy batch drain set aside (`pending_op`).
+            for op in (item, pending_op):
+                if op is not None:
+                    for part in op[1:]:
+                        if isinstance(part, threading.Event):
+                            part.set()
+            self._drain_queue()

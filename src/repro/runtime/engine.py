@@ -40,6 +40,7 @@ from repro.ranking.emission import Emission
 from repro.runtime.metrics import EngineMetrics
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.router import EventRouter
+from repro.runtime.sinks import SinkLike, Subscription
 
 
 def snapshot_lateness(buffer: LatenessBuffer) -> dict:
@@ -156,6 +157,9 @@ class CEPREngine:
         self.tracer: Tracer | None = Tracer() if want_tracing else None
         self._auto_name_counter = 0
         self._flushed = False
+        self._closed = False
+        #: lazily built, engine-owned live registry (see metrics_registry).
+        self._registry_view: MetricsRegistry | None = None
 
     # -- registration -------------------------------------------------------------
 
@@ -191,10 +195,37 @@ class CEPREngine:
         return registered
 
     def unregister_query(self, name: str) -> None:
+        """Deactivate and fully detach one query.
+
+        Beyond removing it from the router, the query's sinks are closed
+        and its per-query series are pruned from the engine's live metrics
+        registry — otherwise ``cepr stats`` (and the serving layer's STATS
+        frame) would keep reporting the dead query, and re-registering the
+        same name would collide with the stale callback instruments.
+        """
         registered = self._queries.pop(name, None)
         if registered is None:
             raise KeyError(f"no query named {name!r}")
         self._router.remove(registered)
+        registered.set_tracer(None)
+        registered.flush_sinks()
+        registered.close_sinks()
+        if self._registry_view is not None:
+            self._registry_view.prune(query=name)
+
+    def subscribe(
+        self, query_name: str, target: SinkLike, kinds=None
+    ) -> Subscription:
+        """Subscribe to one query's emissions by name.
+
+        Convenience wrapper over
+        :meth:`~repro.runtime.query.RegisteredQuery.subscribe`; see there
+        for the ``target``/``kinds`` contract.  Raises :class:`KeyError`
+        for an unknown query name.
+        """
+        if query_name not in self._queries:
+            raise KeyError(f"no query named {query_name!r}")
+        return self._queries[query_name].subscribe(target, kinds=kinds)
 
     def query(self, name: str) -> RegisteredQuery:
         return self._queries[name]
@@ -310,7 +341,12 @@ class CEPREngine:
         return emissions
 
     def flush(self) -> list[Emission]:
-        """End of stream: release pending matches and held rankings."""
+        """End of stream: release pending matches and held rankings.
+
+        Also propagates the optional ``flush`` lifecycle call to every
+        sink, so buffered sinks (JSONL files, network subscribers) are
+        write-through at stream end.
+        """
         if self._flushed:
             return []
         emissions: list[Emission] = []
@@ -320,6 +356,23 @@ class CEPREngine:
         self._flushed = True
         for registered in self._queries.values():
             emissions.extend(registered.flush())
+        for registered in self._queries.values():
+            registered.flush_sinks()
+        return emissions
+
+    def close(self) -> list[Emission]:
+        """Terminal teardown: flush (if not yet flushed), then close sinks.
+
+        Returns whatever emissions the flush released.  Closing is
+        idempotent; after it, sinks that own resources (file handles,
+        sockets) have released them.
+        """
+        if self._closed:
+            return []
+        emissions = self.flush()
+        self._closed = True
+        for registered in self._queries.values():
+            registered.close_sinks()
         return emissions
 
     # -- checkpointing ---------------------------------------------------------------
@@ -424,6 +477,12 @@ class CEPREngine:
                 self.tracer = Tracer()
         else:
             self.tracer = None
+        if self._registry_view is not None:
+            # The live registry's trace instruments close over a specific
+            # tracer; drop them so the next registration pass re-binds the
+            # current one (or none).
+            self._registry_view.prune(name="trace_spans_total")
+            self._registry_view.prune(name="trace_spans_dropped_total")
         for registered in self._queries.values():
             registered.set_tracer(self.tracer)
         return self.tracer
@@ -457,15 +516,23 @@ class CEPREngine:
         }
 
     def metrics_registry(self) -> MetricsRegistry:
-        """A typed, exportable registry over the engine's live counters.
+        """The engine's live, typed registry over its hot-path counters.
 
         Instruments are callback-backed views of the counters the hot path
-        already maintains, so building (and re-reading) the registry costs
-        nothing at steady state.  Build a fresh one per export; the sharded
-        runtime merges per-shard registries with
+        already maintains, so registration adds zero steady-state cost.
+        The registry is **owned by the engine and lives as long as it
+        does**: repeated calls return the same object, re-running the
+        idempotent registration pass so queries (and sinks) added since
+        the last call are picked up, and :meth:`unregister_query` prunes a
+        dead query's series — long-running deployments (the serving layer)
+        can export it repeatedly without accumulating stale entries.  The
+        sharded runtime still merges per-shard registries into a fresh
+        fleet view with
         :meth:`~repro.observability.registry.MetricsRegistry.absorb`.
         """
-        registry = MetricsRegistry()
+        registry = self._registry_view
+        if registry is None:
+            registry = self._registry_view = MetricsRegistry()
         metrics = self.metrics
         registry.counter(
             "events_pushed_total",
@@ -588,6 +655,9 @@ class CEPREngine:
             recorder=query_metrics.latency,
             query=name,
         )
+        # Sinks churn (subscriptions attach and cancel), so their slot
+        # labels are rebuilt from scratch on every registration pass.
+        registry.prune(name="sink_emissions_total", query=name)
         for index, sink in enumerate(registered.sinks):
             if not hasattr(sink, "emissions_accepted"):
                 continue

@@ -32,6 +32,33 @@ class Monitor:
     def __init__(self, engine: Any, top_n: int = 5) -> None:
         self.engine = engine
         self.top_n = top_n
+        self._last: dict[str, Emission] = {}
+        self._subscriptions: list[Any] = []
+
+    # -- subscriptions --------------------------------------------------------
+
+    def track(self) -> "Monitor":
+        """Subscribe to every query so "last emission" works live.
+
+        Uses the first-class subscription API instead of peeking at each
+        query's collector, which also covers queries registered with
+        ``collect_results=False``.  Call before the stream starts;
+        :meth:`untrack` cancels the subscriptions.
+        """
+        for registered in self.engine.queries():
+            subscription = registered.subscribe(
+                lambda emission, name=registered.name: self._last.__setitem__(
+                    name, emission
+                )
+            )
+            self._subscriptions.append(subscription)
+        return self
+
+    def untrack(self) -> None:
+        """Cancel the subscriptions installed by :meth:`track`."""
+        for subscription in self._subscriptions:
+            subscription.cancel()
+        self._subscriptions.clear()
 
     # -- rendering ------------------------------------------------------------
 
@@ -111,10 +138,12 @@ class Monitor:
         return "\n".join(lines)
 
     def _render_ranking(self, registered: Any) -> list[str]:
-        collector = getattr(registered, "collector", None)
-        if collector is None or not collector.emissions:
-            return ["   (no emissions yet)"]
-        last: Emission = collector.emissions[-1]
+        last: Emission | None = self._last.get(registered.name)
+        if last is None:
+            collector = getattr(registered, "collector", None)
+            if collector is None or not collector.emissions:
+                return ["   (no emissions yet)"]
+            last = collector.emissions[-1]
         lines = [
             f"   last emission: {last.kind.value} rev={last.revision} "
             f"t={last.at_ts:g}"

@@ -2,11 +2,18 @@
 
 ``RegisteredQuery`` wires matcher → scorer → ranker → sinks for one query
 and is the handle the engine returns from ``register_query``.
+
+Result delivery is wired through the subscription API: ``subscribe``
+returns a detachable :class:`~repro.runtime.sinks.Subscription` (cancel it
+to stop delivery), ``remove_sink`` detaches any sink, and the legacy
+``add_sink`` survives as a deprecated shim.  Sinks with the optional
+``flush``/``close`` lifecycle get both propagated from the engine.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 
 from repro.engine.compiler import compile_automaton
 from repro.language.analysis import run_analysis
@@ -25,7 +32,14 @@ from repro.ranking.pruning import ScoreBoundPruner
 from repro.ranking.ranker import Ranker
 from repro.ranking.score import Scorer
 from repro.runtime.metrics import QueryMetrics
-from repro.runtime.sinks import CollectorSink, ResultSink
+from repro.runtime.sinks import (
+    CollectorSink,
+    ResultSink,
+    SinkLike,
+    Subscription,
+    close_sink,
+    flush_sink,
+)
 
 _ROUTE = SpanKind.ROUTE
 _EMIT = SpanKind.EMIT
@@ -95,9 +109,61 @@ class RegisteredQuery:
 
     # -- wiring -----------------------------------------------------------------
 
+    def subscribe(
+        self, target: SinkLike, kinds=None
+    ) -> Subscription:
+        """Attach a subscriber; returns a cancellable handle.
+
+        ``target`` is a callback ``(Emission) -> None`` or a sink object
+        (anything with ``accept``).  ``kinds`` optionally restricts
+        delivery to the given :class:`~repro.ranking.emission.EmissionKind`
+        values (enum members or their string values).  Cancel the returned
+        :class:`~repro.runtime.sinks.Subscription` to detach.
+        """
+        subscription = Subscription(self, target, kinds=kinds)
+        self.sinks.append(subscription)
+        return subscription
+
+    def remove_sink(self, sink: ResultSink) -> bool:
+        """Detach a sink (or subscription); returns whether it was attached.
+
+        Accepts the attached object itself (a raw sink from the deprecated
+        ``add_sink``, or a :class:`Subscription`) — or the target that a
+        :meth:`subscribe` call wrapped, in which case its subscription is
+        cancelled.
+        """
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            for attached in self.sinks:
+                if isinstance(attached, Subscription) and attached.target is sink:
+                    return attached.cancel()
+            return False
+        if isinstance(sink, Subscription):
+            sink.active = False
+        return True
+
     def add_sink(self, sink: ResultSink) -> "RegisteredQuery":
+        """Deprecated: use :meth:`subscribe` (which returns a cancellable
+        handle) instead.  Kept as a thin shim for older integrations."""
+        warnings.warn(
+            "RegisteredQuery.add_sink is deprecated; use "
+            "RegisteredQuery.subscribe(sink) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.sinks.append(sink)
         return self
+
+    def flush_sinks(self) -> None:
+        """Propagate the optional ``flush`` lifecycle call to every sink."""
+        for sink in self.sinks:
+            flush_sink(sink)
+
+    def close_sinks(self) -> None:
+        """Propagate the optional ``close`` lifecycle call to every sink."""
+        for sink in self.sinks:
+            close_sink(sink)
 
     def set_tracer(self, tracer: Tracer | None) -> None:
         """Attach (or detach, with ``None``) a tracer to the whole chain."""

@@ -94,6 +94,7 @@ from repro.ranking.topk import merge_rankings
 from repro.runtime.engine import CEPREngine, restore_lateness, snapshot_lateness
 from repro.runtime.metrics import EngineMetrics, QueryMetrics, aggregate_query_metrics
 from repro.runtime.query import RegisteredQuery
+from repro.runtime.sinks import SinkLike, Subscription, close_sink, flush_sink
 
 _INF = float("inf")
 
@@ -221,6 +222,9 @@ class ShardedQuery:
         #: "sharded-tumbling" | "sharded-passthrough" | "solo"; set at start.
         self.mode: str | None = None
         self.handles: list[RegisteredQuery] = []
+        #: Subscriptions/sinks fed the *merged* emission stream (delivered
+        #: on the barrier-calling thread, at merge release points).
+        self.sinks: list[Any] = []
         self._cursors: list[int] = []
         self._merged: list[Emission] = []
         self.collector = _MergedResults(self._merged)
@@ -386,6 +390,10 @@ class ShardedQuery:
         else:
             released = self._merge_tumbling(point, final)
         self._merged.extend(released)
+        if released and self.sinks:
+            for emission in released:
+                for sink in list(self.sinks):
+                    sink.accept(emission)
         return released
 
     def _merge_passthrough(self, point: tuple[int, float] | None) -> list[Emission]:
@@ -500,6 +508,43 @@ class ShardedQuery:
             epoch=epoch,
             revision=self._revision,
         )
+
+    # -- subscriptions -------------------------------------------------------------
+
+    def subscribe(
+        self,
+        target: SinkLike,
+        kinds: EmissionKind | str | Iterable[EmissionKind | str] | None = None,
+    ) -> Subscription:
+        """Subscribe to the merged emission stream of this query.
+
+        Same contract as ``RegisteredQuery.subscribe``, but delivery
+        happens at merge release points (barriers and mergeable in-stream
+        epochs), on the barrier-calling thread.  Use the runner's
+        :meth:`~ShardedEngineRunner.subscribe` when the runner is live —
+        it takes the dispatch lock around the sink-list mutation.
+        """
+        subscription = Subscription(self, target, kinds=kinds)
+        self.sinks.append(subscription)
+        return subscription
+
+    def remove_sink(self, sink: Any) -> bool:
+        """Detach a sink/subscription; returns ``False`` when absent."""
+        try:
+            self.sinks.remove(sink)
+        except ValueError:
+            return False
+        if isinstance(sink, Subscription):
+            sink.active = False
+        return True
+
+    def flush_sinks(self) -> None:
+        for sink in self.sinks:
+            flush_sink(sink)
+
+    def close_sinks(self) -> None:
+        for sink in self.sinks:
+            close_sink(sink)
 
     # -- results -------------------------------------------------------------------
 
@@ -856,6 +901,8 @@ class ShardedEngineRunner:
                 if worker.thread.is_alive():
                     raise TimeoutError("shard thread did not drain in time")
         self._check_failures()
+        for view in self._views.values():
+            view.close_sinks()
 
     def kill(self, timeout: float | None = 5.0) -> None:
         """Stop every shard **without flushing** (crash simulation).
@@ -1065,6 +1112,58 @@ class ShardedEngineRunner:
                 self.on_emission(emission)
         return released
 
+    def sync(self) -> None:
+        """Barrier: return once every shard has drained its queue.
+
+        Gives callers read-your-writes over shard-engine state without
+        releasing merged emissions (use :meth:`poll` for that).
+        """
+        if not self._started:
+            raise RuntimeError("runner not started")
+        if self._stopped or self._flushed:
+            raise RuntimeError("runner is stopped")
+        with self._lock:
+            self._sync_all()
+            self._check_failures()
+
+    def poll(self) -> list[Emission]:
+        """Non-terminal merge barrier: release whatever is mergeable now.
+
+        Drains every shard queue, runs the merge stage with no barrier
+        point (so only epochs every shard has moved past — and
+        pass-through emissions — release), and returns the newly merged
+        emissions.  The serving layer calls this on a cadence so
+        subscribers see merged output between heartbeats.
+        """
+        if not self._started:
+            raise RuntimeError("runner not started")
+        if self._stopped or self._flushed:
+            return []
+        with self._lock:
+            self._sync_all()
+            self._check_failures()
+            per_view = [
+                (order, view._merge_ready())
+                for order, view in enumerate(self._views.values())
+            ]
+            return self._release(per_view)
+
+    def subscribe(
+        self,
+        query_name: str,
+        target: SinkLike,
+        kinds: EmissionKind | str | Iterable[EmissionKind | str] | None = None,
+    ) -> Subscription:
+        """Subscribe to one query's merged emission stream.
+
+        Safe while the runner is live: the sink-list mutation happens
+        under the dispatch lock, serialising it against merge releases.
+        """
+        if query_name not in self._views:
+            raise KeyError(f"no query named {query_name!r} is registered")
+        with self._lock:
+            return self._views[query_name].subscribe(target, kinds=kinds)
+
     def advance_time(self, timestamp: float) -> list[Emission]:
         """Heartbeat barrier: broadcast to every shard, then merge.
 
@@ -1117,7 +1216,10 @@ class ShardedEngineRunner:
                 per_view.append(
                     (order, view._merge_ready(point=point, final=True))
                 )
-            return self._release(per_view)
+            released = self._release(per_view)
+            for view in views:
+                view.flush_sinks()
+            return released
 
     # -- introspection -----------------------------------------------------------------
 

@@ -1,0 +1,46 @@
+"""Network serving layer: a CEPR engine behind a TCP frame protocol.
+
+The CEPR paper positions the system as a long-running service many
+independent consumers observe in real time; this package provides that
+network boundary with zero dependencies beyond the standard library:
+
+* :mod:`repro.serve.protocol` — the versioned, length-prefixed JSON
+  frame codec and the ``CEPR5xx`` typed error codes;
+* :mod:`repro.serve.server` — :class:`CEPRServer`, the asyncio TCP
+  server over a :class:`~repro.runtime.concurrent.ThreadedEngineRunner`
+  or a :class:`~repro.runtime.sharded.ShardedEngineRunner` (started by
+  ``cepr serve``);
+* :mod:`repro.serve.subscriptions` — per-query fan-out with bounded
+  per-client queues and an explicit slow-consumer policy;
+* :mod:`repro.serve.client` — :class:`CEPRClient`, the blocking SDK
+  (see ``examples/remote_client.py``).
+
+Protocol spec and failure semantics: ``docs/SERVING.md``.
+"""
+
+from repro.serve.client import CEPRClient, CEPRServeError, ServerClosed
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameError,
+    decode_payload,
+    encode_frame,
+)
+from repro.serve.server import CEPRServer
+from repro.serve.subscriptions import QueryFeed, ServeStats
+
+__all__ = [
+    "CEPRClient",
+    "CEPRServeError",
+    "CEPRServer",
+    "ConnectionClosed",
+    "DEFAULT_MAX_FRAME_BYTES",
+    "FrameError",
+    "PROTOCOL_VERSION",
+    "QueryFeed",
+    "ServeStats",
+    "ServerClosed",
+    "decode_payload",
+    "encode_frame",
+]

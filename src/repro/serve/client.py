@@ -1,0 +1,282 @@
+"""``CEPRClient``: a blocking, zero-dependency SDK for ``cepr serve``.
+
+One socket, one protocol conversation: every request carries a client
+correlation id and blocks until its ``ack`` (or typed ``error``, raised
+as :class:`CEPRServeError`) arrives.  ``emission`` frames interleave
+freely with replies — whenever one is read it is buffered, so
+:meth:`pop_emissions` after a :meth:`sync` gives read-your-writes over a
+remote engine::
+
+    with CEPRClient(port=7654) as client:
+        sub = client.subscribe("spikes", kinds=["window_close"])
+        client.push_batch(events)
+        client.sync()                      # barrier: server processed all
+        for frame in client.pop_emissions():
+            print(frame["emission"])
+
+The client never spawns threads; use :meth:`wait_emission` to block for
+asynchronously delivered output, and :meth:`drain` to collect the final
+flush emissions a draining server sends before its ``bye``.
+"""
+
+from __future__ import annotations
+
+import socket
+from collections import deque
+from typing import Any, Iterable
+
+from repro.events.event import Event
+from repro.ranking.emission import EmissionKind
+from repro.runtime.serialize import event_to_json
+from repro.serve.protocol import (
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    encode_frame,
+    read_frame_blocking,
+)
+
+#: Inbound frames (emission payloads) are not size-capped client-side.
+_UNCAPPED = 2**31 - 1
+
+
+class CEPRServeError(Exception):
+    """A typed ``CEPR5xx`` error frame from the server."""
+
+    def __init__(self, code: str, message: str) -> None:
+        super().__init__(f"{code}: {message}")
+        self.code = code
+
+
+class ServerClosed(ConnectionClosed):
+    """The server said ``bye`` (drain) or closed the connection."""
+
+
+def _kinds_doc(
+    kinds: EmissionKind | str | Iterable[EmissionKind | str] | None,
+) -> list[str] | None:
+    if kinds is None:
+        return None
+    if isinstance(kinds, (EmissionKind, str)):
+        kinds = (kinds,)
+    return [
+        kind.value if isinstance(kind, EmissionKind) else str(kind)
+        for kind in kinds
+    ]
+
+
+class CEPRClient:
+    """Blocking client for a :class:`~repro.serve.server.CEPRServer`.
+
+    ``timeout`` bounds every socket operation (connect, each reply);
+    raise it for servers under heavy load.  The constructor performs the
+    HELLO handshake — ``server_info`` holds its ack (registered queries,
+    shard count, protocol version).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7654,
+        timeout: float = 30.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.settimeout(timeout)
+        self._next_id = 0
+        self._emissions: deque[dict[str, Any]] = deque()
+        self._notices: deque[dict[str, Any]] = deque()
+        self._closed = False
+        self.server_info = self._request(
+            {"op": "hello", "version": PROTOCOL_VERSION}
+        )
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _classify(self, frame: dict[str, Any]) -> dict[str, Any] | None:
+        """Buffer async frames; return the frame if it is a reply."""
+        op = frame.get("op")
+        if op == "emission":
+            self._emissions.append(frame)
+            return None
+        if op == "unsubscribed":
+            self._notices.append(frame)
+            return None
+        if op == "bye":
+            self._closed = True
+            raise ServerClosed(
+                f"server closed the session: {frame.get('reason', 'bye')}"
+            )
+        return frame
+
+    def _request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        if self._closed:
+            raise ServerClosed("client already closed")
+        self._next_id += 1
+        request_id = self._next_id
+        frame["id"] = request_id
+        self._sock.sendall(encode_frame(frame, _UNCAPPED))
+        while True:
+            reply = self._classify(read_frame_blocking(self._sock, _UNCAPPED))
+            if reply is None:
+                continue
+            if reply.get("op") == "error":
+                if reply.get("id") in (None, request_id):
+                    raise CEPRServeError(
+                        reply.get("code", "CEPR500"),
+                        reply.get("message", "unknown error"),
+                    )
+                continue
+            if reply.get("op") == "ack" and reply.get("id") == request_id:
+                return reply
+
+    # -- requests -------------------------------------------------------------
+
+    def ping(self, t: float | None = None) -> dict[str, Any]:
+        frame: dict[str, Any] = {"op": "ping"}
+        if t is not None:
+            frame["t"] = t
+        return self._request(frame)
+
+    def push(self, event: Event | dict[str, Any]) -> None:
+        """Ingest one event (an :class:`Event` or its JSON document)."""
+        doc = event_to_json(event) if isinstance(event, Event) else event
+        self._request({"op": "push", "event": doc})
+
+    def push_batch(self, events: Iterable[Event | dict[str, Any]]) -> int:
+        """Ingest a batch in one frame; returns the accepted count."""
+        docs = [
+            event_to_json(event) if isinstance(event, Event) else event
+            for event in events
+        ]
+        reply = self._request({"op": "push_batch", "events": docs})
+        return int(reply["accepted"])
+
+    def advance_time(self, timestamp: float) -> None:
+        """Heartbeat: close time windows up to ``timestamp`` server-side."""
+        self._request({"op": "advance", "t": timestamp})
+
+    def sync(self) -> int:
+        """Barrier: the server has processed everything pushed before this.
+
+        Emission frames released up to the barrier are buffered by the
+        time this returns (read them with :meth:`pop_emissions`).
+        Returns the server's total ingested-event count.
+        """
+        return int(self._request({"op": "sync"})["events_ingested"])
+
+    def register(self, query: str, name: str | None = None) -> str:
+        """Register a query on the server; returns its resolved name."""
+        frame: dict[str, Any] = {"op": "register", "query": query}
+        if name is not None:
+            frame["name"] = name
+        return str(self._request(frame)["query"])
+
+    def unregister(self, name: str) -> None:
+        self._request({"op": "unregister", "name": name})
+
+    def subscribe(
+        self,
+        query: str,
+        kinds: EmissionKind | str | Iterable[EmissionKind | str] | None = None,
+    ) -> int:
+        """Subscribe to a query's emissions; returns the subscription id."""
+        frame: dict[str, Any] = {"op": "subscribe", "query": query}
+        doc = _kinds_doc(kinds)
+        if doc is not None:
+            frame["kinds"] = doc
+        return int(self._request(frame)["sub"])
+
+    def unsubscribe(
+        self, sub: int | None = None, query: str | None = None
+    ) -> int:
+        """Cancel one subscription by id, or all of a query's; returns
+        how many were removed."""
+        frame: dict[str, Any] = {"op": "unsubscribe"}
+        if sub is not None:
+            frame["sub"] = sub
+        elif query is not None:
+            frame["query"] = query
+        else:
+            raise ValueError("unsubscribe needs a sub id or a query name")
+        return int(self._request(frame)["removed"])
+
+    def stats(self) -> dict[str, Any]:
+        """Server metrics: ``{"metrics": <registry JSON>, "prom": <text>}``."""
+        reply = self._request({"op": "stats"})
+        return {"metrics": reply["metrics"], "prom": reply["prom"]}
+
+    # -- emissions -------------------------------------------------------------
+
+    def pop_emissions(self) -> list[dict[str, Any]]:
+        """All buffered emission frames, in arrival order."""
+        drained = list(self._emissions)
+        self._emissions.clear()
+        return drained
+
+    def pop_notices(self) -> list[dict[str, Any]]:
+        """Buffered ``unsubscribed`` notices (query unregistered)."""
+        drained = list(self._notices)
+        self._notices.clear()
+        return drained
+
+    def wait_emission(self, timeout: float | None = None) -> dict[str, Any] | None:
+        """Block for the next emission frame; ``None`` on timeout."""
+        if self._emissions:
+            return self._emissions.popleft()
+        self._sock.settimeout(timeout if timeout is not None else self.timeout)
+        try:
+            while True:
+                self._classify(read_frame_blocking(self._sock, _UNCAPPED))
+                if self._emissions:
+                    return self._emissions.popleft()
+        except socket.timeout:
+            return None
+        finally:
+            self._sock.settimeout(self.timeout)
+
+    def drain(self, timeout: float | None = None) -> list[dict[str, Any]]:
+        """Read until the server's ``bye`` (or EOF); returns every emission
+        frame collected on the way — the final flush of a draining server."""
+        self._sock.settimeout(timeout if timeout is not None else self.timeout)
+        try:
+            while True:
+                self._classify(read_frame_blocking(self._sock, _UNCAPPED))
+        except (ServerClosed, ConnectionClosed, socket.timeout, OSError):
+            pass
+        finally:
+            with_default = self.timeout
+            try:
+                self._sock.settimeout(with_default)
+            except OSError:
+                pass
+        return self.pop_emissions()
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def close(self) -> None:
+        """Say ``bye`` (best effort) and close the socket."""
+        if self._closed:
+            return
+        try:
+            self._request({"op": "bye"})
+        except (
+            CEPRServeError,
+            ConnectionClosed,
+            socket.timeout,
+            OSError,
+        ):
+            pass
+        finally:
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "CEPRClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -1,0 +1,230 @@
+"""The CEPR wire protocol: versioned, length-prefixed JSON frames.
+
+A frame is a 4-byte big-endian unsigned length ``N`` followed by exactly
+``N`` bytes of UTF-8 JSON encoding one object.  Every frame carries an
+``"op"`` string; requests may carry a client-chosen ``"id"`` which the
+matching ``ack``/``error`` reply echoes, so a client can interleave
+requests with asynchronously delivered ``emission`` frames.
+
+The full frame tables (ops, reply shapes, failure semantics) live in
+``docs/SERVING.md``; this module is the single source of truth for the
+constants and the codec.
+
+Error frames are typed: ``{"op": "error", "code": "CEPR5xx", ...}``.
+The ``CEPR5xx`` range extends the static analyzer's coded-diagnostic
+convention (``CEPR4xx`` covers shardability) to the serving layer:
+
+============  =====================================================
+``CEPR500``   malformed frame (bad JSON, not an object, missing op)
+``CEPR501``   frame exceeds the negotiated maximum size (fatal)
+``CEPR502``   unknown op
+``CEPR503``   bad handshake (missing HELLO or version mismatch)
+``CEPR504``   unknown query name
+``CEPR505``   query rejected (parse/analysis error; message has why)
+``CEPR506``   invalid event document
+``CEPR507``   invalid argument (bad kinds filter, bad field type)
+``CEPR508``   server is draining; mutation refused
+``CEPR509``   op unsupported in this server mode (e.g. REGISTER on
+              a sharded fleet)
+``CEPR510``   internal server error while handling the request
+============  =====================================================
+
+Only ``CEPR501`` (and a failed handshake) close the connection: the
+length prefix keeps frame boundaries intact for every other error, so
+the server answers with a typed error frame and keeps reading.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import struct
+from typing import Any
+
+#: Protocol version spoken by this build; HELLO must carry it verbatim.
+PROTOCOL_VERSION = 1
+
+#: Default cap on a single frame's JSON payload (bytes).
+DEFAULT_MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+HEADER_BYTES = _HEADER.size
+
+# -- error codes -------------------------------------------------------------
+
+E_MALFORMED = "CEPR500"
+E_FRAME_TOO_LARGE = "CEPR501"
+E_UNKNOWN_OP = "CEPR502"
+E_BAD_HELLO = "CEPR503"
+E_UNKNOWN_QUERY = "CEPR504"
+E_QUERY_REJECTED = "CEPR505"
+E_INVALID_EVENT = "CEPR506"
+E_INVALID_ARGUMENT = "CEPR507"
+E_DRAINING = "CEPR508"
+E_UNSUPPORTED = "CEPR509"
+E_INTERNAL = "CEPR510"
+
+#: Ops a client may send (the server additionally emits ``ack``, ``error``,
+#: ``emission``, ``unsubscribed``, and ``bye``).
+REQUEST_OPS = frozenset(
+    {
+        "hello",
+        "ping",
+        "push",
+        "push_batch",
+        "advance",
+        "sync",
+        "register",
+        "unregister",
+        "subscribe",
+        "unsubscribe",
+        "stats",
+        "bye",
+    }
+)
+
+
+class FrameError(Exception):
+    """A frame that violates the protocol; ``code`` is a ``CEPR5xx``.
+
+    ``fatal`` marks violations after which the byte stream cannot be
+    trusted (oversized frames) — the connection must close.
+    """
+
+    def __init__(self, code: str, message: str, fatal: bool = False) -> None:
+        super().__init__(message)
+        self.code = code
+        self.fatal = fatal
+
+
+class ConnectionClosed(Exception):
+    """The peer closed the connection (possibly mid-frame)."""
+
+
+# -- encoding ----------------------------------------------------------------
+
+
+def encode_frame(
+    doc: dict[str, Any], max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> bytes:
+    """Serialise one frame: length prefix + compact JSON payload."""
+    payload = json.dumps(
+        doc, separators=(",", ":"), ensure_ascii=False, allow_nan=False
+    ).encode("utf-8")
+    if len(payload) > max_frame_bytes:
+        raise FrameError(
+            E_FRAME_TOO_LARGE,
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{max_frame_bytes}-byte limit",
+            fatal=True,
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes) -> dict[str, Any]:
+    """Parse and validate one frame payload (must be an object with op)."""
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(E_MALFORMED, f"frame is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise FrameError(
+            E_MALFORMED, f"frame must be a JSON object, got {type(doc).__name__}"
+        )
+    op = doc.get("op")
+    if not isinstance(op, str) or not op:
+        raise FrameError(E_MALFORMED, "frame is missing its 'op' string")
+    return doc
+
+
+def error_frame(
+    code: str, message: str, reply_to: Any = None
+) -> dict[str, Any]:
+    """Build a typed error frame, echoing the request id when known."""
+    doc: dict[str, Any] = {"op": "error", "code": code, "message": message}
+    if reply_to is not None:
+        doc["id"] = reply_to
+    return doc
+
+
+def ack_frame(request: dict[str, Any], **fields: Any) -> dict[str, Any]:
+    """Build the ack for ``request``, echoing its op and id."""
+    doc: dict[str, Any] = {"op": "ack", "of": request["op"]}
+    if "id" in request:
+        doc["id"] = request["id"]
+    doc.update(fields)
+    return doc
+
+
+# -- asyncio reading (server side) -------------------------------------------
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+    payload_timeout: float | None = None,
+) -> dict[str, Any]:
+    """Read one frame from an asyncio stream.
+
+    Waiting for a frame to *start* is unbounded (idle subscribers are
+    legitimate); once the header arrives, the payload must follow within
+    ``payload_timeout`` seconds — the slow-loris guard.  Raises
+    :class:`ConnectionClosed` on EOF and :class:`FrameError` (fatal) on an
+    oversized declared length.
+    """
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("peer closed the connection") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame_bytes:
+        raise FrameError(
+            E_FRAME_TOO_LARGE,
+            f"declared frame length {length} exceeds the "
+            f"{max_frame_bytes}-byte limit",
+            fatal=True,
+        )
+    try:
+        payload = await asyncio.wait_for(
+            reader.readexactly(length), timeout=payload_timeout
+        )
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ConnectionClosed("peer closed the connection mid-frame") from exc
+    except asyncio.TimeoutError as exc:
+        raise FrameError(
+            E_MALFORMED,
+            f"frame payload did not arrive within {payload_timeout}s",
+            fatal=True,
+        ) from exc
+    return decode_payload(payload)
+
+
+# -- blocking reading (client side) ------------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionClosed("server closed the connection")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame_blocking(
+    sock: socket.socket, max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES
+) -> dict[str, Any]:
+    """Read one frame from a blocking socket (client side)."""
+    (length,) = _HEADER.unpack(_recv_exactly(sock, HEADER_BYTES))
+    if length > max_frame_bytes:
+        raise FrameError(
+            E_FRAME_TOO_LARGE,
+            f"declared frame length {length} exceeds the "
+            f"{max_frame_bytes}-byte limit",
+            fatal=True,
+        )
+    return decode_payload(_recv_exactly(sock, length))

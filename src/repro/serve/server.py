@@ -1,0 +1,892 @@
+"""``CEPRServer``: the asyncio TCP front end over an engine runner.
+
+Threading model — three layers, one direction of blocking each:
+
+* **Event loop** (this module): frame parsing, connection state, fan-out
+  queues.  Never calls the engine directly; every blocking runtime call
+  goes through ``asyncio.to_thread``.
+* **Runner threads**: a :class:`~repro.runtime.concurrent.ThreadedEngineRunner`
+  (``shards == 1``) or :class:`~repro.runtime.sharded.ShardedEngineRunner`
+  consumes submitted events and delivers emissions to the per-query
+  :class:`~repro.serve.subscriptions.QueryFeed` subscriptions, which
+  trampoline back onto the loop.
+* **Client connections**: each has a bounded outbound queue and a writer
+  task.  Emission frames are offered without blocking (slow-consumer
+  policy: drop-and-count or disconnect); acks/errors await queue space,
+  which naturally stalls that client's request stream instead of the
+  server.
+
+Graceful drain (SIGTERM/SIGINT or :meth:`CEPRServer.request_drain`):
+stop accepting connections, refuse further mutations with ``CEPR508``,
+take a final checkpoint (when configured) *before* the terminal flush,
+flush the runner so final emissions reach subscribers, then send every
+connection a ``bye`` frame and close.  See docs/SERVING.md.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+import time
+from pathlib import Path
+from typing import Any, Awaitable, Callable
+
+from repro.events.event import Event
+from repro.language.errors import CEPRError
+from repro.observability.log import get_logger
+from repro.runtime.concurrent import ThreadedEngineRunner
+from repro.runtime.engine import CEPREngine
+from repro.runtime.metrics import LatencyRecorder
+from repro.runtime.serialize import event_from_json
+from repro.runtime.sharded import ShardedEngineRunner
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    E_BAD_HELLO,
+    E_DRAINING,
+    E_INTERNAL,
+    E_INVALID_ARGUMENT,
+    E_INVALID_EVENT,
+    E_QUERY_REJECTED,
+    E_UNKNOWN_OP,
+    E_UNKNOWN_QUERY,
+    E_UNSUPPORTED,
+    FrameError,
+    ack_frame,
+    encode_frame,
+    error_frame,
+    read_frame,
+)
+from repro.serve.subscriptions import QueryFeed, ServeStats
+
+_log = get_logger(__name__)
+
+#: Outbound frames are never size-capped: the limit guards the server
+#: against hostile *clients*, not its own emission payloads.
+_UNCAPPED = 2**31 - 1
+
+
+class _Connection:
+    """Per-client state: outbound queue, writer task, subscriptions."""
+
+    def __init__(
+        self,
+        cid: int,
+        writer: asyncio.StreamWriter,
+        outbound_queue: int,
+        slow_consumer: str,
+        stats: ServeStats,
+    ) -> None:
+        self.cid = cid
+        self.writer = writer
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbound_queue)
+        self.slow_consumer = slow_consumer
+        self.stats = stats
+        self.closing = False
+        self.dropped = 0
+        self.subs: dict[int, str] = {}  # sub_id -> query name
+        self._next_sub = 0
+        self.writer_task: asyncio.Task | None = None
+
+    def alloc_sub(self) -> int:
+        self._next_sub += 1
+        return self._next_sub
+
+    # -- outbound ------------------------------------------------------------
+
+    def offer(self, frame: dict[str, Any]) -> bool:
+        """Non-blocking delivery (emission fan-out path)."""
+        if self.closing:
+            return False
+        try:
+            self.outbox.put_nowait(frame)
+            return True
+        except asyncio.QueueFull:
+            if self.slow_consumer == "drop":
+                self.dropped += 1
+                self.stats.emissions_dropped += 1
+                return False
+            self.stats.slow_consumer_disconnects += 1
+            _log.warning(
+                "connection %d: outbound queue full, disconnecting slow "
+                "consumer",
+                self.cid,
+            )
+            self.abort()
+            return False
+
+    async def send(self, frame: dict[str, Any]) -> None:
+        """Reliable delivery (acks/errors): waits for queue space."""
+        if self.closing:
+            return
+        await self.outbox.put(frame)
+
+    def abort(self) -> None:
+        """Tear the connection down immediately (loop thread only)."""
+        if self.closing:
+            return
+        self.closing = True
+        # Unblock any send() waiting on a full queue.
+        while True:
+            try:
+                self.outbox.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+        with contextlib.suppress(Exception):
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+
+    async def finish(self, frame: dict[str, Any] | None = None) -> None:
+        """Graceful close: flush ``frame`` (if any), then stop the writer."""
+        if frame is not None and not self.closing:
+            await self.outbox.put(frame)
+        if not self.closing:
+            await self.outbox.put(None)
+
+    async def _writer_loop(self) -> None:
+        try:
+            while True:
+                frame = await self.outbox.get()
+                if frame is None:
+                    break
+                self.writer.write(encode_frame(frame, _UNCAPPED))
+                await self.writer.drain()
+                self.stats.frames_sent += 1
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+        finally:
+            self.closing = True
+            with contextlib.suppress(Exception):
+                self.writer.close()
+
+
+class CEPRServer:
+    """A CEPR engine (or sharded fleet) behind a TCP frame protocol.
+
+    Parameters
+    ----------
+    queries:
+        ``{name: query_text}`` registered before the server starts
+        (``shards == 1`` servers also accept REGISTER frames at runtime).
+    shards:
+        1 → a :class:`ThreadedEngineRunner`; >1 → a
+        :class:`ShardedEngineRunner` whose merged emissions are released
+        on a ``poll_interval`` cadence and at barriers.
+    checkpoint_dir / checkpoint_every / resume:
+        Crash-recovery wiring (see docs/RECOVERY.md): snapshot every N
+        ingested events and at drain; ``resume`` restores the latest
+        valid checkpoint at startup.
+    max_frame_bytes / read_timeout:
+        Hostile-input guards: inbound frame size cap and the slow-loris
+        payload timeout (idle connections between frames are fine).
+    outbound_queue / slow_consumer:
+        Per-connection fan-out queue bound and the policy when a
+        subscriber falls behind: ``"disconnect"`` (default) or ``"drop"``
+        (count and continue; clients detect gaps via the per-query
+        ``seq`` stamp on emission frames).
+    """
+
+    def __init__(
+        self,
+        queries: dict[str, str] | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        shards: int = 1,
+        enable_pruning: bool = True,
+        checkpoint_dir: str | Path | None = None,
+        checkpoint_every: int = 1000,
+        resume: bool = False,
+        max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
+        read_timeout: float = 30.0,
+        outbound_queue: int = 256,
+        slow_consumer: str = "disconnect",
+        poll_interval: float = 0.05,
+        max_queue: int = 10_000,
+        batch_size: int = 256,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if slow_consumer not in ("disconnect", "drop"):
+            raise ValueError(
+                f"slow_consumer must be 'disconnect' or 'drop', "
+                f"got {slow_consumer!r}"
+            )
+        if checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {checkpoint_every}"
+            )
+        if resume and checkpoint_dir is None:
+            raise ValueError("resume requires checkpoint_dir")
+        self.queries = dict(queries or {})
+        self.host = host
+        self.port = port
+        self.shards = shards
+        self.enable_pruning = enable_pruning
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.resume = resume
+        self.max_frame_bytes = max_frame_bytes
+        self.read_timeout = read_timeout
+        self.outbound_queue = outbound_queue
+        self.slow_consumer = slow_consumer
+        self.poll_interval = poll_interval
+        self.max_queue = max_queue
+        self.batch_size = batch_size
+
+        self.stats = ServeStats()
+        self.bound_port: int | None = None
+        self._runner: ThreadedEngineRunner | ShardedEngineRunner | None = None
+        self._feeds: dict[str, QueryFeed] = {}
+        self._connections: dict[int, _Connection] = {}
+        self._next_cid = 0
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._tcp_server: asyncio.base_events.Server | None = None
+        self._poll_task: asyncio.Task | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._drained: asyncio.Event | None = None
+        self._draining = False
+        self._ingest_lock: asyncio.Lock | None = None
+        self._store = None
+        self._last_event_ts = 0.0
+        self._ingest_latency = LatencyRecorder()
+        self._handlers: dict[
+            str, Callable[[_Connection, dict], Awaitable[bool]]
+        ] = {
+            "ping": self._op_ping,
+            "push": self._op_push,
+            "push_batch": self._op_push_batch,
+            "advance": self._op_advance,
+            "sync": self._op_sync,
+            "register": self._op_register,
+            "unregister": self._op_unregister,
+            "subscribe": self._op_subscribe,
+            "unsubscribe": self._op_unsubscribe,
+            "stats": self._op_stats,
+            "bye": self._op_bye,
+        }
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def serve(
+        self, on_ready: Callable[["CEPRServer"], None] | None = None
+    ) -> None:
+        """Run until drained (SIGTERM/SIGINT or :meth:`request_drain`)."""
+        self._loop = asyncio.get_running_loop()
+        self._drained = asyncio.Event()
+        self._ingest_lock = asyncio.Lock()
+        self._start_runtime()
+        self._tcp_server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.bound_port = self._tcp_server.sockets[0].getsockname()[1]
+        installed: list[signal.Signals] = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.request_drain)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        if self.shards > 1:
+            self._poll_task = self._loop.create_task(self._poll_loop())
+        _log.info(
+            "cepr serve listening on %s:%d (%d quer%s, %d shard%s)",
+            self.host,
+            self.bound_port,
+            len(self._feeds),
+            "y" if len(self._feeds) == 1 else "ies",
+            self.shards,
+            "" if self.shards == 1 else "s",
+        )
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._drained.wait()
+        finally:
+            for signum in installed:
+                with contextlib.suppress(Exception):
+                    self._loop.remove_signal_handler(signum)
+            if self._tcp_server is not None:
+                self._tcp_server.close()
+            if self._runner is not None:
+                with contextlib.suppress(Exception):
+                    await asyncio.to_thread(self._runner.stop)
+
+    def request_drain(self) -> None:
+        """Begin graceful drain (idempotent; loop thread only)."""
+        if self._drain_task is None and self._loop is not None:
+            self._drain_task = self._loop.create_task(self._drain())
+
+    def request_drain_threadsafe(self) -> None:
+        """Begin graceful drain from any thread."""
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self.request_drain)
+
+    def _start_runtime(self) -> None:
+        assert self._loop is not None
+        if self.shards == 1:
+            engine = CEPREngine(enable_pruning=self.enable_pruning)
+            runner = ThreadedEngineRunner(
+                engine, max_queue=self.max_queue, batch_size=self.batch_size
+            )
+            for name, text in self.queries.items():
+                engine.register_query(text, name=name)
+            self._runner = runner
+            for name in self.queries:
+                feed = QueryFeed(name, self._loop, self.stats)
+                feed.attach(lambda cb, name=name: engine.subscribe(name, cb))
+                self._feeds[name] = feed
+            runner.start()
+        else:
+            sharded = ShardedEngineRunner(
+                shards=self.shards,
+                enable_pruning=self.enable_pruning,
+                max_queue=self.max_queue,
+                batch_size=self.batch_size,
+            )
+            for name, text in self.queries.items():
+                sharded.register_query(text, name=name)
+            self._runner = sharded
+            for name in self.queries:
+                feed = QueryFeed(name, self._loop, self.stats)
+                feed.attach(
+                    lambda cb, name=name: sharded.subscribe(name, cb)
+                )
+                self._feeds[name] = feed
+            sharded.start()
+        if self.checkpoint_dir is not None:
+            from repro.store.checkpoint import CheckpointStore
+
+            self._store = CheckpointStore(self.checkpoint_dir)
+            if self.resume:
+                self._restore_latest()
+
+    def _restore_latest(self) -> None:
+        assert self._store is not None and self._runner is not None
+        checkpoint = self._store.latest()
+        if checkpoint is None:
+            _log.warning(
+                "resume: no valid checkpoint in %s, starting fresh",
+                self._store.directory,
+            )
+            return
+        self._runner.restore(checkpoint.state)
+        self.stats.events_ingested = checkpoint.position.events_consumed
+        self._last_event_ts = checkpoint.position.last_ts
+        _log.info(
+            "resumed from %s (%d events already consumed)",
+            checkpoint.path.name,
+            checkpoint.position.events_consumed,
+        )
+
+    async def _poll_loop(self) -> None:
+        """Sharded mode: release mergeable emissions on a cadence."""
+        assert isinstance(self._runner, ShardedEngineRunner)
+        runner = self._runner
+        while not self._draining:
+            await asyncio.sleep(self.poll_interval)
+            if self._draining:
+                return
+            with contextlib.suppress(RuntimeError):
+                await asyncio.to_thread(runner.poll)
+
+    async def _drain(self) -> None:
+        """Flush, checkpoint, notify, close — the SIGTERM path.
+
+        Every step is damage-tolerant: whatever state the runtime died
+        in, ``_drained`` is always set so :meth:`serve` returns.
+        """
+        self._draining = True
+        try:
+            _log.info("draining: flushing %d quer(ies)", len(self._feeds))
+            assert self._tcp_server is not None
+            assert self._ingest_lock is not None
+            self._tcp_server.close()
+            await self._tcp_server.wait_closed()
+            if self._poll_task is not None:
+                self._poll_task.cancel()
+                with contextlib.suppress(asyncio.CancelledError):
+                    await self._poll_task
+            async with self._ingest_lock:
+                # Checkpoint BEFORE the terminal flush: flushing emits
+                # partial-window results a restored run must produce
+                # again, so the snapshot captures the pre-flush state.
+                if self._store is not None:
+                    try:
+                        await asyncio.to_thread(self._checkpoint_blocking)
+                    except Exception:
+                        _log.exception(
+                            "drain checkpoint failed; continuing shutdown"
+                        )
+                assert self._runner is not None
+                with contextlib.suppress(Exception):
+                    await asyncio.to_thread(self._runner.stop)
+            # Every emission scheduled by the final flush was queued on
+            # the loop before to_thread's completion callback, so by this
+            # line the fan-out queues already hold the final frames.
+            for connection in list(self._connections.values()):
+                await connection.finish({"op": "bye", "reason": "drained"})
+            writers = [
+                connection.writer_task
+                for connection in self._connections.values()
+                if connection.writer_task is not None
+            ]
+            if writers:
+                done, pending = await asyncio.wait(writers, timeout=10.0)
+                for task in pending:
+                    task.cancel()
+        finally:
+            assert self._drained is not None
+            self._drained.set()
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def _checkpoint_blocking(self) -> None:
+        """Sync the runtime and persist a snapshot (runner threads idle)."""
+        from repro.store.checkpoint import Position
+
+        assert self._store is not None and self._runner is not None
+        if isinstance(self._runner, ThreadedEngineRunner):
+            with contextlib.suppress(RuntimeError):
+                self._runner.sync()
+        state = self._runner.snapshot()
+        last_seq = int(state["sequencer"]["next_seq"]) - 1
+        self._store.save(
+            state,
+            Position(
+                events_consumed=self.stats.events_ingested,
+                last_seq=last_seq,
+                last_ts=self._last_event_ts,
+            ),
+        )
+        self.stats.checkpoints_saved += 1
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._next_cid += 1
+        connection = _Connection(
+            self._next_cid,
+            writer,
+            self.outbound_queue,
+            self.slow_consumer,
+            self.stats,
+        )
+        assert self._loop is not None
+        connection.writer_task = self._loop.create_task(
+            connection._writer_loop()
+        )
+        self._connections[connection.cid] = connection
+        self.stats.connections_total += 1
+        self.stats.connections_active += 1
+        try:
+            if await self._handshake(connection, reader):
+                await self._serve_requests(connection, reader)
+        finally:
+            self.stats.connections_active -= 1
+            self._connections.pop(connection.cid, None)
+            for feed in self._feeds.values():
+                feed.drop_connection(connection.cid)
+            if not connection.closing:
+                await connection.finish()
+            if connection.writer_task is not None:
+                # CancelledError too: abort() cancels the writer task, and
+                # suppress(Exception) would let it escape into the loop's
+                # exception handler as noise.
+                with contextlib.suppress(Exception, asyncio.CancelledError):
+                    await asyncio.wait_for(connection.writer_task, timeout=5.0)
+
+    async def _handshake(
+        self, connection: _Connection, reader: asyncio.StreamReader
+    ) -> bool:
+        """First frame must be a well-versioned HELLO, within the timeout."""
+        try:
+            frame = await asyncio.wait_for(
+                read_frame(reader, self.max_frame_bytes, self.read_timeout),
+                timeout=self.read_timeout,
+            )
+        except (ConnectionClosed, asyncio.TimeoutError):
+            return False
+        except FrameError as exc:
+            self.stats.protocol_errors += 1
+            await connection.send(error_frame(exc.code, str(exc)))
+            return False
+        if frame["op"] != "hello" or frame.get("version") != PROTOCOL_VERSION:
+            self.stats.protocol_errors += 1
+            await connection.send(
+                error_frame(
+                    E_BAD_HELLO,
+                    f"expected hello with version={PROTOCOL_VERSION}, "
+                    f"got op={frame['op']!r} "
+                    f"version={frame.get('version')!r}",
+                    frame.get("id"),
+                )
+            )
+            return False
+        self.stats.frames_received += 1
+        await connection.send(
+            ack_frame(
+                frame,
+                version=PROTOCOL_VERSION,
+                server="cepr",
+                shards=self.shards,
+                queries=sorted(self._feeds),
+            )
+        )
+        return True
+
+    async def _serve_requests(
+        self, connection: _Connection, reader: asyncio.StreamReader
+    ) -> None:
+        while not connection.closing:
+            try:
+                frame = await read_frame(
+                    reader, self.max_frame_bytes, self.read_timeout
+                )
+            except ConnectionClosed:
+                return
+            except FrameError as exc:
+                self.stats.protocol_errors += 1
+                await connection.send(error_frame(exc.code, str(exc)))
+                if exc.fatal:
+                    return
+                continue
+            self.stats.frames_received += 1
+            handler = self._handlers.get(frame["op"])
+            if handler is None:
+                self.stats.protocol_errors += 1
+                await connection.send(
+                    error_frame(
+                        E_UNKNOWN_OP,
+                        f"unknown op {frame['op']!r}",
+                        frame.get("id"),
+                    )
+                )
+                continue
+            try:
+                if await handler(connection, frame):
+                    return
+            except FrameError as exc:
+                self.stats.protocol_errors += 1
+                await connection.send(
+                    error_frame(exc.code, str(exc), frame.get("id"))
+                )
+                if exc.fatal:
+                    return
+            except Exception as exc:  # pragma: no cover - defensive
+                _log.exception("internal error handling %r", frame.get("op"))
+                await connection.send(
+                    error_frame(
+                        E_INTERNAL, f"internal error: {exc}", frame.get("id")
+                    )
+                )
+                return
+
+    # -- op handlers -----------------------------------------------------------
+
+    async def _op_ping(self, connection: _Connection, frame: dict) -> bool:
+        fields = {"t": frame["t"]} if "t" in frame else {}
+        await connection.send(ack_frame(frame, **fields))
+        return False
+
+    def _decode_event(self, doc: Any) -> Event:
+        if not isinstance(doc, dict):
+            raise FrameError(
+                E_INVALID_EVENT,
+                f"event must be an object, got {type(doc).__name__}",
+            )
+        try:
+            event = event_from_json(doc)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise FrameError(
+                E_INVALID_EVENT, f"invalid event document: {exc}"
+            ) from exc
+        if isinstance(event.timestamp, bool) or not isinstance(
+            event.timestamp, (int, float)
+        ):
+            raise FrameError(
+                E_INVALID_EVENT,
+                f"event timestamp must be a number, "
+                f"got {type(event.timestamp).__name__}",
+            )
+        return event
+
+    def _require_live(self) -> None:
+        if self._draining:
+            raise FrameError(E_DRAINING, "server is draining; try elsewhere")
+
+    async def _op_push(self, connection: _Connection, frame: dict) -> bool:
+        self._require_live()
+        event = self._decode_event(frame.get("event"))
+        await self._ingest([event])
+        await connection.send(ack_frame(frame, accepted=1))
+        return False
+
+    async def _op_push_batch(self, connection: _Connection, frame: dict) -> bool:
+        self._require_live()
+        docs = frame.get("events")
+        if not isinstance(docs, list):
+            raise FrameError(
+                E_INVALID_ARGUMENT, "push_batch requires an 'events' array"
+            )
+        events = [self._decode_event(doc) for doc in docs]
+        if events:
+            await self._ingest(events)
+        await connection.send(ack_frame(frame, accepted=len(events)))
+        return False
+
+    async def _op_advance(self, connection: _Connection, frame: dict) -> bool:
+        self._require_live()
+        timestamp = frame.get("t")
+        if isinstance(timestamp, bool) or not isinstance(
+            timestamp, (int, float)
+        ):
+            raise FrameError(
+                E_INVALID_ARGUMENT, "advance requires a numeric 't'"
+            )
+        assert self._runner is not None and self._ingest_lock is not None
+        async with self._ingest_lock:
+            await asyncio.to_thread(self._runner.advance_time, float(timestamp))
+        await connection.send(ack_frame(frame))
+        return False
+
+    async def _op_sync(self, connection: _Connection, frame: dict) -> bool:
+        """Read-your-writes barrier; also releases mergeable sharded output."""
+        self._require_live()
+        assert self._runner is not None
+        if isinstance(self._runner, ShardedEngineRunner):
+            await asyncio.to_thread(self._runner.poll)
+        else:
+            await asyncio.to_thread(self._runner.sync)
+        # Emission dispatches scheduled before the barrier's completion
+        # callback have already run, so this ack trails them in order.
+        await connection.send(
+            ack_frame(frame, events_ingested=self.stats.events_ingested)
+        )
+        return False
+
+    async def _op_register(self, connection: _Connection, frame: dict) -> bool:
+        self._require_live()
+        if self.shards > 1:
+            raise FrameError(
+                E_UNSUPPORTED,
+                "REGISTER is unsupported on a sharded fleet (placement is "
+                "fixed at start); run with --shards 1 for dynamic queries",
+            )
+        text = frame.get("query")
+        if not isinstance(text, str) or not text.strip():
+            raise FrameError(
+                E_INVALID_ARGUMENT, "register requires a 'query' string"
+            )
+        name = frame.get("name")
+        if name is not None and not isinstance(name, str):
+            raise FrameError(E_INVALID_ARGUMENT, "'name' must be a string")
+        runner = self._runner
+        assert isinstance(runner, ThreadedEngineRunner)
+        try:
+            handle = await asyncio.to_thread(
+                runner.register_query, text, name
+            )
+        except CEPRError as exc:
+            raise FrameError(
+                E_QUERY_REJECTED, f"query rejected: {exc}"
+            ) from exc
+        assert self._loop is not None
+        feed = QueryFeed(handle.name, self._loop, self.stats)
+        await asyncio.to_thread(
+            feed.attach, lambda cb: runner.subscribe(handle.name, cb)
+        )
+        self._feeds[handle.name] = feed
+        await connection.send(ack_frame(frame, query=handle.name))
+        return False
+
+    async def _op_unregister(self, connection: _Connection, frame: dict) -> bool:
+        self._require_live()
+        if self.shards > 1:
+            raise FrameError(
+                E_UNSUPPORTED,
+                "UNREGISTER is unsupported on a sharded fleet",
+            )
+        name = frame.get("name")
+        if name not in self._feeds:
+            raise FrameError(
+                E_UNKNOWN_QUERY, f"no query named {name!r} is registered"
+            )
+        feed = self._feeds.pop(name)
+        feed.notify_unsubscribed("unregistered")
+        feed.subscription = None  # engine close_sinks owns it now
+        runner = self._runner
+        assert isinstance(runner, ThreadedEngineRunner)
+        await asyncio.to_thread(runner.unregister_query, name)
+        await connection.send(ack_frame(frame, query=name))
+        return False
+
+    async def _op_subscribe(self, connection: _Connection, frame: dict) -> bool:
+        name = frame.get("query")
+        feed = self._feeds.get(name)
+        if feed is None:
+            raise FrameError(
+                E_UNKNOWN_QUERY, f"no query named {name!r} is registered"
+            )
+        sub_id = connection.alloc_sub()
+        try:
+            feed.add_subscriber(
+                connection, connection.cid, sub_id, frame.get("kinds")
+            )
+        except ValueError as exc:
+            raise FrameError(
+                E_INVALID_ARGUMENT, f"bad kinds filter: {exc}"
+            ) from exc
+        connection.subs[sub_id] = name
+        await connection.send(ack_frame(frame, sub=sub_id, query=name))
+        return False
+
+    async def _op_unsubscribe(self, connection: _Connection, frame: dict) -> bool:
+        removed = 0
+        if "sub" in frame:
+            sub_id = frame["sub"]
+            name = connection.subs.pop(sub_id, None)
+            if name is not None and name in self._feeds:
+                removed += int(
+                    self._feeds[name].remove_subscriber(connection.cid, sub_id)
+                )
+        elif "query" in frame:
+            name = frame["query"]
+            doomed = [
+                sub_id
+                for sub_id, query in connection.subs.items()
+                if query == name
+            ]
+            for sub_id in doomed:
+                del connection.subs[sub_id]
+                if name in self._feeds:
+                    removed += int(
+                        self._feeds[name].remove_subscriber(
+                            connection.cid, sub_id
+                        )
+                    )
+        else:
+            raise FrameError(
+                E_INVALID_ARGUMENT, "unsubscribe requires 'sub' or 'query'"
+            )
+        await connection.send(ack_frame(frame, removed=removed))
+        return False
+
+    async def _op_stats(self, connection: _Connection, frame: dict) -> bool:
+        registry = await asyncio.to_thread(self.metrics_registry)
+        await connection.send(
+            ack_frame(
+                frame,
+                metrics=registry.to_json(),
+                prom=registry.to_prometheus(),
+            )
+        )
+        return False
+
+    async def _op_bye(self, connection: _Connection, frame: dict) -> bool:
+        await connection.finish(ack_frame(frame))
+        return True
+
+    # -- ingest ---------------------------------------------------------------
+
+    async def _ingest(self, events: list[Event]) -> None:
+        assert self._ingest_lock is not None
+        async with self._ingest_lock:
+            await asyncio.to_thread(self._submit_blocking, events)
+            before = self.stats.events_ingested
+            self.stats.events_ingested += len(events)
+            if self._store is not None and (
+                before // self.checkpoint_every
+                != self.stats.events_ingested // self.checkpoint_every
+            ):
+                await asyncio.to_thread(self._checkpoint_blocking)
+
+    def _submit_blocking(self, events: list[Event]) -> None:
+        assert self._runner is not None
+        started = time.perf_counter()
+        for event in events:
+            self._runner.submit(event)
+            if event.timestamp > self._last_event_ts:
+                self._last_event_ts = event.timestamp
+        self._ingest_latency.record(time.perf_counter() - started)
+
+    # -- observability ----------------------------------------------------------
+
+    def metrics_registry(self):
+        """The runtime's registry plus the serving layer's instruments."""
+        assert self._runner is not None
+        registry = self._runner.metrics_registry()
+        stats = self.stats
+        registry.counter(
+            "serve_connections_total",
+            "Client connections accepted since start",
+            fn=lambda: stats.connections_total,
+        )
+        registry.gauge(
+            "serve_connections_active",
+            "Client connections currently open",
+            fn=lambda: stats.connections_active,
+        )
+        registry.counter(
+            "serve_frames_received_total",
+            "Well-formed request frames received",
+            fn=lambda: stats.frames_received,
+        )
+        registry.counter(
+            "serve_frames_sent_total",
+            "Frames written to clients (acks, errors, emissions)",
+            fn=lambda: stats.frames_sent,
+        )
+        registry.counter(
+            "serve_events_ingested_total",
+            "Events accepted over the wire into the runtime",
+            fn=lambda: stats.events_ingested,
+        )
+        registry.counter(
+            "serve_emissions_fanned_out_total",
+            "Emission frames enqueued to subscribers",
+            fn=lambda: stats.emissions_fanned_out,
+        )
+        registry.counter(
+            "serve_emissions_dropped_total",
+            "Emission frames dropped by the slow-consumer 'drop' policy",
+            fn=lambda: stats.emissions_dropped,
+        )
+        registry.counter(
+            "serve_slow_consumer_disconnects_total",
+            "Connections closed by the slow-consumer 'disconnect' policy",
+            fn=lambda: stats.slow_consumer_disconnects,
+        )
+        registry.counter(
+            "serve_protocol_errors_total",
+            "Frames rejected with a typed CEPR5xx error",
+            fn=lambda: stats.protocol_errors,
+        )
+        registry.counter(
+            "serve_checkpoints_saved_total",
+            "Checkpoints persisted (periodic and drain-time)",
+            fn=lambda: stats.checkpoints_saved,
+        )
+        registry.gauge(
+            "serve_subscriptions_active",
+            "Live (connection, query) subscription pairs",
+            fn=lambda: float(
+                sum(feed.subscriber_count for feed in self._feeds.values())
+            ),
+        )
+        registry.gauge(
+            "serve_draining",
+            "1 while the server is draining, else 0",
+            fn=lambda: 1.0 if self._draining else 0.0,
+        )
+        registry.histogram(
+            "serve_ingest_seconds",
+            "Wall time of each blocking submit batch",
+            recorder=self._ingest_latency,
+        )
+        return registry

@@ -1,0 +1,168 @@
+"""Server-side fan-out: one engine subscription per query, many clients.
+
+The engine (or sharded fleet) delivers emissions on *its* threads — the
+runner's consumer thread, or whichever thread ran a merge barrier.  A
+:class:`QueryFeed` owns the single engine-side
+:class:`~repro.runtime.sinks.Subscription` for one query and trampolines
+every emission onto the server's event loop with
+``loop.call_soon_threadsafe``; on the loop it serialises the emission
+once (:func:`~repro.runtime.serialize.emission_to_json`) and offers the
+frame to each subscribed connection's bounded outbound queue.
+
+Backpressure is therefore per *client*, never per engine: a slow
+consumer fills only its own queue, and the connection's configured
+policy (drop-and-count or disconnect) decides what happens next — the
+engine threads never block on a socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Protocol
+
+from repro.ranking.emission import Emission, EmissionKind
+from repro.runtime.serialize import emission_to_json
+from repro.runtime.sinks import Subscription, normalize_kinds
+
+
+class ServeStats:
+    """Plain server counters; the metrics registry reads them via ``fn=``."""
+
+    def __init__(self) -> None:
+        self.connections_total = 0
+        self.connections_active = 0
+        self.frames_received = 0
+        self.frames_sent = 0
+        self.events_ingested = 0
+        self.emissions_fanned_out = 0
+        self.emissions_dropped = 0
+        self.slow_consumer_disconnects = 0
+        self.protocol_errors = 0
+        self.checkpoints_saved = 0
+
+
+class Deliverable(Protocol):
+    """What a feed needs from a connection: a non-blocking frame offer."""
+
+    def offer(self, frame: dict[str, Any]) -> bool: ...
+
+
+class _FeedSubscriber:
+    __slots__ = ("connection", "sub_id", "kinds")
+
+    def __init__(
+        self,
+        connection: Deliverable,
+        sub_id: int,
+        kinds: frozenset[EmissionKind] | None,
+    ) -> None:
+        self.connection = connection
+        self.sub_id = sub_id
+        self.kinds = kinds
+
+
+class QueryFeed:
+    """Fan-out hub for one query's emission stream.
+
+    ``attach`` installs the single engine-side subscription (all kinds;
+    per-client filters apply at fan-out).  ``dispatch`` runs on the event
+    loop and is the only place subscriber state is touched, so no locking
+    is needed.
+    """
+
+    def __init__(
+        self, name: str, loop: asyncio.AbstractEventLoop, stats: ServeStats
+    ) -> None:
+        self.name = name
+        self._loop = loop
+        self._stats = stats
+        self._subscribers: dict[tuple[int, int], _FeedSubscriber] = {}
+        self.subscription: Subscription | None = None
+        #: Monotonic per-query emission sequence, stamped on each frame so
+        #: clients can detect drops under the "drop" slow-consumer policy.
+        self.emission_seq = 0
+
+    def attach(self, subscribe: Any) -> None:
+        """Install the engine-side subscription via ``subscribe(cb)``."""
+        self.subscription = subscribe(self._on_emission)
+
+    def detach(self) -> None:
+        if self.subscription is not None:
+            self.subscription.cancel()
+            self.subscription = None
+
+    # -- engine threads ------------------------------------------------------
+
+    def _on_emission(self, emission: Emission) -> None:
+        try:
+            self._loop.call_soon_threadsafe(self.dispatch, emission)
+        except RuntimeError:
+            # Loop already closed (late flush during teardown): the
+            # emission has nowhere to go; drop it rather than kill the
+            # engine thread.
+            pass
+
+    # -- event loop ----------------------------------------------------------
+
+    def dispatch(self, emission: Emission) -> None:
+        """Serialise once and offer the frame to every live subscriber."""
+        self.emission_seq += 1
+        if not self._subscribers:
+            return
+        doc = emission_to_json(emission)
+        for subscriber in list(self._subscribers.values()):
+            if (
+                subscriber.kinds is not None
+                and emission.kind not in subscriber.kinds
+            ):
+                continue
+            delivered = subscriber.connection.offer(
+                {
+                    "op": "emission",
+                    "query": self.name,
+                    "sub": subscriber.sub_id,
+                    "seq": self.emission_seq,
+                    "emission": doc,
+                }
+            )
+            if delivered:
+                self._stats.emissions_fanned_out += 1
+
+    def add_subscriber(
+        self,
+        connection: Deliverable,
+        connection_id: int,
+        sub_id: int,
+        kinds: Any = None,
+    ) -> None:
+        """Register one (connection, sub) pair; ``kinds`` as in subscribe."""
+        self._subscribers[(connection_id, sub_id)] = _FeedSubscriber(
+            connection, sub_id, normalize_kinds(kinds)
+        )
+
+    def remove_subscriber(self, connection_id: int, sub_id: int) -> bool:
+        return self._subscribers.pop((connection_id, sub_id), None) is not None
+
+    def drop_connection(self, connection_id: int) -> int:
+        """Remove every subscription held by one connection."""
+        doomed = [key for key in self._subscribers if key[0] == connection_id]
+        for key in doomed:
+            del self._subscribers[key]
+        return len(doomed)
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def notify_unsubscribed(self, reason: str) -> None:
+        """Tell every subscriber delivery ended (query unregistered)."""
+        for subscriber in list(self._subscribers.values()):
+            subscriber.connection.offer(
+                {
+                    "op": "unsubscribed",
+                    "query": self.name,
+                    "sub": subscriber.sub_id,
+                    "reason": reason,
+                }
+            )
+        self._subscribers.clear()

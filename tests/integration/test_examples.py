@@ -60,6 +60,11 @@ class TestExamples:
         out = run_example("live_monitor.py", "1.0", timeout=60)
         assert "CEPR monitor" in out
 
+    def test_remote_client(self):
+        out = run_example("remote_client.py")
+        assert "pushed 2000 events" in out
+        assert "server exited with code 0" in out
+
     def test_all_examples_are_covered(self):
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         covered = {
@@ -71,5 +76,6 @@ class TestExamples:
             "backtesting.py",
             "hierarchical_cep.py",
             "live_monitor.py",
+            "remote_client.py",
         }
         assert scripts == covered, "new example scripts need smoke tests"

@@ -180,6 +180,6 @@ class TestResultAccess:
         handle = engine.register_query("PATTERN SEQ(A a)")
         from repro.runtime.sinks import CallbackSink
 
-        handle.add_sink(CallbackSink(received.append))
+        handle.subscribe(CallbackSink(received.append))
         engine.push(E("A", 1))
         assert len(received) == 1

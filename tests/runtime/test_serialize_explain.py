@@ -22,7 +22,7 @@ def run_trades(sink=None):
         """
     )
     if sink is not None:
-        handle.add_sink(sink)
+        handle.subscribe(sink)
     engine.run(
         [
             Event("Buy", 1.0, symbol="X"),

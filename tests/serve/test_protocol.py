@@ -1,0 +1,202 @@
+"""Protocol conformance: the frame codec against golden and hostile bytes."""
+
+import asyncio
+import json
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.protocol import (
+    DEFAULT_MAX_FRAME_BYTES,
+    E_FRAME_TOO_LARGE,
+    E_MALFORMED,
+    HEADER_BYTES,
+    PROTOCOL_VERSION,
+    ConnectionClosed,
+    FrameError,
+    ack_frame,
+    decode_payload,
+    encode_frame,
+    error_frame,
+    read_frame,
+    read_frame_blocking,
+)
+
+GOLDEN_FRAMES = [
+    {"op": "hello", "version": PROTOCOL_VERSION},
+    {"op": "ping", "t": 12.5},
+    {"op": "push", "event": {"type": "Buy", "t": 1.0, "symbol": "ACME"}},
+    {"op": "push_batch", "events": [{"type": "A", "t": 0.0}] * 3},
+    {"op": "subscribe", "query": "spikes", "kinds": ["window_close"]},
+    {"op": "ack", "of": "sync", "id": 7, "events_ingested": 120},
+    {"op": "error", "code": "CEPR504", "message": "unknown query 'x'"},
+    {"op": "emission", "query": "q", "sub": 1, "seq": 9, "emission": {}},
+    {"op": "bye", "reason": "drained"},
+    {"op": "unicode", "text": "héllo ✓ 事件"},
+]
+
+
+class TestGoldenRoundTrips:
+    @pytest.mark.parametrize("doc", GOLDEN_FRAMES, ids=lambda d: d["op"])
+    def test_encode_decode_identity(self, doc):
+        raw = encode_frame(doc)
+        (length,) = struct.unpack(">I", raw[:HEADER_BYTES])
+        assert length == len(raw) - HEADER_BYTES
+        assert decode_payload(raw[HEADER_BYTES:]) == doc
+
+    @pytest.mark.parametrize("doc", GOLDEN_FRAMES, ids=lambda d: d["op"])
+    def test_payload_is_compact_json(self, doc):
+        payload = encode_frame(doc)[HEADER_BYTES:]
+        text = payload.decode("utf-8")
+        assert text == json.dumps(
+            doc, separators=(",", ":"), ensure_ascii=False
+        )
+
+    def test_header_is_big_endian(self):
+        raw = encode_frame({"op": "x"})
+        assert raw[:HEADER_BYTES] == len(raw[HEADER_BYTES:]).to_bytes(4, "big")
+
+
+class TestFrameSizeLimit:
+    def test_encode_rejects_oversized_frame(self):
+        doc = {"op": "push", "blob": "x" * 256}
+        with pytest.raises(FrameError) as excinfo:
+            encode_frame(doc, max_frame_bytes=64)
+        assert excinfo.value.code == E_FRAME_TOO_LARGE
+        assert excinfo.value.fatal
+
+    def test_frame_at_exact_limit_is_accepted(self):
+        doc = {"op": "p"}
+        payload_len = len(json.dumps(doc, separators=(",", ":")))
+        raw = encode_frame(doc, max_frame_bytes=payload_len)
+        assert decode_payload(raw[HEADER_BYTES:]) == doc
+
+    def test_default_limit_is_4mib(self):
+        assert DEFAULT_MAX_FRAME_BYTES == 4 * 1024 * 1024
+
+
+class TestDecodeRejections:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            b"not json at all",
+            b"\xff\xfe invalid utf8 \xff",
+            b"[1,2,3]",
+            b'"just a string"',
+            b"{}",
+            b'{"op": 7}',
+            b'{"op": ""}',
+        ],
+        ids=[
+            "garbage",
+            "bad-utf8",
+            "array",
+            "string",
+            "missing-op",
+            "non-string-op",
+            "empty-op",
+        ],
+    )
+    def test_malformed_payloads(self, payload):
+        with pytest.raises(FrameError) as excinfo:
+            decode_payload(payload)
+        assert excinfo.value.code == E_MALFORMED
+        assert not excinfo.value.fatal
+
+
+class TestBuilders:
+    def test_ack_echoes_op_and_id(self):
+        ack = ack_frame({"op": "sync", "id": 42}, events_ingested=9)
+        assert ack == {"op": "ack", "of": "sync", "id": 42, "events_ingested": 9}
+
+    def test_ack_without_id(self):
+        assert "id" not in ack_frame({"op": "ping"})
+
+    def test_error_echoes_reply_to(self):
+        frame = error_frame("CEPR502", "nope", reply_to=3)
+        assert frame == {
+            "op": "error",
+            "code": "CEPR502",
+            "message": "nope",
+            "id": 3,
+        }
+
+
+class TestAsyncReader:
+    def _read(self, data: bytes, **kwargs):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(data)
+            reader.feed_eof()
+            return await read_frame(reader, **kwargs)
+
+        return asyncio.run(go())
+
+    def test_reads_golden_frame(self):
+        doc = {"op": "ping", "t": 1.0}
+        assert self._read(encode_frame(doc)) == doc
+
+    def test_eof_mid_header_raises_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            self._read(b"\x00\x00")
+
+    def test_truncated_payload_raises_connection_closed(self):
+        raw = encode_frame({"op": "ping"})
+        with pytest.raises(ConnectionClosed):
+            self._read(raw[:-2])
+
+    def test_oversized_declared_length_is_fatal(self):
+        with pytest.raises(FrameError) as excinfo:
+            self._read(struct.pack(">I", 1 << 30), max_frame_bytes=1024)
+        assert excinfo.value.code == E_FRAME_TOO_LARGE
+        assert excinfo.value.fatal
+
+    def test_slow_payload_times_out_fatally(self):
+        async def go():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 100))  # header, then silence
+            return await read_frame(reader, payload_timeout=0.05)
+
+        with pytest.raises(FrameError) as excinfo:
+            asyncio.run(go())
+        assert excinfo.value.fatal
+
+
+class TestBlockingReader:
+    def _serve_bytes(self, data: bytes) -> socket.socket:
+        server, client = socket.socketpair()
+
+        def feed():
+            server.sendall(data)
+            server.close()
+
+        threading.Thread(target=feed, daemon=True).start()
+        client.settimeout(5.0)
+        return client
+
+    def test_round_trip(self):
+        doc = {"op": "ack", "of": "push", "id": 1}
+        sock = self._serve_bytes(encode_frame(doc))
+        try:
+            assert read_frame_blocking(sock) == doc
+        finally:
+            sock.close()
+
+    def test_truncated_stream_raises_connection_closed(self):
+        sock = self._serve_bytes(encode_frame({"op": "ping"})[:-1])
+        try:
+            with pytest.raises(ConnectionClosed):
+                read_frame_blocking(sock)
+        finally:
+            sock.close()
+
+    def test_oversized_length_is_fatal(self):
+        sock = self._serve_bytes(struct.pack(">I", 1 << 30))
+        try:
+            with pytest.raises(FrameError) as excinfo:
+                read_frame_blocking(sock, max_frame_bytes=1024)
+            assert excinfo.value.fatal
+        finally:
+            sock.close()

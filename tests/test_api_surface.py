@@ -14,6 +14,7 @@ PACKAGES = [
     "repro.workloads",
     "repro.baselines",
     "repro.store",
+    "repro.serve",
 ]
 
 
