@@ -323,16 +323,26 @@ def run_multi_query(
     events: list[Event],
     registry=None,
     broadcast: bool = False,
+    shared: bool = True,
 ) -> RunResult:
     """Run N concurrent queries over one stream.
 
-    ``broadcast=True`` disables type-based routing: every event is offered
-    to every query (each still rejects irrelevant types itself).  This is
-    the dispatch strategy a router-less engine would use, and the baseline
-    the E8 experiment compares routing against.
+    ``broadcast=True`` disables type-based routing *and* cross-query
+    sharing: every event is offered to every query (each still rejects
+    irrelevant types itself).  This is the dispatch strategy a router-less
+    engine would use, and the baseline the E8 experiment compares routing
+    against.  ``shared=False`` keeps the router but turns the shared
+    predicate index / prefix pool / quiescent gate off — the independent
+    baseline of the shared-execution scaling curve.
+
+    ``extra`` carries the engine's sharing counters and the per-event cost
+    in microseconds, so the harness can print evaluations saved alongside
+    throughput.
     """
     stream = fresh_events(events)
-    engine = CEPREngine(registry=registry)
+    engine = CEPREngine(
+        registry=registry, shared_execution=shared and not broadcast
+    )
     handles = [engine.register_query(q, collect_results=False) for q in queries]
     if broadcast:
         engine._router.route = lambda _event: handles  # type: ignore[method-assign]
@@ -345,6 +355,10 @@ def run_multi_query(
         matches=sum(h.metrics.matches for h in handles),
         emissions=sum(h.metrics.emissions for h in handles),
         runs_created=sum(h.matcher.stats.runs_created for h in handles),
+        extra={
+            "per_event_us": (elapsed / len(stream) * 1e6) if stream else 0.0,
+            **engine.shared_stats(),
+        },
     )
 
 

@@ -1,17 +1,29 @@
-"""E8 — Multi-query scale-out: type routing vs. broadcast dispatch.
+"""E8 — Multi-query scale-out: routing, broadcast, and shared execution.
 
-N concurrent queries over disjoint type pairs.  With the type-indexed
-router each event reaches exactly the queries that can use it; with
-broadcast dispatch (the router bypassed) every event is offered to all N
-queries, which reject irrelevant types one by one.  Expected shape: routed
-throughput degrades only with the fraction of the stream that is relevant,
-while broadcast throughput degrades linearly in N on top of that.
+Part 1 (routing vs broadcast): N concurrent queries over disjoint type
+pairs.  With the type-indexed router each event reaches exactly the
+queries that can use it; with broadcast dispatch (the router bypassed)
+every event is offered to all N queries, which reject irrelevant types
+one by one.  Expected shape: routed throughput degrades only with the
+fraction of the stream that is relevant, while broadcast throughput
+degrades linearly in N on top of that.
+
+Part 2 (shared vs independent execution): N queries instantiated from 4
+templates over one stock stream — the serving-fleet shape where many
+subscribers register variations of the same alert.  Independent
+execution pays the full operator chain per (query, event) pair; shared
+execution evaluates each distinct predicate once per event, shares NFA
+prefix states across same-template queries, and skips quiescent queries
+the event provably cannot affect.  The acceptance gate requires >= 3x
+throughput at 64 queries (``test_e8_shared_speedup_gate``, run in CI's
+benchmark-smoke job with rising sharing counters as a sanity floor).
 """
 
 import pytest
 
 from common import fresh_events, run_multi_query
 from repro.workloads.generic import GenericWorkload
+from repro.workloads.stock import StockWorkload
 
 
 def disjoint_queries(n: int) -> list[str]:
@@ -77,6 +89,139 @@ def test_e8_broadcast(benchmark, full_alphabet_stream, n):
         iterations=1,
     )
     assert result.events == 10_000
+
+
+# ---------------------------------------------------------------------------
+# shared vs independent execution over 4 query templates
+# ---------------------------------------------------------------------------
+
+#: Stage-0 volume thresholds, one pool per template: selective enough
+#: that most events leave most queries quiescent, drawn from 4 values so
+#: same-template queries collapse onto shared gate entries.
+_THRESHOLDS = (975, 985, 990, 995)
+
+
+def template_queries(n: int) -> list[str]:
+    """``n`` queries cycling over 4 stock-alert templates.
+
+    Instance ``i`` of a template varies only its threshold (4-value pool)
+    and LIMIT, so the family exercises every sharing layer: identical
+    stage-0 chains intern into one prefix state, thresholds dedupe in the
+    predicate index, and the selective gates make the quiescent-skip
+    path the common case — the realistic serving-fleet profile.
+    """
+    templates = [
+        # profit pairs, gated on unusually large Buy orders
+        lambda k, limit: f"""
+            PATTERN SEQ(Buy b, Sell s)
+            WHERE b.volume > {k} AND b.symbol == s.symbol AND s.price > b.price
+            WITHIN 20 EVENTS
+            PARTITION BY symbol
+            RANK BY s.price - b.price DESC
+            LIMIT {limit}
+            EMIT ON WINDOW CLOSE
+            """,
+        # sell-off then rebound
+        lambda k, limit: f"""
+            PATTERN SEQ(Sell a, Buy c)
+            WHERE a.volume > {k} AND a.symbol == c.symbol AND c.price < a.price
+            WITHIN 20 EVENTS
+            PARTITION BY symbol
+            RANK BY a.price - c.price DESC
+            LIMIT {limit}
+            EMIT ON WINDOW CLOSE
+            """,
+        # double large buys
+        lambda k, limit: f"""
+            PATTERN SEQ(Buy b, Buy c)
+            WHERE b.volume > {k} AND c.volume > {k} AND b.symbol == c.symbol
+            WITHIN 20 EVENTS
+            PARTITION BY symbol
+            RANK BY c.price DESC
+            LIMIT {limit}
+            EMIT ON WINDOW CLOSE
+            """,
+        # large sell followed by an even larger sell
+        lambda k, limit: f"""
+            PATTERN SEQ(Sell a, Sell d)
+            WHERE a.volume > {k} AND d.volume > a.volume AND a.symbol == d.symbol
+            WITHIN 20 EVENTS
+            PARTITION BY symbol
+            RANK BY d.volume DESC
+            LIMIT {limit}
+            EMIT ON WINDOW CLOSE
+            """,
+    ]
+    queries = []
+    for i in range(n):
+        template = templates[i % len(templates)]
+        threshold = _THRESHOLDS[(i // len(templates)) % len(_THRESHOLDS)]
+        queries.append(template(threshold, 1 + i % 3))
+    return queries
+
+
+@pytest.fixture(scope="module")
+def stock_serving_stream():
+    workload = StockWorkload(seed=2016)
+    return list(workload.events(10_000)), workload.registry()
+
+
+@pytest.mark.parametrize("n", [1, 8, 64])
+@pytest.mark.parametrize("shared", [True, False], ids=["shared", "independent"])
+def test_e8_template_scaling(benchmark, stock_serving_stream, n, shared):
+    """The scaling curve: per-event cost vs query count, both modes."""
+    events, registry = stock_serving_stream
+    queries = template_queries(n)
+    result = benchmark.pedantic(
+        lambda: run_multi_query(
+            queries, fresh_events(events), registry, shared=shared
+        ),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.events == 10_000
+    benchmark.extra_info["per_event_us"] = result.extra["per_event_us"]
+    if shared:
+        benchmark.extra_info["predicate_evals_saved"] = result.extra[
+            "predicate_evals_saved"
+        ]
+        benchmark.extra_info["events_gated"] = result.extra["events_gated"]
+
+
+def test_e8_shared_speedup_gate(stock_serving_stream):
+    """Acceptance gate: >= 3x at 64 queries over 4 templates.
+
+    Best-of-three per mode to shake scheduler noise; also asserts the
+    sharing counters actually moved (the speedup must come from sharing,
+    not from measurement luck) and that both modes did the same work.
+    """
+    events, registry = stock_serving_stream
+    queries = template_queries(64)
+
+    def best(shared):
+        runs = [
+            run_multi_query(queries, fresh_events(events), registry, shared=shared)
+            for _ in range(3)
+        ]
+        return min(runs, key=lambda r: r.seconds)
+
+    shared_run = best(True)
+    independent_run = best(False)
+    assert shared_run.matches == independent_run.matches
+    assert shared_run.emissions == independent_run.emissions
+
+    counters = shared_run.extra
+    assert counters["distinct_predicates"] > 0
+    assert counters["predicate_evals_saved"] > 0
+    assert counters["prefix_states_shared"] > 0
+    assert counters["events_gated"] > 0
+
+    speedup = independent_run.seconds / shared_run.seconds
+    assert speedup >= 3.0, (
+        f"shared execution speedup {speedup:.2f}x below the 3x gate "
+        f"(shared {shared_run.seconds:.3f}s vs independent "
+        f"{independent_run.seconds:.3f}s; counters {counters})"
+    )
 
 
 @pytest.mark.parametrize("n", [1, 4, 13])

@@ -568,7 +568,7 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     engine.close()  # flush + sink flush/close through the engine
 
     if args.stats:
-        _print_stats(engine.stats_by_query(), out)
+        _print_stats(engine.stats_by_query(), out, engine.shared_stats())
         _print_checkpoint_stats(store, out)
     if sink.emissions_accepted == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
@@ -618,7 +618,7 @@ def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
         close_sink(sink)
 
     if args.stats:
-        _print_stats(runner.stats_by_query(), out)
+        _print_stats(runner.stats_by_query(), out, runner.shared_stats())
         _print_checkpoint_stats(store, out)
     if sink.emissions_accepted == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
@@ -692,7 +692,9 @@ def _print_checkpoint_stats(store, out: TextIO) -> None:
     )
 
 
-def _print_stats(stats_by_query: dict, out: TextIO) -> None:
+def _print_stats(
+    stats_by_query: dict, out: TextIO, shared: dict | None = None
+) -> None:
     print("-- statistics --", file=out)
     for name, stats in stats_by_query.items():
         print(
@@ -700,6 +702,14 @@ def _print_stats(stats_by_query: dict, out: TextIO) -> None:
             f"matches={stats['matches']:.0f} "
             f"emissions={stats['emissions']:.0f} "
             f"pruned={stats['runs_pruned']:.0f}",
+            file=out,
+        )
+    if shared:
+        print(
+            f"  shared: distinct_predicates={shared['distinct_predicates']} "
+            f"evals_saved={shared['predicate_evals_saved']} "
+            f"prefix_states_shared={shared['prefix_states_shared']} "
+            f"events_gated={shared['events_gated']}",
             file=out,
         )
 

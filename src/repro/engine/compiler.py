@@ -2,14 +2,33 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.engine.aggregates import needed_aggregates
 from repro.engine.nfa import PatternAutomaton, Stage
 from repro.language.ast_nodes import Expr, split_conjuncts
+from repro.language.fingerprint import canonical_expr
 from repro.language.semantics import AnalyzedQuery
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.router import SharedExecutionIndex
 
-def compile_automaton(analyzed: AnalyzedQuery) -> PatternAutomaton:
-    """Build the stage chain and predicate attachments for ``analyzed``."""
+
+def compile_automaton(
+    analyzed: AnalyzedQuery,
+    shared: "SharedExecutionIndex | None" = None,
+) -> PatternAutomaton:
+    """Build the stage chain and predicate attachments for ``analyzed``.
+
+    With ``shared`` (the engine's :class:`~repro.runtime.router.
+    SharedExecutionIndex`), each stage is interned by its canonical chain
+    key: queries compiled from a common pattern head reuse the *same*
+    stage objects for the shared prefix and fork only at the first
+    divergent stage.  Reuse requires identical variable names, element
+    types, and canonical predicate chains — semantically equal automaton
+    prefixes — so a reused stage's compiled evaluators are sound for every
+    query that shares it.
+    """
     stages: list[Stage] = []
     for info in analyzed.positives:
         assigned = analyzed.predicates_at.get(info.name, [])
@@ -30,6 +49,18 @@ def compile_automaton(analyzed: AnalyzedQuery) -> PatternAutomaton:
             )
         )
 
+    prefix_keys: tuple[str, ...] = ()
+    if shared is not None:
+        keys: list[str] = []
+        chain = ""
+        interned: list[Stage] = []
+        for stage in stages:
+            chain = _stage_key(chain, stage)
+            interned.append(shared.intern_stage(chain, stage))
+            keys.append(chain)
+        stages = interned
+        prefix_keys = tuple(keys)
+
     exprs: list[Expr] = []
     exprs.extend(split_conjuncts(analyzed.ast.where))
     exprs.extend(key.expr for key in analyzed.rank_keys)
@@ -46,4 +77,27 @@ def compile_automaton(analyzed: AnalyzedQuery) -> PatternAutomaton:
         kleene_vars=analyzed.kleene_variable_names(),
         needed_aggregates=aggregates,
         analyzed=analyzed,
+        prefix_keys=prefix_keys,
     )
+
+
+def _stage_key(prefix: str, stage: Stage) -> str:
+    """Canonical chain key for ``stage`` appended to ``prefix``.
+
+    Captures everything stage reuse depends on: the whole prefix (chained
+    key), the variable's name (match bindings are keyed by it), element
+    type and Kleene-ness, and the ordered canonical forms of the attached
+    predicates (order preserved — evaluation order is observable through
+    the lenient-error counters).  Variable names of *earlier* stages are
+    pinned by the chained prefix, so predicates referencing them need no
+    renaming to compare canonically.
+    """
+    parts = [
+        prefix,
+        stage.variable.name,
+        stage.event_type,
+        "kleene" if stage.is_kleene else "single",
+        ";".join(canonical_expr(p.expr) for p in stage.bind_predicates),
+        ";".join(canonical_expr(p.expr) for p in stage.incremental_predicates),
+    ]
+    return "\x1f".join(parts)

@@ -35,7 +35,7 @@ boundaries, so every match completes within the epoch that ranks it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator
+from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.engine.aggregates import tracked_attrs_by_var
 from repro.engine.match import Match
@@ -47,8 +47,11 @@ from repro.events.event import Event
 from repro.language.ast_nodes import SelectionStrategy
 from repro.language.errors import EvaluationError
 from repro.language.expressions import EvalContext, Evaluator, evaluate_predicate
-from repro.language.semantics import NegationSpec
+from repro.language.semantics import NegationSpec, PredicateSpec
 from repro.observability.tracing import SpanKind, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.router import SharedExecutionIndex
 
 #: ``prune_hook(run, latest_event) -> True`` discards the partial run.
 PruneHook = Callable[[Run, Event], bool]
@@ -111,10 +114,16 @@ class PatternMatcher:
         query_name: str | None = None,
         lenient_errors: bool = False,
         track_aggregates: bool = True,
+        shared: "SharedExecutionIndex | None" = None,
     ) -> None:
         self.automaton = automaton
         self.prune_hook = prune_hook
         self.query_name = query_name
+        #: Engine-level shared predicate index; when set, fingerprinted
+        #: predicates evaluated against the event currently being
+        #: dispatched are answered from its per-event memo (one evaluation
+        #: per distinct predicate per event across all queries).
+        self.shared = shared
         #: When true, a predicate that raises :class:`EvaluationError`
         #: (missing attribute, type mismatch, division by zero on dirty
         #: data) counts as *failed* instead of crashing the engine; see
@@ -153,6 +162,11 @@ class PatternMatcher:
             (i, n) for i, n in enumerate(automaton.negations) if not n.before_is_end
         )
         self._last_stage_index = len(automaton.stages) - 1
+        # O(1) activity caches for the shared-execution fast path: refreshed
+        # after every state-changing entry point, read by the engine's
+        # quiescence check before it decides to route an event here at all.
+        self._live_runs_cached = 0
+        self._pendings_cached = 0
 
     # -- public API ------------------------------------------------------------
 
@@ -163,6 +177,28 @@ class PatternMatcher:
     @property
     def pending_count(self) -> int:
         return sum(len(p.pendings) for p in self._partitions.values())
+
+    @property
+    def quiescent(self) -> bool:
+        """True when no partial run or pending match exists (O(1), cached).
+
+        A quiescent matcher can only react to an event by *starting* a new
+        run; the engine's shared-execution fast path uses this to skip
+        dispatch entirely when the stage-0 gate fails (see
+        :meth:`~repro.runtime.query.RegisteredQuery.skip_if_inert`).
+        """
+        return self._live_runs_cached == 0 and self._pendings_cached == 0
+
+    def _refresh_activity(self) -> int:
+        """Recompute both activity caches; returns the live-run count."""
+        live = 0
+        pendings = 0
+        for partition in self._partitions.values():
+            live += len(partition.runs)
+            pendings += len(partition.pendings)
+        self._live_runs_cached = live
+        self._pendings_cached = pendings
+        return live
 
     def process(self, event: Event) -> list[Match]:
         """Feed one event; returns the matches it completed (confirmed)."""
@@ -183,7 +219,7 @@ class PatternMatcher:
         # (its guard interval covers only the latter).
         self._transition(partition, event, key, completed)
         self._apply_negations(partition, event)
-        self.stats.observe_live_runs(self.live_run_count)
+        self.stats.observe_live_runs(self._refresh_activity())
         return completed
 
     def advance_time(self, timestamp: float) -> list[Match]:
@@ -217,6 +253,7 @@ class PatternMatcher:
                     else:
                         still_pending.append(pending)
                 partition.pendings = still_pending
+        self._refresh_activity()
         return confirmed
 
     def flush(self) -> list[Match]:
@@ -232,6 +269,8 @@ class PatternMatcher:
                 confirmed.append(pending.match)
             partition.pendings.clear()
             partition.runs.clear()
+        self._live_runs_cached = 0
+        self._pendings_cached = 0
         return confirmed
 
     def iter_runs(self) -> Iterator[Run]:
@@ -253,6 +292,7 @@ class PatternMatcher:
         from repro.engine.snapshot import restore_matcher
 
         restore_matcher(self, state)
+        self._refresh_activity()
 
     # -- phase 1: expiry ---------------------------------------------------------
 
@@ -405,11 +445,31 @@ class PatternMatcher:
     ) -> bool:
         variable = negation.element.variable
         return all(
-            self._predicate_holds(
-                predicate.evaluator,
-                run.context(current_var=variable, current_event=event),
-            )
+            self._spec_holds(predicate, run, variable, event)
             for predicate in negation.predicates
+        )
+
+    def _spec_holds(
+        self, spec: PredicateSpec, run: Run, variable: str, event: Event
+    ) -> bool:
+        """Evaluate one anchored predicate against a candidate event.
+
+        Fingerprinted (self-contained) predicates consulted for the event
+        currently being dispatched are answered by the engine's shared
+        per-event memo — their value cannot depend on the run, so one
+        evaluation serves every run of every query.  Everything else goes
+        through the classic per-run context evaluation.
+        """
+        shared = self.shared
+        if (
+            shared is not None
+            and spec.fingerprint is not None
+            and shared.current_event is event
+        ):
+            return shared.predicate_holds(spec, self.stats, self.lenient_errors)
+        return self._predicate_holds(
+            spec.evaluator,
+            run.context(current_var=variable, current_event=event),
         )
 
     def _predicate_holds(self, evaluator: Evaluator, ctx: EvalContext) -> bool:
@@ -599,8 +659,7 @@ class PatternMatcher:
         else:
             variable = stage.variable.name
             for predicate in stage.bind_predicates:
-                ctx = run.context(current_var=variable, current_event=event)
-                if not self._predicate_holds(predicate.evaluator, ctx):
+                if not self._spec_holds(predicate, run, variable, event):
                     return None
             bound = run.bind_singleton(stage, event)
         if self.tracer is not None:
@@ -618,15 +677,15 @@ class PatternMatcher:
     def _kleene_accepts(self, run: Run, stage: Stage, event: Event) -> bool:
         variable = stage.variable.name
         return all(
-            self._predicate_holds(
-                predicate.evaluator,
-                run.context(current_var=variable, current_event=event),
-            )
+            self._spec_holds(predicate, run, variable, event)
             for predicate in stage.incremental_predicates
         )
 
     def _stage_accepts_new(self, stage: Stage, event: Event) -> bool:
         """Stage-0 predicate check against an empty run context."""
+        shared = self.shared
+        if shared is not None and shared.current_event is event:
+            return shared.stage_gate(stage, self.stats, self.lenient_errors)
         variable = stage.variable.name
         predicates = (
             stage.incremental_predicates if stage.is_kleene else stage.bind_predicates

@@ -66,6 +66,13 @@ class PatternAutomaton:
     #: aggregates any expression of the query needs, as (var, func, attr).
     needed_aggregates: frozenset[tuple[str, str, str | None]] = frozenset()
     analyzed: AnalyzedQuery | None = None
+    #: Canonical chain keys, one per stage, identifying this automaton's
+    #: prefix states in the engine's shared intern pool (see
+    #: :class:`~repro.runtime.router.SharedExecutionIndex`).  Key ``i``
+    #: covers stages ``0..i``, so equal keys mean equal pattern heads and
+    #: the stage objects themselves are shared by identity.  Empty when the
+    #: automaton was compiled outside a shared-execution engine.
+    prefix_keys: tuple[str, ...] = ()
 
     @property
     def accepting_index(self) -> int:

@@ -43,6 +43,7 @@ from repro.language.ast_nodes import (
 )
 from repro.language.errors import CEPRSemanticError
 from repro.language.expressions import Evaluator, compile_expr
+from repro.language.fingerprint import predicate_fingerprint
 from repro.language.optimizer import optimize
 
 
@@ -73,6 +74,13 @@ class PredicateSpec:
     #: True when the predicate re-runs for every element of a Kleene
     #: variable rather than once.
     incremental: bool = False
+    #: Alpha-invariant canonical fingerprint (see
+    #: :mod:`repro.language.fingerprint`), set only when the predicate is
+    #: *self-contained* — its value depends on nothing but the candidate
+    #: event bound to ``anchor_var``.  The shared predicate index keys on
+    #: this to evaluate each distinct predicate once per event across all
+    #: registered queries; ``None`` predicates are never shared.
+    fingerprint: str | None = None
 
 
 @dataclass(frozen=True)
@@ -396,7 +404,14 @@ def _assign_conjunct(
                     f"variable {name!r}; only earlier variables are bound when "
                     f"each element of {anchor!r} is evaluated"
                 )
-        return PredicateSpec(conjunct, evaluator, refs, anchor, incremental=True)
+        return PredicateSpec(
+            conjunct,
+            evaluator,
+            refs,
+            anchor,
+            incremental=True,
+            fingerprint=predicate_fingerprint(conjunct, anchor),
+        )
 
     # Case 2: negation predicate.
     if negated_refs:
@@ -420,7 +435,14 @@ def _assign_conjunct(
                     f"{name!r}, which binds only after the negation's guard "
                     f"interval opens"
                 )
-        return PredicateSpec(conjunct, evaluator, refs, anchor, incremental=False)
+        return PredicateSpec(
+            conjunct,
+            evaluator,
+            refs,
+            anchor,
+            incremental=False,
+            fingerprint=predicate_fingerprint(conjunct, anchor),
+        )
 
     # Case 3: positive-variable predicate; anchored at the latest variable
     # it references (aggregates over a Kleene variable are complete only
@@ -457,7 +479,14 @@ def _assign_conjunct(
         anchor_info = None
 
     anchor_var = anchor_info.name if anchor_info is not None else None
-    return PredicateSpec(conjunct, evaluator, refs, anchor_var, incremental=False)
+    return PredicateSpec(
+        conjunct,
+        evaluator,
+        refs,
+        anchor_var,
+        incremental=False,
+        fingerprint=predicate_fingerprint(conjunct, anchor_var),
+    )
 
 
 # ---------------------------------------------------------------------------

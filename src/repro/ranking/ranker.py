@@ -96,6 +96,32 @@ class Ranker:
     def emissions_count(self) -> int:
         return self._emissions_count
 
+    def inert_without_matches(self) -> bool:
+        """True when observing a matchless event cannot change any output.
+
+        The engine's shared-execution fast path skips a query's whole
+        operator chain for events that cannot bind a fresh run — but only
+        when the ranker, fed that event with zero matches, would provably
+        emit nothing *and* end in the same state.  Per mode:
+
+        * pass-through: stateless between matches — always inert.
+        * tumbling: inert only with no buffered epochs (an event in a later
+          epoch closes buffered ones).
+        * ranked EAGER: inert only when both the live set and the last
+          snapshot are empty (expiry can shrink the ranking and trigger an
+          eager delta emission).
+        * ``EMIT EVERY``: never inert — the emission cadence counts every
+          observed event (or reads its timestamp), so skipping one would
+          shift all later snapshot points.
+        """
+        if self._passthrough:
+            return True
+        if self._tumbling:
+            return not self._epoch_buffers
+        if self.emit.kind is EmitKind.EAGER:
+            return not self._sliding and not self._last_snapshot
+        return False
+
     def observe(self, event: Event, matches: Sequence[Match]) -> list[Emission]:
         """Process one event's completions; return triggered emissions."""
         matches = self._score_all(matches)

@@ -39,7 +39,7 @@ from repro.observability.tracing import (
 from repro.ranking.emission import Emission
 from repro.runtime.metrics import EngineMetrics
 from repro.runtime.query import RegisteredQuery
-from repro.runtime.router import EventRouter
+from repro.runtime.router import EventRouter, SharedExecutionIndex
 from repro.runtime.sinks import SinkLike, Subscription
 
 
@@ -123,6 +123,14 @@ class CEPREngine:
         Per-stage (match/rank/emit) wall-time accounting on every query
         (two extra clock reads per event).  On by default; the
         observability overhead benchmark's baseline turns it off.
+    shared_execution:
+        Cross-query sharing (on by default; see docs/SHARED_EXECUTION.md):
+        distinct self-contained predicates are evaluated once per event no
+        matter how many queries anchor them, queries with a common pattern
+        head share NFA prefix states, and queries provably unaffected by
+        an event are skipped entirely.  Output is byte-identical either
+        way — the differential suite enforces it — so turning this off is
+        only interesting for benchmarks (the independent baseline).
     """
 
     def __init__(
@@ -137,6 +145,7 @@ class CEPREngine:
         sequencer: SequenceAssigner | None = None,
         tracing: bool | None = None,
         enable_profiling: bool = True,
+        shared_execution: bool = True,
     ) -> None:
         self.registry = registry
         self.strict_schema = strict_schema
@@ -150,7 +159,11 @@ class CEPREngine:
         #: total derived (YIELD) events processed.
         self.derived_events = 0
         self._sequencer = sequencer or SequenceAssigner(strict=strict_time)
-        self._router = EventRouter()
+        #: cross-query predicate index / prefix pool (None = independent).
+        self.shared: SharedExecutionIndex | None = (
+            SharedExecutionIndex() if shared_execution else None
+        )
+        self._router = EventRouter(shared=self.shared)
         self._queries: dict[str, RegisteredQuery] = {}
         self.metrics = EngineMetrics()
         want_tracing = tracing_enabled() if tracing is None else tracing
@@ -188,6 +201,7 @@ class CEPREngine:
             collect_results=collect_results,
             lenient_errors=self.lenient_errors,
             enable_profiling=self.enable_profiling,
+            shared=self.shared,
         )
         registered.set_tracer(self.tracer)
         self._queries[resolved_name] = registered
@@ -256,9 +270,17 @@ class CEPREngine:
     def _dispatch(self, event: Event, depth: int = 0) -> list[Emission]:
         self._sequencer.assign(event)
         self.metrics.on_push()
+        shared = self.shared
+        if shared is not None:
+            # Arm the per-event memo: every routed query's predicate and
+            # stage-gate checks for this event now share one evaluation.
+            shared.begin_event(event)
         emissions: list[Emission] = []
         derived: list[Event] = []
         for registered in self._router.route(event):
+            if shared is not None and registered.skip_if_inert(event):
+                shared.events_gated += 1
+                continue
             query_emissions = registered.process(event)
             emissions.extend(query_emissions)
             if registered.has_yield and query_emissions:
@@ -443,6 +465,15 @@ class CEPREngine:
     def events_pushed(self) -> int:
         return self.metrics.events_pushed
 
+    def shared_stats(self) -> dict[str, int]:
+        """Sharing counters: distinct predicates, evaluations saved, etc.
+
+        Empty when the engine was built with ``shared_execution=False``.
+        Surfaced by ``cepr stats``, the serving layer's STATS frame, and
+        the multi-query benchmark.
+        """
+        return {} if self.shared is None else self.shared.counters()
+
     def stats_by_query(self) -> dict[str, dict[str, float]]:
         """Metrics snapshot per query, for the monitor and benchmarks."""
         snapshot: dict[str, dict[str, float]] = {}
@@ -561,6 +592,38 @@ class CEPREngine:
                 "late_drops_total",
                 "Events dropped for violating the lateness bound",
                 fn=lambda: buffer.late_drops,
+            )
+        if self.shared is not None:
+            shared = self.shared
+            registry.gauge(
+                "shared_distinct_predicates",
+                "Distinct self-contained predicates in the shared index",
+                fn=lambda: shared.distinct_predicates,
+            )
+            registry.gauge(
+                "shared_prefix_entries",
+                "Interned NFA prefix states across registered queries",
+                fn=lambda: shared.prefix_entries,
+            )
+            registry.counter(
+                "predicate_evals_saved_total",
+                "Predicate evaluations answered from the shared memo",
+                fn=lambda: shared.predicate_evals_saved,
+            )
+            registry.counter(
+                "predicate_evals_performed_total",
+                "Predicate evaluations performed through the shared index",
+                fn=lambda: shared.predicate_evals_performed,
+            )
+            registry.counter(
+                "prefix_states_shared_total",
+                "Compiled stages reused from the prefix intern pool",
+                fn=lambda: shared.prefix_states_shared,
+            )
+            registry.counter(
+                "events_gated_total",
+                "Routed (query, event) pairs skipped by the quiescent gate",
+                fn=lambda: shared.events_gated,
             )
         if self.tracer is not None:
             tracer = self.tracer

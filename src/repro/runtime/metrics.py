@@ -41,6 +41,19 @@ class LatencyRecorder:
             if index < self.capacity:
                 self._samples[index] = latency_seconds
 
+    def record_zero(self) -> None:
+        """Count a zero-latency sample without touching the reservoir RNG.
+
+        The shared-execution skip path records one sample per elided
+        (query, event) pair to keep the sample-per-routed-event invariant;
+        a zero contributes nothing to ``total``/``maximum``, so once the
+        reservoir is full the RNG draw of :meth:`record` is pure overhead
+        on what must stay a sub-microsecond path.
+        """
+        self.count += 1
+        if len(self._samples) < self.capacity:
+            self._samples.append(0.0)
+
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0

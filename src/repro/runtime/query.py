@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 import warnings
+from typing import TYPE_CHECKING
 
 from repro.engine.compiler import compile_automaton
 from repro.language.analysis import run_analysis
@@ -41,6 +42,9 @@ from repro.runtime.sinks import (
     flush_sink,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.router import SharedExecutionIndex
+
 _ROUTE = SpanKind.ROUTE
 _EMIT = SpanKind.EMIT
 
@@ -58,15 +62,20 @@ class RegisteredQuery:
         lenient_errors: bool = False,
         enable_profiling: bool = True,
         clock=time.perf_counter,
+        shared: "SharedExecutionIndex | None" = None,
     ) -> None:
         self.name = name
         self.analyzed = analyzed
+        #: the engine's cross-query sharing state (``None`` outside a
+        #: shared-execution engine); compilation interns prefix stages into
+        #: it and the matcher consults its per-event predicate memo.
+        self.shared = shared
         # Static analysis runs between semantic analysis and compilation;
         # findings never block registration (errors at this level mean "the
         # query cannot do useful work", e.g. contradictory predicates, but
         # running it is still well-defined).  The CLI surfaces them.
         self.diagnostics = run_analysis(analyzed, registry)
-        self.automaton = compile_automaton(analyzed)
+        self.automaton = compile_automaton(analyzed, shared)
         self.scorer = Scorer(analyzed.rank_keys)
         self.ranker = Ranker(analyzed, self.scorer, lenient_errors=lenient_errors)
         self.metrics = QueryMetrics()
@@ -94,9 +103,14 @@ class RegisteredQuery:
             tumbling=tumbling,
             query_name=name,
             lenient_errors=lenient_errors,
+            shared=shared,
         )
 
         self._lenient_errors = lenient_errors
+        # Hoisted for the per-event skip check — it runs for every routed
+        # (query, event) pair, so even an attribute chain is measurable.
+        self._stage0 = self.automaton.stages[0]
+        self._stage0_type = self._stage0.event_type
         self._yielded_ids: set[int] = set()
         #: derived events whose YIELD assignments failed (lenient mode).
         self.yield_errors = 0
@@ -176,6 +190,51 @@ class RegisteredQuery:
         return self.analyzed.relevant_types
 
     # -- processing --------------------------------------------------------------
+
+    def skip_if_inert(self, event: Event) -> bool:
+        """Shared-execution fast path: elide a provably no-op routed event.
+
+        Returns True — after doing the minimal bookkeeping a full
+        :meth:`process` call would have done — only when *every* link of
+        the chain is provably inert for ``event``: the matcher holds no
+        partial runs or pending matches (so the event can at most start a
+        fresh run), the ranker would neither emit nor change state when
+        observed with zero matches, and the event cannot bind stage 0 —
+        either its type differs or the shared stage gate rejects it.
+        Tracing disables the path: spans are part of the observable output.
+
+        The gate consultation charges any lenient evaluation errors to
+        this query's matcher stats exactly as a full :meth:`process` would,
+        so error accounting stays identical to independent execution.
+
+        The elision bookkeeping mirrors every piece of :meth:`process`
+        state that later output depends on: the last-seen sequence and
+        timestamp feed ``flush`` emissions' ``at_seq``/``at_ts``, and the
+        routed/processed counters (plus one zero latency sample — the
+        elided pipeline's cost is by construction indistinguishable from
+        zero) keep ``cepr stats`` identical to independent execution.
+        """
+        if self.tracer is not None:
+            return False
+        shared = self.shared
+        if shared is None or shared.current_event is not event:
+            return False
+        matcher = self.matcher
+        if matcher._live_runs_cached or matcher._pendings_cached:
+            return False
+        if not self.ranker.inert_without_matches():
+            return False
+        if event.event_type == self._stage0_type and shared.stage_gate(
+            self._stage0, matcher.stats, matcher.lenient_errors
+        ):
+            return False
+        self._last_seq = event.seq
+        self._last_ts = event.timestamp
+        metrics = self.metrics
+        metrics.events_routed += 1
+        matcher.stats.events_processed += 1
+        metrics.latency.record_zero()
+        return True
 
     def process(self, event: Event) -> list[Emission]:
         """Feed one (already sequenced) event through the operator chain.
@@ -356,9 +415,50 @@ class RegisteredQuery:
         from repro.engine.explain import explain
 
         text = explain(self.automaton, pruning_enabled=self.pruner is not None)
+        if self.shared is not None:
+            text += f"\n{self._sharing_block()}"
         if self.profile is not None and self.profile.total_seconds > 0:
             text += f"\nstage profile: {self.profile.describe()}"
         return text
+
+    def _sharing_block(self) -> str:
+        """One-line sharing summary for :meth:`explain`.
+
+        Reports how deep the automaton's prefix head is co-owned with
+        other registered queries (chain keys are prefix-closed, so the
+        first privately-owned stage ends the shared head) and how many of
+        the query's predicates are served by cross-query index entries.
+        """
+        shared = self.shared
+        assert shared is not None
+        keys = self.automaton.prefix_keys
+        head = 0
+        for index, key in enumerate(keys):
+            if len(shared.prefix_owners(key)) > 1:
+                head = index + 1
+            else:
+                break
+        specs = [
+            spec
+            for stage in self.automaton.stages
+            for spec in (*stage.bind_predicates, *stage.incremental_predicates)
+        ]
+        specs.extend(
+            spec
+            for negation in self.automaton.negations
+            for spec in negation.predicates
+        )
+        cross_query = sum(
+            1
+            for spec in specs
+            if spec.fingerprint is not None
+            and len(shared.predicate_owners(spec.fingerprint)) > 1
+        )
+        return (
+            f"sharing: prefix head co-owned for {head}/{len(keys)} stages; "
+            f"{cross_query}/{len(specs)} predicates served by cross-query "
+            f"index entries"
+        )
 
     # -- results ------------------------------------------------------------------
 

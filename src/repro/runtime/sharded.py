@@ -1249,6 +1249,22 @@ class ShardedEngineRunner:
             snapshot[name] = row
         return snapshot
 
+    def shared_stats(self) -> dict[str, int]:
+        """Fleet-wide sharing counters, shaped like the engine's.
+
+        Event-driven counters sum across shards; the structural gauges
+        (distinct predicates, prefix entries) are per-shard replicas of
+        the same index, so the fleet view takes their maximum.
+        """
+        totals: dict[str, int] = {}
+        for worker in self._workers:
+            for key, value in worker.engine.shared_stats().items():
+                if key in ("distinct_predicates", "prefix_entries"):
+                    totals[key] = max(totals.get(key, 0), value)
+                else:
+                    totals[key] = totals.get(key, 0) + value
+        return totals
+
     def shard_stats(self) -> list[dict[str, Any]]:
         """Per-worker view: events drained, backlog, live runs, role."""
         rows: list[dict[str, Any]] = []
