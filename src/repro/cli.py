@@ -99,12 +99,19 @@ def build_parser() -> argparse.ArgumentParser:
     lint = commands.add_parser(
         "lint", help="statically analyse query files and report diagnostics"
     )
-    lint.add_argument("query_files", nargs="+", type=Path)
+    lint.add_argument("query_files", nargs="*", type=Path)
     lint.add_argument(
         "--schema",
         type=Path,
         default=None,
         help="JSON schema registry enabling type and domain checks",
+    )
+    lint.add_argument(
+        "--self",
+        dest="self_lint",
+        action="store_true",
+        help="lint the CEPR codebase itself for project-rule violations "
+        "(CEPR6xx; see docs/SANITIZER.md)",
     )
     lint.add_argument(
         "--json",
@@ -127,6 +134,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-pruning",
         action="store_true",
         help="disable score-bound pruning (ablation)",
+    )
+    run.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the CEPRSan invariant sanitizer "
+        "(equivalent to CEPR_SANITIZE=1; see docs/SANITIZER.md)",
     )
     run.add_argument(
         "--stats", action="store_true", help="print per-query statistics at the end"
@@ -250,6 +263,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SECONDS",
         help="merge-release cadence for --shards > 1 (default: 0.05)",
     )
+    serve.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the CEPRSan sanitizer and the event-loop watchdog "
+        "(equivalent to CEPR_SANITIZE=1; see docs/SANITIZER.md)",
+    )
 
     stats = commands.add_parser(
         "stats", help="replay a stream and export engine metrics"
@@ -338,6 +357,11 @@ def build_parser() -> argparse.ArgumentParser:
     backtest.add_argument("--end", type=float, default=None, help="slice end ts")
     backtest.add_argument("--no-pruning", action="store_true")
     backtest.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="enable the CEPRSan invariant sanitizer during the replay",
+    )
+    backtest.add_argument(
         "--shards",
         type=int,
         default=1,
@@ -406,11 +430,20 @@ def _cmd_lint(args: argparse.Namespace, out: TextIO) -> int:
     from repro.language.analysis import Severity, lint_text
 
     registry = load_registry(args.schema) if args.schema is not None else None
+    if not args.query_files and not args.self_lint:
+        raise ValueError("lint requires query files and/or --self")
     reports = []
     errors = warnings = 0
     for path in args.query_files:
         diagnostics = lint_text(path.read_text(), registry)
         reports.append((path, diagnostics))
+        errors += sum(1 for d in diagnostics if d.severity is Severity.ERROR)
+        warnings += sum(1 for d in diagnostics if d.severity is Severity.WARNING)
+    if args.self_lint:
+        from repro.sanitize.selflint import run_selflint
+
+        diagnostics = run_selflint()
+        reports.append(("self (src/repro)", diagnostics))
         errors += sum(1 for d in diagnostics if d.severity is Severity.ERROR)
         warnings += sum(1 for d in diagnostics if d.severity is Severity.WARNING)
 
@@ -532,6 +565,10 @@ def _make_run_sink(args: argparse.Namespace, out: TextIO):
 def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     if args.shards < 1:
         raise ValueError(f"--shards must be >= 1, got {args.shards}")
+    if args.sanitize:
+        from repro.sanitize import enable_sanitizer
+
+        enable_sanitizer()
     if args.shards > 1:
         return _cmd_run_sharded(args, out)
     from repro.runtime.sinks import close_sink
@@ -569,6 +606,10 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
 
     if args.stats:
         _print_stats(engine.stats_by_query(), out, engine.shared_stats())
+        _print_sanitizer_stats(
+            None if engine.sanitizer is None else dict(engine.sanitizer.trips),
+            out,
+        )
         _print_checkpoint_stats(store, out)
     if sink.emissions_accepted == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
@@ -619,6 +660,7 @@ def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
 
     if args.stats:
         _print_stats(runner.stats_by_query(), out, runner.shared_stats())
+        _print_sanitizer_stats(runner.sanitizer_trips(), out)
         _print_checkpoint_stats(store, out)
     if sink.emissions_accepted == 0 and args.output == "text" and args.out is None:
         print("(no results)", file=out)
@@ -632,6 +674,11 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
     from repro.serve.server import CEPRServer
 
     from repro.language.analysis import lint_text
+
+    if args.sanitize:
+        from repro.sanitize import enable_sanitizer
+
+        enable_sanitizer()
 
     paths = list(args.query_files) + list(args.query_file or [])
     queries: dict[str, str] = {}
@@ -679,6 +726,18 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         file=out,
     )
     return 0
+
+
+def _print_sanitizer_stats(trips: dict | None, out: TextIO) -> None:
+    """One `--stats` line for CEPRSan (silent when the sanitizer is off)."""
+    if trips is None:
+        return
+    detail = " ".join(
+        f"{check}={count}" for check, count in sorted(trips.items())
+    )
+    total = sum(trips.values())
+    print(f"  sanitizer: trips={total}" + (f" ({detail})" if detail else ""),
+          file=out)
 
 
 def _print_checkpoint_stats(store, out: TextIO) -> None:
@@ -941,6 +1000,11 @@ def _cmd_trace(args: argparse.Namespace, out: TextIO) -> int:
 def _cmd_backtest(args: argparse.Namespace, out: TextIO) -> int:
     from repro.store.backtest import Backtester
     from repro.store.log import EventLog
+
+    if args.sanitize:
+        from repro.sanitize import enable_sanitizer
+
+        enable_sanitizer()
 
     log = EventLog(args.log)
     if len(log) == 0:

@@ -292,7 +292,6 @@ class PatternMatcher:
         from repro.engine.snapshot import restore_matcher
 
         restore_matcher(self, state)
-        self._refresh_activity()
 
     # -- phase 1: expiry ---------------------------------------------------------
 

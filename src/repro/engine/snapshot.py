@@ -247,5 +247,9 @@ def restore_matcher(matcher: PatternMatcher, state: Mapping[str, Any]) -> None:
         matcher._partitions = partitions
         matcher._detection_counter = int(state["detection_counter"])
         matcher.stats = MatcherStats(**state["stats"])
+        # The quiescent-skip gate reads the O(1) activity caches; leaving
+        # them stale after a restore would let it elide events that should
+        # extend the restored runs.
+        matcher._refresh_activity()
     except (KeyError, TypeError, ValueError) as exc:
         raise SnapshotFormatError(f"bad matcher state: {exc}") from exc

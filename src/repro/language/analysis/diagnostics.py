@@ -75,6 +75,10 @@ DIAGNOSTIC_CODES: dict[str, str] = {
     "CEPR403": "solo-sliding-emission",
     "CEPR404": "solo-global-limit",
     "CEPR405": "solo-yield-cascade",
+    # 6xx — codebase self-lint (cepr lint --self; repro.sanitize.selflint)
+    "CEPR601": "wall-clock-in-deterministic-path",
+    "CEPR602": "blocking-call-in-async-handler",
+    "CEPR603": "untracked-lock",
 }
 
 

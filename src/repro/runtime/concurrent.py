@@ -39,6 +39,7 @@ from repro.ranking.emission import Emission, EmissionKind
 from repro.runtime.engine import CEPREngine
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.sinks import SinkLike, Subscription
+from repro.sanitize.core import release_affinity
 
 
 class ThreadedEngineRunner:
@@ -87,6 +88,9 @@ class ThreadedEngineRunner:
         if self._started:
             raise RuntimeError("runner already started")
         self._started = True
+        # Sanitizer handoff: from here on the consumer thread owns the
+        # engine (thread-affinity tracking re-claims on first mutation).
+        release_affinity(self.engine)
         self._thread = threading.Thread(target=self._consume, daemon=True)
         self._thread.start()
         return self
@@ -316,8 +320,13 @@ class ThreadedEngineRunner:
                 if kind == "stop":
                     break
                 if kind == "pause":
+                    # Affinity handoff both ways across the pause barrier:
+                    # the pausing thread owns the engine inside the with
+                    # body, then ownership returns here on resume.
+                    release_affinity(self.engine)
                     item[1].set()  # caller owns the engine now
                     item[2].wait()  # ...until it resumes us
+                    release_affinity(self.engine)
                     continue
                 if kind == "sync":
                     item[1].set()

@@ -131,6 +131,14 @@ class CEPREngine:
         an event are skipped entirely.  Output is byte-identical either
         way — the differential suite enforces it — so turning this off is
         only interesting for benchmarks (the independent baseline).
+    sanitize:
+        Attach the CEPRSan invariant sanitizer (see docs/SANITIZER.md):
+        hot-path checks for ranking order, score-bound soundness, matcher
+        coherence, sequence monotonicity, shared-index refcounts,
+        snapshot round-trips, and cross-thread mutation.  ``None``
+        (default) follows the ``CEPR_SANITIZE`` environment variable;
+        the instrumentation is attached at construction only, so a plain
+        engine carries zero sanitizer cost.
     """
 
     def __init__(
@@ -146,6 +154,7 @@ class CEPREngine:
         tracing: bool | None = None,
         enable_profiling: bool = True,
         shared_execution: bool = True,
+        sanitize: bool | None = None,
     ) -> None:
         self.registry = registry
         self.strict_schema = strict_schema
@@ -173,6 +182,18 @@ class CEPREngine:
         self._closed = False
         #: lazily built, engine-owned live registry (see metrics_registry).
         self._registry_view: MetricsRegistry | None = None
+        #: CEPRSan reporter; None on plain engines (the common case) so
+        #: hot paths never even branch on it.
+        self.sanitizer = None
+        if sanitize is None:
+            from repro.sanitize.core import sanitizer_enabled
+
+            sanitize = sanitizer_enabled()
+        if sanitize:
+            from repro.sanitize import Sanitizer, attach_engine_sanitizer
+
+            self.sanitizer = Sanitizer(scope="engine")
+            self._invariants = attach_engine_sanitizer(self)
 
     # -- registration -------------------------------------------------------------
 
@@ -624,6 +645,13 @@ class CEPREngine:
                 "events_gated_total",
                 "Routed (query, event) pairs skipped by the quiescent gate",
                 fn=lambda: shared.events_gated,
+            )
+        if self.sanitizer is not None:
+            sanitizer = self.sanitizer
+            registry.counter(
+                "sanitizer_trips_total",
+                "Invariant violations detected by the sanitizer",
+                fn=lambda: sanitizer.total_trips,
             )
         if self.tracer is not None:
             tracer = self.tracer

@@ -95,6 +95,8 @@ from repro.runtime.engine import CEPREngine, restore_lateness, snapshot_lateness
 from repro.runtime.metrics import EngineMetrics, QueryMetrics, aggregate_query_metrics
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.sinks import SinkLike, Subscription, close_sink, flush_sink
+from repro.sanitize.core import release_affinity
+from repro.sanitize.locks import register_lock_metrics, tracked_lock
 
 _INF = float("inf")
 
@@ -615,6 +617,9 @@ class _Worker:
         self.events_processed = 0
 
     def start(self) -> None:
+        # Sanitizer handoff: queries were registered into this engine on
+        # the coordinating thread; the consumer thread owns it from here.
+        release_affinity(self.engine)
         self.thread = threading.Thread(target=self._consume, daemon=True)
         self.thread.start()
 
@@ -716,6 +721,7 @@ class ShardedEngineRunner:
         max_queue: int = 10_000,
         batch_size: int = 256,
         on_emission: Callable[[Emission], None] | None = None,
+        sanitize: bool | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -729,6 +735,8 @@ class ShardedEngineRunner:
         self.max_queue = max_queue
         self.batch_size = batch_size
         self.on_emission = on_emission
+        #: forwarded to every shard engine (None follows CEPR_SANITIZE).
+        self.sanitize = sanitize
 
         self._views: dict[str, ShardedQuery] = {}
         self._asts: dict[str, Query] = {}
@@ -736,7 +744,7 @@ class ShardedEngineRunner:
         self._started = False
         self._stopped = False
         self._flushed = False
-        self._lock = threading.Lock()
+        self._lock = tracked_lock("sharded.dispatch")
         self._sequencer = SequenceAssigner(strict=strict_time)
         self._lateness = (
             LatenessBuffer(max_lateness) if max_lateness is not None else None
@@ -792,6 +800,7 @@ class ShardedEngineRunner:
             lenient_errors=self.lenient_errors,
             max_lateness=None if preassigned else self.max_lateness,
             sequencer=PreassignedSequencer() if preassigned else None,
+            sanitize=self.sanitize,
         )
 
     def start(self) -> "ShardedEngineRunner":
@@ -951,13 +960,29 @@ class ShardedEngineRunner:
                 "events_submitted": self.events_submitted,
                 "events_pushed": self.metrics.events_pushed,
                 "engines": [
-                    worker.engine.snapshot() for worker in self._workers
+                    self._engine_snapshot(worker) for worker in self._workers
                 ],
                 "views": {
                     name: view._snapshot_merge_state()
                     for name, view in self._views.items()
                 },
             }
+
+    @staticmethod
+    def _engine_snapshot(worker: _Worker) -> dict:
+        """Snapshot one idle shard engine from the barrier thread.
+
+        The sync barrier guarantees the consumer thread is parked, which
+        makes this a synchronized handoff: affinity is released on both
+        sides so neither the barrier thread's access (the sanitized
+        snapshot self-check mutates state via a round-trip restore) nor
+        the consumer's next batch reads as a cross-thread race.
+        """
+        release_affinity(worker.engine)
+        try:
+            return worker.engine.snapshot()
+        finally:
+            release_affinity(worker.engine)
 
     def restore(self, state: dict) -> None:
         """Load a :meth:`snapshot` into this freshly started runner.
@@ -1009,7 +1034,10 @@ class ShardedEngineRunner:
             self.events_submitted = int(state["events_submitted"])
             self.metrics.events_pushed = int(state["events_pushed"])
             for worker, engine_state in zip(self._workers, engines):
+                # Same synchronized-handoff discipline as _engine_snapshot.
+                release_affinity(worker.engine)
                 worker.engine.restore(engine_state)
+                release_affinity(worker.engine)
             for name, view_state in state["views"].items():
                 self._views[name]._restore_merge_state(view_state)
 
@@ -1265,6 +1293,19 @@ class ShardedEngineRunner:
                     totals[key] = totals.get(key, 0) + value
         return totals
 
+    def sanitizer_trips(self) -> dict[str, int] | None:
+        """Fleet-wide sanitizer trip counts by check (None when disabled)."""
+        totals: dict[str, int] | None = None
+        for worker in self._workers:
+            sanitizer = worker.engine.sanitizer
+            if sanitizer is None:
+                continue
+            if totals is None:
+                totals = {}
+            for check, count in sanitizer.trips.items():
+                totals[check] = totals.get(check, 0) + count
+        return totals
+
     def shard_stats(self) -> list[dict[str, Any]]:
         """Per-worker view: events drained, backlog, live runs, role."""
         rows: list[dict[str, Any]] = []
@@ -1339,4 +1380,5 @@ class ShardedEngineRunner:
                 fn=lambda worker=worker: worker.events_processed,
                 shard=str(index),
             )
+        register_lock_metrics(fleet, self._lock)
         return fleet

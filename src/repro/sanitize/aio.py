@@ -1,0 +1,120 @@
+"""Event-loop blocking-call detection for the serving layer.
+
+The asyncio contract in :mod:`repro.serve.server` is that handlers never
+block the loop: every blocking runtime call crosses to a worker thread
+via ``asyncio.to_thread``.  A violation (``time.sleep``, a synchronous
+socket call, a long computation) silently degrades every connection at
+once — latency spikes with no exception anywhere.
+
+:class:`LoopStallWatchdog` catches it at runtime: a heartbeat coroutine
+stamps a timestamp on the loop at a fixed cadence, and a companion
+*thread* (which a blocked loop cannot stall) checks the stamp's age.  A
+gap beyond the threshold means some callback held the loop for that
+long, and the watchdog trips.
+
+Trips from the watchdog are always log-and-count, never raise: the
+report fires on the watchdog thread, where raising would kill nothing
+but the watchdog itself.  The static half of the same contract is the
+CEPR602 self-lint rule (:mod:`repro.sanitize.selflint`), which flags
+blocking calls inside ``async def`` bodies at lint time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+
+from repro.sanitize.core import Sanitizer
+
+
+class LoopStallWatchdog:
+    """Detects callbacks that hold an asyncio loop beyond a threshold.
+
+    Parameters
+    ----------
+    sanitizer:
+        Trip reporter (mode is forced to counting/logging; see module
+        docstring).
+    threshold:
+        Maximum tolerated heartbeat gap in seconds.  The default (0.25s)
+        is far above a healthy loop's scheduling jitter and far below
+        human-visible serving stalls.
+    tick:
+        Heartbeat cadence in seconds.
+    """
+
+    def __init__(
+        self,
+        sanitizer: Sanitizer,
+        threshold: float = 0.25,
+        tick: float = 0.05,
+    ) -> None:
+        self.sanitizer = sanitizer
+        self.threshold = threshold
+        self.tick = tick
+        #: stall episodes detected (one per contiguous blockage).
+        self.stalls = 0
+        #: longest observed heartbeat gap, in seconds.
+        self.worst_gap = 0.0
+        self._last_beat = 0.0
+        self._stop = threading.Event()
+        self._in_stall = False
+        self._task: asyncio.Task | None = None
+        self._thread: threading.Thread | None = None
+
+    def start(self) -> "LoopStallWatchdog":
+        """Start the heartbeat task (on the running loop) and the watcher."""
+        self._last_beat = time.monotonic()
+        self._task = asyncio.get_running_loop().create_task(self._beat())
+        self._thread = threading.Thread(
+            target=self._watch, name="cepr-san-loop-watchdog", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+
+    async def _beat(self) -> None:
+        try:
+            while not self._stop.is_set():
+                self._last_beat = time.monotonic()
+                await asyncio.sleep(self.tick)
+        except asyncio.CancelledError:
+            pass
+
+    def _watch(self) -> None:
+        while not self._stop.wait(self.tick):
+            gap = time.monotonic() - self._last_beat
+            if gap > self.worst_gap:
+                self.worst_gap = gap
+            if gap <= self.threshold:
+                self._in_stall = False
+                continue
+            if self._in_stall:
+                continue  # one report per contiguous blockage
+            self._in_stall = True
+            self.stalls += 1
+            self._report(gap)
+
+    def _report(self, gap: float) -> None:
+        # Forced log mode: raising on the watchdog thread kills only the
+        # watchdog.  The trip still lands in the counter for assertions.
+        reporter = Sanitizer(scope=self.sanitizer.scope, mode="log")
+        reporter.trips = self.sanitizer.trips
+        reporter.trip(
+            "event-loop-blocked",
+            f"asyncio event loop unresponsive for {gap:.3f}s "
+            f"(threshold {self.threshold:.3f}s): a handler is making a "
+            f"blocking call on the loop thread instead of using "
+            f"asyncio.to_thread",
+            gap_seconds=round(gap, 4),
+            threshold_seconds=self.threshold,
+        )

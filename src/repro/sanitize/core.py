@@ -1,0 +1,189 @@
+"""CEPRSan core: the enable switch, trip reporting, and thread affinity.
+
+The sanitizer is **zero-cost when disabled**: nothing in the hot path
+consults a flag per event.  Enabling it (``CEPR_SANITIZE=1`` in the
+environment, ``--sanitize`` on the CLI, or :func:`enable_sanitizer` in
+code) makes engine construction attach instance-level instrumentation
+wrappers (see :mod:`repro.sanitize.invariants`); a disabled engine is
+structurally identical to one built before this module existed — the E18
+benchmark pins that equivalence.
+
+Two reporting modes:
+
+* ``raise`` (default) — a violated invariant raises
+  :class:`SanitizerError` out of the call that exposed it.  Right for
+  tests and CI, where a trip must fail loudly.
+* ``log`` (``CEPR_SANITIZE=log``) — violations are logged through the
+  structured logger with span context and counted, but execution
+  continues.  Right for soak runs where one bad window should not kill
+  the deployment.
+
+Either way every trip lands in the owning :class:`Sanitizer`'s counter,
+which the engine exposes as ``sanitizer_trips_total`` in its metrics
+registry.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import Counter
+from typing import Any
+
+from repro.observability.log import get_logger
+
+_log = get_logger(__name__)
+
+#: environment variable consulted once at import (and by every later
+#: :func:`refresh_from_env` call): ``1`` → raise mode, ``log`` → log mode,
+#: unset/``0``/``off`` → disabled.
+ENV_VAR = "CEPR_SANITIZE"
+
+_OFF_VALUES = ("", "0", "false", "off", "no")
+
+
+class SanitizerError(AssertionError):
+    """An invariant the sanitizer watches was violated.
+
+    Subclasses ``AssertionError`` deliberately: a trip means the system's
+    internal contract is broken, not that the caller misused the API.
+    """
+
+
+def _mode_from_env() -> str | None:
+    raw = os.environ.get(ENV_VAR, "").strip().lower()
+    if raw in _OFF_VALUES:
+        return None
+    return "log" if raw == "log" else "raise"
+
+
+_mode: str | None = _mode_from_env()
+
+
+def sanitizer_enabled() -> bool:
+    """Whether newly constructed engines attach sanitizer instrumentation."""
+    return _mode is not None
+
+
+def sanitizer_mode() -> str | None:
+    """The active reporting mode: ``"raise"``, ``"log"``, or ``None``."""
+    return _mode
+
+
+def enable_sanitizer(mode: str = "raise") -> None:
+    """Turn the sanitizer on for engines constructed from now on."""
+    if mode not in ("raise", "log"):
+        raise ValueError(f"sanitizer mode must be 'raise' or 'log', got {mode!r}")
+    global _mode
+    _mode = mode
+
+
+def disable_sanitizer() -> None:
+    """Turn the sanitizer off for engines constructed from now on."""
+    global _mode
+    _mode = None
+
+
+def refresh_from_env() -> None:
+    """Re-read :data:`ENV_VAR` (tests flip the environment mid-process)."""
+    global _mode
+    _mode = _mode_from_env()
+
+
+class Sanitizer:
+    """Trip collector and reporter for one engine (or one subsystem).
+
+    ``mode=None`` (the default) resolves the reporting mode at trip time
+    from the module switch, so a long-lived sanitizer follows runtime
+    :func:`enable_sanitizer`/:func:`disable_sanitizer` flips.
+    """
+
+    def __init__(self, scope: str = "engine", mode: str | None = None) -> None:
+        self.scope = scope
+        self._mode = mode
+        #: trips per check name (stable identifiers; see docs/SANITIZER.md).
+        self.trips: Counter[str] = Counter()
+
+    @property
+    def mode(self) -> str:
+        return self._mode or sanitizer_mode() or "raise"
+
+    @property
+    def total_trips(self) -> int:
+        return sum(self.trips.values())
+
+    def trip(self, check: str, message: str, **data: Any) -> None:
+        """Record one invariant violation; raise in ``raise`` mode.
+
+        ``data`` carries span context (query name, stream position, the
+        offending values) into the structured log record.
+        """
+        self.trips[check] += 1
+        payload: dict[str, Any] = {"check": check, "scope": self.scope}
+        payload.update(data)
+        _log.error(
+            "sanitizer trip [%s] %s", check, message, extra={"data": payload}
+        )
+        if self.mode == "raise":
+            raise SanitizerError(f"[{check}] {message}")
+
+
+class ThreadAffinity:
+    """Single-owner-thread tracking for an engine's mutable state.
+
+    The engine is single-threaded by contract: whichever thread mutates
+    it first owns it until an explicit :meth:`release` at a synchronized
+    handoff point (runner pause, worker spawn, coordinated restore).  A
+    mutation from a second thread while the owner is still alive is the
+    unsynchronized cross-thread access TSan would flag — it trips.
+
+    The fast path (owner mutating again) is one integer compare.
+    """
+
+    __slots__ = ("sanitizer", "label", "_owner_id", "_owner_thread")
+
+    def __init__(self, sanitizer: Sanitizer, label: str) -> None:
+        self.sanitizer = sanitizer
+        self.label = label
+        self._owner_id: int | None = None
+        self._owner_thread: threading.Thread | None = None
+
+    def release(self) -> None:
+        """Declare a synchronized handoff: the next mutator becomes owner.
+
+        Callable from any thread, but only sound at points where the
+        caller knows no mutation is in flight (barriers, pauses, joins).
+        """
+        self._owner_id = None
+        self._owner_thread = None
+
+    def check(self, action: str) -> None:
+        """Claim or verify ownership for one mutating entry point."""
+        ident = threading.get_ident()
+        if ident == self._owner_id:
+            return
+        owner = self._owner_thread
+        if owner is None or not owner.is_alive():
+            self._owner_id = ident
+            self._owner_thread = threading.current_thread()
+            return
+        self.sanitizer.trip(
+            "cross-thread-mutation",
+            f"{self.label}: {action!r} called from thread "
+            f"{threading.current_thread().name!r} while owned by live thread "
+            f"{owner.name!r} without a synchronized handoff",
+            action=action,
+            owner=owner.name,
+            intruder=threading.current_thread().name,
+        )
+
+
+def release_affinity(engine: Any) -> None:
+    """Release an engine's affinity tracker if it has one (else no-op).
+
+    The runners call this at their handoff points; on an engine built
+    without the sanitizer it is a single failed attribute lookup.
+    """
+    affinity = getattr(engine, "affinity", None)
+    if affinity is not None:
+        affinity.release()

@@ -1,0 +1,441 @@
+"""Runtime invariant checks wired into the engine when CEPRSan is on.
+
+:func:`attach_engine_sanitizer` is called from ``CEPREngine.__init__``
+*only* when the sanitizer is enabled.  It replaces a handful of bound
+methods with instance-attribute wrappers (Python resolves instance
+attributes before class attributes, and every internal call site goes
+through ``self.<method>``), so a disabled engine carries no new code in
+its hot path at all.
+
+Checks, by hook point:
+
+``sequencer.assign``
+    **seq-monotonicity** — assigned sequence numbers strictly increase
+    (re-baselined across ``restore``).
+``engine._dispatch`` / ``advance_time`` / ``flush`` / registration
+    **cross-thread-mutation** — see
+    :class:`~repro.sanitize.core.ThreadAffinity`.
+``RegisteredQuery.process`` / ``advance_time`` / ``flush``
+    **ranking-order** — every emitted ranking is sorted by
+    ``Match.sort_key`` and respects LIMIT;
+    **score-bound** — every emitted score of a pruner-bearing query lies
+    inside the interval bound that justified keeping its run (the exact
+    soundness property score-bound pruning rests on: an unsound interval
+    evaluator prunes runs it should keep, and this catches it at the
+    emission that escaped);
+    **matcher-activity-cache** — the O(1) activity caches behind the
+    quiescent-skip gate agree with a recount;
+    **run-monotonicity** / **dangling-binding** — every live run's
+    seq/ts span is ordered and its bindings name only automaton
+    variables.
+``engine.register_query`` / ``unregister_query``
+    **shared-index-coherence** — the refcounted predicate/prefix index
+    owns exactly the registered queries' entries after churn (leaked
+    owners, empty-but-present entries, and missing claims all trip).
+``engine.snapshot``
+    **snapshot-roundtrip** — ``restore(snapshot())`` followed by a second
+    ``snapshot()`` reproduces the first byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+from typing import TYPE_CHECKING
+
+from repro.language.ast_nodes import WindowKind
+from repro.language.intervals import IntervalEvaluator, PartialMatchView
+from repro.sanitize.core import Sanitizer, ThreadAffinity
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ranking.emission import Emission
+    from repro.runtime.engine import CEPREngine
+    from repro.runtime.query import RegisteredQuery
+
+
+class InvariantChecker:
+    """Per-engine invariant evaluation (stateless beyond seq baseline)."""
+
+    def __init__(self, engine: "CEPREngine", sanitizer: Sanitizer) -> None:
+        self.engine = engine
+        self.san = sanitizer
+        self._last_seq: int | None = None
+
+    # -- sequencing -------------------------------------------------------------
+
+    def check_seq(self, event) -> None:
+        """Assigned seqs strictly increase (called right after assign)."""
+        last = self._last_seq
+        if last is not None and event.seq <= last:
+            self.san.trip(
+                "seq-monotonicity",
+                f"sequencer assigned seq {event.seq} after {last} "
+                f"(type={event.event_type!r}, ts={event.timestamp!r})",
+                seq=event.seq,
+                previous=last,
+                ts=event.timestamp,
+            )
+        self._last_seq = event.seq
+
+    def rebaseline_seq(self) -> None:
+        """Forget the seq baseline (restore may rewind the sequencer)."""
+        self._last_seq = None
+
+    # -- per-query emission checks ----------------------------------------------
+
+    def check_emissions(
+        self, query: "RegisteredQuery", emissions: "list[Emission]"
+    ) -> None:
+        limit = query.ranker.limit
+        for emission in emissions:
+            ranking = emission.ranking
+            if limit is not None and len(ranking) > limit:
+                self.san.trip(
+                    "ranking-order",
+                    f"query {query.name!r} emitted {len(ranking)} matches "
+                    f"with LIMIT {limit} ({emission.kind.value} emission at "
+                    f"seq={emission.at_seq})",
+                    query=query.name,
+                    seq=emission.at_seq,
+                    size=len(ranking),
+                    limit=limit,
+                )
+            if len(ranking) > 1:
+                keys = [match.sort_key() for match in ranking]
+                try:
+                    disordered = any(
+                        keys[i] > keys[i + 1] for i in range(len(keys) - 1)
+                    )
+                except TypeError:  # heterogeneous keys: not comparable here
+                    disordered = False
+                if disordered:
+                    self.san.trip(
+                        "ranking-order",
+                        f"query {query.name!r} emitted an unsorted ranking "
+                        f"({emission.kind.value} emission at "
+                        f"seq={emission.at_seq}): keys={keys!r}",
+                        query=query.name,
+                        seq=emission.at_seq,
+                    )
+            if query.pruner is not None:
+                for match in ranking:
+                    self.check_score_bound(query, match)
+
+    def check_score_bound(self, query: "RegisteredQuery", match) -> None:
+        """An emitted score must lie inside its interval justification.
+
+        The pruner discards a partial run when the optimistic end of
+        ``IntervalEvaluator.bound(primary)`` cannot beat the k-th score;
+        that is only sound if every completion's actual score lies inside
+        the interval computed over its bindings.  Here the completed
+        match *is* a completion with no open variables, so the same
+        evaluator must bracket the actual primary rank value.
+        """
+        pruner = query.pruner
+        assert pruner is not None
+        if not match.rank_values:
+            return
+        actual = match.rank_values[0]
+        if isinstance(actual, bool) or not isinstance(actual, (int, float)):
+            return  # string-keyed primary: no interval reasoning
+        automaton = query.automaton
+        window = automaton.window
+        max_count: int | None = None
+        max_duration: float | None = None
+        if window is not None:
+            if window.kind is WindowKind.COUNT:
+                max_count = int(window.span)
+            else:
+                max_duration = window.span
+        view = PartialMatchView(
+            bindings=match.bindings,
+            var_types=automaton.var_types,
+            kleene_vars=automaton.kleene_vars,
+            open_vars=frozenset(),
+            domain_of=pruner.domain_of,
+            max_kleene_count=max_count,
+            duration_so_far=match.last_ts - match.first_ts,
+            max_duration=max_duration,
+            latest_timestamp=match.last_ts,
+        )
+        interval = IntervalEvaluator(view).bound(pruner.primary.expr)
+        if interval is None:
+            return
+        lo, hi = interval.lo, interval.hi
+        # Relative slack: aggregate scores may be summed in a different
+        # association order by scorer vs. interval evaluator.
+        slack = 1e-9 * max(
+            1.0,
+            abs(actual),
+            abs(lo) if math.isfinite(lo) else 0.0,
+            abs(hi) if math.isfinite(hi) else 0.0,
+        )
+        if actual < lo - slack or actual > hi + slack:
+            self.san.trip(
+                "score-bound",
+                f"query {query.name!r} emitted primary rank value {actual!r} "
+                f"outside its interval justification [{lo!r}, {hi!r}] "
+                f"(match detection_index={match.detection_index}): the "
+                f"interval evaluator that score-bound pruning trusts is "
+                f"unsound for this expression",
+                query=query.name,
+                actual=actual,
+                lo=lo,
+                hi=hi,
+                detection_index=match.detection_index,
+            )
+
+    # -- matcher state ------------------------------------------------------------
+
+    def check_matcher(self, query: "RegisteredQuery") -> None:
+        matcher = query.matcher
+        live = 0
+        pendings = 0
+        for partition in matcher._partitions.values():
+            live += len(partition.runs)
+            pendings += len(partition.pendings)
+        if (
+            live != matcher._live_runs_cached
+            or pendings != matcher._pendings_cached
+        ):
+            self.san.trip(
+                "matcher-activity-cache",
+                f"query {query.name!r}: activity caches "
+                f"(live={matcher._live_runs_cached}, "
+                f"pendings={matcher._pendings_cached}) disagree with a "
+                f"recount (live={live}, pendings={pendings}); the "
+                f"quiescent-skip gate would elide live work",
+                query=query.name,
+                cached_live=matcher._live_runs_cached,
+                cached_pendings=matcher._pendings_cached,
+                live=live,
+                pendings=pendings,
+            )
+        known = query.automaton.var_types.keys()
+        for run in matcher.iter_runs():
+            if run.first_seq > run.last_seq or run.first_ts > run.last_ts:
+                self.san.trip(
+                    "run-monotonicity",
+                    f"query {query.name!r}: live run spans "
+                    f"seq [{run.first_seq}, {run.last_seq}] "
+                    f"ts [{run.first_ts}, {run.last_ts}] — runs must extend "
+                    f"forward in stream order",
+                    query=query.name,
+                    first_seq=run.first_seq,
+                    last_seq=run.last_seq,
+                )
+            dangling = [name for name in run.bindings if name not in known]
+            if dangling:
+                self.san.trip(
+                    "dangling-binding",
+                    f"query {query.name!r}: live run binds unknown "
+                    f"variable(s) {dangling!r} (automaton declares "
+                    f"{sorted(known)!r})",
+                    query=query.name,
+                    dangling=dangling,
+                )
+
+    # -- shared execution index ----------------------------------------------------
+
+    def check_shared_index(self) -> None:
+        """Refcount/ownership coherence of the cross-query sharing state."""
+        engine = self.engine
+        shared = engine.shared
+        if shared is None:
+            return
+        from repro.runtime.router import _shareable_specs
+
+        names = set(engine._queries)
+        for fingerprint, entry in shared._predicates.items():
+            if not entry.owners:
+                self.san.trip(
+                    "shared-index-coherence",
+                    f"predicate entry {fingerprint[:16]!r}… has no owners "
+                    f"but was not pruned",
+                    fingerprint=fingerprint,
+                )
+            stale = entry.owners - names
+            if stale:
+                self.san.trip(
+                    "shared-index-coherence",
+                    f"predicate entry {fingerprint[:16]!r}… is owned by "
+                    f"unregistered quer(ies) {sorted(stale)!r} — refcount "
+                    f"leak after UNREGISTER churn",
+                    fingerprint=fingerprint,
+                    stale=sorted(stale),
+                )
+        for key, entry in shared._prefixes.items():
+            stale = entry.owners - names
+            if stale:
+                self.san.trip(
+                    "shared-index-coherence",
+                    f"prefix entry {key[:24]!r}… is owned by unregistered "
+                    f"quer(ies) {sorted(stale)!r}",
+                    key=key,
+                    stale=sorted(stale),
+                )
+        for name, registered in engine._queries.items():
+            for spec in _shareable_specs(registered.automaton):
+                owners = shared.predicate_owners(spec.fingerprint)
+                if name not in owners:
+                    self.san.trip(
+                        "shared-index-coherence",
+                        f"query {name!r} anchors predicate "
+                        f"{spec.fingerprint[:16]!r}… but does not own its "
+                        f"index entry (owners={sorted(owners)!r}) — a "
+                        f"co-owner's UNREGISTER pruned it too eagerly",
+                        query=name,
+                        fingerprint=spec.fingerprint,
+                    )
+
+
+def instrument_query(checker: InvariantChecker, query: "RegisteredQuery") -> None:
+    """Wrap one registered query's pipeline entry points with checks."""
+    orig_process = query.process
+    orig_advance = query.advance_time
+    orig_flush = query.flush
+
+    def process(event):
+        emissions = orig_process(event)
+        checker.check_matcher(query)
+        if emissions:
+            checker.check_emissions(query, emissions)
+        return emissions
+
+    def advance_time(timestamp):
+        emissions = orig_advance(timestamp)
+        checker.check_matcher(query)
+        if emissions:
+            checker.check_emissions(query, emissions)
+        return emissions
+
+    def flush():
+        emissions = orig_flush()
+        if emissions:
+            checker.check_emissions(query, emissions)
+        return emissions
+
+    query.process = process  # type: ignore[method-assign]
+    query.advance_time = advance_time  # type: ignore[method-assign]
+    query.flush = flush  # type: ignore[method-assign]
+
+
+def attach_engine_sanitizer(engine: "CEPREngine") -> InvariantChecker:
+    """Install all sanitizer instrumentation on one (enabled) engine.
+
+    Every wrapper is an instance attribute shadowing the class method;
+    internal call sites resolve through ``self.<name>`` / instance
+    lookups, so the wrappers see every path (including the hoisted
+    ``dispatch`` local in ``push_batch`` and recursive YIELD cascades).
+    """
+    sanitizer = engine.sanitizer
+    assert sanitizer is not None
+    checker = InvariantChecker(engine, sanitizer)
+    affinity = ThreadAffinity(sanitizer, "CEPREngine")
+    engine.affinity = affinity
+
+    sequencer = engine._sequencer
+    orig_assign = sequencer.assign
+
+    def assign(event):
+        orig_assign(event)
+        checker.check_seq(event)
+
+    sequencer.assign = assign  # type: ignore[method-assign]
+
+    orig_dispatch = engine._dispatch
+
+    def dispatch(event, depth: int = 0):
+        if depth == 0:
+            affinity.check("push")
+        return orig_dispatch(event, depth)
+
+    engine._dispatch = dispatch  # type: ignore[method-assign]
+
+    orig_advance = engine.advance_time
+
+    def advance_time(timestamp):
+        affinity.check("advance_time")
+        return orig_advance(timestamp)
+
+    engine.advance_time = advance_time  # type: ignore[method-assign]
+
+    orig_flush = engine.flush
+
+    def flush():
+        affinity.check("flush")
+        return orig_flush()
+
+    engine.flush = flush  # type: ignore[method-assign]
+
+    orig_register = engine.register_query
+
+    def register_query(*args, **kwargs):
+        affinity.check("register_query")
+        registered = orig_register(*args, **kwargs)
+        instrument_query(checker, registered)
+        checker.check_shared_index()
+        return registered
+
+    engine.register_query = register_query  # type: ignore[method-assign]
+
+    orig_unregister = engine.unregister_query
+
+    def unregister_query(name):
+        affinity.check("unregister_query")
+        orig_unregister(name)
+        checker.check_shared_index()
+
+    engine.unregister_query = unregister_query  # type: ignore[method-assign]
+
+    orig_snapshot = engine.snapshot
+    orig_restore = engine.restore
+
+    def snapshot():
+        state = orig_snapshot()
+        # Round-trip self-check: restoring the snapshot we just took and
+        # snapshotting again must reproduce it exactly.  restore() gets a
+        # deep copy so a codec that mutates its input cannot hide.
+        orig_restore(copy.deepcopy(state))
+        after = orig_snapshot()
+        if after != state:
+            drifted = _first_divergence(state, after)
+            sanitizer.trip(
+                "snapshot-roundtrip",
+                f"restore(snapshot()) is not state-equal: first divergence "
+                f"at {drifted}",
+                path=drifted,
+            )
+        return state
+
+    engine.snapshot = snapshot  # type: ignore[method-assign]
+
+    def restore(state):
+        affinity.check("restore")
+        orig_restore(state)
+        checker.rebaseline_seq()
+
+    engine.restore = restore  # type: ignore[method-assign]
+
+    return checker
+
+
+def _first_divergence(a, b, path: str = "$") -> str:
+    """Human-oriented pointer to the first differing leaf of two snapshots."""
+    if type(a) is not type(b):
+        return f"{path} (type {type(a).__name__} vs {type(b).__name__})"
+    if isinstance(a, dict):
+        for key in a.keys() | b.keys():
+            if key not in a or key not in b:
+                return f"{path}.{key} (missing on one side)"
+            if a[key] != b[key]:
+                return _first_divergence(a[key], b[key], f"{path}.{key}")
+        return f"{path} (dicts compare unequal but share items)"
+    if isinstance(a, (list, tuple)):
+        if len(a) != len(b):
+            return f"{path} (length {len(a)} vs {len(b)})"
+        for index, (left, right) in enumerate(zip(a, b)):
+            if left != right:
+                return _first_divergence(left, right, f"{path}[{index}]")
+        return f"{path} (sequences compare unequal but share items)"
+    return f"{path} ({a!r} vs {b!r})"

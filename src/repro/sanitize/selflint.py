@@ -1,0 +1,201 @@
+"""``cepr lint --self``: the project's AST self-lint pass.
+
+Where :mod:`repro.language.analysis` lints *user queries*, this module
+lints the **CEPR codebase itself** for violations of three project
+rules, reported through the same stable diagnostics catalogue:
+
+``CEPR601`` — *wall-clock-in-deterministic-path*.
+    ``repro.engine``, ``repro.ranking``, and ``repro.language`` must be
+    deterministic functions of the event stream: byte-identical output
+    across runs, shards, and checkpoint/restore is the repo's core
+    differential-testing contract.  Wall-clock reads (``time.time``,
+    ``datetime.now``, …) and ``random`` calls there would break it.
+    Timing instrumentation lives one layer up (``repro.runtime``
+    latency/profiling), which is exempt by construction.
+
+``CEPR602`` — *blocking-call-in-async-handler*.
+    ``async def`` bodies must not call blocking primitives
+    (``time.sleep``, ``subprocess``, bare ``open``, synchronous socket
+    helpers) directly — the serving layer routes blocking work through
+    ``asyncio.to_thread``.  The runtime half of this rule is the
+    :class:`~repro.sanitize.aio.LoopStallWatchdog`.
+
+``CEPR603`` — *untracked-lock*.
+    Mutual-exclusion primitives (``threading.Lock``/``RLock``/
+    ``Condition``) must be constructed through
+    :func:`repro.sanitize.locks.tracked_lock` so the lock-order race
+    detector and the contention counters see them.
+
+A finding can be suppressed for one line with a pragma comment naming
+the rule: ``# san: allow-wallclock``, ``# san: allow-blocking``, or
+``# san: allow-raw-lock`` — every suppression is a reviewed exception.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.language.analysis.diagnostics import Diagnostic, Severity
+
+#: top-level ``repro`` subpackages bound to stream-deterministic output.
+DETERMINISTIC_PACKAGES = ("engine", "ranking", "language")
+
+_WALLCLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.localtime",
+        "time.gmtime",
+    }
+)
+_WALLCLOCK_SUFFIXES = ("datetime.now", "datetime.utcnow", "datetime.today", "date.today")
+
+_BLOCKING_CALLS = frozenset({"time.sleep", "os.system", "os.popen"})
+_BLOCKING_PREFIXES = ("subprocess.", "socket.", "requests.", "urllib.request.")
+_BLOCKING_NAMES = frozenset({"open", "input"})
+
+_RAW_LOCK_CALLS = frozenset(
+    {"threading.Lock", "threading.RLock", "threading.Condition"}
+)
+
+_PRAGMAS = {
+    "CEPR601": "san: allow-wallclock",
+    "CEPR602": "san: allow-blocking",
+    "CEPR603": "san: allow-raw-lock",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything dynamic."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return None if base is None else f"{base}.{node.attr}"
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    def __init__(self, relpath: str, lines: list[str], deterministic: bool) -> None:
+        self.relpath = relpath
+        self.lines = lines
+        self.deterministic = deterministic
+        self.diagnostics: list[Diagnostic] = []
+        self._scopes: list[bool] = []  # True per enclosing async def
+
+    # -- scope tracking ---------------------------------------------------------
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._scopes.append(False)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._scopes.append(True)
+        self.generic_visit(node)
+        self._scopes.pop()
+
+    @property
+    def _in_async(self) -> bool:
+        return bool(self._scopes) and self._scopes[-1]
+
+    # -- rules ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted is not None:
+            if self.deterministic and self._is_wallclock(dotted):
+                self._report(
+                    "CEPR601",
+                    node,
+                    f"wall-clock / nondeterministic call {dotted}() in a "
+                    f"deterministic path",
+                    "engine/ranking/language output must be a pure function "
+                    "of the event stream; take timings in repro.runtime or "
+                    "suppress with '# san: allow-wallclock'",
+                )
+            if self._in_async and self._is_blocking(dotted):
+                self._report(
+                    "CEPR602",
+                    node,
+                    f"blocking call {dotted}() inside an async def",
+                    "route blocking work through asyncio.to_thread(...) so "
+                    "the event loop stays responsive",
+                )
+            if dotted in _RAW_LOCK_CALLS:
+                self._report(
+                    "CEPR603",
+                    node,
+                    f"raw {dotted}() — lock invisible to the race detector",
+                    "construct locks with repro.sanitize.locks.tracked_lock("
+                    "name) so lock-order tracking and contention counters "
+                    "cover them",
+                )
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_wallclock(dotted: str) -> bool:
+        if dotted in _WALLCLOCK_CALLS:
+            return True
+        if dotted == "random" or dotted.startswith("random."):
+            return True
+        return any(dotted.endswith(suffix) for suffix in _WALLCLOCK_SUFFIXES)
+
+    @staticmethod
+    def _is_blocking(dotted: str) -> bool:
+        if dotted in _BLOCKING_CALLS or dotted in _BLOCKING_NAMES:
+            return True
+        return any(dotted.startswith(prefix) for prefix in _BLOCKING_PREFIXES)
+
+    def _report(
+        self, code: str, node: ast.AST, message: str, hint: str
+    ) -> None:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines) and _PRAGMAS[code] in self.lines[line - 1]:
+            return
+        column = getattr(node, "col_offset", 0)
+        self.diagnostics.append(
+            Diagnostic(
+                code=code,
+                severity=Severity.ERROR,
+                span=f"{self.relpath}:{line}:{column + 1}",
+                message=message,
+                hint=hint,
+            )
+        )
+
+
+def lint_file(path: Path, relpath: str, deterministic: bool) -> list[Diagnostic]:
+    """Self-lint one source file (already known to parse)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    linter = _FileLinter(relpath, source.splitlines(), deterministic)
+    linter.visit(tree)
+    return linter.diagnostics
+
+
+def run_selflint(root: Path | None = None) -> list[Diagnostic]:
+    """Lint the whole ``repro`` package; returns findings in path order.
+
+    ``root`` overrides the package directory (tests lint fixture trees).
+    """
+    if root is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+    diagnostics: list[Diagnostic] = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root)
+        relpath = str(Path(root.name) / relative)
+        deterministic = (
+            len(relative.parts) > 1 and relative.parts[0] in DETERMINISTIC_PACKAGES
+        )
+        diagnostics.extend(lint_file(path, relpath, deterministic))
+    return diagnostics

@@ -187,6 +187,12 @@ class CEPRServer:
         subscriber falls behind: ``"disconnect"`` (default) or ``"drop"``
         (count and continue; clients detect gaps via the per-query
         ``seq`` stamp on emission frames).
+    sanitize:
+        Attach CEPRSan (``None`` follows ``CEPR_SANITIZE``; see
+        docs/SANITIZER.md): runtime engines carry the invariant
+        sanitizer and the serve loop runs the blocking-call watchdog.
+        Watchdog trips are always log-and-count (a stalled loop cannot
+        usefully raise), surfaced as ``serve_sanitizer_trips_total``.
     """
 
     def __init__(
@@ -207,6 +213,7 @@ class CEPRServer:
         poll_interval: float = 0.05,
         max_queue: int = 10_000,
         batch_size: int = 256,
+        sanitize: bool | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -236,6 +243,18 @@ class CEPRServer:
         self.poll_interval = poll_interval
         self.max_queue = max_queue
         self.batch_size = batch_size
+        if sanitize is None:
+            from repro.sanitize.core import sanitizer_enabled
+
+            sanitize = sanitizer_enabled()
+        self.sanitize = sanitize
+        #: CEPRSan reporter for serving-layer checks (loop-stall watchdog).
+        self.sanitizer = None
+        self._watchdog = None
+        if sanitize:
+            from repro.sanitize.core import Sanitizer
+
+            self.sanitizer = Sanitizer(scope="serve")
 
         self.stats = ServeStats()
         self.bound_port: int | None = None
@@ -292,6 +311,10 @@ class CEPRServer:
                 pass  # non-main thread or unsupported platform
         if self.shards > 1:
             self._poll_task = self._loop.create_task(self._poll_loop())
+        if self.sanitizer is not None:
+            from repro.sanitize.aio import LoopStallWatchdog
+
+            self._watchdog = LoopStallWatchdog(self.sanitizer).start()
         _log.info(
             "cepr serve listening on %s:%d (%d quer%s, %d shard%s)",
             self.host,
@@ -306,6 +329,9 @@ class CEPRServer:
         try:
             await self._drained.wait()
         finally:
+            if self._watchdog is not None:
+                self._watchdog.stop()
+                self._watchdog = None
             for signum in installed:
                 with contextlib.suppress(Exception):
                     self._loop.remove_signal_handler(signum)
@@ -328,7 +354,9 @@ class CEPRServer:
     def _start_runtime(self) -> None:
         assert self._loop is not None
         if self.shards == 1:
-            engine = CEPREngine(enable_pruning=self.enable_pruning)
+            engine = CEPREngine(
+                enable_pruning=self.enable_pruning, sanitize=self.sanitize
+            )
             runner = ThreadedEngineRunner(
                 engine, max_queue=self.max_queue, batch_size=self.batch_size
             )
@@ -346,6 +374,7 @@ class CEPRServer:
                 enable_pruning=self.enable_pruning,
                 max_queue=self.max_queue,
                 batch_size=self.batch_size,
+                sanitize=self.sanitize,
             )
             for name, text in self.queries.items():
                 sharded.register_query(text, name=name)
@@ -889,4 +918,11 @@ class CEPRServer:
             "Wall time of each blocking submit batch",
             recorder=self._ingest_latency,
         )
+        if self.sanitizer is not None:
+            sanitizer = self.sanitizer
+            registry.counter(
+                "serve_sanitizer_trips_total",
+                "Serving-layer sanitizer trips (loop-stall watchdog)",
+                fn=lambda: sanitizer.total_trips,
+            )
         return registry

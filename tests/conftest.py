@@ -2,14 +2,49 @@
 
 from __future__ import annotations
 
+import os
 from typing import Any, Iterable, Sequence
 
+import hypothesis
 import pytest
 
 from repro import CEPREngine, Event
 from repro.engine.match import Match
 from repro.events.schema import SchemaRegistry
 from repro.runtime.query import RegisteredQuery
+
+# CI runs the property suites under a pinned profile: no wall-clock
+# deadline (shared runners stall unpredictably) and fully printed
+# reproduction blobs.  Select with HYPOTHESIS_PROFILE=ci; local runs keep
+# the default profile and fresh randomization, which is the coverage we
+# want from developer machines (see docs/SANITIZER.md).
+hypothesis.settings.register_profile(
+    "ci", deadline=None, print_blob=True, derandomize=False
+)
+hypothesis.settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "default")
+)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Pin every hypothesis test to HYPOTHESIS_SEED when it is set.
+
+    ``@seed`` composes above ``@given``, so rewrapping the collected test
+    object reproduces CI's exact example sequence locally:
+    ``HYPOTHESIS_SEED=0 pytest tests/property``.
+    """
+    raw = os.environ.get("HYPOTHESIS_SEED")
+    if not raw:
+        return
+    seed = int(raw)
+    for item in items:
+        fn = getattr(item, "obj", None)
+        if fn is None or not getattr(fn, "is_hypothesis_test", False):
+            continue
+        # @seed stamps the wrapped test and returns it, so mutating the
+        # underlying function in place covers both plain functions and
+        # test methods (item.obj is a bound method for class-based tests).
+        hypothesis.seed(seed)(getattr(fn, "__func__", fn))
 
 
 def ev(event_type: str, ts: float, **attrs: Any) -> Event:

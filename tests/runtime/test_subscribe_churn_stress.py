@@ -1,0 +1,133 @@
+"""Stress: SUBSCRIBE fan-out under REGISTER/UNREGISTER churn, sanitizer on.
+
+Producer threads push events through a :class:`ThreadedEngineRunner`
+while the main thread churns dynamic queries and subscriptions through
+the pause-protected control surface.  The engine runs with the sanitizer
+in raise mode, so any invariant violation (a shared-index refcount leak,
+a cross-thread mutation, a broken ranking) kills the consumer thread and
+fails the test through ``runner.failure`` — the pass criterion is zero
+trips, correct fan-out counts, and no stale subscriber state left behind.
+"""
+
+import threading
+
+from repro import CEPREngine, Event
+from repro.runtime.concurrent import ThreadedEngineRunner
+
+BASE = """
+    NAME base
+    PATTERN SEQ(A a)
+    WHERE a.x > 0
+    WITHIN 10 EVENTS
+    RANK BY a.x DESC
+    LIMIT 3
+    EMIT EAGER
+"""
+
+CHURN = """
+    PATTERN SEQ(A a, B b)
+    WHERE a.x > 0
+    WITHIN 10 EVENTS
+    RANK BY b.x DESC
+    LIMIT 2
+    EMIT ON WINDOW CLOSE
+"""
+
+PRODUCERS = 2
+EVENTS_PER_PRODUCER = 300
+CHURN_ROUNDS = 25
+
+
+def test_subscribe_fanout_survives_registration_churn():
+    engine = CEPREngine(sanitize=True)
+    runner = ThreadedEngineRunner(engine, max_queue=512, batch_size=32)
+    engine.register_query(BASE)
+
+    fanout = [[], [], []]
+    subscriptions = [
+        engine.subscribe("base", fanout[i].append) for i in range(3)
+    ]
+
+    def produce(worker_index):
+        base_ts = worker_index * 100_000.0
+        for i in range(EVENTS_PER_PRODUCER):
+            event_type = "A" if i % 2 == 0 else "B"
+            runner.submit(Event(event_type, base_ts + i, x=i % 7 + 1))
+
+    with runner:
+        producers = [
+            threading.Thread(target=produce, args=(i,))
+            for i in range(PRODUCERS)
+        ]
+        for producer in producers:
+            producer.start()
+
+        # Churn: overlapping register/subscribe/unregister cycles racing
+        # the producers.  Each round keeps the previous round's query
+        # alive so shared-index entries are co-owned when released.
+        churn_counts = {}
+        live = []
+        for round_ in range(CHURN_ROUNDS):
+            name = f"churn_{round_}"
+            runner.register_query(CHURN, name=name)
+            subscription = runner.subscribe(name, lambda emission: None)
+            live.append((name, subscription))
+            if len(live) > 2:
+                gone_name, gone_sub = live.pop(0)
+                runner.unregister_query(gone_name)
+                churn_counts[gone_name] = gone_sub.emissions_accepted
+        for name, subscription in live:
+            runner.unregister_query(name)
+            churn_counts[name] = subscription.emissions_accepted
+
+        for producer in producers:
+            producer.join()
+        runner.sync()
+
+        # Unregistered queries must not receive further deliveries.
+        for name, subscription in live:
+            assert subscription.emissions_accepted == churn_counts[name]
+
+    assert runner.failure is None
+    assert runner.events_processed == PRODUCERS * EVENTS_PER_PRODUCER
+    assert engine.sanitizer.total_trips == 0
+
+    # Fan-out: every base subscriber saw the identical emission sequence.
+    assert len(fanout[0]) > 0
+    assert [e.at_seq for e in fanout[0]] == [e.at_seq for e in fanout[1]]
+    assert [e.at_seq for e in fanout[1]] == [e.at_seq for e in fanout[2]]
+    for subscription, delivered in zip(subscriptions, fanout):
+        assert subscription.emissions_accepted == len(delivered)
+
+    # No stale shared-index state: after the base query goes, the
+    # refcounted predicate/prefix index must be empty.
+    engine.unregister_query("base")
+    assert engine.shared.is_empty()
+    assert engine.sanitizer.total_trips == 0
+
+
+def test_churn_under_cancelled_subscriptions_leaves_no_stale_sinks():
+    engine = CEPREngine(sanitize=True)
+    runner = ThreadedEngineRunner(engine, batch_size=8)
+    handle = engine.register_query(BASE)
+    keep, drop = [], []
+    kept = engine.subscribe("base", keep.append)
+    cancelled = engine.subscribe("base", drop.append)
+
+    with runner:
+        for i in range(40):
+            runner.submit(Event("A", float(i), x=i % 5 + 1))
+        runner.sync()
+        dropped_at = cancelled.emissions_accepted
+        cancelled.cancel()
+        for i in range(40, 80):
+            runner.submit(Event("A", float(i), x=i % 5 + 1))
+        runner.sync()
+
+    assert runner.failure is None
+    assert engine.sanitizer.total_trips == 0
+    assert cancelled.emissions_accepted == dropped_at
+    assert kept.emissions_accepted > dropped_at
+    # The cancelled subscription is detached from the query's sink list.
+    assert cancelled not in handle.sinks
+    assert kept in handle.sinks

@@ -1,0 +1,17 @@
+"""Sanitize-suite fixtures: never leak a flipped global switch."""
+
+import pytest
+
+from repro.sanitize.core import refresh_from_env
+
+
+@pytest.fixture(autouse=True)
+def _restore_sanitizer_switch():
+    """Tests flip the module switch; restore it to the environment after.
+
+    Under a plain run this re-disables the sanitizer; under the CI
+    sanitize-smoke job (``CEPR_SANITIZE=1``) it re-enables it, so the rest
+    of the suite keeps the mode it was launched with either way.
+    """
+    yield
+    refresh_from_env()

@@ -1,0 +1,203 @@
+"""Lock-order race detection and contention accounting."""
+
+import threading
+
+import pytest
+
+from repro.observability.registry import MetricsRegistry
+from repro.sanitize import (
+    LockOrderGraph,
+    Sanitizer,
+    SanitizerError,
+    TrackedLock,
+    default_lock_sanitizer,
+    disable_sanitizer,
+    enable_sanitizer,
+    register_lock_metrics,
+    tracked_lock,
+)
+
+
+def fresh_pair():
+    """A private graph + log-mode sanitizer, isolated from the defaults."""
+    return LockOrderGraph(), Sanitizer(scope="test-locks", mode="log")
+
+
+def make(name, graph, san):
+    return TrackedLock(name, graph=graph, sanitizer=san)
+
+
+class TestFactory:
+    def test_disabled_returns_plain_lock(self):
+        disable_sanitizer()
+        lock = tracked_lock("factory.off")
+        assert not isinstance(lock, TrackedLock)
+        assert isinstance(lock, type(threading.Lock()))
+
+    def test_enabled_returns_tracked_lock(self):
+        enable_sanitizer()
+        lock = tracked_lock("factory.on")
+        assert isinstance(lock, TrackedLock)
+        assert lock.name == "factory.on"
+
+    def test_explicit_sanitizer_forces_tracking(self):
+        disable_sanitizer()
+        _, san = fresh_pair()
+        lock = tracked_lock("factory.forced", sanitizer=san)
+        assert isinstance(lock, TrackedLock)
+
+    def test_default_sanitizer_is_shared(self):
+        assert default_lock_sanitizer() is default_lock_sanitizer()
+
+
+class TestLockSemantics:
+    def test_context_manager_and_locked(self):
+        graph, san = fresh_pair()
+        lock = make("sem.a", graph, san)
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        assert not lock.locked()
+        assert lock.acquisitions == 1
+        assert lock.contended == 0
+
+    def test_nonblocking_acquire_failure_is_not_an_acquisition(self):
+        graph, san = fresh_pair()
+        lock = make("sem.b", graph, san)
+        lock.acquire()
+        assert lock.acquire(blocking=False) is False
+        assert lock.acquisitions == 1
+        lock.release()
+        assert lock.acquire(blocking=False) is True
+        lock.release()
+        assert lock.acquisitions == 2
+
+    def test_out_of_order_release_is_legal(self):
+        graph, san = fresh_pair()
+        a, b = make("sem.c", graph, san), make("sem.d", graph, san)
+        a.acquire()
+        b.acquire()
+        a.release()  # release in non-nested order
+        b.release()
+        with a:
+            pass  # held stack stayed coherent
+        assert san.total_trips == 0
+
+    def test_contended_acquire_records_wait(self):
+        graph, san = fresh_pair()
+        lock = make("sem.e", graph, san)
+        holding = threading.Event()
+        release = threading.Event()
+
+        def holder():
+            with lock:
+                holding.set()
+                release.wait()
+
+        worker = threading.Thread(target=holder)
+        worker.start()
+        holding.wait()
+        threading.Timer(0.05, release.set).start()
+        assert lock.acquire() is True  # blocks until the holder lets go
+        lock.release()
+        worker.join()
+        assert lock.acquisitions == 2
+        assert lock.contended == 1
+        # Every acquisition lands in the wait distribution (zeros included).
+        assert lock.wait_times.count == 2
+
+
+class TestLockOrderGraph:
+    def test_inversion_across_two_threads_trips(self):
+        graph, san = fresh_pair()
+        a, b = make("ord.a", graph, san), make("ord.b", graph, san)
+
+        def forward():
+            with a:
+                with b:
+                    pass
+
+        t = threading.Thread(target=forward)
+        t.start()
+        t.join()
+        with b:
+            with a:  # inverted order: closes the a->b->a cycle
+                pass
+        assert san.trips["lock-order-cycle"] == 1
+
+    def test_cycle_reported_once_per_signature(self):
+        graph, san = fresh_pair()
+        a, b = make("dedup.a", graph, san), make("dedup.b", graph, san)
+        with a:
+            with b:
+                pass
+        for _ in range(3):
+            with b:
+                with a:
+                    pass
+        assert san.trips["lock-order-cycle"] == 1
+
+    def test_three_lock_cycle(self):
+        graph, san = fresh_pair()
+        a = make("tri.a", graph, san)
+        b = make("tri.b", graph, san)
+        c = make("tri.c", graph, san)
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with a:
+                pass
+        assert san.trips["lock-order-cycle"] == 1
+
+    def test_consistent_order_never_trips(self):
+        graph, san = fresh_pair()
+        a, b, c = (make(f"ok.{i}", graph, san) for i in "abc")
+        for _ in range(5):
+            with a:
+                with b:
+                    with c:
+                        pass
+        assert san.total_trips == 0
+        edges = graph.edges()
+        assert edges["ok.a"] >= {"ok.b"}
+        assert edges["ok.b"] >= {"ok.c"}
+
+    def test_raise_mode_surfaces_the_cycle(self):
+        graph = LockOrderGraph()
+        san = Sanitizer(scope="test-locks", mode="raise")
+        a, b = make("raise.a", graph, san), make("raise.b", graph, san)
+        with a:
+            with b:
+                pass
+        with pytest.raises(SanitizerError, match="lock-order cycle"):
+            with b:
+                with a:
+                    pass
+
+
+class TestLockMetrics:
+    def test_plain_lock_is_a_noop(self):
+        registry = MetricsRegistry()
+        register_lock_metrics(registry, threading.Lock())
+        assert registry.collect() == []
+
+    def test_tracked_lock_registers_counters_and_histogram(self):
+        graph, san = fresh_pair()
+        lock = make("metrics.lock", graph, san)
+        with lock:
+            pass
+        registry = MetricsRegistry()
+        register_lock_metrics(registry, lock, shard="0")
+        samples = {
+            sample.name: sample for sample in registry.collect()
+        }
+        assert samples["lock_acquisitions_total"].value == 1
+        assert samples["lock_acquisitions_total"].labels == {
+            "lock": "metrics.lock", "shard": "0",
+        }
+        assert samples["lock_contended_total"].value == 0
+        assert samples["lock_wait_seconds"].count == 1

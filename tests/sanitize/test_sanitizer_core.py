@@ -1,0 +1,198 @@
+"""CEPRSan core: the switch, reporting modes, and thread affinity."""
+
+import threading
+
+import pytest
+
+from repro import CEPREngine, Event
+from repro.sanitize import (
+    Sanitizer,
+    SanitizerError,
+    ThreadAffinity,
+    disable_sanitizer,
+    enable_sanitizer,
+    release_affinity,
+    sanitizer_enabled,
+    sanitizer_mode,
+)
+from repro.sanitize.core import ENV_VAR, refresh_from_env
+
+EVERY = """
+    PATTERN SEQ(A a)
+    WITHIN 10 EVENTS
+    RANK BY a.x DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+
+class TestSwitch:
+    def test_enable_disable_round_trip(self):
+        disable_sanitizer()
+        assert not sanitizer_enabled()
+        assert sanitizer_mode() is None
+        enable_sanitizer()
+        assert sanitizer_enabled()
+        assert sanitizer_mode() == "raise"
+        enable_sanitizer(mode="log")
+        assert sanitizer_mode() == "log"
+        disable_sanitizer()
+        assert not sanitizer_enabled()
+
+    def test_enable_rejects_unknown_mode(self):
+        with pytest.raises(ValueError, match="'raise' or 'log'"):
+            enable_sanitizer(mode="warn")
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("", None),
+            ("0", None),
+            ("off", None),
+            ("false", None),
+            ("no", None),
+            ("1", "raise"),
+            ("true", "raise"),
+            ("raise", "raise"),
+            ("log", "log"),
+            ("LOG", "log"),
+        ],
+    )
+    def test_refresh_from_env(self, monkeypatch, raw, expected):
+        monkeypatch.setenv(ENV_VAR, raw)
+        refresh_from_env()
+        assert sanitizer_mode() == expected
+
+    def test_refresh_with_unset_env_disables(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        refresh_from_env()
+        assert not sanitizer_enabled()
+
+
+class TestSanitizerReporting:
+    def test_raise_mode_raises_and_counts(self):
+        disable_sanitizer()
+        san = Sanitizer(scope="test", mode="raise")
+        with pytest.raises(SanitizerError, match=r"\[some-check\] boom"):
+            san.trip("some-check", "boom", detail=1)
+        assert san.trips["some-check"] == 1
+        assert san.total_trips == 1
+
+    def test_log_mode_counts_without_raising(self):
+        san = Sanitizer(scope="test", mode="log")
+        san.trip("a-check", "first")
+        san.trip("a-check", "second")
+        san.trip("b-check", "third")
+        assert san.trips == {"a-check": 2, "b-check": 1}
+        assert san.total_trips == 3
+
+    def test_sanitizer_error_is_an_assertion_error(self):
+        assert issubclass(SanitizerError, AssertionError)
+
+    def test_unpinned_mode_follows_global_switch(self):
+        san = Sanitizer(scope="test")
+        enable_sanitizer(mode="log")
+        assert san.mode == "log"
+        enable_sanitizer(mode="raise")
+        assert san.mode == "raise"
+        disable_sanitizer()
+        # An engine built while enabled may outlive a disable; trips
+        # must still fail loudly rather than silently pass.
+        assert san.mode == "raise"
+
+
+class TestThreadAffinity:
+    def test_owner_thread_is_free_to_mutate(self):
+        san = Sanitizer(scope="test", mode="log")
+        affinity = ThreadAffinity(san, "widget")
+        affinity.check("push")
+        affinity.check("push")
+        affinity.check("flush")
+        assert san.total_trips == 0
+
+    def test_second_live_thread_trips(self):
+        san = Sanitizer(scope="test", mode="log")
+        affinity = ThreadAffinity(san, "widget")
+        affinity.check("push")  # main thread claims ownership
+
+        worker = threading.Thread(target=lambda: affinity.check("push"))
+        worker.start()
+        worker.join()
+        assert san.trips["cross-thread-mutation"] == 1
+
+    def test_release_allows_handoff(self):
+        san = Sanitizer(scope="test", mode="log")
+        affinity = ThreadAffinity(san, "widget")
+        affinity.check("push")
+        affinity.release()
+
+        worker = threading.Thread(target=lambda: affinity.check("push"))
+        worker.start()
+        worker.join()
+        assert san.total_trips == 0
+
+    def test_dead_owner_is_reclaimable(self):
+        san = Sanitizer(scope="test", mode="log")
+        affinity = ThreadAffinity(san, "widget")
+        worker = threading.Thread(target=lambda: affinity.check("push"))
+        worker.start()
+        worker.join()
+        # The owning thread exited: the next mutator inherits ownership.
+        affinity.check("push")
+        assert san.total_trips == 0
+
+    def test_release_affinity_helper_tolerates_plain_objects(self):
+        release_affinity(object())  # no 'affinity' attribute: no-op
+        engine = CEPREngine(sanitize=True)
+        assert engine.affinity is not None
+        engine.push(Event("A", 1.0, x=1))
+        release_affinity(engine)
+        worker = threading.Thread(target=lambda: engine.push(Event("A", 2.0, x=2)))
+        worker.start()
+        worker.join()
+        assert engine.sanitizer.total_trips == 0
+
+
+class TestEngineWiring:
+    def test_disabled_engine_is_structurally_untouched(self):
+        engine = CEPREngine(sanitize=False)
+        assert engine.sanitizer is None
+        assert not hasattr(engine, "affinity")
+        # No instance-attribute wrappers shadow the class hot-path methods.
+        for name in ("_dispatch", "advance_time", "flush", "snapshot",
+                     "register_query", "unregister_query", "restore"):
+            assert name not in vars(engine)
+
+    def test_explicit_param_overrides_global_switch(self):
+        enable_sanitizer()
+        assert CEPREngine(sanitize=False).sanitizer is None
+        disable_sanitizer()
+        assert CEPREngine(sanitize=True).sanitizer is not None
+
+    def test_default_follows_global_switch(self):
+        disable_sanitizer()
+        assert CEPREngine().sanitizer is None
+        enable_sanitizer()
+        assert CEPREngine().sanitizer is not None
+
+    def test_clean_run_has_zero_trips(self):
+        engine = CEPREngine(sanitize=True)
+        engine.register_query(EVERY)
+        engine.run(Event("A", float(ts), x=ts) for ts in range(1, 30))
+        state = engine.snapshot()  # exercises the round-trip self-check
+        assert state
+        assert engine.sanitizer.total_trips == 0
+
+    def test_metrics_expose_trip_counter(self):
+        engine = CEPREngine(sanitize=True)
+        engine.push(Event("A", 1.0, x=1))
+        samples = {
+            (sample.name, tuple(sorted(sample.labels.items()))): sample.value
+            for sample in engine.metrics_registry().collect()
+        }
+        assert samples[("sanitizer_trips_total", ())] == 0
+
+    def test_disabled_metrics_omit_trip_counter(self):
+        engine = CEPREngine(sanitize=False)
+        names = {sample.name for sample in engine.metrics_registry().collect()}
+        assert "sanitizer_trips_total" not in names

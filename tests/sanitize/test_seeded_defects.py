@@ -1,0 +1,258 @@
+"""Detection power: every sanitizer check catches its seeded defect.
+
+Each test injects one representative bug of the class the check guards
+against — an unsound interval evaluator, a broken top-k insert, a
+refcount leak, a lock-order inversion, a cross-thread mutation, a lossy
+restore, a rewound sequencer, a stale activity cache, a blocked event
+loop — and asserts the corresponding trip fires.  Together with the
+clean-run zero-trip assertions (and the whole suite running under
+``CEPR_SANITIZE=1`` in CI), this is the evidence the sanitizer detects
+real defects without false positives.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro import CEPREngine, Event
+from repro.engine.matcher import PatternMatcher
+from repro.language.intervals import Interval, IntervalEvaluator
+from repro.ranking.topk import EpochTopK
+from repro.runtime.router import SharedExecutionIndex
+from repro.sanitize import Sanitizer, SanitizerError
+from repro.sanitize.aio import LoopStallWatchdog
+from repro.workloads.stock import StockWorkload
+
+RANKED = """
+    PATTERN SEQ(A a)
+    WITHIN 5 EVENTS
+    RANK BY a.x DESC
+    LIMIT 2
+    EMIT ON WINDOW CLOSE
+"""
+
+PAIR = """
+    PATTERN SEQ(A a, B b)
+    WHERE a.x > 0
+    WITHIN 10 EVENTS
+    RANK BY b.x DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+PRUNED = """
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 40 EVENTS
+    USING SKIP_TILL_ANY
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def log_engine(**kwargs):
+    """A sanitized engine whose trips count instead of raising."""
+    engine = CEPREngine(sanitize=True, **kwargs)
+    engine.sanitizer._mode = "log"
+    return engine
+
+
+def stream(n, start=1):
+    return [Event("A", float(ts), x=ts) for ts in range(start, start + n)]
+
+
+class TestScoreBound:
+    def test_unsound_interval_evaluator_trips(self, monkeypatch):
+        # Seeded defect: the evaluator claims every numeric expression is
+        # exactly 0 — the justification score-bound pruning trusts is now
+        # unsound, and emitted scores escape their interval.
+        monkeypatch.setattr(
+            IntervalEvaluator, "bound", lambda self, expr: Interval(0.0, 0.0)
+        )
+        workload = StockWorkload(seed=11)
+        engine = log_engine(registry=workload.registry())
+        engine.register_query(PRUNED)
+        engine.run(workload.events(400))
+        engine.flush()
+        assert engine.sanitizer.trips["score-bound"] > 0
+
+    def test_sound_evaluator_is_quiet(self):
+        workload = StockWorkload(seed=11)
+        engine = log_engine(registry=workload.registry())
+        engine.register_query(PRUNED)
+        engine.run(workload.events(400))
+        engine.flush()
+        assert engine.sanitizer.total_trips == 0
+
+
+class TestRankingOrder:
+    def test_broken_topk_insert_trips(self, monkeypatch):
+        # Seeded defect: insert appends in arrival order and never evicts,
+        # so emitted rankings are unsorted and overflow LIMIT.
+        def broken_insert(self, match):
+            self._keys.append(match.sort_key())
+            self._matches.append(match)
+            return True
+
+        monkeypatch.setattr(EpochTopK, "insert", broken_insert)
+        engine = log_engine()
+        engine.register_query(RANKED)
+        engine.run(stream(12))
+        engine.flush()
+        assert engine.sanitizer.trips["ranking-order"] > 0
+
+
+class TestSharedIndexCoherence:
+    def test_refcount_leak_after_unregister_trips(self, monkeypatch):
+        # Seeded defect: UNREGISTER forgets to release index entries.
+        monkeypatch.setattr(
+            SharedExecutionIndex, "remove_query", lambda self, query: None
+        )
+        engine = log_engine()
+        engine.register_query(PAIR, name="q1")
+        engine.register_query(PAIR, name="q2")
+        engine.unregister_query("q1")
+        assert engine.sanitizer.trips["shared-index-coherence"] > 0
+
+    def test_clean_churn_is_quiet(self):
+        engine = log_engine()
+        for round_ in range(3):
+            engine.register_query(PAIR, name=f"q{round_}")
+        for round_ in range(3):
+            engine.unregister_query(f"q{round_}")
+        assert engine.sanitizer.total_trips == 0
+        assert engine.shared.is_empty()
+
+
+class TestCrossThreadMutation:
+    def test_unsynchronized_second_thread_trips(self):
+        engine = log_engine()
+        engine.push(Event("A", 1.0, x=1))  # main thread claims the engine
+
+        def intrude():
+            engine.push(Event("A", 2.0, x=2))
+
+        worker = threading.Thread(target=intrude)
+        worker.start()
+        worker.join()
+        assert engine.sanitizer.trips["cross-thread-mutation"] == 1
+
+    def test_raise_mode_surfaces_in_the_intruding_thread(self):
+        engine = CEPREngine(sanitize=True)  # default raise mode
+        engine.push(Event("A", 1.0, x=1))
+        caught = []
+
+        def intrude():
+            try:
+                engine.push(Event("A", 2.0, x=2))
+            except SanitizerError as exc:
+                caught.append(exc)
+
+        worker = threading.Thread(target=intrude)
+        worker.start()
+        worker.join()
+        assert len(caught) == 1
+        assert "cross-thread-mutation" in str(caught[0])
+
+
+class TestSnapshotRoundTrip:
+    def test_lossy_restore_trips(self, monkeypatch):
+        # Seeded defect: the sequencer codec loses the assignment position.
+        from repro.events.time import SequenceAssigner
+
+        def lossy_restore(self, state):
+            self._next_seq = 0
+            self._last_timestamp = None
+
+        engine = log_engine()
+        engine.register_query(RANKED)
+        engine.run(stream(4))
+        monkeypatch.setattr(SequenceAssigner, "restore", lossy_restore)
+        engine.snapshot()
+        assert engine.sanitizer.trips["snapshot-roundtrip"] == 1
+
+    def test_faithful_codec_is_quiet(self):
+        engine = log_engine()
+        engine.register_query(RANKED)
+        engine.run(stream(4))
+        engine.snapshot()
+        assert engine.sanitizer.total_trips == 0
+
+
+class TestSeqMonotonicity:
+    def test_rewound_sequencer_trips(self):
+        engine = log_engine()
+        for event in stream(3):
+            engine.push(event)
+        engine._sequencer._next_seq = 0  # seeded defect: position rewinds
+        engine.push(Event("A", 4.0, x=4))
+        assert engine.sanitizer.trips["seq-monotonicity"] == 1
+
+
+class TestMatcherActivityCache:
+    def test_stale_cache_trips(self, monkeypatch):
+        # Seeded defect: the O(1) activity caches are never refreshed, so
+        # the quiescent-skip gate would elide live work.
+        monkeypatch.setattr(PatternMatcher, "_refresh_activity", lambda self: 0)
+        engine = log_engine()
+        engine.register_query(PAIR)
+        engine.push(Event("A", 1.0, x=1))  # starts a live run; cache says 0
+        assert engine.sanitizer.trips["matcher-activity-cache"] > 0
+
+
+class TestRunInvariants:
+    def test_dangling_binding_trips(self):
+        engine = log_engine()
+        handle = engine.register_query(PAIR)
+        engine.push(Event("A", 1.0, x=1))
+        run = next(iter(handle.matcher.iter_runs()))
+        run.bindings["zz_unknown"] = run.bindings["a"]  # seeded corruption
+        engine.push(Event("A", 2.0, x=2))
+        assert engine.sanitizer.trips["dangling-binding"] > 0
+
+    def test_inverted_run_span_trips(self):
+        engine = log_engine()
+        handle = engine.register_query(PAIR)
+        engine.push(Event("A", 1.0, x=1))
+        run = next(iter(handle.matcher.iter_runs()))
+        object.__setattr__(run, "first_seq", run.last_seq + 5)
+        engine.push(Event("A", 2.0, x=2))
+        assert engine.sanitizer.trips["run-monotonicity"] > 0
+
+
+class TestEventLoopBlocked:
+    def test_blocking_call_on_the_loop_trips(self):
+        san = Sanitizer(scope="serve-test", mode="log")
+
+        async def scenario():
+            watchdog = LoopStallWatchdog(san, threshold=0.15, tick=0.02).start()
+            try:
+                await asyncio.sleep(0.05)
+                time.sleep(0.5)  # the defect: blocks the loop thread
+                await asyncio.sleep(0.1)
+            finally:
+                watchdog.stop()
+            return watchdog
+
+        watchdog = asyncio.run(scenario())
+        assert san.trips["event-loop-blocked"] >= 1
+        assert watchdog.stalls >= 1
+        assert watchdog.worst_gap > 0.15
+
+    def test_healthy_loop_is_quiet(self):
+        san = Sanitizer(scope="serve-test", mode="log")
+
+        async def scenario():
+            watchdog = LoopStallWatchdog(san, threshold=0.25, tick=0.02).start()
+            try:
+                for _ in range(10):
+                    await asyncio.sleep(0.02)
+            finally:
+                watchdog.stop()
+
+        asyncio.run(scenario())
+        assert san.total_trips == 0

@@ -1,0 +1,163 @@
+"""The CEPR6xx codebase self-lint (``cepr lint --self``)."""
+
+import textwrap
+
+from repro.language.analysis.diagnostics import Severity
+from repro.sanitize.selflint import lint_file, run_selflint
+
+
+def lint_source(tmp_path, source, deterministic=True, relpath="repro/mod.py"):
+    path = tmp_path / "mod.py"
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, relpath, deterministic)
+
+
+def codes(diagnostics):
+    return [diagnostic.code for diagnostic in diagnostics]
+
+
+class TestWallClockRule:
+    def test_time_time_in_deterministic_path(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            def score():
+                return time.time()
+        """)
+        assert codes(found) == ["CEPR601"]
+        assert found[0].severity is Severity.ERROR
+        assert found[0].span == "repro/mod.py:5:12"
+        assert "time.time" in found[0].message
+
+    def test_datetime_now_and_random(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import datetime
+            import random
+
+            def jitter():
+                stamp = datetime.datetime.now()
+                return random.random(), stamp
+        """)
+        assert codes(found) == ["CEPR601", "CEPR601"]
+
+    def test_perf_counter_flagged(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            def timing():
+                return time.perf_counter()
+        """)
+        assert codes(found) == ["CEPR601"]
+
+    def test_non_deterministic_package_is_exempt(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            def timing():
+                return time.perf_counter()
+        """, deterministic=False)
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            def timing():
+                return time.time()  # san: allow-wallclock
+        """)
+        assert found == []
+
+
+class TestAsyncBlockingRule:
+    def test_time_sleep_in_async_def(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            async def handler():
+                time.sleep(1.0)
+        """, deterministic=False)
+        assert codes(found) == ["CEPR602"]
+
+    def test_open_and_subprocess_in_async_def(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import subprocess
+
+            async def handler():
+                with open("f") as fh:
+                    fh.read()
+                subprocess.run(["true"])
+        """, deterministic=False)
+        assert codes(found) == ["CEPR602", "CEPR602"]
+
+    def test_sync_helper_nested_in_async_is_exempt(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            async def handler():
+                def helper():
+                    time.sleep(1.0)
+                return helper
+        """, deterministic=False)
+        assert found == []
+
+    def test_blocking_call_in_sync_def_is_fine(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            def worker():
+                time.sleep(0.1)
+        """, deterministic=False)
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import time
+
+            async def handler():
+                time.sleep(1.0)  # san: allow-blocking
+        """, deterministic=False)
+        assert found == []
+
+
+class TestRawLockRule:
+    def test_threading_lock_flagged_everywhere(self, tmp_path):
+        source = """
+            import threading
+
+            lock = threading.Lock()
+        """
+        assert codes(lint_source(tmp_path, source)) == ["CEPR603"]
+        assert codes(lint_source(tmp_path, source, deterministic=False)) == [
+            "CEPR603"
+        ]
+
+    def test_rlock_and_condition_flagged(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import threading
+
+            a = threading.RLock()
+            b = threading.Condition()
+        """, deterministic=False)
+        assert codes(found) == ["CEPR603", "CEPR603"]
+
+    def test_tracked_lock_is_fine(self, tmp_path):
+        found = lint_source(tmp_path, """
+            from repro.sanitize.locks import tracked_lock
+
+            lock = tracked_lock("mymodule.state")
+        """, deterministic=False)
+        assert found == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        found = lint_source(tmp_path, """
+            import threading
+
+            lock = threading.Lock()  # san: allow-raw-lock (wrapper internals)
+        """, deterministic=False)
+        assert found == []
+
+
+class TestTreeLint:
+    def test_live_tree_is_clean(self):
+        """The shipped source passes its own lint — the CI gate."""
+        assert run_selflint() == []
