@@ -1,0 +1,121 @@
+"""Flight-recorder postmortem demo — black-box artifacts from a live server.
+
+Boots ``cepr serve --flightrec`` as a subprocess (the armed black box),
+streams a workload through the TCP client, then exercises both artifact
+paths an operator relies on:
+
+1. an **on-demand** dump — ``cepr flightrec dump --pid <server>`` sends
+   SIGUSR2 and waits for the artifact to land in the checkpoint dir;
+2. a **kill mid-run** — SIGTERM during active pushing: the drain path
+   flushes one last artifact before the process exits.
+
+Both artifacts must parse (:func:`repro.observability.flightrec.load_artifact`
+validates the schema) and must contain the lead-up history — the
+register marks and emission entries recorded before the signal arrived.
+
+This script is the CI ``flightrec-smoke`` gate.  Run with::
+
+    python examples/flightrec_postmortem.py
+"""
+
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.cli import main as cepr_main
+from repro.observability.flightrec import list_artifacts, load_artifact
+from repro.serve import CEPRClient
+from repro.workloads.stock import StockWorkload
+
+QUERY = """
+    NAME profits
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 100 EVENTS
+    USING SKIP_TILL_ANY
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+
+def start_server(checkpoint_dir: Path) -> tuple[subprocess.Popen, int]:
+    """Launch an armed ``cepr serve`` on a free port; returns (process, port)."""
+    query_file = checkpoint_dir / "profits.ceprql"
+    query_file.write_text(QUERY)
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", str(query_file),
+            "--port", "0",
+            "--flightrec",
+            "--checkpoint-dir", str(checkpoint_dir),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    assert process.stdout is not None
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before becoming ready")
+        matched = re.search(r"listening on [\d.]+:(\d+)", line)
+        if matched:
+            return process, int(matched.group(1))
+
+
+def main() -> None:
+    checkpoint_dir = Path(tempfile.mkdtemp(prefix="cepr-flightrec-"))
+    server, port = start_server(checkpoint_dir)
+    print(f"armed server ready on port {port} (pid {server.pid})")
+
+    with CEPRClient(port=port) as client:
+        client.subscribe("profits", kinds=["window_close"])
+        events = list(StockWorkload(seed=7).events(2_000))
+        client.push_batch(events)
+        client.sync()
+
+        # 1. on-demand dump through the operator CLI (SIGUSR2 under the hood)
+        code = cepr_main(
+            ["flightrec", "dump", "--pid", str(server.pid),
+             "--dir", str(checkpoint_dir), "--wait", "10"]
+        )
+        assert code == 0, "flightrec dump did not produce an artifact"
+        on_demand = list_artifacts(checkpoint_dir)
+        assert on_demand, "no artifact after SIGUSR2"
+        doc = load_artifact(on_demand[-1])
+        print(
+            f"on-demand artifact: reason={doc['reason']} "
+            f"entries={len(doc['entries'])}"
+        )
+        assert doc["reason"] == "sigusr2"
+        kinds = {entry["kind"] for entry in doc["entries"]}
+        assert "register" in kinds, f"lead-up history missing: {kinds}"
+
+        # 2. kill mid-run: keep pushing, then SIGTERM while events are live
+        client.push_batch(events)
+        server.send_signal(signal.SIGTERM)
+        client.drain(timeout=15.0)
+
+    server.wait(timeout=15)
+    print(f"server exited with code {server.returncode}")
+    assert server.returncode == 0
+
+    artifacts = [path for path in list_artifacts(checkpoint_dir)
+                 if path not in on_demand]
+    assert artifacts, "SIGTERM mid-run left no postmortem artifact"
+    doc = load_artifact(artifacts[-1])
+    print(
+        f"postmortem artifact: reason={doc['reason']} "
+        f"recorded={doc['recorded']} entries={len(doc['entries'])}"
+    )
+    assert doc["reason"] == "drain"
+    assert doc["entries"], "postmortem artifact carries no history"
+    print("flight-recorder postmortem OK")
+
+
+if __name__ == "__main__":
+    main()

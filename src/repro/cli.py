@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Eight commands:
+Ten commands:
 
 * ``validate`` — parse and analyse a query file, print its evaluation plan.
 * ``lint`` — statically analyse query files and report coded diagnostics
@@ -14,12 +14,20 @@ Eight commands:
   documented in docs/SERVING.md; SIGTERM drains gracefully.
 * ``stats`` — replay a stream and export the engine's metrics registry as
   Prometheus text (``--prom``), JSON (``--json``), or a plain table;
-  ``--watch`` renders the live monitor while the replay runs;
-  ``--connect HOST:PORT`` fetches the registry from a running
-  ``serve`` instance instead of replaying.
+  ``--watch`` renders the live monitor (with the composite pressure
+  score) while the replay runs; ``--connect HOST:PORT`` fetches the
+  registry from a running ``serve`` instance instead of replaying.
+* ``top`` — per-query cost accounts ranked most-expensive-first (CPU,
+  routed events), from a replay or live from a running ``serve``
+  instance (``--connect``, optionally ``--watch``).
 * ``trace`` — replay a stream with span tracing enabled and print the full
   provenance of an emission (events bound per variable, rank keys, and the
-  run-lifecycle competition that led to it).
+  run-lifecycle competition that led to it); ``--connect`` asks a running
+  ``serve`` instance instead and includes the remote trace contexts
+  stamped by clients (docs/OBSERVABILITY.md).
+* ``flightrec`` — inspect black-box flight-recorder artifacts (``list``,
+  ``show``) or signal a running ``serve --flightrec`` process to dump one
+  on demand (``dump``).
 * ``backtest`` — replay a time slice of a recorded event log against one
   or more candidate queries and compare their result counts.
 * ``demo`` — generate a seeded synthetic workload to a JSONL file, for use
@@ -180,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="resume from the latest valid checkpoint in --checkpoint-dir, "
         "skipping the already-consumed prefix of --events",
     )
+    _add_flightrec_flags(run)
 
     serve = commands.add_parser(
         "serve", help="serve queries over TCP (see docs/SERVING.md)"
@@ -269,6 +278,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="enable the CEPRSan sanitizer and the event-loop watchdog "
         "(equivalent to CEPR_SANITIZE=1; see docs/SANITIZER.md)",
     )
+    serve.add_argument(
+        "--tracing",
+        action="store_true",
+        help="enable span tracing on the engine so TRACE requests include "
+        "run-lifecycle competition tallies (--shards 1 only)",
+    )
+    _add_flightrec_flags(serve)
 
     stats = commands.add_parser(
         "stats", help="replay a stream and export engine metrics"
@@ -315,18 +331,121 @@ def build_parser() -> argparse.ArgumentParser:
         help="monitor refresh interval for --watch (default: 0.5)",
     )
 
+    top = commands.add_parser(
+        "top", help="rank queries by measured cost (CPU, events, runs)"
+    )
+    top.add_argument("query_files", nargs="*", type=Path)
+    top.add_argument(
+        "--events", type=Path, default=None, help="JSONL or CSV event file"
+    )
+    top.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="rank the live cost accounts of a running `serve` instance "
+        "instead of replaying",
+    )
+    top.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="replay partitioned queries across N worker shards (default: 1)",
+    )
+    top.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the ranked accounts as a JSON document",
+    )
+    top.add_argument(
+        "--watch",
+        action="store_true",
+        help="with --connect: refresh the ranking until interrupted",
+    )
+    top.add_argument(
+        "--refresh",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help="refresh interval for --watch (default: 1.0)",
+    )
+    top.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        metavar="N",
+        help="with --watch: stop after N refreshes (default: run forever)",
+    )
+
+    flightrec = commands.add_parser(
+        "flightrec",
+        help="inspect or trigger black-box flight-recorder artifacts",
+    )
+    flightrec_commands = flightrec.add_subparsers(
+        dest="flightrec_command", required=True
+    )
+    flightrec_list = flightrec_commands.add_parser(
+        "list", help="list artifacts in a directory, oldest first"
+    )
+    flightrec_list.add_argument(
+        "--dir", type=Path, required=True, metavar="DIR",
+        help="directory holding cepr-flightrec-*.json artifacts",
+    )
+    flightrec_show = flightrec_commands.add_parser(
+        "show", help="print one artifact (most recent when unnamed)"
+    )
+    flightrec_show.add_argument(
+        "artifact", nargs="?", type=Path, default=None,
+        help="artifact path (default: newest in --dir)",
+    )
+    flightrec_show.add_argument(
+        "--dir", type=Path, default=None, metavar="DIR",
+        help="directory to pick the newest artifact from",
+    )
+    flightrec_show.add_argument(
+        "--tail", type=int, default=None, metavar="N",
+        help="only print the last N ring entries",
+    )
+    flightrec_show.add_argument(
+        "--json", action="store_true",
+        help="print the raw artifact document",
+    )
+    flightrec_dump = flightrec_commands.add_parser(
+        "dump",
+        help="ask a running `serve --flightrec` process (SIGUSR2) to dump",
+    )
+    flightrec_dump.add_argument(
+        "--pid", type=int, required=True, help="server process id"
+    )
+    flightrec_dump.add_argument(
+        "--dir", type=Path, default=None, metavar="DIR",
+        help="artifact directory to wait on (prints the new artifact path)",
+    )
+    flightrec_dump.add_argument(
+        "--wait", type=float, default=5.0, metavar="SECONDS",
+        help="how long to wait for the artifact with --dir (default: 5)",
+    )
+
     trace = commands.add_parser(
         "trace", help="replay a stream and print emission provenance"
     )
-    trace.add_argument("query_files", nargs="+", type=Path)
+    trace.add_argument("query_files", nargs="*", type=Path)
     trace.add_argument(
-        "--events", required=True, type=Path, help="JSONL or CSV event file"
+        "--events", type=Path, default=None, help="JSONL or CSV event file"
+    )
+    trace.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="trace an emission on a running `serve` instance (needs "
+        "--query; includes client-stamped remote trace contexts)",
     )
     trace.add_argument(
         "--query",
         default=None,
         metavar="NAME",
-        help="only trace emissions of this query (default: all queries)",
+        help="only trace emissions of this query (default: all queries; "
+        "required with --connect)",
     )
     trace_select = trace.add_mutually_exclusive_group()
     trace_select.add_argument(
@@ -378,6 +497,26 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _add_flightrec_flags(command: argparse.ArgumentParser) -> None:
+    from repro.observability.flightrec import DEFAULT_BYTE_BUDGET
+
+    command.add_argument(
+        "--flightrec",
+        action="store_true",
+        help="arm the black-box flight recorder: a crash (or SIGUSR2 under "
+        "serve) dumps a postmortem artifact to --checkpoint-dir "
+        "(see docs/OBSERVABILITY.md)",
+    )
+    command.add_argument(
+        "--flightrec-budget",
+        type=int,
+        default=DEFAULT_BYTE_BUDGET,
+        metavar="BYTES",
+        help="byte budget of the flight-recorder ring "
+        f"(default: {DEFAULT_BYTE_BUDGET})",
+    )
+
+
 def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(level=args.log_level, json_lines=args.log_json)
@@ -392,6 +531,10 @@ def main(argv: list[str] | None = None, out: TextIO = sys.stdout) -> int:
             return _cmd_serve(args, out)
         if args.command == "stats":
             return _cmd_stats(args, out)
+        if args.command == "top":
+            return _cmd_top(args, out)
+        if args.command == "flightrec":
+            return _cmd_flightrec(args, out)
         if args.command == "trace":
             return _cmd_trace(args, out)
         if args.command == "backtest":
@@ -553,6 +696,29 @@ def _maybe_checkpoint(store, every: int, consumed: int, last_ts: float,
     )
 
 
+def _install_flightrec(args: argparse.Namespace) -> None:
+    """Arm the process-wide flight recorder when ``--flightrec`` was given.
+
+    Artifacts land in ``--checkpoint-dir`` when set (postmortems next to
+    the state they describe), else the working directory.
+    """
+    if not getattr(args, "flightrec", False):
+        return
+    from repro.observability.flightrec import install_flight_recorder
+
+    install_flight_recorder(
+        byte_budget=args.flightrec_budget,
+        directory=getattr(args, "checkpoint_dir", None),
+    )
+
+
+def _parse_connect(text: str) -> tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError(f"--connect expects HOST:PORT, got {text!r}")
+    return host, int(port_text)
+
+
 def _make_run_sink(args: argparse.Namespace, out: TextIO):
     """The run commands' shared sink: JSONL file or stdout rendering."""
     from repro.runtime.sinks import CallbackSink, JSONLSink
@@ -569,6 +735,7 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         from repro.sanitize import enable_sanitizer
 
         enable_sanitizer()
+    _install_flightrec(args)
     if args.shards > 1:
         return _cmd_run_sharded(args, out)
     from repro.runtime.sinks import close_sink
@@ -600,6 +767,9 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
         # A failure mid-stream must behave like a crash: engine.close()
         # would flush, emitting partial-window results the resumed run
         # will produce again.  Close only the sink.
+        from repro.observability.flightrec import dump_if_armed
+
+        dump_if_armed("run-crash")
         close_sink(sink)
         raise
     engine.close()  # flush + sink flush/close through the engine
@@ -652,6 +822,9 @@ def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
         # A failure mid-stream must behave like a crash: stop() would
         # flush, emitting partial-epoch results the resumed run will
         # produce again.  Tear the fleet down without flushing instead.
+        from repro.observability.flightrec import dump_if_armed
+
+        dump_if_armed("run-crash")
         runner.kill()
         raise
     finally:
@@ -679,6 +852,7 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         from repro.sanitize import enable_sanitizer
 
         enable_sanitizer()
+    _install_flightrec(args)
 
     paths = list(args.query_files) + list(args.query_file or [])
     queries: dict[str, str] = {}
@@ -706,6 +880,7 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         outbound_queue=args.subscriber_queue,
         slow_consumer=args.slow_consumer,
         poll_interval=args.poll_interval,
+        tracing=args.tracing,
     )
 
     def on_ready(ready: CEPRServer) -> None:
@@ -802,12 +977,8 @@ def _stats_remote(args: argparse.Namespace, out: TextIO) -> int:
 
     from repro.serve.client import CEPRClient
 
-    host, _, port_text = args.connect.rpartition(":")
-    if not host or not port_text.isdigit():
-        raise ValueError(
-            f"--connect expects HOST:PORT, got {args.connect!r}"
-        )
-    with CEPRClient(host=host, port=int(port_text)) as client:
+    host, port = _parse_connect(args.connect)
+    with CEPRClient(host=host, port=port) as client:
         doc = client.stats()
     if args.prom:
         out.write(doc["prom"])
@@ -848,11 +1019,13 @@ def _stats_single(args: argparse.Namespace, out: TextIO):
 
         runner = ThreadedEngineRunner(engine).start()
         try:
-            _watch_replay(engine, runner.submit, _load_events(args.events),
+            # The runner (not the bare engine) is the monitor source so
+            # the header shows queue pressure alongside throughput.
+            _watch_replay(runner, runner.submit, _load_events(args.events),
                           args.refresh, out)
         finally:
             runner.stop()
-        _render_monitor_frame(engine, out)
+        _render_monitor_frame(runner, out)
         return runner.metrics_registry()
     for event in _load_events(args.events):
         engine.push(event)
@@ -946,9 +1119,238 @@ def _export_registry(registry, args: argparse.Namespace, out: TextIO) -> None:
             print(f"  {series} {sample.value:g}", file=out)
 
 
+def _cmd_top(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    if args.connect is not None:
+        if args.events is not None or args.query_files:
+            raise ValueError(
+                "--connect ranks a running server's accounts; "
+                "query files and --events do not apply"
+            )
+        return _top_remote(args, out)
+    if args.watch:
+        raise ValueError("top --watch requires --connect")
+    if args.events is None:
+        raise ValueError("top requires --events (or --connect HOST:PORT)")
+    if not args.query_files:
+        raise ValueError("top requires at least one query file")
+    if args.shards < 1:
+        raise ValueError(f"--shards must be >= 1, got {args.shards}")
+
+    from repro.observability.cost import rank_accounts
+
+    if args.shards > 1:
+        from repro.language.analysis import run_analysis
+        from repro.runtime.sharded import ShardedEngineRunner
+
+        runner = ShardedEngineRunner(shards=args.shards)
+        for path in args.query_files:
+            view = runner.register_query(path.read_text(), name=path.stem)
+            _report_diagnostics(str(path), run_analysis(view.analyzed))
+        runner.start()
+        try:
+            runner.submit_all(_load_events(args.events))
+            runner.flush()
+        finally:
+            runner.stop()
+        accounts = rank_accounts(runner.cost_accounts().values())
+        pressure = runner.pressure().to_dict()
+    else:
+        engine = CEPREngine()
+        for path in args.query_files:
+            handle = engine.register_query(path.read_text(), name=path.stem)
+            _report_diagnostics(str(path), handle.diagnostics)
+        for event in _load_events(args.events):
+            engine.push(event)
+        engine.flush()
+        accounts = rank_accounts(engine.cost_accounts().values())
+        pressure = None
+
+    docs = [account.to_dict() for account in accounts]
+    if args.json:
+        print(
+            json.dumps(
+                {"cost_accounts": docs, "pressure": pressure}, indent=2
+            ),
+            file=out,
+        )
+        return 0
+    _render_top(docs, pressure, out)
+    return 0
+
+
+def _top_remote(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+    import time
+
+    from repro.serve.client import CEPRClient
+
+    host, port = _parse_connect(args.connect)
+    with CEPRClient(host=host, port=port) as client:
+        iteration = 0
+        while True:
+            doc = client.stats()
+            if args.json:
+                print(
+                    json.dumps(
+                        {
+                            "cost_accounts": doc["cost_accounts"],
+                            "pressure": doc["pressure"],
+                        },
+                        indent=2,
+                    ),
+                    file=out,
+                )
+            else:
+                _render_top(doc["cost_accounts"], doc["pressure"], out)
+            if not args.watch:
+                return 0
+            iteration += 1
+            if args.iterations is not None and iteration >= args.iterations:
+                return 0
+            out.flush()
+            try:
+                time.sleep(args.refresh)
+            except KeyboardInterrupt:
+                return 0
+
+
+def _render_top(
+    accounts: list[dict], pressure: dict | None, out: TextIO
+) -> None:
+    """The ranked cost-account table (`cepr top`'s text mode)."""
+    header = f"-- cepr top: {len(accounts)} quer(ies) by cost --"
+    if pressure:
+        header += (
+            f"  pressure={pressure.get('level', 0.0):.2f} "
+            f"[{pressure.get('state', 'ok')}]"
+        )
+    print(header, file=out)
+    if not accounts:
+        print("  (no queries registered)", file=out)
+        return
+    width = max(5, max(len(doc["query"]) for doc in accounts))
+    print(
+        f"  {'QUERY':<{width}} {'CPU(ms)':>9} {'us/ev':>8} {'EVENTS':>8} "
+        f"{'RUNS +/~/-':>16} {'PRUNE%':>7} {'SHARED h/m':>12} {'HIT%':>5} "
+        f"{'MATCH':>6}",
+        file=out,
+    )
+    for doc in accounts:
+        runs = (
+            f"{doc['runs_created']}/{doc['runs_extended']}"
+            f"/{doc['runs_killed']}"
+        )
+        shared = f"{doc['shared_hits']}/{doc['shared_misses']}"
+        print(
+            f"  {doc['query']:<{width}} "
+            f"{doc['cpu_seconds'] * 1e3:>9.2f} "
+            f"{doc['cpu_per_event_us']:>8.1f} "
+            f"{doc['events_routed']:>8} "
+            f"{runs:>16} "
+            f"{doc['prune_ratio'] * 100:>6.0f}% "
+            f"{shared:>12} "
+            f"{doc['hit_ratio'] * 100:>4.0f}% "
+            f"{doc['matches']:>6}",
+            file=out,
+        )
+
+
+def _cmd_flightrec(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from repro.observability.flightrec import list_artifacts
+
+    if args.flightrec_command == "list":
+        artifacts = list_artifacts(args.dir)
+        if not artifacts:
+            print(f"(no flight-recorder artifacts in {args.dir})", file=out)
+            return 1
+        for path in artifacts:
+            doc = json.loads(path.read_text())
+            print(
+                f"{path}  reason={doc.get('reason', '?')} "
+                f"entries={len(doc.get('entries', []))} "
+                f"bytes={path.stat().st_size}",
+                file=out,
+            )
+        return 0
+
+    if args.flightrec_command == "show":
+        path = args.artifact
+        if path is None:
+            if args.dir is None:
+                raise ValueError("flightrec show needs an artifact or --dir")
+            artifacts = list_artifacts(args.dir)
+            if not artifacts:
+                print(
+                    f"(no flight-recorder artifacts in {args.dir})", file=out
+                )
+                return 1
+            path = artifacts[-1]
+        doc = json.loads(path.read_text())
+        if args.json:
+            print(json.dumps(doc, indent=2), file=out)
+            return 0
+        entries = doc.get("entries", [])
+        print(
+            f"-- {path.name}: reason={doc.get('reason', '?')} "
+            f"recorded={doc.get('recorded', '?')} "
+            f"dropped={doc.get('dropped', 0)} "
+            f"entries={len(entries)} --",
+            file=out,
+        )
+        shown = entries if args.tail is None else entries[-args.tail:]
+        for entry in shown:
+            timestamp = entry.pop("ts", "?")
+            kind = entry.pop("kind", "?")
+            detail = " ".join(
+                f"{key}={value}" for key, value in entry.items()
+            )
+            print(f"  {timestamp} {kind} {detail}".rstrip(), file=out)
+        return 0
+
+    # dump: poke a running `serve --flightrec` process via SIGUSR2.
+    import os
+    import signal as signal_module
+    import time
+
+    if not hasattr(signal_module, "SIGUSR2"):
+        raise ValueError("SIGUSR2 is not available on this platform")
+    before = set(list_artifacts(args.dir)) if args.dir is not None else set()
+    os.kill(args.pid, signal_module.SIGUSR2)
+    if args.dir is None:
+        print(f"sent SIGUSR2 to pid {args.pid}", file=out)
+        return 0
+    deadline = time.monotonic() + args.wait
+    while time.monotonic() < deadline:
+        fresh = [
+            path
+            for path in list_artifacts(args.dir)
+            if path not in before
+        ]
+        if fresh:
+            print(fresh[-1], file=out)
+            return 0
+        time.sleep(0.05)
+    print(
+        f"error: no new artifact appeared in {args.dir} "
+        f"within {args.wait:g}s",
+        file=out,
+    )
+    return 1
+
+
 def _cmd_trace(args: argparse.Namespace, out: TextIO) -> int:
     import json
 
+    if args.connect is not None:
+        return _trace_remote(args, out)
+    if not args.query_files:
+        raise ValueError("trace requires query files (or --connect)")
+    if args.events is None:
+        raise ValueError("trace requires --events (or --connect)")
     engine = CEPREngine(tracing=True)
     names = set()
     for path in args.query_files:
@@ -994,6 +1396,46 @@ def _cmd_trace(args: argparse.Namespace, out: TextIO) -> int:
         if position:
             print("", file=out)
         print(engine.trace(emission).describe(), file=out)
+    return 0
+
+
+def _trace_remote(args: argparse.Namespace, out: TextIO) -> int:
+    import json
+
+    from repro.serve.client import CEPRClient
+
+    if args.query is None:
+        raise ValueError("trace --connect requires --query NAME")
+    if args.all:
+        raise ValueError("trace --connect traces one emission (no --all)")
+    if args.query_files or args.events is not None:
+        raise ValueError(
+            "--connect traces a running server; "
+            "query files and --events do not apply"
+        )
+    host, port = _parse_connect(args.connect)
+    with CEPRClient(host=host, port=port) as client:
+        doc = client.trace(args.query, emission=args.emission)
+    if args.json:
+        print(json.dumps(doc, indent=2), file=out)
+        return 0
+    print(doc["text"], file=out)
+    remote = doc.get("remote", [])
+    if remote:
+        print("remote contexts:", file=out)
+        for record in remote:
+            context = " ".join(
+                f"{key}={value}"
+                for key, value in sorted(record["context"].items())
+            )
+            print(
+                f"  #{record['position']} {record['variable']}: "
+                f"{record['type']} seq={record['seq']} t={record['ts']:g} "
+                f"{context}",
+                file=out,
+            )
+    else:
+        print("remote contexts: (none stamped)", file=out)
     return 0
 
 

@@ -82,6 +82,14 @@ class MatcherStats:
     pending_confirmed: int = 0
     pending_killed: int = 0
     evaluation_errors: int = 0
+    #: shared-index consultations answered from the per-event memo /
+    #: actually evaluated, charged to this (consulting) query — the
+    #: hit/miss split the per-query cost account reports.  Whole-stage
+    #: gate memo hits charge at most once per (event, query, stage)
+    #: alongside the fingerprint-layer counts, which keeps the totals
+    #: exact under partition sharding.
+    shared_hits: int = 0
+    shared_misses: int = 0
     peak_live_runs: int = 0
 
     def observe_live_runs(self, count: int) -> None:

@@ -31,7 +31,7 @@ class Event:
     payload); the sequence number is bookkeeping and excluded.
     """
 
-    __slots__ = ("event_type", "timestamp", "payload", "seq")
+    __slots__ = ("event_type", "timestamp", "payload", "seq", "trace")
 
     def __init__(self, event_type: str, timestamp: float, **attrs: Any) -> None:
         self.event_type = event_type
@@ -39,6 +39,11 @@ class Event:
         self.payload: dict[str, Any] = attrs
         #: Global arrival index, assigned at ingest; -1 until assigned.
         self.seq: int = -1
+        #: Optional trace context (a mapping) stamped by the transport that
+        #: delivered the event — the serving layer stitches remote spans to
+        #: engine spans through it.  Bookkeeping like ``seq``: excluded
+        #: from equality and hashing.
+        self.trace: Mapping[str, Any] | None = None
 
     @classmethod
     def from_mapping(
@@ -72,6 +77,7 @@ class Event:
         merged.update(attrs)
         clone = Event(self.event_type, self.timestamp, **merged)
         clone.seq = self.seq
+        clone.trace = self.trace
         return clone
 
     def __eq__(self, other: object) -> bool:

@@ -19,9 +19,33 @@ This package is the engine's window into itself, built from three pillars
 
 :mod:`repro.observability.log` rounds the package out with structured
 (JSON or text) logging used by the CLI and the sharded runtime.
+
+The second-generation telemetry layer adds three more pillars the
+load-shedding controller and cluster mode consume directly:
+
+* :mod:`repro.observability.cost` — per-query :class:`CostAccount`
+  records (runs created/extended/killed, shared-index hit/miss split,
+  prune ratio, CPU time) ranked by ``cepr top``;
+* :mod:`repro.observability.pressure` — ingest-lag / queue / subscriber
+  saturation samples folded into one composite score with hysteresis;
+* :mod:`repro.observability.flightrec` — a byte-budgeted black-box
+  flight recorder that dumps a postmortem artifact on crash, sanitizer
+  trip, ``SIGUSR2``, or demand.
 """
 
+from repro.observability.cost import CostAccount, rank_accounts
+from repro.observability.flightrec import (
+    FlightRecorder,
+    dump_if_armed,
+    install_flight_recorder,
+    uninstall_flight_recorder,
+)
 from repro.observability.log import configure_logging, get_logger
+from repro.observability.pressure import (
+    PressureAssessor,
+    PressureSample,
+    merge_samples,
+)
 from repro.observability.profiling import StageProfile, StageTimer
 from repro.observability.registry import (
     Counter,
@@ -37,16 +61,21 @@ from repro.observability.tracing import (
     Tracer,
     disable_tracing,
     enable_tracing,
+    remote_contexts,
     tracing_enabled,
 )
 
 __all__ = [
+    "CostAccount",
     "Counter",
     "EmissionTrace",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MatchProvenance",
     "MetricsRegistry",
+    "PressureAssessor",
+    "PressureSample",
     "Span",
     "SpanKind",
     "StageProfile",
@@ -54,7 +83,13 @@ __all__ = [
     "Tracer",
     "configure_logging",
     "disable_tracing",
+    "dump_if_armed",
     "enable_tracing",
     "get_logger",
+    "install_flight_recorder",
+    "merge_samples",
+    "rank_accounts",
+    "remote_contexts",
     "tracing_enabled",
+    "uninstall_flight_recorder",
 ]

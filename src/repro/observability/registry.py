@@ -384,12 +384,18 @@ class MetricsRegistry:
 
         Histograms are exported as summaries (``{quantile="..."}`` series
         plus ``_sum`` and ``_count``), matching how latency reservoirs are
-        actually queried.
+        actually queried.  Conformance details the golden test pins:
+        counters are exposed with the conventional ``_total`` suffix
+        (appended when the registered name lacks it), ``# HELP`` precedes
+        ``# TYPE`` for each metric family, and label values escape
+        backslash, double-quote, and newline.
         """
         lines: list[str] = []
         emitted_headers: set[str] = set()
         for sample in self.collect():
             name = f"{self.namespace}_{sample.name}"
+            if sample.kind == "counter" and not name.endswith("_total"):
+                name += "_total"
             if name not in emitted_headers:
                 emitted_headers.add(name)
                 if sample.help:

@@ -384,3 +384,36 @@ def build_emission_trace(
         span_counts=span_counts,
         spans_dropped=tracer.dropped if tracer is not None else 0,
     )
+
+
+def remote_contexts(emission: "Emission") -> list[dict[str, Any]]:
+    """Transport-stamped trace contexts of the events feeding an emission.
+
+    The serving layer stamps ``Event.trace`` with the client's HELLO/push
+    context; this collects one record per bound event that carried one —
+    the remote half of a stitched client-push → ranked-emission causal
+    chain (``cepr trace --connect``).  Events bound by several matches
+    report once, at their best (lowest) rank position.
+    """
+    from repro.events.event import Event
+
+    records: list[dict[str, Any]] = []
+    seen: set[int] = set()
+    for position, match in enumerate(emission.ranking, start=1):
+        for variable, binding in match.bindings.items():
+            bound = (binding,) if isinstance(binding, Event) else binding
+            for event in bound:
+                if event.trace is None or id(event) in seen:
+                    continue
+                seen.add(id(event))
+                records.append(
+                    {
+                        "position": position,
+                        "variable": variable,
+                        "type": event.event_type,
+                        "seq": event.seq,
+                        "ts": event.timestamp,
+                        "context": dict(event.trace),
+                    }
+                )
+    return records

@@ -34,6 +34,7 @@ from typing import Callable, Iterator
 
 from repro.events.event import Event
 from repro.language.ast_nodes import Query
+from repro.observability.pressure import PressureAssessor, PressureSample
 from repro.observability.registry import MetricsRegistry
 from repro.ranking.emission import Emission, EmissionKind
 from repro.runtime.engine import CEPREngine
@@ -73,6 +74,7 @@ class ThreadedEngineRunner:
         self.engine = engine
         self.on_emission = on_emission
         self.batch_size = batch_size
+        self.max_queue = max_queue
         self._queue: queue.Queue = queue.Queue(maxsize=max_queue)
         self._thread: threading.Thread | None = None
         self._started = False
@@ -81,6 +83,20 @@ class ThreadedEngineRunner:
         self.failure: BaseException | None = None
         self.events_submitted = 0
         self.events_processed = 0
+        #: deepest the ingest queue has ever been (pressure signal).
+        self.queue_high_water = 0
+        #: submit-side event-time watermark: highest event timestamp
+        #: accepted into the queue.  Compared against the engine's
+        #: processed watermark to measure ingest lag in event-time units.
+        self.last_submitted_ts: float | None = None
+        #: smoothed composite pressure with ok/overloaded hysteresis.
+        self.pressure_assessor = PressureAssessor()
+        #: optional ``() -> (depth, capacity)`` hook the serving layer
+        #: installs so default pressure readings include its fullest
+        #: subscriber outbound queue.
+        self.subscriber_pressure_provider: (
+            Callable[[], tuple[int, int]] | None
+        ) = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -120,6 +136,14 @@ class ThreadedEngineRunner:
         self._ensure_running()
         self._queue.put(("event", event), timeout=timeout)
         self.events_submitted += 1
+        if (
+            self.last_submitted_ts is None
+            or event.timestamp > self.last_submitted_ts
+        ):
+            self.last_submitted_ts = event.timestamp
+        depth = self._queue.qsize()
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
 
     def submit_all(self, events) -> int:
         count = 0
@@ -264,6 +288,71 @@ class ThreadedEngineRunner:
 
     # -- observability -------------------------------------------------------------
 
+    @property
+    def ingest_lag_seconds(self) -> float:
+        """Event-time watermark skew: submitted minus processed watermark.
+
+        Zero while the consumer keeps up (or before the first event);
+        grows in event-time units when a backlog builds.
+        """
+        submitted = self.last_submitted_ts
+        processed = self.engine.metrics.last_event_ts
+        if submitted is None or processed is None:
+            # Nothing submitted, or nothing processed yet — skew between
+            # the watermarks is not yet defined.
+            return 0.0
+        return max(0.0, submitted - processed)
+
+    def pressure_sample(
+        self, subscriber_depth: int = 0, subscriber_capacity: int = 0
+    ) -> PressureSample:
+        """Instantaneous pressure reading over this runner's queue.
+
+        The serving layer passes its fullest subscriber outbound queue so
+        the composite score sees client-side backpressure too — either
+        explicitly, or by installing :attr:`subscriber_pressure_provider`
+        (consulted when the arguments are left at their defaults) so the
+        registry's ``pressure`` gauge sees it on every export.
+        """
+        if (
+            not subscriber_capacity
+            and self.subscriber_pressure_provider is not None
+        ):
+            subscriber_depth, subscriber_capacity = (
+                self.subscriber_pressure_provider()
+            )
+        return PressureSample(
+            ingest_lag_seconds=self.ingest_lag_seconds,
+            queue_depth=self.backlog,
+            queue_capacity=self.max_queue,
+            queue_high_water=self.queue_high_water,
+            subscriber_depth=subscriber_depth,
+            subscriber_capacity=subscriber_capacity,
+        )
+
+    def pressure(
+        self, subscriber_depth: int = 0, subscriber_capacity: int = 0
+    ) -> PressureAssessor:
+        """Fold a fresh sample into the assessor and return it."""
+        self.pressure_assessor.observe(
+            self.pressure_sample(subscriber_depth, subscriber_capacity)
+        )
+        return self.pressure_assessor
+
+    def cost_accounts(self):
+        """Per-query cost accounts (snapshot; counters may still move)."""
+        return self.engine.cost_accounts()
+
+    # Monitor passthroughs: a runner can stand in for its engine as a
+    # monitor source, which is how `cepr stats --watch` surfaces queue
+    # pressure (the bare engine has no ingest queue to be pressured).
+    def queries(self):
+        return self.engine.queries()
+
+    @property
+    def metrics(self):
+        return self.engine.metrics
+
     def metrics_registry(self) -> MetricsRegistry:
         """The engine's registry plus this runner's queue instruments."""
         registry = self.engine.metrics_registry()
@@ -281,6 +370,29 @@ class ThreadedEngineRunner:
             "runner_backlog",
             "Events queued, not yet processed",
             fn=lambda: self.backlog,
+        )
+        registry.gauge(
+            "runner_queue_capacity",
+            "Bound of the ingest queue",
+            fn=lambda: self.max_queue,
+        )
+        registry.gauge(
+            "runner_queue_high_water",
+            "Deepest the ingest queue has ever been",
+            fn=lambda: self.queue_high_water,
+            agg="max",
+        )
+        registry.gauge(
+            "runner_ingest_lag_seconds",
+            "Event-time watermark skew between submit and processing",
+            fn=lambda: self.ingest_lag_seconds,
+            agg="max",
+        )
+        registry.gauge(
+            "pressure",
+            "Smoothed composite pressure score (0..1)",
+            fn=lambda: self.pressure().level,
+            agg="max",
         )
         return registry
 

@@ -28,6 +28,8 @@ from repro.language.ast_nodes import Query
 from repro.language.errors import CEPRSemanticError
 from repro.language.parser import parse_query
 from repro.language.semantics import analyze
+from repro.observability.cost import CostAccount
+from repro.observability.flightrec import current as flightrec_current
 from repro.observability.profiling import StageProfile
 from repro.observability.registry import MetricsRegistry
 from repro.observability.tracing import (
@@ -182,6 +184,10 @@ class CEPREngine:
         self._closed = False
         #: lazily built, engine-owned live registry (see metrics_registry).
         self._registry_view: MetricsRegistry | None = None
+        #: black-box flight recorder, captured once at construction so the
+        #: disabled hot-path cost is a single ``is None`` check per event.
+        self._flightrec = flightrec_current()
+        self._flightrec_clock = 0
         #: CEPRSan reporter; None on plain engines (the common case) so
         #: hot paths never even branch on it.
         self.sanitizer = None
@@ -227,6 +233,8 @@ class CEPREngine:
         registered.set_tracer(self.tracer)
         self._queries[resolved_name] = registered
         self._router.add(registered)
+        if self._flightrec is not None:
+            self._flightrec.record("register", query=resolved_name)
         return registered
 
     def unregister_query(self, name: str) -> None:
@@ -247,6 +255,8 @@ class CEPREngine:
         registered.close_sinks()
         if self._registry_view is not None:
             self._registry_view.prune(query=name)
+        if self._flightrec is not None:
+            self._flightrec.record("unregister", query=name)
 
     def subscribe(
         self, query_name: str, target: SinkLike, kinds=None
@@ -290,7 +300,7 @@ class CEPREngine:
 
     def _dispatch(self, event: Event, depth: int = 0) -> list[Emission]:
         self._sequencer.assign(event)
-        self.metrics.on_push()
+        self.metrics.on_push(event.timestamp)
         shared = self.shared
         if shared is not None:
             # Arm the per-event memo: every routed query's predicate and
@@ -307,7 +317,37 @@ class CEPREngine:
             if registered.has_yield and query_emissions:
                 derived.extend(registered.derive_events(query_emissions))
         emissions.extend(self._cascade(derived, depth))
+        if self._flightrec is not None:
+            self._flightrec_tick(event, emissions)
         return emissions
+
+    def _flightrec_tick(self, event: Event, emissions: list[Emission]) -> None:
+        """Armed-recorder taps: coarse by design (budgeted overhead).
+
+        Per event this is one counter increment; a frame is recorded only
+        for emissions (rare relative to events) and every 256th event (a
+        compact progress snapshot), so the armed cost stays inside the E19
+        telemetry budget.
+        """
+        recorder = self._flightrec
+        assert recorder is not None
+        self._flightrec_clock += 1
+        for emission in emissions:
+            recorder.record(
+                "emission",
+                query=emission.ranking[0].query_name if emission.ranking else None,
+                emission_kind=emission.kind.value,
+                seq=emission.at_seq,
+                matches=len(emission.ranking),
+            )
+        if self._flightrec_clock % 256 == 0:
+            recorder.record(
+                "engine",
+                events=self.metrics.events_pushed,
+                seq=event.seq,
+                event_ts=event.timestamp,
+                queries=len(self._queries),
+            )
 
     def _cascade(self, derived: list[Event], depth: int) -> list[Emission]:
         """Feed YIELD-derived events back through the engine."""
@@ -518,6 +558,19 @@ class CEPREngine:
 
     # -- observability ---------------------------------------------------------------
 
+    def cost_accounts(self) -> dict[str, CostAccount]:
+        """Per-query cost accounts, keyed by query name.
+
+        Accounts are built from the live counters on every call — there is
+        no parallel state to retire on :meth:`unregister_query`, so a dead
+        query can never linger here (``cepr top`` rebuilds its ranking
+        from this view each refresh).
+        """
+        return {
+            name: CostAccount.from_query(registered)
+            for name, registered in self._queries.items()
+        }
+
     def set_tracing(self, enabled: bool) -> Tracer | None:
         """Attach (``True``) or detach (``False``) span tracing at runtime.
 
@@ -723,6 +776,25 @@ class CEPREngine:
                 lambda: stats.evaluation_errors
                 + registered.ranker.scoring_errors
                 + registered.yield_errors,
+            ),
+            (
+                "shared_hits_total",
+                "Shared-index consultations answered from the per-event memo",
+                lambda: stats.shared_hits,
+            ),
+            (
+                "shared_misses_total",
+                "Shared-index consultations that had to evaluate",
+                lambda: stats.shared_misses,
+            ),
+            (
+                "query_cpu_seconds_total",
+                "CPU seconds spent inside this query's operator chain",
+                lambda: (
+                    registered.profile.total_seconds
+                    if registered.profile is not None
+                    else query_metrics.latency.total
+                ),
             ),
         ]
         for metric_name, help_text, fn in counters:

@@ -157,15 +157,24 @@ class EngineMetrics:
         self.events_pushed = 0
         self.started_at: float | None = None
         self.last_push_at: float | None = None
+        #: event-time watermark: highest event timestamp processed so far
+        #: (``None`` until the first stamped push).  The pressure signals
+        #: compare it against the submit-side watermark to measure ingest
+        #: lag in event-time units.
+        self.last_event_ts: float | None = None
         #: trailing one-second buckets: ``[second, events in that second]``.
         self._buckets: deque[list[float]] = deque()
 
-    def on_push(self) -> None:
+    def on_push(self, event_ts: float | None = None) -> None:
         now = self._clock()
         if self.started_at is None:
             self.started_at = now
         self.last_push_at = now
         self.events_pushed += 1
+        if event_ts is not None and (
+            self.last_event_ts is None or event_ts > self.last_event_ts
+        ):
+            self.last_event_ts = event_ts
         second = int(now)
         buckets = self._buckets
         if buckets and buckets[-1][0] == second:

@@ -79,6 +79,11 @@ class Monitor:
         tail = f", {recent:,.0f} ev/s recent" if recent else ""
         if backlog:
             tail += f", backlog={backlog}"
+        # Runner sources (threaded/sharded) expose a pressure assessor;
+        # a bare engine has no ingest queue, hence no pressure to show.
+        pressure = getattr(self.engine, "pressure", None)
+        if pressure is not None:
+            tail += f", {pressure().describe()}"
         return (
             f"{_RULE}\n"
             f"CEPR monitor — {len(self.engine.queries())} queries, "
@@ -134,6 +139,9 @@ class Monitor:
         profile = getattr(registered, "profile", None)
         if profile is not None and profile.total_seconds > 0:
             lines.append(f"   stages: {profile.describe()}")
+        cost_account = getattr(registered, "cost_account", None)
+        if cost_account is not None and m.events_routed:
+            lines.append(f"   cost: {cost_account().describe()}")
         lines.extend(self._render_ranking(registered))
         return "\n".join(lines)
 

@@ -43,6 +43,7 @@ from repro.runtime.sinks import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.observability.cost import CostAccount
     from repro.runtime.router import SharedExecutionIndex
 
 _ROUTE = SpanKind.ROUTE
@@ -406,11 +407,18 @@ class RegisteredQuery:
         self.metrics.emissions = int(counters["emissions"])
         self.metrics.revisions = int(counters["revisions"])
 
+    def cost_account(self) -> "CostAccount":
+        """This query's live :class:`~repro.observability.cost.CostAccount`."""
+        from repro.observability.cost import CostAccount
+
+        return CostAccount.from_query(self)
+
     def explain(self) -> str:
         """Readable evaluation plan: stages, predicate placement, ranking.
 
         Once the query has processed events with profiling enabled, the
-        plan is annotated with the observed per-stage time split.
+        plan is annotated with the observed per-stage time split and the
+        condensed cost account (runs, prune ratio, shared hit/miss).
         """
         from repro.engine.explain import explain
 
@@ -419,6 +427,8 @@ class RegisteredQuery:
             text += f"\n{self._sharing_block()}"
         if self.profile is not None and self.profile.total_seconds > 0:
             text += f"\nstage profile: {self.profile.describe()}"
+        if self.metrics.events_routed:
+            text += f"\ncost: {self.cost_account().describe()}"
         return text
 
     def _sharing_block(self) -> str:

@@ -78,6 +78,12 @@ class SharedExecutionIndex:
         self.current_event: Event | None = None
         self._memo: dict[str, tuple[bool, EvaluationError | None]] = {}
         self._gate_memo: dict[int, tuple[bool, int, EvaluationError | None]] = {}
+        #: (stage id, stats id) pairs already charged a gate consultation
+        #: for the current event — the quiescent fast path and the matcher
+        #: may both consult the same gate for one event, but the per-query
+        #: cost account must see exactly one consultation either way (that
+        #: invariance is what keeps the accounts exact under sharding).
+        self._gate_charged: set[tuple[int, int]] = set()
         #: predicate evaluations answered from the per-event memo.
         self.predicate_evals_saved = 0
         #: predicate evaluations actually performed through the index.
@@ -184,6 +190,7 @@ class SharedExecutionIndex:
         self.current_event = event
         self._memo.clear()
         self._gate_memo.clear()
+        self._gate_charged.clear()
 
     def predicate_holds(
         self, spec: "PredicateSpec", stats: "MatcherStats", lenient: bool
@@ -195,7 +202,7 @@ class SharedExecutionIndex:
         own error policy to the memoized outcome, so per-query error
         accounting matches independent execution.
         """
-        result, error = self._outcome(spec)
+        result, error = self._outcome(spec, stats)
         if error is not None:
             if not lenient:
                 raise error
@@ -215,11 +222,24 @@ class SharedExecutionIndex:
         share individual predicate outcomes).  Predicates without a
         fingerprint disable the whole-stage memo but are still evaluated
         with identical semantics.
+
+        Per-query hit/miss charging is deduplicated per event: the
+        quiescent fast path and the matcher may both consult the same
+        gate for one event (the probe primes the memo, the matcher then
+        hits it), but quiescence is engine-local state — a sharded fleet
+        wakes per shard — so the double consult must count once.  Each
+        (stage, query) pair is charged exactly one consultation per
+        event regardless of which path asked first, which is what keeps
+        per-query cost accounts counter-exact across shard splits.
         """
         key = id(stage)
+        charge_key = (key, id(stats))
         cached = self._gate_memo.get(key)
         if cached is not None:
             self.predicate_evals_saved += 1
+            if charge_key not in self._gate_charged:
+                self._gate_charged.add(charge_key)
+                stats.shared_hits += 1
             result, errors, error = cached
             if errors:
                 if not lenient:
@@ -230,6 +250,10 @@ class SharedExecutionIndex:
         predicates = (
             stage.incremental_predicates if stage.is_kleene else stage.bind_predicates
         )
+        # The evaluating consult is charged through _outcome below (one
+        # miss or memo hit per fingerprinted predicate); mark the pair so
+        # a second consult for the same event does not charge again.
+        self._gate_charged.add(charge_key)
         result = True
         errors = 0
         first_error: EvaluationError | None = None
@@ -239,7 +263,7 @@ class SharedExecutionIndex:
                 memoizable = False
                 value, error = self._evaluate(spec)
             else:
-                value, error = self._outcome(spec)
+                value, error = self._outcome(spec, stats)
             if error is not None:
                 first_error = error
                 errors += 1
@@ -256,15 +280,23 @@ class SharedExecutionIndex:
         return result
 
     def _outcome(
-        self, spec: "PredicateSpec"
+        self, spec: "PredicateSpec", stats: "MatcherStats"
     ) -> tuple[bool, EvaluationError | None]:
-        """Memoized raw outcome of one fingerprinted predicate."""
+        """Memoized raw outcome of one fingerprinted predicate.
+
+        The hit/miss split is charged to the *consulting* query's stats —
+        that per-query attribution is what the cost accounts read, so
+        ``cepr top`` can show which queries ride the shared index and
+        which pay for it.
+        """
         fingerprint = spec.fingerprint
         assert fingerprint is not None
         cached = self._memo.get(fingerprint)
         if cached is not None:
             self.predicate_evals_saved += 1
+            stats.shared_hits += 1
             return cached
+        stats.shared_misses += 1
         entry = self._predicates.get(fingerprint)
         representative = entry.spec if entry is not None else spec
         outcome = self._evaluate(representative)

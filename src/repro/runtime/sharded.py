@@ -85,7 +85,9 @@ from repro.language.ast_nodes import Query, WindowKind
 from repro.language.errors import CEPRSemanticError
 from repro.language.parser import parse_query
 from repro.language.semantics import AnalyzedQuery, analyze
+from repro.observability.cost import CostAccount
 from repro.observability.log import get_logger
+from repro.observability.pressure import PressureAssessor, PressureSample, merge_samples
 from repro.observability.profiling import StageProfile
 from repro.observability.registry import MetricsRegistry, merge_registries
 from repro.ranking.emission import Emission, EmissionKind
@@ -601,6 +603,12 @@ class ShardedQuery:
             total.absorb(part)
         return total
 
+    def cost_account(self) -> CostAccount:
+        """Fleet-wide cost account (per-shard accounts merged)."""
+        return CostAccount.merge(
+            CostAccount.from_query(handle) for handle in self.handles
+        )
+
     def explain(self) -> str:
         return self.handles[0].explain()
 
@@ -615,6 +623,8 @@ class _Worker:
         self.thread: threading.Thread | None = None
         self.failure: BaseException | None = None
         self.events_processed = 0
+        #: deepest this shard's ingest queue has been (post-enqueue depth).
+        self.queue_high_water = 0
 
     def start(self) -> None:
         # Sanitizer handoff: queries were registered into this engine on
@@ -625,6 +635,9 @@ class _Worker:
 
     def put_event(self, event: Event, timeout: float | None = None) -> None:
         self.queue.put(("event", event), timeout=timeout)
+        depth = self.queue.qsize()
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
 
     def put_op(self, op: tuple) -> None:
         self.queue.put(op)
@@ -751,6 +764,15 @@ class ShardedEngineRunner:
         )
         self.metrics = EngineMetrics()
         self.events_submitted = 0
+        #: event-time watermark of the stream accepted at dispatch.
+        self.last_submitted_ts: float | None = None
+        self.pressure_assessor = PressureAssessor()
+        #: optional ``() -> (depth, capacity)`` hook the serving layer
+        #: installs so default pressure readings include its fullest
+        #: subscriber outbound queue.
+        self.subscriber_pressure_provider: (
+            Callable[[], tuple[int, int]] | None
+        ) = None
 
         self._workers: list[_Worker] = []
         self._groups: list[_Group] = []
@@ -1070,7 +1092,12 @@ class ShardedEngineRunner:
     def _ingest(self, event: Event, timeout: float | None = None) -> None:
         if self._preassign:
             self._sequencer.assign(event)
-        self.metrics.on_push()
+        self.metrics.on_push(event.timestamp)
+        if (
+            self.last_submitted_ts is None
+            or event.timestamp > self.last_submitted_ts
+        ):
+            self.last_submitted_ts = event.timestamp
         event_type = event.event_type
         for view in self._type_watchers.get(event_type, ()):
             view._observe_routed(event)
@@ -1105,6 +1132,85 @@ class ShardedEngineRunner:
         for worker in self._workers:
             if worker.failure is not None:
                 raise RuntimeError("shard thread failed") from worker.failure
+
+    # -- pressure ----------------------------------------------------------------------
+
+    @property
+    def ingest_lag_seconds(self) -> float:
+        """Event-time skew between the dispatch and processing watermarks.
+
+        ``0.0`` until both watermarks exist — before any event was
+        submitted, or before any shard processed one, the skew between
+        them is not yet defined.
+        """
+        submitted = self.last_submitted_ts
+        processed: float | None = None
+        for worker in self._workers:
+            mark = worker.engine.metrics.last_event_ts
+            if mark is not None and (processed is None or mark > processed):
+                processed = mark
+        if submitted is None or processed is None:
+            return 0.0
+        return max(0.0, submitted - processed)
+
+    def pressure_sample(
+        self, subscriber_depth: int = 0, subscriber_capacity: int = 0
+    ) -> PressureSample:
+        """One fleet-wide pressure reading (see :mod:`..observability.pressure`).
+
+        Per-shard queue samples merge first (depths and capacities sum,
+        high-water takes the fleet max), then the dispatch-level ingest
+        lag and the serving layer's subscriber backlog are folded in
+        (passed explicitly, or read from
+        :attr:`subscriber_pressure_provider` when left at the defaults).
+        """
+        if (
+            not subscriber_capacity
+            and self.subscriber_pressure_provider is not None
+        ):
+            subscriber_depth, subscriber_capacity = (
+                self.subscriber_pressure_provider()
+            )
+        merged = merge_samples(
+            PressureSample(
+                queue_depth=worker.queue.qsize(),
+                queue_capacity=self.max_queue,
+                queue_high_water=worker.queue_high_water,
+            )
+            for worker in self._workers
+        )
+        return PressureSample(
+            ingest_lag_seconds=self.ingest_lag_seconds,
+            queue_depth=merged.queue_depth,
+            queue_capacity=merged.queue_capacity,
+            queue_high_water=merged.queue_high_water,
+            subscriber_depth=subscriber_depth,
+            subscriber_capacity=subscriber_capacity,
+        )
+
+    def pressure(
+        self, subscriber_depth: int = 0, subscriber_capacity: int = 0
+    ) -> PressureAssessor:
+        """Feed the current sample to the assessor and return it."""
+        self.pressure_assessor.observe(
+            self.pressure_sample(subscriber_depth, subscriber_capacity)
+        )
+        return self.pressure_assessor
+
+    def cost_accounts(self) -> dict[str, CostAccount]:
+        """Fleet-wide per-query cost accounts (shard accounts merged).
+
+        Views rebuilt from the live shard handles on every call — the
+        merged account's counters equal the single-engine account's for
+        any shardable workload (each event reaches exactly one shard,
+        which registers every query of its group).
+        """
+        return {
+            name: CostAccount.merge(
+                CostAccount.from_query(handle) for handle in view.handles
+            )
+            for name, view in self._views.items()
+        }
 
     # -- barriers ---------------------------------------------------------------------
 
@@ -1372,6 +1478,34 @@ class ShardedEngineRunner:
             "runner_recent_throughput_eps",
             "Sliding-window dispatch rate (events/second)",
             fn=lambda: self.metrics.recent_throughput,
+        )
+        fleet.gauge(
+            "runner_queue_capacity",
+            "Combined ingest-queue capacity across all shards",
+            fn=lambda: float(self.max_queue * len(self._workers)),
+        )
+        fleet.gauge(
+            "runner_queue_high_water",
+            "Deepest any shard's ingest queue has been",
+            fn=lambda: float(
+                max(
+                    (worker.queue_high_water for worker in self._workers),
+                    default=0,
+                )
+            ),
+            agg="max",
+        )
+        fleet.gauge(
+            "runner_ingest_lag_seconds",
+            "Event-time skew between dispatch and processing watermarks",
+            fn=lambda: self.ingest_lag_seconds,
+            agg="max",
+        )
+        fleet.gauge(
+            "pressure",
+            "Composite backpressure score in [0, 1] (smoothed)",
+            fn=lambda: self.pressure().level,
+            agg="max",
         )
         for index, worker in enumerate(self._workers):
             fleet.counter(

@@ -124,6 +124,18 @@ class Sanitizer:
         _log.error(
             "sanitizer trip [%s] %s", check, message, extra={"data": payload}
         )
+        # Feed the black box: every trip is recorded, and a raising trip
+        # (about to unwind the stack) also flushes the postmortem artifact
+        # while the ring still holds the lead-up.  No-ops when unarmed.
+        from repro.observability.flightrec import current, dump_if_armed
+
+        recorder = current()
+        if recorder is not None:
+            recorder.record(
+                "sanitizer_trip", message=message, **payload
+            )
+            if self.mode == "raise":
+                dump_if_armed(f"sanitizer-{check}")
         if self.mode == "raise":
             raise SanitizerError(f"[{check}] {message}")
 

@@ -78,19 +78,25 @@ class CEPRClient:
         host: str = "127.0.0.1",
         port: int = 7654,
         timeout: float = 30.0,
+        trace_context: dict[str, Any] | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: opaque trace context the server stamps onto every event this
+        #: connection pushes (see docs/OBSERVABILITY.md); per-push
+        #: ``trace=`` arguments overlay it key-by-key.
+        self.trace_context = trace_context
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._sock.settimeout(timeout)
         self._next_id = 0
         self._emissions: deque[dict[str, Any]] = deque()
         self._notices: deque[dict[str, Any]] = deque()
         self._closed = False
-        self.server_info = self._request(
-            {"op": "hello", "version": PROTOCOL_VERSION}
-        )
+        hello: dict[str, Any] = {"op": "hello", "version": PROTOCOL_VERSION}
+        if trace_context is not None:
+            hello["trace"] = trace_context
+        self.server_info = self._request(hello)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -139,18 +145,36 @@ class CEPRClient:
             frame["t"] = t
         return self._request(frame)
 
-    def push(self, event: Event | dict[str, Any]) -> None:
-        """Ingest one event (an :class:`Event` or its JSON document)."""
-        doc = event_to_json(event) if isinstance(event, Event) else event
-        self._request({"op": "push", "event": doc})
+    def push(
+        self,
+        event: Event | dict[str, Any],
+        trace: dict[str, Any] | None = None,
+    ) -> None:
+        """Ingest one event (an :class:`Event` or its JSON document).
 
-    def push_batch(self, events: Iterable[Event | dict[str, Any]]) -> int:
+        ``trace`` overlays the connection's HELLO context on this push
+        only; the server stamps the merged context onto the event.
+        """
+        doc = event_to_json(event) if isinstance(event, Event) else event
+        frame: dict[str, Any] = {"op": "push", "event": doc}
+        if trace is not None:
+            frame["trace"] = trace
+        self._request(frame)
+
+    def push_batch(
+        self,
+        events: Iterable[Event | dict[str, Any]],
+        trace: dict[str, Any] | None = None,
+    ) -> int:
         """Ingest a batch in one frame; returns the accepted count."""
         docs = [
             event_to_json(event) if isinstance(event, Event) else event
             for event in events
         ]
-        reply = self._request({"op": "push_batch", "events": docs})
+        frame: dict[str, Any] = {"op": "push_batch", "events": docs}
+        if trace is not None:
+            frame["trace"] = trace
+        reply = self._request(frame)
         return int(reply["accepted"])
 
     def advance_time(self, timestamp: float) -> None:
@@ -203,9 +227,24 @@ class CEPRClient:
         return int(self._request(frame)["removed"])
 
     def stats(self) -> dict[str, Any]:
-        """Server metrics: ``{"metrics": <registry JSON>, "prom": <text>}``."""
+        """Server telemetry: registry JSON, Prometheus text, ranked
+        per-query cost accounts, and the composite pressure reading."""
         reply = self._request({"op": "stats"})
-        return {"metrics": reply["metrics"], "prom": reply["prom"]}
+        return {
+            "metrics": reply["metrics"],
+            "prom": reply["prom"],
+            "cost_accounts": reply.get("cost_accounts", []),
+            "pressure": reply.get("pressure", {}),
+        }
+
+    def trace(self, query: str, emission: int = -1) -> dict[str, Any]:
+        """Provenance of one emission: spans, rank keys, and the remote
+        trace contexts stamped on its contributing events (``shards == 1``
+        servers only; negative indices count from the latest emission)."""
+        reply = self._request(
+            {"op": "trace", "query": query, "emission": emission}
+        )
+        return reply["trace"]
 
     # -- emissions -------------------------------------------------------------
 

@@ -10,6 +10,16 @@ The full frame tables (ops, reply shapes, failure semantics) live in
 ``docs/SERVING.md``; this module is the single source of truth for the
 constants and the codec.
 
+Trace context propagation (all additive, so the version stays 1):
+``hello`` and ``push``/``push_batch`` frames may carry an optional
+``"trace"`` object — an opaque client-chosen context (request ids,
+tenant tags).  The server merges the connection-level HELLO context with
+the per-push context and stamps the result on every ingested event; the
+``trace`` op (``{"op": "trace", "query": ..., "emission": index}``,
+``shards == 1`` only) returns that emission's engine-side provenance
+stitched to the remote contexts of the events that fed it — one causal
+chain from client push to ranked emission.
+
 Error frames are typed: ``{"op": "error", "code": "CEPR5xx", ...}``.
 The ``CEPR5xx`` range extends the static analyzer's coded-diagnostic
 convention (``CEPR4xx`` covers shardability) to the serving layer:
@@ -80,6 +90,7 @@ REQUEST_OPS = frozenset(
         "subscribe",
         "unsubscribe",
         "stats",
+        "trace",
         "bye",
     }
 )

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import signal
 import time
 from pathlib import Path
@@ -34,7 +35,10 @@ from typing import Any, Awaitable, Callable
 
 from repro.events.event import Event
 from repro.language.errors import CEPRError
+from repro.observability.flightrec import current as flightrec_current
+from repro.observability.flightrec import dump_if_armed
 from repro.observability.log import get_logger
+from repro.observability.tracing import remote_contexts
 from repro.runtime.concurrent import ThreadedEngineRunner
 from repro.runtime.engine import CEPREngine
 from repro.runtime.metrics import LatencyRecorder
@@ -82,6 +86,8 @@ class _Connection:
         self.cid = cid
         self.writer = writer
         self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbound_queue)
+        self.outbox_capacity = outbound_queue
+        self.outbox_high_water = 0
         self.slow_consumer = slow_consumer
         self.stats = stats
         self.closing = False
@@ -89,6 +95,8 @@ class _Connection:
         self.subs: dict[int, str] = {}  # sub_id -> query name
         self._next_sub = 0
         self.writer_task: asyncio.Task | None = None
+        #: opaque client context from HELLO, merged into every push.
+        self.trace_context: dict[str, Any] | None = None
 
     def alloc_sub(self) -> int:
         self._next_sub += 1
@@ -102,6 +110,11 @@ class _Connection:
             return False
         try:
             self.outbox.put_nowait(frame)
+            depth = self.outbox.qsize()
+            if depth > self.outbox_high_water:
+                self.outbox_high_water = depth
+            if depth > self.stats.subscriber_queue_high_water:
+                self.stats.subscriber_queue_high_water = depth
             return True
         except asyncio.QueueFull:
             if self.slow_consumer == "drop":
@@ -116,6 +129,10 @@ class _Connection:
             )
             self.abort()
             return False
+
+    def outbox_depth(self) -> int:
+        """Current outbound-queue depth (subscriber-pressure input)."""
+        return self.outbox.qsize()
 
     async def send(self, frame: dict[str, Any]) -> None:
         """Reliable delivery (acks/errors): waits for queue space."""
@@ -214,6 +231,7 @@ class CEPRServer:
         max_queue: int = 10_000,
         batch_size: int = 256,
         sanitize: bool | None = None,
+        tracing: bool = False,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -243,6 +261,9 @@ class CEPRServer:
         self.poll_interval = poll_interval
         self.max_queue = max_queue
         self.batch_size = batch_size
+        #: span tracing on the engine from the start (``trace`` op wants
+        #: run-lifecycle competition tallies; provenance works without).
+        self.tracing = tracing
         if sanitize is None:
             from repro.sanitize.core import sanitizer_enabled
 
@@ -285,6 +306,7 @@ class CEPRServer:
             "subscribe": self._op_subscribe,
             "unsubscribe": self._op_unsubscribe,
             "stats": self._op_stats,
+            "trace": self._op_trace,
             "bye": self._op_bye,
         }
 
@@ -309,6 +331,14 @@ class CEPRServer:
                 installed.append(signum)
             except (NotImplementedError, RuntimeError, ValueError):
                 pass  # non-main thread or unsupported platform
+        if hasattr(signal, "SIGUSR2") and flightrec_current() is not None:
+            try:
+                self._loop.add_signal_handler(
+                    signal.SIGUSR2, self._dump_flight_recorder, "sigusr2"
+                )
+                installed.append(signal.SIGUSR2)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
         if self.shards > 1:
             self._poll_task = self._loop.create_task(self._poll_loop())
         if self.sanitizer is not None:
@@ -351,6 +381,14 @@ class CEPRServer:
         if self._loop is not None:
             self._loop.call_soon_threadsafe(self.request_drain)
 
+    def _dump_flight_recorder(self, reason: str) -> None:
+        """Schedule a flight-recorder dump off the loop (SIGUSR2 path)."""
+        if self._loop is None:
+            return
+        self._loop.create_task(
+            asyncio.to_thread(dump_if_armed, reason, self.checkpoint_dir)
+        )
+
     def _start_runtime(self) -> None:
         assert self._loop is not None
         if self.shards == 1:
@@ -362,6 +400,8 @@ class CEPRServer:
             )
             for name, text in self.queries.items():
                 engine.register_query(text, name=name)
+            if self.tracing:
+                engine.set_tracing(True)
             self._runner = runner
             for name in self.queries:
                 feed = QueryFeed(name, self._loop, self.stats)
@@ -376,6 +416,12 @@ class CEPRServer:
                 batch_size=self.batch_size,
                 sanitize=self.sanitize,
             )
+            if self.tracing:
+                _log.warning(
+                    "tracing requested with %d shards; span tracing is "
+                    "per-engine and the trace op needs --shards 1 — ignoring",
+                    self.shards,
+                )
             for name, text in self.queries.items():
                 sharded.register_query(text, name=name)
             self._runner = sharded
@@ -386,6 +432,14 @@ class CEPRServer:
                 )
                 self._feeds[name] = feed
             sharded.start()
+        # Fold the fullest subscriber outbound queue into the runner's
+        # composite pressure score: the runner's own `pressure` gauge is
+        # already registered (get-or-create registry), so instead of a
+        # second gauge the runner consults this hook on every sample.
+        self._runner.subscriber_pressure_provider = lambda: (
+            self._max_outbox_depth(),
+            self.outbound_queue,
+        )
         if self.checkpoint_dir is not None:
             from repro.store.checkpoint import CheckpointStore
 
@@ -468,6 +522,13 @@ class CEPRServer:
                 for task in pending:
                     task.cancel()
         finally:
+            # A drain is the last chance to flush the black box: a
+            # SIGTERM'd server must leave its postmortem behind even when
+            # nothing went wrong (no-op when the recorder is unarmed).
+            with contextlib.suppress(Exception):
+                await asyncio.to_thread(
+                    dump_if_armed, "drain", self.checkpoint_dir
+                )
             assert self._drained is not None
             self._drained.set()
 
@@ -557,6 +618,19 @@ class CEPRServer:
                 )
             )
             return False
+        trace_context = frame.get("trace")
+        if trace_context is not None and not isinstance(trace_context, dict):
+            self.stats.protocol_errors += 1
+            await connection.send(
+                error_frame(
+                    E_BAD_HELLO,
+                    f"hello 'trace' must be an object, "
+                    f"got {type(trace_context).__name__}",
+                    frame.get("id"),
+                )
+            )
+            return False
+        connection.trace_context = trace_context
         self.stats.frames_received += 1
         await connection.send(
             ack_frame(
@@ -609,6 +683,11 @@ class CEPRServer:
                     return
             except Exception as exc:  # pragma: no cover - defensive
                 _log.exception("internal error handling %r", frame.get("op"))
+                # Black-box postmortem: an internal error is exactly what
+                # the flight recorder exists for (no-op when unarmed).
+                await asyncio.to_thread(
+                    dump_if_armed, "serve-internal-error", self.checkpoint_dir
+                )
                 await connection.send(
                     error_frame(
                         E_INTERNAL, f"internal error: {exc}", frame.get("id")
@@ -649,21 +728,45 @@ class CEPRServer:
         if self._draining:
             raise FrameError(E_DRAINING, "server is draining; try elsewhere")
 
+    def _merged_trace(
+        self, connection: _Connection, frame: dict
+    ) -> dict[str, Any] | None:
+        """HELLO context overlaid with the frame's own ``trace`` object."""
+        frame_trace = frame.get("trace")
+        if frame_trace is not None and not isinstance(frame_trace, dict):
+            raise FrameError(
+                E_INVALID_ARGUMENT,
+                f"'trace' must be an object, got {type(frame_trace).__name__}",
+            )
+        if connection.trace_context is None and frame_trace is None:
+            return None
+        merged = dict(connection.trace_context or {})
+        if frame_trace:
+            merged.update(frame_trace)
+        return merged or None
+
     async def _op_push(self, connection: _Connection, frame: dict) -> bool:
         self._require_live()
+        trace = self._merged_trace(connection, frame)
         event = self._decode_event(frame.get("event"))
+        if trace is not None:
+            event.trace = trace
         await self._ingest([event])
         await connection.send(ack_frame(frame, accepted=1))
         return False
 
     async def _op_push_batch(self, connection: _Connection, frame: dict) -> bool:
         self._require_live()
+        trace = self._merged_trace(connection, frame)
         docs = frame.get("events")
         if not isinstance(docs, list):
             raise FrameError(
                 E_INVALID_ARGUMENT, "push_batch requires an 'events' array"
             )
         events = [self._decode_event(doc) for doc in docs]
+        if trace is not None:
+            for event in events:
+                event.trace = trace
         if events:
             await self._ingest(events)
         await connection.send(ack_frame(frame, accepted=len(events)))
@@ -808,14 +911,77 @@ class CEPRServer:
 
     async def _op_stats(self, connection: _Connection, frame: dict) -> bool:
         registry = await asyncio.to_thread(self.metrics_registry)
+        telemetry = await asyncio.to_thread(self._telemetry_blocking)
         await connection.send(
             ack_frame(
                 frame,
                 metrics=registry.to_json(),
                 prom=registry.to_prometheus(),
+                **telemetry,
             )
         )
         return False
+
+    def _telemetry_blocking(self) -> dict[str, Any]:
+        """Ranked cost accounts + the composite pressure reading."""
+        from repro.observability.cost import rank_accounts
+
+        assert self._runner is not None
+        accounts = rank_accounts(self._runner.cost_accounts().values())
+        assessor = self._runner.pressure()
+        return {
+            "cost_accounts": [account.to_dict() for account in accounts],
+            "pressure": {
+                **assessor.to_dict(),
+                "sample": self._runner.pressure_sample().to_dict(),
+            },
+        }
+
+    async def _op_trace(self, connection: _Connection, frame: dict) -> bool:
+        if self.shards > 1:
+            raise FrameError(
+                E_UNSUPPORTED,
+                "TRACE is unsupported on a sharded fleet (provenance is "
+                "per-engine); run with --shards 1",
+            )
+        name = frame.get("query")
+        if name not in self._feeds:
+            raise FrameError(
+                E_UNKNOWN_QUERY, f"no query named {name!r} is registered"
+            )
+        index = frame.get("emission", -1)
+        if isinstance(index, bool) or not isinstance(index, int):
+            raise FrameError(
+                E_INVALID_ARGUMENT, "'emission' must be an integer index"
+            )
+        doc = await asyncio.to_thread(self._trace_blocking, name, index)
+        await connection.send(ack_frame(frame, trace=doc))
+        return False
+
+    def _trace_blocking(self, name: str, index: int) -> dict[str, Any]:
+        """Build one emission's provenance document (runner thread)."""
+        runner = self._runner
+        assert isinstance(runner, ThreadedEngineRunner)
+        with contextlib.suppress(RuntimeError):
+            runner.sync()
+        engine = runner.engine
+        registered = engine.query(name)
+        collector = registered.collector
+        emissions = collector.emissions if collector is not None else []
+        if not emissions or not -len(emissions) <= index < len(emissions):
+            raise FrameError(
+                E_INVALID_ARGUMENT,
+                f"query {name!r} has {len(emissions)} emission(s); "
+                f"index {index} is out of range",
+            )
+        emission = emissions[index]
+        trace = engine.trace(emission)
+        doc = trace.to_dict()
+        doc["remote"] = remote_contexts(emission)
+        doc["text"] = trace.describe()
+        # Bindings and rank keys can hold arbitrary attribute values;
+        # degrade anything non-JSON to its repr rather than refusing.
+        return json.loads(json.dumps(doc, default=str))
 
     async def _op_bye(self, connection: _Connection, frame: dict) -> bool:
         await connection.finish(ack_frame(frame))
@@ -845,6 +1011,15 @@ class CEPRServer:
         self._ingest_latency.record(time.perf_counter() - started)
 
     # -- observability ----------------------------------------------------------
+
+    def _max_outbox_depth(self) -> int:
+        """Deepest per-connection outbound queue right now."""
+        deepest = 0
+        for feed in self._feeds.values():
+            depth = feed.max_outbox_depth()
+            if depth > deepest:
+                deepest = depth
+        return deepest
 
     def metrics_registry(self):
         """The runtime's registry plus the serving layer's instruments."""
@@ -912,6 +1087,18 @@ class CEPRServer:
             "serve_draining",
             "1 while the server is draining, else 0",
             fn=lambda: 1.0 if self._draining else 0.0,
+        )
+        registry.gauge(
+            "serve_subscriber_queue_depth",
+            "Deepest per-connection outbound queue right now",
+            fn=lambda: float(self._max_outbox_depth()),
+            agg="max",
+        )
+        registry.gauge(
+            "serve_subscriber_queue_high_water",
+            "Deepest any subscriber outbound queue has ever been",
+            fn=lambda: float(stats.subscriber_queue_high_water),
+            agg="max",
         )
         registry.histogram(
             "serve_ingest_seconds",

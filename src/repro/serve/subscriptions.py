@@ -39,12 +39,21 @@ class ServeStats:
         self.slow_consumer_disconnects = 0
         self.protocol_errors = 0
         self.checkpoints_saved = 0
+        #: deepest any connection's outbound queue has been (fan-out hwm).
+        self.subscriber_queue_high_water = 0
 
 
 class Deliverable(Protocol):
-    """What a feed needs from a connection: a non-blocking frame offer."""
+    """What a feed needs from a connection: a non-blocking frame offer.
+
+    ``outbox_depth`` is optional (feeds probe it with ``getattr``): when
+    present it reports the connection's current outbound-queue depth, the
+    input to the serving layer's subscriber-pressure gauge.
+    """
 
     def offer(self, frame: dict[str, Any]) -> bool: ...
+
+    def outbox_depth(self) -> int: ...
 
 
 class _FeedSubscriber:
@@ -153,6 +162,22 @@ class QueryFeed:
     @property
     def subscriber_count(self) -> int:
         return len(self._subscribers)
+
+    def max_outbox_depth(self) -> int:
+        """Deepest outbound queue among this feed's subscribers, now.
+
+        Connections that don't expose a depth (minimal test doubles)
+        count as empty — the gauge cares about real fan-out backlog.
+        """
+        deepest = 0
+        for subscriber in self._subscribers.values():
+            probe = getattr(subscriber.connection, "outbox_depth", None)
+            if probe is None:
+                continue
+            depth = probe()
+            if depth > deepest:
+                deepest = depth
+        return deepest
 
     def notify_unsubscribed(self, reason: str) -> None:
         """Tell every subscriber delivery ended (query unregistered)."""

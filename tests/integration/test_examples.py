@@ -65,6 +65,12 @@ class TestExamples:
         assert "pushed 2000 events" in out
         assert "server exited with code 0" in out
 
+    def test_flightrec_postmortem(self):
+        out = run_example("flightrec_postmortem.py")
+        assert "on-demand artifact: reason=sigusr2" in out
+        assert "postmortem artifact: reason=drain" in out
+        assert "flight-recorder postmortem OK" in out
+
     def test_all_examples_are_covered(self):
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         covered = {
@@ -77,5 +83,6 @@ class TestExamples:
             "hierarchical_cep.py",
             "live_monitor.py",
             "remote_client.py",
+            "flightrec_postmortem.py",
         }
         assert scripts == covered, "new example scripts need smoke tests"

@@ -182,3 +182,40 @@ class TestExport:
         text = registry.to_prometheus()
         assert text.count("# TYPE cepr_hits_total counter") == 1
         assert text.count("cepr_hits_total{") == 2
+
+
+class TestExpositionConformance:
+    """Prometheus text-format conventions beyond the golden sample."""
+
+    def test_counter_without_total_suffix_is_normalised(self):
+        registry = MetricsRegistry()
+        registry.counter("events_pushed", "Pushes").inc(5)
+        text = registry.to_prometheus()
+        assert "cepr_events_pushed_total 5" in text
+        assert "# TYPE cepr_events_pushed_total counter" in text
+        # the un-suffixed spelling must not appear as a sample line
+        assert "cepr_events_pushed 5" not in text
+
+    def test_counter_with_total_suffix_not_doubled(self):
+        registry = MetricsRegistry()
+        registry.counter("hits_total", "Hits").inc()
+        text = registry.to_prometheus()
+        assert "cepr_hits_total 1" in text
+        assert "total_total" not in text
+
+    def test_gauges_and_summaries_keep_their_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("queue_depth", "Depth").set(3)
+        registry.histogram("latency_seconds", "Latency").observe(0.5)
+        text = registry.to_prometheus()
+        assert "cepr_queue_depth 3" in text
+        assert "queue_depth_total" not in text
+        assert "latency_seconds_total" not in text
+
+    def test_families_sorted_and_terminated(self):
+        registry = MetricsRegistry()
+        registry.counter("zeta_total").inc()
+        registry.counter("alpha_total").inc()
+        text = registry.to_prometheus()
+        assert text.index("cepr_alpha_total") < text.index("cepr_zeta_total")
+        assert text.endswith("\n")

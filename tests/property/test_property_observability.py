@@ -1,6 +1,6 @@
 """Property tests: fleet metric aggregation is split-invariant.
 
-Two layers:
+Three layers:
 
 * Pure aggregation — :func:`aggregate_query_metrics` (and the
   :class:`LatencyRecorder` absorb underneath it) over any K-way split of
@@ -9,7 +9,12 @@ Two layers:
   capacity.
 * End-to-end — a :class:`ShardedEngineRunner` at K ∈ {1, 2, 4, 8} shards
   reports the same per-query counters as a single :class:`CEPREngine` fed
-  the identical stream.
+  the identical stream, and the shard-level :class:`CostAccount` records
+  merge to exactly the single-engine account.
+* Telemetry primitives — :func:`merge_samples` preserves its documented
+  sum/max semantics for any shard split, and the
+  :class:`FlightRecorder` ring never exceeds its byte budget under
+  sustained load while keeping its counters consistent.
 """
 
 import hypothesis.strategies as st
@@ -17,6 +22,9 @@ import pytest
 from hypothesis import given, settings
 
 from repro import CEPREngine, Event
+from repro.observability.cost import CostAccount
+from repro.observability.flightrec import FlightRecorder
+from repro.observability.pressure import PressureSample, merge_samples
 from repro.runtime.metrics import (
     LatencyRecorder,
     QueryMetrics,
@@ -165,3 +173,128 @@ class TestEndToEndShardSplit:
         # emission counts compare on the merged stream view
         assert view.metrics.emissions == single.emissions
         assert view.metrics.events_routed == single.events_routed
+
+    @given(specs=event_specs, shards=st.sampled_from(SHARD_COUNTS))
+    @settings(max_examples=25, deadline=None)
+    def test_cost_accounts_merge_to_single_engine_values(self, specs, shards):
+        """Shard cost accounts fold to the single-engine account exactly.
+
+        Every counter the account carries — routed events, run
+        lifecycle, shared-index hit/miss, matches, errors — must sum
+        across shards to the value one engine reports for the identical
+        stream.  CPU time is measured, not counted, so it is the one
+        field excluded from the exact comparison.
+        """
+        events = build_stream(specs)
+
+        engine = CEPREngine()
+        handle = engine.register_query(QUERY)
+        for event in events:
+            engine.push(event)
+        engine.flush()
+        single = handle.cost_account()
+
+        runner = ShardedEngineRunner(shards=shards)
+        view = runner.register_query(QUERY)
+        runner.start()
+        try:
+            for event in events:
+                runner.submit(event)
+            runner.flush()
+        finally:
+            runner.stop()
+
+        merged = CostAccount.merge(
+            [h.cost_account() for h in view.handles]
+        )
+        assert merged.parts == shards
+        assert merged.query == single.query
+        assert merged.events_routed == single.events_routed
+        assert merged.runs_created == single.runs_created
+        assert merged.runs_extended == single.runs_extended
+        assert merged.runs_killed == single.runs_killed
+        assert merged.runs_pruned == single.runs_pruned
+        assert merged.shared_hits == single.shared_hits
+        assert merged.shared_misses == single.shared_misses
+        assert merged.matches == single.matches
+        assert merged.evaluation_errors == single.evaluation_errors
+        # derived ratios follow from the counters, so they agree too
+        assert merged.hit_ratio == pytest.approx(single.hit_ratio)
+        assert merged.prune_ratio == pytest.approx(single.prune_ratio)
+
+
+pressure_samples = st.builds(
+    PressureSample,
+    ingest_lag_seconds=st.floats(
+        min_value=0.0, max_value=60.0, allow_nan=False, allow_infinity=False
+    ),
+    queue_depth=st.integers(min_value=0, max_value=1000),
+    queue_capacity=st.integers(min_value=0, max_value=1000),
+    queue_high_water=st.integers(min_value=0, max_value=1000),
+    subscriber_depth=st.integers(min_value=0, max_value=1000),
+    subscriber_capacity=st.integers(min_value=0, max_value=1000),
+)
+
+
+class TestPressureMergeProperties:
+    @given(st.lists(pressure_samples, min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_merge_semantics_fieldwise(self, parts):
+        merged = merge_samples(parts)
+        assert merged.ingest_lag_seconds == max(
+            p.ingest_lag_seconds for p in parts
+        )
+        assert merged.queue_depth == sum(p.queue_depth for p in parts)
+        assert merged.queue_capacity == sum(p.queue_capacity for p in parts)
+        assert merged.queue_high_water == max(p.queue_high_water for p in parts)
+        assert merged.subscriber_depth == max(p.subscriber_depth for p in parts)
+        assert merged.subscriber_capacity == max(
+            p.subscriber_capacity for p in parts
+        )
+
+    @given(st.lists(pressure_samples, min_size=0, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_merged_score_stays_in_unit_interval(self, parts):
+        merged = merge_samples(parts)
+        assert 0.0 <= merged.score() <= 1.0
+        for value in merged.components().values():
+            assert 0.0 <= value <= 1.0
+
+
+class TestFlightRecorderBudgetProperties:
+    @given(
+        budget=st.integers(min_value=64, max_value=4096),
+        payloads=st.lists(
+            st.text(
+                alphabet=st.characters(
+                    min_codepoint=32, max_codepoint=126
+                ),
+                max_size=48,
+            ),
+            min_size=0,
+            max_size=300,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_ring_never_exceeds_budget_under_sustained_load(
+        self, budget, payloads
+    ):
+        recorder = FlightRecorder(byte_budget=budget)
+        oversize = 0
+        for i, payload in enumerate(payloads):
+            before = recorder.recorded
+            recorder.record("load", seq=i, payload=payload)
+            if recorder.recorded == before:
+                oversize += 1
+            # the budget is a hard invariant at every step, not just at rest
+            assert recorder.bytes_used <= budget
+
+        entries = recorder.entries()
+        # accepted entries either remain in the ring or were evicted
+        assert recorder.recorded == len(payloads) - oversize
+        assert recorder.dropped == (recorder.recorded - len(entries)) + oversize
+        # eviction is strictly oldest-first: retained seqs are the tail
+        seqs = [entry["seq"] for entry in entries]
+        assert seqs == sorted(seqs)
+        if seqs and not oversize:
+            assert seqs[-1] == len(payloads) - 1

@@ -120,6 +120,9 @@ class TestStats:
                 for row in json.loads(payload)["metrics"]
                 if row["kind"] == "counter"
                 and row["name"].startswith(("query_", "runs_", "events_pushed"))
+                # cpu totals are measured wall time, not event counts:
+                # exact equality across topologies is not a property
+                and "cpu_seconds" not in row["name"]
             }
 
         single_counters = counters(single)
@@ -315,3 +318,127 @@ class TestTrace:
         assert code == 0
         assert "query=volume" in output
         assert "query=spread" not in output
+
+
+class TestTop:
+    def test_replay_renders_ranked_table(self, query_file, stock_events):
+        code, output = run_cli(
+            "top", str(query_file), "--events", str(stock_events)
+        )
+        assert code == 0
+        assert "-- cepr top: 1 quer(ies) by cost --" in output
+        assert "QUERY" in output and "CPU(ms)" in output
+        assert "spread" in output
+
+    def test_replay_json(self, query_file, stock_events):
+        code, output = run_cli(
+            "top", str(query_file), "--events", str(stock_events), "--json"
+        )
+        assert code == 0
+        doc = json.loads(output)
+        assert [acc["query"] for acc in doc["cost_accounts"]] == ["spread"]
+        account = doc["cost_accounts"][0]
+        assert account["events_routed"] == 400
+        assert "cpu_per_event_us" in account
+        # a bare replay engine has no ingest queue to be pressured
+        assert doc["pressure"] is None
+
+    def test_sharded_replay_reports_pressure(self, query_file, stock_events):
+        code, output = run_cli(
+            "top", str(query_file), "--events", str(stock_events),
+            "--shards", "2", "--json",
+        )
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["cost_accounts"][0]["events_routed"] == 400
+        assert doc["pressure"]["state"] in ("ok", "overloaded")
+
+    def test_ranking_is_most_expensive_first(self, tmp_path, stock_events):
+        hot = tmp_path / "hot.ceprql"
+        hot.write_text(QUERY)
+        cold = tmp_path / "cold.ceprql"
+        cold.write_text(
+            """
+            PATTERN SEQ(Never n)
+            WITHIN 50 EVENTS
+            RANK BY n.price DESC
+            LIMIT 1
+            EMIT ON WINDOW CLOSE
+            """
+        )
+        code, output = run_cli(
+            "top", str(hot), str(cold),
+            "--events", str(stock_events), "--json",
+        )
+        assert code == 0
+        doc = json.loads(output)
+        ranked = [acc["query"] for acc in doc["cost_accounts"]]
+        assert set(ranked) == {"hot", "cold"}
+        costs = [acc["cpu_seconds"] for acc in doc["cost_accounts"]]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_requires_events_or_connect(self, query_file):
+        code, output = run_cli("top", str(query_file))
+        assert code == 1
+        assert "error:" in output
+
+    def test_connect_excludes_replay_arguments(self, query_file, stock_events):
+        code, output = run_cli(
+            "top", str(query_file), "--events", str(stock_events),
+            "--connect", "127.0.0.1:1",
+        )
+        assert code == 1
+        assert "error:" in output
+
+    def test_watch_requires_connect(self, query_file, stock_events):
+        code, output = run_cli(
+            "top", str(query_file), "--events", str(stock_events), "--watch"
+        )
+        assert code == 1
+        assert "error:" in output
+
+
+class TestFlightrecCLI:
+    @pytest.fixture
+    def artifact_dir(self, tmp_path):
+        from repro.observability.flightrec import FlightRecorder
+
+        recorder = FlightRecorder(byte_budget=8192)
+        recorder.record("push", seq=1, query="spread")
+        recorder.record("emission", seq=2, query="spread")
+        recorder.dump("unit-test", directory=tmp_path)
+        return tmp_path
+
+    def test_list_shows_artifacts(self, artifact_dir):
+        code, output = run_cli("flightrec", "list", "--dir", str(artifact_dir))
+        assert code == 0
+        assert "reason=unit-test" in output
+        assert "entries=2" in output
+
+    def test_list_empty_dir_exits_nonzero(self, tmp_path):
+        code, output = run_cli("flightrec", "list", "--dir", str(tmp_path))
+        assert code == 1
+        assert "no flight-recorder artifacts" in output
+
+    def test_show_newest_renders_entries(self, artifact_dir):
+        code, output = run_cli("flightrec", "show", "--dir", str(artifact_dir))
+        assert code == 0
+        assert "reason=unit-test" in output
+        assert "push" in output and "emission" in output
+
+    def test_show_tail_limits_entries(self, artifact_dir):
+        code, output = run_cli(
+            "flightrec", "show", "--dir", str(artifact_dir), "--tail", "1"
+        )
+        assert code == 0
+        assert "emission" in output
+        assert "seq=1" not in output
+
+    def test_show_json_round_trips(self, artifact_dir):
+        code, output = run_cli(
+            "flightrec", "show", "--dir", str(artifact_dir), "--json"
+        )
+        assert code == 0
+        doc = json.loads(output)
+        assert doc["reason"] == "unit-test"
+        assert len(doc["entries"]) == 2

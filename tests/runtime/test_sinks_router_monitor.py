@@ -196,3 +196,68 @@ class TestMonitor:
         text = Monitor(runner).render()
         assert "SOLO-FALLBACK" in text
         assert "[solo]" in text
+
+
+class TestMonitorTelemetry:
+    """Cost and pressure lines in the monitor (PR 8 observability)."""
+
+    QUERY = (
+        "NAME profits PATTERN SEQ(A a, B b) WITHIN 4 EVENTS "
+        "USING SKIP_TILL_ANY RANK BY b.x - a.x DESC LIMIT 2 "
+        "EMIT ON WINDOW CLOSE"
+    )
+
+    def test_render_shows_cost_line_after_events(self):
+        engine = CEPREngine()
+        engine.register_query(self.QUERY)
+        engine.run([E("A", 1, x=0), E("B", 2, x=7), E("Z", 3)])
+        text = Monitor(engine).render()
+        assert "cost: cpu=" in text
+        assert "shared" in text
+
+    def test_no_cost_line_before_events(self):
+        engine = CEPREngine()
+        engine.register_query(self.QUERY)
+        text = Monitor(engine).render()
+        assert "cost:" not in text
+
+    def test_bare_engine_header_has_no_pressure(self):
+        engine = CEPREngine()
+        engine.register_query(self.QUERY)
+        text = Monitor(engine).render()
+        assert "pressure=" not in text
+
+    def test_threaded_runner_source_shows_pressure(self):
+        from repro.runtime.concurrent import ThreadedEngineRunner
+
+        engine = CEPREngine()
+        engine.register_query(self.QUERY)
+        runner = ThreadedEngineRunner(engine)
+        runner.start()
+        try:
+            for index in range(4):
+                runner.submit(E("A", index + 1, x=index))
+            runner.sync()
+            text = Monitor(runner).render()
+        finally:
+            runner.stop()
+        assert "pressure=" in text
+        assert "[ok]" in text or "[overloaded]" in text
+
+    def test_sharded_runner_header_shows_pressure(self):
+        from repro.runtime.sharded import ShardedEngineRunner
+
+        runner = ShardedEngineRunner(shards=2)
+        runner.register_query(
+            "NAME spread PATTERN SEQ(A a, B b) WITHIN 4 EVENTS "
+            "PARTITION BY part RANK BY b.x DESC LIMIT 2 EMIT ON WINDOW CLOSE"
+        )
+        runner.start()
+        try:
+            for index in range(8):
+                runner.submit(E("A", index + 1, x=index, part=index % 2))
+            runner.flush()
+            text = Monitor(runner).render()
+        finally:
+            runner.stop()
+        assert "pressure=" in text
