@@ -273,6 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="merge-release cadence for --shards > 1 (default: 0.05)",
     )
     serve.add_argument(
+        "--shed-policy",
+        choices=("off", "exact", "adaptive"),
+        default="off",
+        help="overload load-shedding policy (see docs/SHEDDING.md): "
+        "exact elides only bound-certified events (output unchanged), "
+        "adaptive samples rank-weighted drops toward --latency-target "
+        "(default: off)",
+    )
+    serve.add_argument(
+        "--latency-target",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="ingest-lag budget the shedding controller steers toward "
+        "(default: 1.0; only meaningful with --shed-policy)",
+    )
+    serve.add_argument(
         "--sanitize",
         action="store_true",
         help="enable the CEPRSan sanitizer and the event-loop watchdog "
@@ -881,6 +898,8 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         slow_consumer=args.slow_consumer,
         poll_interval=args.poll_interval,
         tracing=args.tracing,
+        shed_policy=args.shed_policy,
+        latency_target=args.latency_target,
     )
 
     def on_ready(ready: CEPRServer) -> None:
@@ -1197,13 +1216,19 @@ def _top_remote(args: argparse.Namespace, out: TextIO) -> int:
                         {
                             "cost_accounts": doc["cost_accounts"],
                             "pressure": doc["pressure"],
+                            "shedding": doc.get("shedding"),
                         },
                         indent=2,
                     ),
                     file=out,
                 )
             else:
-                _render_top(doc["cost_accounts"], doc["pressure"], out)
+                _render_top(
+                    doc["cost_accounts"],
+                    doc["pressure"],
+                    out,
+                    shedding=doc.get("shedding"),
+                )
             if not args.watch:
                 return 0
             iteration += 1
@@ -1217,7 +1242,10 @@ def _top_remote(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _render_top(
-    accounts: list[dict], pressure: dict | None, out: TextIO
+    accounts: list[dict],
+    pressure: dict | None,
+    out: TextIO,
+    shedding: dict | None = None,
 ) -> None:
     """The ranked cost-account table (`cepr top`'s text mode)."""
     header = f"-- cepr top: {len(accounts)} quer(ies) by cost --"
@@ -1225,6 +1253,14 @@ def _render_top(
         header += (
             f"  pressure={pressure.get('level', 0.0):.2f} "
             f"[{pressure.get('state', 'ok')}]"
+        )
+    if shedding:
+        stats = shedding.get("stats", {})
+        state = "engaged" if shedding.get("engaged") else "standby"
+        header += (
+            f"  shed[{shedding.get('policy')}]={state} "
+            f"dropped={stats.get('shed_events_total', 0)} "
+            f"recall~{stats.get('recall_estimate', 1.0):.2f}"
         )
     print(header, file=out)
     if not accounts:

@@ -230,6 +230,72 @@ class PatternMatcher:
         self.stats.observe_live_runs(self._refresh_activity())
         return completed
 
+    def tick(self, event: Event) -> list[Match]:
+        """Window bookkeeping for an event elided upstream (load shedding).
+
+        A bound-certified shed must still *age* the matcher: window-dead
+        and epoch-crossed runs are expired and trailing-negation pendings
+        whose guard passed are confirmed, exactly as the expiry phase of
+        :meth:`process` would have done — only the transition and negation
+        phases (which the shed certificate proves could not fire) are
+        skipped.  Counter bookkeeping mirrors :meth:`process` so stats stay
+        comparable with an unshedded run.  Returns confirmed matches.
+        """
+        if event.event_type not in self._relevant_types:
+            return []
+        self.stats.events_processed += 1
+        key = self._partitioner.key_of(event)
+        if key is None:
+            self.stats.events_skipped_no_key += 1
+            return []
+        partition = self._partitions.get(key)
+        if partition is None:
+            return []
+        completed: list[Match] = []
+        self._expire(partition, event, completed)
+        self.stats.observe_live_runs(self._refresh_activity())
+        return completed
+
+    def event_touches_state(self, event: Event, key: tuple[Any, ...]) -> bool:
+        """Could ``event`` extend, kill, or trip any live run or pending?
+
+        The shedding controller's protection check: ``True`` means the
+        event is bound into (or threatens) live partial-match state in its
+        partition and must never be shed.  ``False`` means the event could
+        at most start a *fresh* stage-0 run — window expiry aside (which
+        :meth:`tick` preserves), dropping it cannot disturb existing runs.
+        Every test is conservative: type-level consumption is checked
+        without evaluating predicates, so a protected verdict may be a
+        false positive but a not-protected verdict is never a false
+        negative.
+        """
+        partition = self._partitions.get(key)
+        if partition is None or (not partition.runs and not partition.pendings):
+            return False
+        if event.event_type in self._negation_types:
+            # dropping a negated event could resurrect a doomed run/pending
+            return True
+        if partition.runs and self.automaton.strategy is SelectionStrategy.STRICT:
+            # under STRICT an *unconsumed* event kills runs: its absence is
+            # just as observable as its presence
+            return True
+        stages = self.automaton.stages
+        etype = event.event_type
+        for run in partition.runs:
+            stage = stages[run.stage]
+            if run.kleene_open:
+                if etype == stage.event_type:
+                    return True
+                next_index = run.stage + 1
+                if (
+                    next_index < len(stages)
+                    and etype == stages[next_index].event_type
+                ):
+                    return True
+            elif etype == stage.event_type:
+                return True
+        return False
+
     def advance_time(self, timestamp: float) -> list[Match]:
         """Heartbeat: stream time has reached ``timestamp`` with no event.
 

@@ -73,14 +73,17 @@ class PressureSample:
         """Composite pressure: the worst component saturation."""
         return max(self.components(lag_budget).values())
 
-    def to_dict(self) -> dict[str, Any]:
+    def to_dict(
+        self, lag_budget: float = DEFAULT_LAG_BUDGET_SECONDS
+    ) -> dict[str, Any]:
         doc: dict[str, Any] = {
             spec.name: getattr(self, spec.name) for spec in fields(self)
         }
         doc["components"] = {
-            name: round(value, 6) for name, value in self.components().items()
+            name: round(value, 6)
+            for name, value in self.components(lag_budget).items()
         }
-        doc["score"] = round(self.score(), 6)
+        doc["score"] = round(self.score(lag_budget), 6)
         return doc
 
 
@@ -89,17 +92,29 @@ def merge_samples(parts: Iterable[PressureSample]) -> PressureSample:
 
     Depths and capacities sum (the fleet's total buffering), high-water
     and lag take the worst shard — a single lagging shard is fleet lag.
+    The subscriber pair travels together: taking ``max(depth)`` and
+    ``max(capacity)`` from *different* subscribers understates saturation
+    (a 9/10 outbox next to an empty 0/100 one would read 9/100 = 0.09),
+    so the merged sample carries the (depth, capacity) of the
+    worst-saturated subscriber, ties broken toward the deeper outbox.
     """
     parts = list(parts)
     if not parts:
         return PressureSample()
+    worst_subscriber = max(
+        parts,
+        key=lambda part: (
+            _saturation(part.subscriber_depth, part.subscriber_capacity),
+            part.subscriber_depth,
+        ),
+    )
     return PressureSample(
         ingest_lag_seconds=max(part.ingest_lag_seconds for part in parts),
         queue_depth=sum(part.queue_depth for part in parts),
         queue_capacity=sum(part.queue_capacity for part in parts),
         queue_high_water=max(part.queue_high_water for part in parts),
-        subscriber_depth=max(part.subscriber_depth for part in parts),
-        subscriber_capacity=max(part.subscriber_capacity for part in parts),
+        subscriber_depth=worst_subscriber.subscriber_depth,
+        subscriber_capacity=worst_subscriber.subscriber_capacity,
     )
 
 

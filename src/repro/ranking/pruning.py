@@ -97,24 +97,65 @@ class ScoreBoundPruner:
         """``True`` ⇒ the matcher discards this partial run."""
         self.stats.attempts += 1
         run_epoch = self._epochs.epoch_of_point(run.first_seq, run.first_ts)
-        kth = self.bound_provider(run_epoch)
-        if kth is None:
+        status, headroom = self._headroom(run_epoch, run, event)
+        if status == "no_bound":
             self.stats.no_bound_available += 1
             return False
+        if status == "unbounded":
+            self.stats.unbounded_expression += 1
+            return False
+        if status != "ok":
+            return False
+        assert headroom is not None
+        if headroom > 0:
+            self.stats.pruned += 1
+            return True
+        return False
+
+    def event_headroom(
+        self, run: Run, event: Event, seq: int | None = None
+    ) -> float | None:
+        """Normalised slack between ``run``'s best possible primary key and
+        the k-th retained key of the epoch ``event`` lands in.
+
+        The shedding controller calls this with a hypothetical stage-0 run
+        to certify dropping ``event``: a **positive** value proves no
+        completion of that run could strictly beat the current k-th (the
+        same strict comparison :meth:`__call__` uses, so ties that could
+        still win on secondary keys are never certified).  ``None`` means
+        no usable bound exists (heap not full, non-numeric primary, or an
+        unbounded expression) — the caller must keep the event.  ``seq``
+        overrides the event's own sequence number for count-window epoch
+        placement when the event has not been sequenced yet (the runner's
+        pre-ingest sampling path); certification there is advisory only.
+        """
+        point_seq = event.seq if seq is None else seq
+        epoch = self._epochs.epoch_of_point(point_seq, event.timestamp)
+        status, headroom = self._headroom(epoch, run, event)
+        return headroom if status == "ok" else None
+
+    def _headroom(
+        self, epoch: int, run: Run, event: Event
+    ) -> tuple[str, float | None]:
+        """Core bound evaluation: ``(status, best_possible - kth_primary)``.
+
+        Normalised keys sort ascending-is-better, so a positive headroom
+        means the run is strictly worse than the k-th retained score no
+        matter how it completes.
+        """
+        kth = self.bound_provider(epoch)
+        if kth is None:
+            return "no_bound", None
         kth_primary = kth[0]
         if isinstance(kth_primary, bool) or not isinstance(kth_primary, (int, float)):
-            return False  # string-keyed primary: no interval reasoning
+            return "non_numeric", None  # string-keyed: no interval reasoning
 
         view = run.partial_view(self.domain_of, event.timestamp)
         interval = IntervalEvaluator(view).bound(self.primary.expr)
         if interval is None:
-            self.stats.unbounded_expression += 1
-            return False
+            return "unbounded", None
         optimistic_raw = (
             interval.lo if self.primary.direction is Direction.ASC else interval.hi
         )
         best_possible = normalise_bound(optimistic_raw, self.primary.direction)
-        if best_possible > kth_primary:
-            self.stats.pruned += 1
-            return True
-        return False
+        return "ok", best_possible - kth_primary

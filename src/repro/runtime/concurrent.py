@@ -39,6 +39,7 @@ from repro.observability.registry import MetricsRegistry
 from repro.ranking.emission import Emission, EmissionKind
 from repro.runtime.engine import CEPREngine
 from repro.runtime.query import RegisteredQuery
+from repro.runtime.shedding import ShedController, controller_to_dict
 from repro.runtime.sinks import SinkLike, Subscription
 from repro.sanitize.core import release_affinity
 
@@ -60,6 +61,17 @@ class ThreadedEngineRunner:
     batch_size:
         How many queued events the consumer greedily drains into one
         ``push_batch`` call (amortises per-push overhead under load).
+    shed_policy:
+        ``"off"`` (default), ``"exact"``, or ``"adaptive"`` — see
+        :mod:`repro.runtime.shedding` and docs/SHEDDING.md.  Off attaches
+        nothing to the engine, so the hot path stays unchanged.
+    latency_target:
+        Ingest-lag budget in seconds the shedding controller steers
+        toward (only meaningful with a policy other than ``"off"``).
+    shed_controller:
+        Pre-built :class:`~repro.runtime.shedding.ShedController`
+        override (tests inject forced/engaged controllers); when given,
+        ``shed_policy``/``latency_target`` are ignored.
     """
 
     def __init__(
@@ -68,6 +80,9 @@ class ThreadedEngineRunner:
         on_emission: Callable[[Emission], None] | None = None,
         max_queue: int = 10_000,
         batch_size: int = 256,
+        shed_policy: str = "off",
+        latency_target: float | None = None,
+        shed_controller: ShedController | None = None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -97,6 +112,24 @@ class ThreadedEngineRunner:
         self.subscriber_pressure_provider: (
             Callable[[], tuple[int, int]] | None
         ) = None
+        if shed_controller is None:
+            shed_controller = ShedController(
+                policy=shed_policy,
+                **(
+                    {}
+                    if latency_target is None
+                    else {"latency_target": latency_target}
+                ),
+            )
+        #: load-shedding state machine (policy "off" is inert).
+        self.shed_controller = shed_controller
+        if shed_controller.policy != "off":
+            # Exact-mode elides run inside the dispatch loop; the checker
+            # hook re-derives every certificate when CEPRSan is armed.
+            engine.shed_controller = shed_controller
+            shed_controller.invariant_checker = getattr(
+                engine, "_invariants", None
+            )
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -394,7 +427,40 @@ class ThreadedEngineRunner:
             fn=lambda: self.pressure().level,
             agg="max",
         )
+        controller = self.shed_controller
+        if controller.policy != "off":
+            registry.counter(
+                "shed_events_total",
+                "Events dropped/elided by the load-shedding controller",
+                fn=lambda: controller.stats.shed_events_total,
+            )
+            registry.counter(
+                "shed_safe_total",
+                "Sheds provably unable to change output (inert or certified)",
+                fn=lambda: controller.stats.shed_safe_total,
+            )
+            registry.gauge(
+                "shed_drop_rate",
+                "Current adaptive drop probability (0..1)",
+                fn=lambda: controller.drop_rate,
+                agg="max",
+            )
+            registry.gauge(
+                "shed_recall_estimate",
+                "Measured lower-bound recall of the shedded stream",
+                fn=lambda: controller.recall_estimate,
+            )
+            registry.gauge(
+                "shed_engaged",
+                "1 while the shedding controller is engaged",
+                fn=lambda: 1.0 if controller.engaged else 0.0,
+                agg="max",
+            )
         return registry
+
+    def shed_stats_dict(self) -> dict | None:
+        """JSON-safe shedding snapshot for STATS frames (None when off)."""
+        return controller_to_dict(self.shed_controller)
 
     # -- consuming ----------------------------------------------------------------
 
@@ -425,9 +491,30 @@ class ThreadedEngineRunner:
                         else:
                             pending_op = nxt
                             break
-                    emissions = self.engine.push_batch(batch)
-                    self.events_processed += len(batch)
-                    self._fan_out(emissions)
+                    drained = len(batch)
+                    controller = self.shed_controller
+                    if controller.adaptive_active:
+                        # Lossy pre-engine drops: the seq hint places the
+                        # not-yet-sequenced events in the right count-window
+                        # epoch for the bound probes (advisory only).
+                        queries = self.engine.queries()
+                        seq_hint = self.engine.metrics.events_pushed
+                        batch = [
+                            event
+                            for event in batch
+                            if controller.admit(event, queries, seq_hint=seq_hint)
+                        ]
+                    if batch:
+                        emissions = self.engine.push_batch(batch)
+                        self._fan_out(emissions)
+                    self.events_processed += drained
+                    if controller.policy != "off":
+                        # Per-batch control tick, on the consumer thread —
+                        # the controller owns a private assessor, so this
+                        # never races the registry's pressure gauge.
+                        controller.control(
+                            self.pressure_sample(), self.ingest_lag_seconds
+                        )
                     continue
                 if kind == "stop":
                     break

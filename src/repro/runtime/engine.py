@@ -188,6 +188,11 @@ class CEPREngine:
         #: disabled hot-path cost is a single ``is None`` check per event.
         self._flightrec = flightrec_current()
         self._flightrec_clock = 0
+        #: load-shedding controller, attached by the threaded/sharded
+        #: runners (see repro.runtime.shedding); None on plain engines so
+        #: the hot-path cost of the feature when off is one ``is None``
+        #: check per dispatched event.
+        self.shed_controller = None
         #: CEPRSan reporter; None on plain engines (the common case) so
         #: hot paths never even branch on it.
         self.sanitizer = None
@@ -306,12 +311,25 @@ class CEPREngine:
             # Arm the per-event memo: every routed query's predicate and
             # stage-gate checks for this event now share one evaluation.
             shared.begin_event(event)
+        controller = self.shed_controller
+        exact_shedding = controller is not None and controller.exact_active
         emissions: list[Emission] = []
         derived: list[Event] = []
         for registered in self._router.route(event):
             if shared is not None and registered.skip_if_inert(event):
                 shared.events_gated += 1
                 continue
+            if exact_shedding:
+                # Post-sequencing elide: the event keeps its place in the
+                # stream (seq numbers, epoch boundaries, emission stamps
+                # all unchanged) but skips the match path when a bound
+                # certificate proves the output cannot differ.
+                elided = registered.shed_if_certified(event, controller)
+                if elided is not None:
+                    emissions.extend(elided)
+                    if registered.has_yield and elided:
+                        derived.extend(registered.derive_events(elided))
+                    continue
             query_emissions = registered.process(event)
             emissions.extend(query_emissions)
             if registered.has_yield and query_emissions:

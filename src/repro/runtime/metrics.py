@@ -42,17 +42,23 @@ class LatencyRecorder:
                 self._samples[index] = latency_seconds
 
     def record_zero(self) -> None:
-        """Count a zero-latency sample without touching the reservoir RNG.
+        """Record a zero-latency sample (skips the ``total``/``maximum`` math).
 
         The shared-execution skip path records one sample per elided
-        (query, event) pair to keep the sample-per-routed-event invariant;
-        a zero contributes nothing to ``total``/``maximum``, so once the
-        reservoir is full the RNG draw of :meth:`record` is pure overhead
-        on what must stay a sub-microsecond path.
+        (query, event) pair to keep the sample-per-routed-event invariant.
+        Zeros get the same algorithm-R treatment as :meth:`record`: once
+        the reservoir is full they must keep displacing samples at the
+        standard ``capacity / count`` rate, or a quiescent-skip-heavy
+        workload inflates ``count`` while the reservoir stays frozen on
+        the non-zero latencies — biasing every percentile upward.
         """
         self.count += 1
         if len(self._samples) < self.capacity:
             self._samples.append(0.0)
+        else:
+            index = self._rng.randrange(self.count)
+            if index < self.capacity:
+                self._samples[index] = 0.0
 
     @property
     def mean(self) -> float:

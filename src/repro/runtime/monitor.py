@@ -84,6 +84,11 @@ class Monitor:
         pressure = getattr(self.engine, "pressure", None)
         if pressure is not None:
             tail += f", {pressure().describe()}"
+        # Same story for the load-shedding controller (policy "off" is
+        # omitted — nothing can shed, so there is nothing to report).
+        controller = getattr(self.engine, "shed_controller", None)
+        if controller is not None and controller.policy != "off":
+            tail += f", {controller.describe()}"
         return (
             f"{_RULE}\n"
             f"CEPR monitor — {len(self.engine.queries())} queries, "

@@ -20,6 +20,7 @@ from repro.engine.compiler import compile_automaton
 from repro.language.analysis import run_analysis
 from repro.engine.match import Match
 from repro.engine.matcher import PatternMatcher
+from repro.engine.runs import new_run
 from repro.events.event import Event
 from repro.events.schema import SchemaRegistry
 from repro.language.ast_nodes import EmitKind
@@ -45,9 +46,20 @@ from repro.runtime.sinks import (
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.observability.cost import CostAccount
     from repro.runtime.router import SharedExecutionIndex
+    from repro.runtime.shedding import ShedController
 
 _ROUTE = SpanKind.ROUTE
 _EMIT = SpanKind.EMIT
+
+#: Shed-probe classifications (see docs/SHEDDING.md).  ``SHED_SAFE`` events
+#: are provably output-neutral to elide (inert for this query, or carrying a
+#: score-bound certificate); ``SHED_PROTECTED`` events are bound into — or
+#: threaten — live partial-match state and must never be dropped;
+#: ``SHED_UNCERTIFIED`` events could matter but carry no proof either way,
+#: so only the lossy adaptive sampler may drop them.
+SHED_SAFE = "safe"
+SHED_PROTECTED = "protected"
+SHED_UNCERTIFIED = "uncertified"
 
 
 class RegisteredQuery:
@@ -236,6 +248,96 @@ class RegisteredQuery:
         matcher.stats.events_processed += 1
         metrics.latency.record_zero()
         return True
+
+    def shed_probe(
+        self, event: Event, seq_hint: int | None = None
+    ) -> "tuple[str, float | None]":
+        """Classify ``event`` for the load-shedding controller.
+
+        Returns ``(classification, headroom)``.  The ladder is strictly
+        conservative — every ``SHED_SAFE`` verdict is backed by a proof
+        that dropping (exact mode: eliding) the event cannot change this
+        query's emissions:
+
+        * type not relevant, or no partition key ⇒ the matcher ignores it;
+        * :meth:`~repro.engine.matcher.PatternMatcher.event_touches_state`
+          ⇒ ``SHED_PROTECTED`` (bound into / threatening live runs);
+        * type differs from stage 0 ⇒ cannot start a run either;
+        * single-stage patterns complete instantly on a stage-0 bind, so a
+          shed would skip a whole detection ⇒ ``SHED_UNCERTIFIED``;
+        * stage-0 predicates reject it ⇒ provably inert;
+        * otherwise it would start a run: with a pruner, a **positive**
+          :meth:`~repro.ranking.pruning.ScoreBoundPruner.event_headroom`
+          over the hypothetical run certifies the shed (no completion can
+          crack the current top-k); without one, or without a usable
+          bound, the verdict is ``SHED_UNCERTIFIED``.
+
+        ``seq_hint`` stands in for the sequence number on the runner's
+        pre-ingest sampling path where ``event.seq`` is still ``-1``.
+        The probe may consult the shared stage gate / evaluate stage-0
+        predicates, so a kept event pays that work twice under shedding —
+        emissions are unaffected, only cost accounting shifts slightly.
+        """
+        matcher = self.matcher
+        if event.event_type not in matcher._relevant_types:
+            return SHED_SAFE, None
+        key = matcher._partitioner.key_of(event)
+        if key is None:
+            return SHED_SAFE, None
+        if matcher.event_touches_state(event, key):
+            return SHED_PROTECTED, None
+        if event.event_type != self._stage0_type:
+            return SHED_SAFE, None
+        if matcher._last_stage_index == 0:
+            return SHED_UNCERTIFIED, None
+        if not matcher._stage_accepts_new(self._stage0, event):
+            return SHED_SAFE, None
+        pruner = self.pruner
+        if pruner is None:
+            return SHED_UNCERTIFIED, None
+        candidate = new_run(self.automaton, event, key, matcher._tracked_attrs)
+        headroom = pruner.event_headroom(candidate, event, seq=seq_hint)
+        if headroom is None:
+            return SHED_UNCERTIFIED, None
+        if headroom > 0:
+            return SHED_SAFE, headroom
+        return SHED_UNCERTIFIED, headroom
+
+    def shed_if_certified(
+        self, event: Event, controller: "ShedController"
+    ) -> list[Emission] | None:
+        """Exact-mode shed: elide the match path under a safety certificate.
+
+        Returns the emissions the elided event still produced (epoch
+        closes, pending-match confirmations) when :meth:`shed_probe` says
+        ``SHED_SAFE``, or ``None`` when the event must take the full
+        :meth:`process` path.  The elision preserves every piece of
+        observable output: windows still age and pendings still confirm
+        through :meth:`~repro.engine.matcher.PatternMatcher.tick`, the
+        ranker observes the event (so emission timing and revisions are
+        unchanged), and the routed/latency bookkeeping mirrors
+        :meth:`process`.  Tracing disables the path — spans are part of
+        the observable output.  Run-level matcher stats (runs created
+        then immediately pruned) are the only thing an elide skips.
+        """
+        if self.tracer is not None:
+            return None
+        classification, headroom = self.shed_probe(event)
+        if classification is not SHED_SAFE:
+            controller.note_exact_kept(classification)
+            return None
+        checker = controller.invariant_checker
+        if checker is not None:
+            checker.check_certified_shed(self, event)
+        started = self._clock()
+        self._last_seq = event.seq
+        self._last_ts = event.timestamp
+        completed = self.matcher.tick(event)
+        emissions = self.ranker.observe(event, completed)
+        self._account(event, completed, emissions, None)
+        self.metrics.latency.record(self._clock() - started)
+        controller.note_exact_shed(certified=headroom is not None)
+        return emissions
 
     def process(self, event: Event) -> list[Emission]:
         """Feed one (already sequenced) event through the operator chain.

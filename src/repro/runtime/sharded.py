@@ -96,6 +96,12 @@ from repro.ranking.topk import merge_rankings
 from repro.runtime.engine import CEPREngine, restore_lateness, snapshot_lateness
 from repro.runtime.metrics import EngineMetrics, QueryMetrics, aggregate_query_metrics
 from repro.runtime.query import RegisteredQuery
+from repro.runtime.shedding import (
+    ShedController,
+    ShedStats,
+    controller_to_dict,
+    merge_shed_stats,
+)
 from repro.runtime.sinks import SinkLike, Subscription, close_sink, flush_sink
 from repro.sanitize.core import release_affinity
 from repro.sanitize.locks import register_lock_metrics, tracked_lock
@@ -735,6 +741,9 @@ class ShardedEngineRunner:
         batch_size: int = 256,
         on_emission: Callable[[Emission], None] | None = None,
         sanitize: bool | None = None,
+        shed_policy: str = "off",
+        latency_target: float | None = None,
+        shed_controller: ShedController | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -773,6 +782,25 @@ class ShardedEngineRunner:
         self.subscriber_pressure_provider: (
             Callable[[], tuple[int, int]] | None
         ) = None
+
+        if shed_controller is None:
+            shed_controller = ShedController(
+                policy=shed_policy,
+                **(
+                    {}
+                    if latency_target is None
+                    else {"latency_target": latency_target}
+                ),
+            )
+        #: dispatch-level shedding state machine: owns the overload
+        #: assessment and (in adaptive mode) the pre-dispatch sampler.
+        self.shed_controller = shed_controller
+        #: per-worker exact-mode controllers (thread-local counters); the
+        #: dispatch tick mirrors the engaged flag onto them.
+        self._worker_controllers: list[ShedController] = []
+        #: dispatch events between shedding control ticks.
+        self._shed_tick_interval = 64
+        self._shed_dispatched = 0
 
         self._workers: list[_Worker] = []
         self._groups: list[_Group] = []
@@ -901,6 +929,23 @@ class ShardedEngineRunner:
             group.relevant_types = frozenset(types)
             self._groups.append(group)
             self._workers.extend(workers)
+
+        if self.shed_controller.policy == "exact":
+            # Exact elides run inside each shard engine's dispatch loop on
+            # its own consumer thread; every worker gets a private
+            # controller (thread-local counters — merged for reporting)
+            # whose engaged flag the dispatch-level control tick mirrors.
+            for worker in self._workers:
+                controller = ShedController(
+                    policy="exact",
+                    latency_target=self.shed_controller.latency_target,
+                    force=self.shed_controller.force,
+                )
+                worker.engine.shed_controller = controller
+                controller.invariant_checker = getattr(
+                    worker.engine, "_invariants", None
+                )
+                self._worker_controllers.append(controller)
 
         for worker in self._workers:
             worker.start()
@@ -1092,12 +1137,28 @@ class ShardedEngineRunner:
     def _ingest(self, event: Event, timeout: float | None = None) -> None:
         if self._preassign:
             self._sequencer.assign(event)
-        self.metrics.on_push(event.timestamp)
         if (
             self.last_submitted_ts is None
             or event.timestamp > self.last_submitted_ts
         ):
             self.last_submitted_ts = event.timestamp
+        controller = self.shed_controller
+        if controller.policy != "off":
+            if self._shed_dispatched % self._shed_tick_interval == 0:
+                self._shed_control_tick()
+            self._shed_dispatched += 1
+            # Adaptive drops happen before dispatch bookkeeping: a dropped
+            # event never reaches a shard, never advances the merge
+            # trackers, and does not count as pushed.  (Exact-mode elides
+            # happen inside the shard engines instead — every event still
+            # dispatches, keeping sequence numbering byte-identical.)
+            if controller.adaptive_active and not controller.admit(
+                event,
+                self._shed_probes(event),
+                seq_hint=None if self._preassign else self.metrics.events_pushed,
+            ):
+                return
+        self.metrics.on_push(event.timestamp)
         event_type = event.event_type
         for view in self._type_watchers.get(event_type, ()):
             view._observe_routed(event)
@@ -1113,6 +1174,56 @@ class ShardedEngineRunner:
             # them so the skip is counted once, like a single engine would.
             shard = 0 if key is None else stable_shard(key, len(group.workers))
             group.workers[shard].put_event(event, timeout)
+
+    def _shed_control_tick(self) -> None:
+        """Dispatch-level overload assessment, mirrored onto the workers.
+
+        Runs under the dispatch lock every ``_shed_tick_interval`` events:
+        folds a fleet pressure sample into the controller's private
+        assessor and copies the resulting engaged flag onto every
+        per-worker exact controller (a plain attribute write — worker
+        threads only read it).
+        """
+        controller = self.shed_controller
+        controller.control(self.pressure_sample(), self.ingest_lag_seconds)
+        for worker_controller in self._worker_controllers:
+            worker_controller.engaged = controller.engaged
+
+    def _shed_probes(self, event: Event) -> list[RegisteredQuery]:
+        """Query handles ``event`` would reach (adaptive-mode probing).
+
+        The handles live on worker engines owned by consumer threads, so
+        the probes race those threads by construction;
+        :meth:`~repro.runtime.shedding.ShedController.admit` demotes any
+        probe failure to an uncertified verdict.
+        """
+        probes: list[RegisteredQuery] = []
+        event_type = event.event_type
+        if self._solo_worker is not None and (
+            not self._preassign or event_type in self._solo_types
+        ):
+            probes.extend(self._solo_worker.engine.queries())
+        for group in self._groups:
+            if event_type not in group.relevant_types:
+                continue
+            key = group.partitioner.key_of(event)
+            shard = 0 if key is None else stable_shard(key, len(group.workers))
+            probes.extend(group.workers[shard].engine.queries())
+        return probes
+
+    def shed_stats(self) -> ShedStats:
+        """Fleet-wide shedding counters (dispatch + worker controllers)."""
+        return merge_shed_stats(
+            [self.shed_controller.stats]
+            + [controller.stats for controller in self._worker_controllers]
+        )
+
+    def shed_stats_dict(self) -> dict | None:
+        """JSON-safe shedding snapshot for STATS frames (None when off)."""
+        return controller_to_dict(
+            self.shed_controller,
+            [controller.stats for controller in self._worker_controllers],
+        )
 
     @property
     def backlog(self) -> int:
@@ -1507,6 +1618,34 @@ class ShardedEngineRunner:
             fn=lambda: self.pressure().level,
             agg="max",
         )
+        if self.shed_controller.policy != "off":
+            fleet.counter(
+                "shed_events_total",
+                "Events dropped/elided by the load-shedding controller",
+                fn=lambda: self.shed_stats().shed_events_total,
+            )
+            fleet.counter(
+                "shed_safe_total",
+                "Sheds provably unable to change output (inert or certified)",
+                fn=lambda: self.shed_stats().shed_safe_total,
+            )
+            fleet.gauge(
+                "shed_drop_rate",
+                "Current adaptive drop probability (0..1)",
+                fn=lambda: self.shed_controller.drop_rate,
+                agg="max",
+            )
+            fleet.gauge(
+                "shed_recall_estimate",
+                "Measured lower-bound recall of the shedded stream",
+                fn=lambda: self.shed_stats().recall_estimate,
+            )
+            fleet.gauge(
+                "shed_engaged",
+                "1 while the shedding controller is engaged",
+                fn=lambda: 1.0 if self.shed_controller.engaged else 0.0,
+                agg="max",
+            )
         for index, worker in enumerate(self._workers):
             fleet.counter(
                 "shard_events_processed_total",

@@ -228,13 +228,15 @@ class CEPRClient:
 
     def stats(self) -> dict[str, Any]:
         """Server telemetry: registry JSON, Prometheus text, ranked
-        per-query cost accounts, and the composite pressure reading."""
+        per-query cost accounts, the composite pressure reading, and the
+        shedding snapshot (``None`` when the server runs ``off``)."""
         reply = self._request({"op": "stats"})
         return {
             "metrics": reply["metrics"],
             "prom": reply["prom"],
             "cost_accounts": reply.get("cost_accounts", []),
             "pressure": reply.get("pressure", {}),
+            "shedding": reply.get("shedding"),
         }
 
     def trace(self, query: str, emission: int = -1) -> dict[str, Any]:

@@ -210,6 +210,12 @@ class CEPRServer:
         sanitizer and the serve loop runs the blocking-call watchdog.
         Watchdog trips are always log-and-count (a stalled loop cannot
         usefully raise), surfaced as ``serve_sanitizer_trips_total``.
+    shed_policy / latency_target:
+        Overload control (see docs/SHEDDING.md): ``"off"`` (default),
+        ``"exact"`` (bound-certified elides, byte-identical output), or
+        ``"adaptive"`` (rank-weighted lossy sampling steered toward the
+        ``latency_target`` ingest-lag budget, in seconds).  Shed counters
+        surface in STATS frames and the Prometheus export.
     """
 
     def __init__(
@@ -232,9 +238,15 @@ class CEPRServer:
         batch_size: int = 256,
         sanitize: bool | None = None,
         tracing: bool = False,
+        shed_policy: str = "off",
+        latency_target: float | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if shed_policy not in ("off", "exact", "adaptive"):
+            raise ValueError(
+                f"shed_policy must be off|exact|adaptive, got {shed_policy!r}"
+            )
         if slow_consumer not in ("disconnect", "drop"):
             raise ValueError(
                 f"slow_consumer must be 'disconnect' or 'drop', "
@@ -261,6 +273,8 @@ class CEPRServer:
         self.poll_interval = poll_interval
         self.max_queue = max_queue
         self.batch_size = batch_size
+        self.shed_policy = shed_policy
+        self.latency_target = latency_target
         #: span tracing on the engine from the start (``trace`` op wants
         #: run-lifecycle competition tallies; provenance works without).
         self.tracing = tracing
@@ -396,7 +410,11 @@ class CEPRServer:
                 enable_pruning=self.enable_pruning, sanitize=self.sanitize
             )
             runner = ThreadedEngineRunner(
-                engine, max_queue=self.max_queue, batch_size=self.batch_size
+                engine,
+                max_queue=self.max_queue,
+                batch_size=self.batch_size,
+                shed_policy=self.shed_policy,
+                latency_target=self.latency_target,
             )
             for name, text in self.queries.items():
                 engine.register_query(text, name=name)
@@ -415,6 +433,8 @@ class CEPRServer:
                 max_queue=self.max_queue,
                 batch_size=self.batch_size,
                 sanitize=self.sanitize,
+                shed_policy=self.shed_policy,
+                latency_target=self.latency_target,
             )
             if self.tracing:
                 _log.warning(
@@ -923,7 +943,7 @@ class CEPRServer:
         return False
 
     def _telemetry_blocking(self) -> dict[str, Any]:
-        """Ranked cost accounts + the composite pressure reading."""
+        """Ranked cost accounts, pressure reading, shedding snapshot."""
         from repro.observability.cost import rank_accounts
 
         assert self._runner is not None
@@ -933,8 +953,13 @@ class CEPRServer:
             "cost_accounts": [account.to_dict() for account in accounts],
             "pressure": {
                 **assessor.to_dict(),
-                "sample": self._runner.pressure_sample().to_dict(),
+                # Normalise the sample's lag component against the
+                # assessor's actual budget, not the module default.
+                "sample": self._runner.pressure_sample().to_dict(
+                    assessor.lag_budget
+                ),
             },
+            "shedding": self._runner.shed_stats_dict(),
         }
 
     async def _op_trace(self, connection: _Connection, frame: dict) -> bool:

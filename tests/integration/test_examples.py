@@ -71,6 +71,11 @@ class TestExamples:
         assert "postmortem artifact: reason=drain" in out
         assert "flight-recorder postmortem OK" in out
 
+    def test_shed_overload(self):
+        out = run_example("shed_overload.py")
+        assert "shed overload demo OK" in out
+        assert "server exited with code 0" in out
+
     def test_all_examples_are_covered(self):
         scripts = {p.name for p in EXAMPLES_DIR.glob("*.py")}
         covered = {
@@ -84,5 +89,6 @@ class TestExamples:
             "live_monitor.py",
             "remote_client.py",
             "flightrec_postmortem.py",
+            "shed_overload.py",
         }
         assert scripts == covered, "new example scripts need smoke tests"

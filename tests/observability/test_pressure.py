@@ -52,6 +52,18 @@ class TestSample:
         assert doc["components"]["queue"] == pytest.approx(0.5)
         assert doc["score"] == pytest.approx(0.5)
 
+    def test_to_dict_honours_lag_budget(self):
+        # Regression: to_dict used to hardcode the default lag budget, so
+        # an assessor tuned to a 2s budget exported components/score that
+        # disagreed with its own overload decision.
+        sample = PressureSample(ingest_lag_seconds=1.0)
+        assert sample.to_dict(lag_budget=2.0)["components"]["lag"] == (
+            pytest.approx(0.5)
+        )
+        assert sample.to_dict(lag_budget=2.0)["score"] == pytest.approx(0.5)
+        # default budget (5s) still applies when none is passed
+        assert sample.to_dict()["components"]["lag"] == pytest.approx(0.2)
+
 
 class TestMergeSamples:
     def test_sum_and_max_semantics(self):
@@ -84,6 +96,31 @@ class TestMergeSamples:
         # ...and subscriber depth is the fullest outbox, not a sum
         assert merged.subscriber_depth == 6
         assert merged.subscriber_capacity == 8
+
+    def test_subscriber_pair_travels_together(self):
+        # Regression: the merge used to take max(depth) and max(capacity)
+        # independently, so a nearly-full small outbox next to an empty
+        # large one read as nearly idle (9/100 = 0.09 instead of 0.9).
+        merged = merge_samples(
+            [
+                PressureSample(subscriber_depth=9, subscriber_capacity=10),
+                PressureSample(subscriber_depth=0, subscriber_capacity=100),
+            ]
+        )
+        assert (merged.subscriber_depth, merged.subscriber_capacity) == (9, 10)
+        assert merged.components()["subscriber"] == pytest.approx(0.9)
+
+    def test_subscriber_saturation_ties_prefer_deeper_outbox(self):
+        merged = merge_samples(
+            [
+                PressureSample(subscriber_depth=5, subscriber_capacity=10),
+                PressureSample(subscriber_depth=50, subscriber_capacity=100),
+            ]
+        )
+        assert (merged.subscriber_depth, merged.subscriber_capacity) == (
+            50,
+            100,
+        )
 
     def test_empty_merge_is_quiescent(self):
         assert merge_samples([]) == PressureSample()

@@ -247,9 +247,23 @@ class TestPressureMergeProperties:
         assert merged.queue_depth == sum(p.queue_depth for p in parts)
         assert merged.queue_capacity == sum(p.queue_capacity for p in parts)
         assert merged.queue_high_water == max(p.queue_high_water for p in parts)
-        assert merged.subscriber_depth == max(p.subscriber_depth for p in parts)
-        assert merged.subscriber_capacity == max(
-            p.subscriber_capacity for p in parts
+        # The subscriber pair travels together: the merged sample carries
+        # the (depth, capacity) of the worst-saturated subscriber — taking
+        # max(depth) and max(capacity) from different subscribers would
+        # understate saturation (9/10 next to 0/100 reading as 9/100).
+        def saturation(depth, capacity):
+            if capacity <= 0:
+                return 0.0
+            return min(1.0, depth / capacity)
+
+        assert (merged.subscriber_depth, merged.subscriber_capacity) in {
+            (p.subscriber_depth, p.subscriber_capacity) for p in parts
+        }
+        assert saturation(
+            merged.subscriber_depth, merged.subscriber_capacity
+        ) == max(
+            saturation(p.subscriber_depth, p.subscriber_capacity)
+            for p in parts
         )
 
     @given(st.lists(pressure_samples, min_size=0, max_size=8))

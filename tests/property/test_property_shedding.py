@@ -1,0 +1,199 @@
+"""Property tests: exact shedding is invisible, adaptive stays bounded.
+
+Two layers:
+
+* End-to-end — for any random stream (with and without schema domains,
+  so both the structural and the bound-certified shed paths fire), a
+  forced-exact :class:`ShedController` produces **byte-identical**
+  emissions to the unshedded engine: same kinds, seqs, epochs,
+  revisions, rankings, scores, and detection indices.
+* Controller algebra — for any admission sequence the counters stay
+  consistent (every shed is safe or sampled, never both; protected
+  events are never dropped; the recall estimate is a true ratio in
+  [0, 1]) and the AIMD rate never escapes [0, MAX_DROP_RATE].
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+from repro import CEPREngine, Event
+from repro.events.schema import AttributeSpec, Domain, EventSchema, SchemaRegistry
+from repro.runtime.query import SHED_PROTECTED, SHED_SAFE, SHED_UNCERTIFIED
+from repro.runtime.shedding import MAX_DROP_RATE, ShedController
+
+RANKED_QUERY = """
+NAME spread
+PATTERN SEQ(A a, B b)
+WITHIN 20 EVENTS
+USING SKIP_TILL_ANY
+RANK BY b.value - a.value DESC
+LIMIT 2
+EMIT ON WINDOW CLOSE
+"""
+
+
+def make_registry():
+    attrs = (AttributeSpec("value", "float", Domain(0.0, 100.0)),)
+    return SchemaRegistry([EventSchema("A", attrs), EventSchema("B", attrs)])
+
+
+event_specs = st.lists(
+    st.tuples(
+        st.booleans(),  # A / B
+        st.integers(min_value=0, max_value=100),  # value
+    ),
+    min_size=0,
+    max_size=150,
+)
+
+
+def build_stream(specs):
+    events = []
+    ts = 0.0
+    for is_a, value in specs:
+        ts += 0.5
+        events.append(Event("A" if is_a else "B", ts, value=float(value)))
+    return events
+
+
+def fingerprint(handle):
+    out = []
+    for emission in handle.results():
+        ranking = tuple(
+            (
+                tuple(
+                    (var, binding.seq if isinstance(binding, Event) else None)
+                    for var, binding in match.bindings.items()
+                ),
+                match.score,
+                match.rank_values,
+                match.detection_index,
+            )
+            for match in emission.ranking
+        )
+        out.append(
+            (
+                emission.kind.value,
+                emission.at_seq,
+                emission.epoch,
+                emission.revision,
+                ranking,
+            )
+        )
+    return out
+
+
+def run(events, registry=None, controller=None):
+    engine = CEPREngine(registry=registry)
+    handle = engine.register_query(RANKED_QUERY)
+    if controller is not None:
+        engine.shed_controller = controller
+    for event in events:
+        engine.push(event)
+    engine.flush()
+    return handle
+
+
+class TestExactShedInvisibility:
+    @given(specs=event_specs)
+    @settings(max_examples=40, deadline=None)
+    def test_certified_sheds_never_change_emissions(self, specs):
+        events = build_stream(specs)
+        registry = make_registry()
+        baseline = run(events, registry=registry)
+        controller = ShedController(policy="exact", force=True)
+        shedded = run(events, registry=registry, controller=controller)
+        assert fingerprint(shedded) == fingerprint(baseline)
+        # exact mode never takes a lossy drop
+        assert controller.stats.shed_sampled_total == 0
+        assert controller.stats.uncertified_shed == 0
+        assert controller.recall_estimate == 1.0
+
+    @given(specs=event_specs)
+    @settings(max_examples=25, deadline=None)
+    def test_structural_sheds_without_domains_are_also_invisible(self, specs):
+        events = build_stream(specs)
+        baseline = run(events)
+        controller = ShedController(policy="exact", force=True)
+        shedded = run(events, controller=controller)
+        assert fingerprint(shedded) == fingerprint(baseline)
+        # without domains no bound can certify, only structural safety
+        assert controller.stats.certified_total == 0
+
+
+class _Probe:
+    def __init__(self, classification, headroom):
+        self.classification = classification
+        self.headroom = headroom
+
+    def shed_probe(self, event, seq_hint=None):
+        return self.classification, self.headroom
+
+
+probe_specs = st.lists(
+    st.tuples(
+        st.sampled_from([SHED_SAFE, SHED_PROTECTED, SHED_UNCERTIFIED]),
+        st.one_of(
+            st.none(),
+            st.floats(
+                min_value=-10.0,
+                max_value=10.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+        ),
+    ),
+    min_size=0,
+    max_size=200,
+)
+
+
+class TestControllerAlgebra:
+    @given(
+        specs=probe_specs,
+        rate=st.floats(min_value=0.0, max_value=1.0),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_admission_counters_stay_consistent(self, specs, rate, seed):
+        controller = ShedController(policy="adaptive", force=True, seed=seed)
+        controller.drop_rate = rate
+        protected_dropped = 0
+        for i, (classification, headroom) in enumerate(specs):
+            admitted = controller.admit(
+                Event("A", float(i)), [_Probe(classification, headroom)]
+            )
+            if classification is SHED_PROTECTED and not admitted:
+                protected_dropped += 1
+        stats = controller.stats
+        assert protected_dropped == 0
+        assert stats.offered == len(specs)
+        assert (
+            stats.shed_events_total
+            == stats.shed_safe_total + stats.shed_sampled_total
+        )
+        assert stats.uncertified_shed <= stats.uncertified_offered
+        assert stats.certified_total <= stats.shed_safe_total
+        assert 0.0 <= stats.recall_estimate <= 1.0
+
+    @given(
+        pressures=st.lists(
+            st.floats(
+                min_value=0.0,
+                max_value=1.0,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=0,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_aimd_rate_stays_bounded(self, pressures):
+        controller = ShedController(policy="adaptive")
+        for level in pressures:
+            controller.control(level)
+            assert 0.0 <= controller.drop_rate <= MAX_DROP_RATE
+            if not controller.engaged:
+                assert controller.drop_rate == 0.0

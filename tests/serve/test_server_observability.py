@@ -177,6 +177,47 @@ class TestStatsTelemetry:
         assert sample["queue_capacity"] > 0
         assert 0.0 <= sample["score"] <= 1.0
 
+    def test_stats_shedding_is_null_when_off(self):
+        with ServerHarness(queries={"spread": SPREAD}) as harness:
+            client = CEPRClient(port=harness.port)
+            try:
+                stats = client.stats()
+            finally:
+                client.close()
+        assert stats["shedding"] is None
+
+    def test_stats_carries_shedding_snapshot(self):
+        with ServerHarness(
+            queries={"spread": SPREAD},
+            shed_policy="adaptive",
+            latency_target=0.5,
+        ) as harness:
+            client = CEPRClient(port=harness.port)
+            try:
+                client.push_batch(_paired_events())
+                client.sync()
+                stats = client.stats()
+            finally:
+                client.close()
+
+        shedding = stats["shedding"]
+        assert shedding["policy"] == "adaptive"
+        assert shedding["latency_target"] == 0.5
+        assert shedding["engaged"] in (True, False)
+        ledger = shedding["stats"]
+        assert ledger["shed_events_total"] >= 0
+        assert 0.0 <= ledger["recall_estimate"] <= 1.0
+        # the registry exports the counters alongside
+        prom = stats["prom"]
+        assert "shed_events_total" in prom
+        assert "shed_recall_estimate" in prom
+
+    def test_invalid_shed_policy_rejected(self):
+        with pytest.raises(ValueError, match="shed_policy"):
+            from repro.serve.server import CEPRServer
+
+            CEPRServer(shed_policy="sometimes")
+
     def test_prom_export_has_subscriber_gauges(self):
         with ServerHarness(queries={"spread": SPREAD}) as harness:
             client = CEPRClient(port=harness.port)
