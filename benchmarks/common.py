@@ -132,10 +132,17 @@ def run_cepr(
     events: list[Event],
     registry: SchemaRegistry | None = None,
     enable_pruning: bool = True,
+    compiled: bool = True,
 ) -> RunResult:
-    """Run one CEPR query over a copy of ``events`` and collect stats."""
+    """Run one CEPR query over a copy of ``events`` and collect stats.
+
+    ``compiled=False`` keeps the per-predicate interpreter dispatch in
+    the matcher — the baseline of the E17 compiled-edges ablation.
+    """
     stream = fresh_events(events)
-    engine = CEPREngine(registry=registry, enable_pruning=enable_pruning)
+    engine = CEPREngine(
+        registry=registry, enable_pruning=enable_pruning, compiled=compiled
+    )
     handle = engine.register_query(query, collect_results=False)
     started = time.perf_counter()
     engine.run(stream)
@@ -275,20 +282,27 @@ def run_cepr_sharded(
     registry: SchemaRegistry | None = None,
     enable_pruning: bool = True,
     batch_size: int = 256,
+    backend: str = "sharded",
+    compiled: bool = True,
 ) -> RunResult:
     """Run one query through the sharded runtime and collect fleet stats.
 
     Timing covers submit-through-flush (the merge barrier included), so
     the recorded throughput is end-to-end, not just enqueue speed.
+    ``backend="process"`` runs the same fleet on worker processes (E17).
     """
-    from repro.runtime.sharded import ShardedEngineRunner
+    from repro.runtime.runner import RunnerConfig, create_runner
 
     stream = fresh_events(events)
-    runner = ShardedEngineRunner(
-        shards=shards,
-        registry=registry,
-        enable_pruning=enable_pruning,
-        batch_size=batch_size,
+    runner = create_runner(
+        config=RunnerConfig(
+            backend=backend,
+            shards=shards,
+            registry=registry,
+            enable_pruning=enable_pruning,
+            batch_size=batch_size,
+            compiled=compiled,
+        )
     )
     view = runner.register_query(query)
     runner.start()

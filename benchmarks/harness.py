@@ -326,10 +326,56 @@ def e16() -> None:
     )
 
 
+def e17() -> None:
+    header("E17", "process fleets + compiled hot paths (stock, 10k events)")
+    from test_e17_process import PROCESS_SWEEP, QUERY
+
+    from common import run_cepr_sharded
+
+    events, registry = stock_stream(10_000)
+    interpreted = run_cepr(QUERY, events, registry, compiled=False)
+    baseline = run_cepr(QUERY, events, registry)
+    threaded = run_cepr_sharded(QUERY, events, 4, registry)
+    row("configuration", "events/s", "matches", "emissions")
+    row(
+        "interpreted",
+        fmt(interpreted.events_per_second, 0),
+        interpreted.matches,
+        interpreted.emissions,
+    )
+    row(
+        "single engine",
+        fmt(baseline.events_per_second, 0),
+        baseline.matches,
+        baseline.emissions,
+    )
+    row(
+        "threads=4",
+        fmt(threaded.events_per_second, 0),
+        threaded.matches,
+        threaded.emissions,
+    )
+    for shards in PROCESS_SWEEP:
+        result = run_cepr_sharded(
+            QUERY, events, shards, registry, backend="process"
+        )
+        assert result.matches == baseline.matches  # merge-stage contract
+        row(
+            f"processes={shards}",
+            fmt(result.events_per_second, 0),
+            result.matches,
+            result.emissions,
+        )
+    print(
+        "  results identical on every substrate; the K=4 process fleet"
+        " needs >= 4 cores to clear its 2.5x acceptance floor"
+    )
+
+
 EXPERIMENTS = {
     "E1": e1, "E2": e2, "E3": e3, "E4": e4, "E5": e5,
     "E6": e6, "E7": e7, "E8": e8, "E9": e9, "E10": e10, "E11": e11,
-    "E12": e12, "E16": e16,
+    "E12": e12, "E16": e16, "E17": e17,
 }
 
 

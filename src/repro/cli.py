@@ -160,6 +160,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="run partitioned queries across N worker shards (default: 1)",
     )
     run.add_argument(
+        "--runner",
+        choices=("embedded", "sharded", "process"),
+        default=None,
+        help="execution backend (default: embedded, or sharded when "
+        "--shards > 1); process runs shards as worker processes "
+        "(see docs/PROCESS_RUNNER.md)",
+    )
+    run.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -216,6 +224,14 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="run partitioned queries across N worker shards (default: 1); "
         "dynamic REGISTER requires --shards 1",
+    )
+    serve.add_argument(
+        "--runner",
+        choices=("threaded", "sharded", "process"),
+        default=None,
+        help="execution backend (default: threaded, or sharded when "
+        "--shards > 1); process runs shards as worker processes "
+        "(see docs/PROCESS_RUNNER.md)",
     )
     serve.add_argument(
         "--checkpoint-dir",
@@ -753,8 +769,14 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
 
         enable_sanitizer()
     _install_flightrec(args)
-    if args.shards > 1:
-        return _cmd_run_sharded(args, out)
+    backend = args.runner or ("embedded" if args.shards == 1 else "sharded")
+    if backend == "embedded" and args.shards > 1:
+        raise ValueError(
+            "--runner embedded is single-engine; drop --shards or choose "
+            "--runner sharded/process"
+        )
+    if backend in ("sharded", "process"):
+        return _cmd_run_sharded(args, out, backend)
     from repro.runtime.sinks import close_sink
 
     engine = CEPREngine(enable_pruning=not args.no_pruning)
@@ -803,18 +825,23 @@ def _cmd_run(args: argparse.Namespace, out: TextIO) -> int:
     return 0
 
 
-def _cmd_run_sharded(args: argparse.Namespace, out: TextIO) -> int:
+def _cmd_run_sharded(
+    args: argparse.Namespace, out: TextIO, backend: str = "sharded"
+) -> int:
     from repro.language.analysis import run_analysis
-    from repro.runtime.sharded import ShardedEngineRunner
+    from repro.runtime.runner import RunnerConfig, create_runner
     from repro.runtime.sinks import close_sink
 
     # The global on_emission hook (not per-view subscriptions) preserves
     # the interleaved cross-query emission order of earlier releases.
     sink = _make_run_sink(args, out)
-    runner = ShardedEngineRunner(
-        shards=args.shards,
-        enable_pruning=not args.no_pruning,
-        on_emission=sink.accept,
+    runner = create_runner(
+        config=RunnerConfig(
+            backend=backend,
+            shards=args.shards,
+            enable_pruning=not args.no_pruning,
+            on_emission=sink.accept,
+        )
     )
     for path in args.query_files:
         view = runner.register_query(path.read_text(), name=path.stem)
@@ -885,6 +912,7 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
         host=args.host,
         port=args.port,
         shards=args.shards,
+        runner_backend=args.runner,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
@@ -905,7 +933,8 @@ def _cmd_serve(args: argparse.Namespace, out: TextIO) -> int:
     def on_ready(ready: CEPRServer) -> None:
         print(
             f"cepr serve: listening on {ready.host}:{ready.bound_port} "
-            f"({len(queries)} queries, shards={args.shards})",
+            f"({len(queries)} queries, runner={ready.runner_backend}, "
+            f"shards={args.shards})",
             file=out,
         )
         out.flush()
@@ -1029,34 +1058,36 @@ def _stats_remote(args: argparse.Namespace, out: TextIO) -> int:
 
 
 def _stats_single(args: argparse.Namespace, out: TextIO):
-    engine = CEPREngine()
+    from repro.runtime.runner import RunnerConfig, create_runner
+
+    # Watch mode wants the threaded runner (the monitor header shows
+    # queue pressure alongside throughput); plain replay stays embedded.
+    backend = "threaded" if args.watch else "embedded"
+    runner = create_runner(config=RunnerConfig(backend=backend))
     for path in args.query_files:
-        handle = engine.register_query(path.read_text(), name=path.stem)
+        handle = runner.register_query(path.read_text(), name=path.stem)
         _report_diagnostics(str(path), handle.diagnostics)
     if args.watch:
-        from repro.runtime.concurrent import ThreadedEngineRunner
-
-        runner = ThreadedEngineRunner(engine).start()
+        runner.start()
         try:
-            # The runner (not the bare engine) is the monitor source so
-            # the header shows queue pressure alongside throughput.
             _watch_replay(runner, runner.submit, _load_events(args.events),
                           args.refresh, out)
         finally:
             runner.stop()
         _render_monitor_frame(runner, out)
         return runner.metrics_registry()
-    for event in _load_events(args.events):
-        engine.push(event)
-    engine.flush()
-    return engine.metrics_registry()
+    runner.submit_all(_load_events(args.events))
+    runner.flush()
+    return runner.metrics_registry()
 
 
 def _stats_sharded(args: argparse.Namespace, out: TextIO):
     from repro.language.analysis import run_analysis
-    from repro.runtime.sharded import ShardedEngineRunner
+    from repro.runtime.runner import RunnerConfig, create_runner
 
-    runner = ShardedEngineRunner(shards=args.shards)
+    runner = create_runner(
+        config=RunnerConfig(backend="sharded", shards=args.shards)
+    )
     for path in args.query_files:
         view = runner.register_query(path.read_text(), name=path.stem)
         _report_diagnostics(str(path), run_analysis(view.analyzed))
@@ -1161,9 +1192,11 @@ def _cmd_top(args: argparse.Namespace, out: TextIO) -> int:
 
     if args.shards > 1:
         from repro.language.analysis import run_analysis
-        from repro.runtime.sharded import ShardedEngineRunner
+        from repro.runtime.runner import RunnerConfig, create_runner
 
-        runner = ShardedEngineRunner(shards=args.shards)
+        runner = create_runner(
+            config=RunnerConfig(backend="sharded", shards=args.shards)
+        )
         for path in args.query_files:
             view = runner.register_query(path.read_text(), name=path.stem)
             _report_diagnostics(str(path), run_analysis(view.analyzed))

@@ -1,16 +1,34 @@
-"""Compile an analysed query into a :class:`~repro.engine.nfa.PatternAutomaton`."""
+"""Compile an analysed query into a :class:`~repro.engine.nfa.PatternAutomaton`.
+
+Besides the stage-chain compiler, this module owns **hot-path edge
+compilation** (:func:`compile_edges`): for every NFA edge the per-spec
+interpreter loop — shared-memo routing, context construction, predicate
+evaluation, lenient error accounting — is fused into one closure built
+once per matcher.  The matcher then dispatches a single call per edge
+check instead of re-deciding the routing per predicate per event, and the
+:class:`~repro.language.expressions.EvalContext` is materialised at most
+once per edge check instead of once per predicate.  Semantics are
+byte-identical to the interpreted path (the differential suite flips
+``compiled`` and compares emissions and error counters).
+"""
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.engine.aggregates import needed_aggregates
 from repro.engine.nfa import PatternAutomaton, Stage
+from repro.engine.runs import Run
+from repro.events.event import Event
 from repro.language.ast_nodes import Expr, split_conjuncts
+from repro.language.errors import EvaluationError
+from repro.language.expressions import EvalContext, evaluate_predicate
 from repro.language.fingerprint import canonical_expr
-from repro.language.semantics import AnalyzedQuery
+from repro.language.semantics import AnalyzedQuery, PredicateSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.engine.matcher import PatternMatcher
     from repro.runtime.router import SharedExecutionIndex
 
 
@@ -101,3 +119,215 @@ def _stage_key(prefix: str, stage: Stage) -> str:
         ";".join(canonical_expr(p.expr) for p in stage.incremental_predicates),
     ]
     return "\x1f".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# hot-path edge compilation
+# ---------------------------------------------------------------------------
+
+#: fused guard over one edge's predicate chain: ``check(run, event)``.
+GuardCheck = Callable[[Run, Event], bool]
+
+
+@dataclass(frozen=True)
+class CompiledEdges:
+    """Per-matcher fused evaluators, one closure per NFA edge.
+
+    ``bind``/``kleene`` are indexed by stage index; ``negation`` maps
+    ``id(negation_spec)`` (the specs are interned on the automaton for the
+    matcher's lifetime) to the fused guard over its predicates.  Closures
+    read ``matcher.stats`` through the matcher attribute on every call, so
+    a checkpoint restore — which replaces the stats object wholesale —
+    needs no recompilation hook.
+    """
+
+    bind: tuple[GuardCheck, ...]
+    kleene: tuple[GuardCheck, ...]
+    gate0: Callable[[Event], bool]
+    negation: dict[int, GuardCheck]
+    completion: Callable[[Run], bool]
+
+
+def _always_true(run: Run, event: Event) -> bool:
+    return True
+
+
+def _fuse_guard(
+    specs: Sequence[PredicateSpec],
+    variable: str,
+    matcher: "PatternMatcher",
+    shared: "SharedExecutionIndex | None",
+    lenient: bool,
+) -> GuardCheck:
+    """Fuse one edge's anchored-predicate loop into a single closure.
+
+    Mirrors ``PatternMatcher._spec_holds`` per spec, in order: a
+    fingerprinted (self-contained) predicate consulted for the event
+    currently being dispatched is answered from the engine's shared
+    per-event memo; everything else evaluates against one lazily built
+    run context.  Short-circuits on the first failing predicate, and a
+    lenient evaluation error charges ``stats.evaluation_errors`` exactly
+    as the interpreted path does.
+    """
+    if not specs:
+        return _always_true
+
+    if shared is None or all(spec.fingerprint is None for spec in specs):
+        evaluators = tuple(spec.evaluator for spec in specs)
+
+        def check_local(run: Run, event: Event) -> bool:
+            ctx = run.context(current_var=variable, current_event=event)
+            for evaluator in evaluators:
+                try:
+                    if not evaluate_predicate(evaluator, ctx):
+                        return False
+                except EvaluationError:
+                    if not lenient:
+                        raise
+                    matcher.stats.evaluation_errors += 1
+                    return False
+            return True
+
+        return check_local
+
+    # (spec-for-shared-routing | None, evaluator) per predicate, in order.
+    plan = tuple(
+        (spec if spec.fingerprint is not None else None, spec.evaluator)
+        for spec in specs
+    )
+
+    def check(run: Run, event: Event) -> bool:
+        stats = matcher.stats
+        memo_live = shared.current_event is event
+        ctx: EvalContext | None = None
+        for spec, evaluator in plan:
+            if spec is not None and memo_live:
+                if not shared.predicate_holds(spec, stats, lenient):
+                    return False
+                continue
+            if ctx is None:
+                ctx = run.context(current_var=variable, current_event=event)
+            try:
+                if not evaluate_predicate(evaluator, ctx):
+                    return False
+            except EvaluationError:
+                if not lenient:
+                    raise
+                stats.evaluation_errors += 1
+                return False
+        return True
+
+    return check
+
+
+def _fuse_gate0(
+    stage: Stage,
+    matcher: "PatternMatcher",
+    shared: "SharedExecutionIndex | None",
+    lenient: bool,
+) -> Callable[[Event], bool]:
+    """Stage-0 acceptance check against an empty run context."""
+    variable = stage.variable.name
+    specs = (
+        stage.incremental_predicates if stage.is_kleene else stage.bind_predicates
+    )
+    evaluators = tuple(spec.evaluator for spec in specs)
+
+    def gate_local(event: Event) -> bool:
+        if not evaluators:
+            return True
+        ctx = EvalContext(
+            bindings={}, current_var=variable, current_event=event
+        )
+        for evaluator in evaluators:
+            try:
+                if not evaluate_predicate(evaluator, ctx):
+                    return False
+            except EvaluationError:
+                if not lenient:
+                    raise
+                matcher.stats.evaluation_errors += 1
+                return False
+        return True
+
+    if shared is None:
+        return gate_local
+
+    def gate(event: Event) -> bool:
+        # Whole-stage memo: one verdict per (event, stage) across queries.
+        if shared.current_event is event:
+            return shared.stage_gate(stage, matcher.stats, lenient)
+        return gate_local(event)
+
+    return gate
+
+
+def _fuse_completion(
+    specs: Sequence[PredicateSpec], matcher: "PatternMatcher", lenient: bool
+) -> Callable[[Run], bool]:
+    """Completion-predicate conjunction over one full-run context."""
+    evaluators = tuple(spec.evaluator for spec in specs)
+
+    def check(run: Run) -> bool:
+        if not evaluators:
+            return True
+        ctx = run.context()
+        for evaluator in evaluators:
+            try:
+                if not evaluate_predicate(evaluator, ctx):
+                    return False
+            except EvaluationError:
+                if not lenient:
+                    raise
+                matcher.stats.evaluation_errors += 1
+                return False
+        return True
+
+    return check
+
+
+def compile_edges(matcher: "PatternMatcher") -> CompiledEdges:
+    """Build the fused per-edge closure table for one matcher.
+
+    Built per matcher (not per shared stage) because the closures fold in
+    per-query state: the lenient-error policy, the stats object the error
+    counters charge, and the engine's shared index.  Stage objects shared
+    across queries via prefix interning keep identical predicate chains,
+    so each matcher fusing its own copy preserves the sharing semantics —
+    the shared routing happens inside the closures, per consultation.
+    """
+    automaton = matcher.automaton
+    shared = matcher.shared
+    lenient = matcher.lenient_errors
+    return CompiledEdges(
+        bind=tuple(
+            _fuse_guard(
+                stage.bind_predicates, stage.variable.name, matcher, shared, lenient
+            )
+            for stage in automaton.stages
+        ),
+        kleene=tuple(
+            _fuse_guard(
+                stage.incremental_predicates,
+                stage.variable.name,
+                matcher,
+                shared,
+                lenient,
+            )
+            for stage in automaton.stages
+        ),
+        gate0=_fuse_gate0(automaton.stages[0], matcher, shared, lenient),
+        negation={
+            id(negation): _fuse_guard(
+                negation.predicates,
+                negation.element.variable,
+                matcher,
+                shared,
+                lenient,
+            )
+            for negation in automaton.negations
+        },
+        completion=_fuse_completion(
+            automaton.completion_predicates, matcher, lenient
+        ),
+    )

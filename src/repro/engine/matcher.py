@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Callable, Iterator
 
 from repro.engine.aggregates import tracked_attrs_by_var
+from repro.engine.compiler import CompiledEdges, compile_edges
 from repro.engine.match import Match
 from repro.engine.nfa import PatternAutomaton, Stage
 from repro.engine.partitioner import Partitioner
@@ -123,6 +124,7 @@ class PatternMatcher:
         lenient_errors: bool = False,
         track_aggregates: bool = True,
         shared: "SharedExecutionIndex | None" = None,
+        compiled: bool = True,
     ) -> None:
         self.automaton = automaton
         self.prune_hook = prune_hook
@@ -175,6 +177,14 @@ class PatternMatcher:
         # quiescence check before it decides to route an event here at all.
         self._live_runs_cached = 0
         self._pendings_cached = 0
+        #: Fused per-edge closures (:func:`~repro.engine.compiler.
+        #: compile_edges`): one call per edge check instead of per-predicate
+        #: interpreter dispatch.  ``compiled=False`` keeps the interpreted
+        #: paths live for differential testing and ablation.
+        self.compiled = compiled
+        self._edges: CompiledEdges | None = (
+            compile_edges(self) if compiled else None
+        )
 
     # -- public API ------------------------------------------------------------
 
@@ -516,6 +526,9 @@ class PatternMatcher:
     def _negation_predicates_pass(
         self, run: Run, negation: NegationSpec, event: Event
     ) -> bool:
+        edges = self._edges
+        if edges is not None:
+            return edges.negation[id(negation)](run, event)
         variable = negation.element.variable
         return all(
             self._spec_holds(predicate, run, variable, event)
@@ -730,10 +743,15 @@ class PatternMatcher:
                 return None
             bound = run.extend_kleene(stage, event)
         else:
-            variable = stage.variable.name
-            for predicate in stage.bind_predicates:
-                if not self._spec_holds(predicate, run, variable, event):
+            edges = self._edges
+            if edges is not None:
+                if not edges.bind[stage.index](run, event):
                     return None
+            else:
+                variable = stage.variable.name
+                for predicate in stage.bind_predicates:
+                    if not self._spec_holds(predicate, run, variable, event):
+                        return None
             bound = run.bind_singleton(stage, event)
         if self.tracer is not None:
             self.tracer.record(
@@ -748,6 +766,9 @@ class PatternMatcher:
         return bound
 
     def _kleene_accepts(self, run: Run, stage: Stage, event: Event) -> bool:
+        edges = self._edges
+        if edges is not None:
+            return edges.kleene[stage.index](run, event)
         variable = stage.variable.name
         return all(
             self._spec_holds(predicate, run, variable, event)
@@ -756,6 +777,9 @@ class PatternMatcher:
 
     def _stage_accepts_new(self, stage: Stage, event: Event) -> bool:
         """Stage-0 predicate check against an empty run context."""
+        edges = self._edges
+        if edges is not None and stage.index == 0:
+            return edges.gate0(event)
         shared = self.shared
         if shared is not None and shared.current_event is event:
             return shared.stage_gate(stage, self.stats, self.lenient_errors)
@@ -773,10 +797,15 @@ class PatternMatcher:
 
     def _try_complete(self, run: Run, completed: list[Match]) -> bool:
         """Check completion predicates; emit the match or park it pending."""
-        ctx = run.context()
-        for predicate in self.automaton.completion_predicates:
-            if not self._predicate_holds(predicate.evaluator, ctx):
+        edges = self._edges
+        if edges is not None:
+            if not edges.completion(run):
                 return False
+        else:
+            ctx = run.context()
+            for predicate in self.automaton.completion_predicates:
+                if not self._predicate_holds(predicate.evaluator, ctx):
+                    return False
         match = run.to_match(self._detection_counter, self.query_name)
         self._detection_counter += 1
         self.stats.matches_completed += 1

@@ -1,12 +1,26 @@
 """Runtime glue: the engine facade, query handles, routing, sinks, metrics,
-and the live monitor."""
+and the live monitor.
+
+Execution backends live behind the unified Runner API: build any of
+embedded / threaded / sharded / process with
+:func:`~repro.runtime.runner.create_runner` and drive it through the
+:class:`~repro.runtime.runner.Runner` protocol.  Direct construction of
+the runner classes is deprecated (each constructor warns outside the
+factory)."""
 
 from repro.runtime.concurrent import ThreadedEngineRunner
 from repro.runtime.engine import CEPREngine
 from repro.runtime.metrics import EngineMetrics, LatencyRecorder, QueryMetrics
 from repro.runtime.monitor import Monitor
+from repro.runtime.process import ProcessShardedRunner
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.router import EventRouter
+from repro.runtime.runner import (
+    EmbeddedRunner,
+    Runner,
+    RunnerConfig,
+    create_runner,
+)
 from repro.runtime.serialize import emission_to_json, emission_to_line, match_to_json
 from repro.runtime.sharded import ShardedEngineRunner, ShardedQuery
 from repro.runtime.sinks import (
@@ -21,18 +35,23 @@ __all__ = [
     "CEPREngine",
     "CallbackSink",
     "CollectorSink",
+    "EmbeddedRunner",
     "EngineMetrics",
     "EventRouter",
     "JSONLSink",
     "LatencyRecorder",
     "Monitor",
     "PrintSink",
+    "ProcessShardedRunner",
     "QueryMetrics",
     "RegisteredQuery",
     "ResultSink",
+    "Runner",
+    "RunnerConfig",
     "ShardedEngineRunner",
     "ShardedQuery",
     "ThreadedEngineRunner",
+    "create_runner",
     "emission_to_json",
     "emission_to_line",
     "match_to_json",

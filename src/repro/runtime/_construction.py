@@ -1,0 +1,53 @@
+"""Deprecation plumbing for direct runner construction.
+
+The unified entry point for building runners is
+:func:`repro.runtime.create_runner`.  The historical constructors
+(``ThreadedEngineRunner(engine, ...)``, ``ShardedEngineRunner(...)``)
+keep working as deprecated shims; they call
+:func:`warn_direct_construction` so callers get a pointer at the
+factory, while :func:`factory_construction` lets the factory itself
+(and subclass ``super().__init__`` chains under it) construct without
+noise.  The flag is thread-local: a worker thread building a runner
+never suppresses a warning owed on another thread.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+from contextlib import contextmanager
+from typing import Iterator
+
+_state = threading.local()
+
+
+@contextmanager
+def factory_construction() -> Iterator[None]:
+    """Mark the current thread as inside :func:`~repro.runtime.create_runner`.
+
+    Re-entrant: nested construction (a subclass ``__init__`` chaining to
+    a deprecated base constructor) stays suppressed until the outermost
+    block exits.
+    """
+    depth = getattr(_state, "depth", 0)
+    _state.depth = depth + 1
+    try:
+        yield
+    finally:
+        _state.depth = depth
+
+
+def warn_direct_construction(cls_name: str) -> None:
+    """Issue the deprecation warning unless the factory is constructing.
+
+    ``stacklevel=3`` points the warning at the code calling the runner
+    constructor (this helper and the ``__init__`` frame are skipped).
+    """
+    if getattr(_state, "depth", 0):
+        return
+    warnings.warn(
+        f"constructing {cls_name} directly is deprecated; use "
+        "repro.runtime.create_runner(program, config) instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )

@@ -37,6 +37,7 @@ from repro.language.ast_nodes import Query
 from repro.observability.pressure import PressureAssessor, PressureSample
 from repro.observability.registry import MetricsRegistry
 from repro.ranking.emission import Emission, EmissionKind
+from repro.runtime._construction import warn_direct_construction
 from repro.runtime.engine import CEPREngine
 from repro.runtime.query import RegisteredQuery
 from repro.runtime.shedding import ShedController, controller_to_dict
@@ -84,6 +85,7 @@ class ThreadedEngineRunner:
         latency_target: float | None = None,
         shed_controller: ShedController | None = None,
     ) -> None:
+        warn_direct_construction(type(self).__name__)
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
         self.engine = engine
@@ -155,6 +157,11 @@ class ThreadedEngineRunner:
             raise TimeoutError("consumer thread did not drain in time")
         if self.failure is not None:
             raise RuntimeError("engine thread failed") from self.failure
+
+    def close(self) -> None:
+        """Terminal teardown: stop (draining and flushing), then close sinks."""
+        self.stop()
+        self._fan_out(self.engine.close())
 
     def __enter__(self) -> "ThreadedEngineRunner":
         return self.start()
@@ -249,6 +256,21 @@ class ThreadedEngineRunner:
             raise TimeoutError("advance barrier did not drain in time")
         if self.failure is not None:
             raise RuntimeError("engine thread failed") from self.failure
+
+    def flush(self) -> None:
+        """End-of-stream flush without stopping the runner.
+
+        Parks the consumer at a safe point, flushes the engine, and fans
+        the released emissions out to ``on_emission`` (on the calling
+        thread — same delivery point as the sharded runner's barriers).
+        Idempotent; :meth:`stop` still flushes for callers that never
+        call this.
+        """
+        if self._started and not self._stopped.is_set():
+            with self.pause() as engine:
+                self._fan_out(engine.flush())
+        else:
+            self._fan_out(self.engine.flush())
 
     @contextmanager
     def pause(self) -> Iterator[CEPREngine]:
@@ -379,8 +401,16 @@ class ThreadedEngineRunner:
     # Monitor passthroughs: a runner can stand in for its engine as a
     # monitor source, which is how `cepr stats --watch` surfaces queue
     # pressure (the bare engine has no ingest queue to be pressured).
+    def query(self, name: str) -> RegisteredQuery:
+        """Look up a registered query handle by name."""
+        return self.engine.query(name)
+
     def queries(self):
         return self.engine.queries()
+
+    def stats_by_query(self):
+        """Per-query counter dict (passthrough to the engine)."""
+        return self.engine.stats_by_query()
 
     @property
     def metrics(self):

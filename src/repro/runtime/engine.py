@@ -141,6 +141,13 @@ class CEPREngine:
         (default) follows the ``CEPR_SANITIZE`` environment variable;
         the instrumentation is attached at construction only, so a plain
         engine carries zero sanitizer cost.
+    compiled:
+        Hot-path edge compilation (on by default): every NFA edge's
+        predicate chain — shared-memo routing, context construction,
+        evaluation, lenient error accounting — is fused into one closure
+        at query compile time, replacing per-predicate interpreter
+        dispatch.  Byte-identical output either way (the differential
+        suite flips it); ``False`` is the interpreted ablation baseline.
     """
 
     def __init__(
@@ -157,12 +164,17 @@ class CEPREngine:
         enable_profiling: bool = True,
         shared_execution: bool = True,
         sanitize: bool | None = None,
+        compiled: bool = True,
     ) -> None:
         self.registry = registry
         self.strict_schema = strict_schema
         self.enable_pruning = enable_pruning
         self.lenient_errors = lenient_errors
         self.enable_profiling = enable_profiling
+        #: hot-path edge compilation (fused per-edge closures in the
+        #: matcher); ``False`` keeps the per-predicate interpreter paths —
+        #: the differential suites and the E17 ablation flip this.
+        self.compiled = compiled
         self.lateness_buffer = (
             LatenessBuffer(max_lateness) if max_lateness is not None else None
         )
@@ -234,6 +246,7 @@ class CEPREngine:
             lenient_errors=self.lenient_errors,
             enable_profiling=self.enable_profiling,
             shared=self.shared,
+            compiled=self.compiled,
         )
         registered.set_tracer(self.tracer)
         self._queries[resolved_name] = registered

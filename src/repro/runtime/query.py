@@ -76,6 +76,7 @@ class RegisteredQuery:
         enable_profiling: bool = True,
         clock=time.perf_counter,
         shared: "SharedExecutionIndex | None" = None,
+        compiled: bool = True,
     ) -> None:
         self.name = name
         self.analyzed = analyzed
@@ -117,6 +118,7 @@ class RegisteredQuery:
             query_name=name,
             lenient_errors=lenient_errors,
             shared=shared,
+            compiled=compiled,
         )
 
         self._lenient_errors = lenient_errors

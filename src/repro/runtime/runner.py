@@ -1,0 +1,500 @@
+"""Unified Runner API: one protocol, one config, one factory.
+
+Four execution backends can run a CEPR program, each trading isolation
+for throughput differently:
+
+``embedded``
+    :class:`EmbeddedRunner` — a synchronous wrapper over one
+    :class:`~repro.runtime.engine.CEPREngine` on the caller's thread.
+    Zero moving parts; right for scripts, tests, and notebooks.
+``threaded``
+    :class:`~repro.runtime.concurrent.ThreadedEngineRunner` — one engine
+    behind a bounded queue on a consumer thread; producers get
+    backpressure, callers get barriers.
+``sharded``
+    :class:`~repro.runtime.sharded.ShardedEngineRunner` — a fleet of
+    engines on worker *threads*, partitioned by the analyzer's
+    shardability certificate, merged deterministically.
+``process``
+    :class:`~repro.runtime.process.ProcessShardedRunner` — the same
+    fleet on worker *processes* (own interpreter, own GIL), fed over
+    length-prefixed pipe frames.
+
+They share one lifecycle — ``register_query`` / ``start`` / ``submit``
+/ barriers (``sync``/``advance_time``/``flush``) / ``snapshot`` /
+``restore`` / ``stop`` / ``close`` — captured by the :class:`Runner`
+protocol and exercised by the cross-backend conformance suite
+(``tests/runtime/test_runner_conformance.py``).
+
+Construction goes through :func:`create_runner`::
+
+    from repro.runtime import RunnerConfig, create_runner
+
+    runner = create_runner(QUERY_TEXT, RunnerConfig(backend="sharded", shards=4))
+    with runner:
+        runner.submit_all(events)
+        runner.flush()
+
+Direct construction of the runner classes still works but is
+deprecated (each constructor warns outside the factory); the factory is
+the supported path and the only place backend choice stays a config
+value instead of a code change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Mapping,
+    Protocol,
+    runtime_checkable,
+)
+
+from repro.events.event import Event
+from repro.events.schema import SchemaRegistry
+from repro.language.ast_nodes import Query
+from repro.observability.registry import MetricsRegistry
+from repro.ranking.emission import Emission
+from repro.runtime._construction import factory_construction
+from repro.runtime.concurrent import ThreadedEngineRunner
+from repro.runtime.engine import CEPREngine
+from repro.runtime.shedding import ShedController
+from repro.runtime.sharded import ShardedEngineRunner
+from repro.runtime.sinks import SinkLike, Subscription
+
+
+@runtime_checkable
+class Runner(Protocol):
+    """The lifecycle every execution backend implements.
+
+    ``isinstance(obj, Runner)`` checks method presence (the protocol is
+    runtime-checkable); the semantic contract — deterministic output
+    identical across backends for the same program and stream — is
+    enforced by the conformance and differential suites.
+    """
+
+    def start(self) -> "Runner":
+        """Begin accepting events; returns self for chaining."""
+        ...
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Drain queued work, flush the engine(s), release threads/processes."""
+        ...
+
+    def close(self) -> None:
+        """Terminal teardown: stop if needed, then close sinks."""
+        ...
+
+    def submit(self, event: Event, timeout: float | None = None) -> None:
+        """Ingest one event (blocks on backpressure where applicable)."""
+        ...
+
+    def submit_all(self, events: Iterable[Event]) -> int:
+        """Ingest a stream; returns how many events were accepted."""
+        ...
+
+    def sync(self) -> None:
+        """Read-your-writes barrier over everything submitted so far."""
+        ...
+
+    def advance_time(self, timestamp: float) -> Any:
+        """Heartbeat: declare stream time has reached ``timestamp``."""
+        ...
+
+    def flush(self) -> Any:
+        """End of stream: release pending matches and held rankings."""
+        ...
+
+    def subscribe(
+        self,
+        query_name: str,
+        target: SinkLike,
+        kinds: object = None,
+    ) -> Subscription:
+        """Attach a sink/callback to one query, filtered to ``kinds``."""
+        ...
+
+    def register_query(self, query: str | Query, name: str | None = None) -> Any:
+        """Register a query; returns its handle (backend-specific type)."""
+        ...
+
+    def query(self, name: str) -> Any:
+        """Look up a registered query handle by name."""
+        ...
+
+    def queries(self) -> list:
+        """All registered query handles."""
+        ...
+
+    def snapshot(self) -> dict:
+        """Consistent JSON-safe checkpoint of all mutable state."""
+        ...
+
+    def restore(self, state: dict) -> None:
+        """Load a snapshot taken by an identically-configured runner."""
+        ...
+
+    def stats_by_query(self) -> dict:
+        """Per-query counter dict (events routed, matches, emissions, ...)."""
+        ...
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """Live metrics registry covering engines and runner queues."""
+        ...
+
+    def cost_accounts(self) -> dict:
+        """Per-query cost accounting snapshot."""
+        ...
+
+
+@dataclass
+class RunnerConfig:
+    """Declarative construction recipe for :func:`create_runner`.
+
+    Field applicability by backend (everything else is shared):
+
+    * ``shards`` — ``sharded``/``process`` only (worker count).
+    * ``max_queue``/``batch_size`` — queue-backed backends
+      (``threaded``/``sharded``/``process``); ignored by ``embedded``.
+    * ``shed_policy``/``latency_target``/``shed_controller`` —
+      ``threaded``/``sharded`` only.  ``embedded`` has no ingest queue
+      to shed and ``process`` workers only mirror engine state at
+      barriers, so both reject a non-``"off"`` policy.
+    * ``tracing`` — engine-level (``embedded``/``threaded``); the
+      sharded/process merge stage cannot stitch cross-shard traces, so
+      enabling it there raises.
+
+    ``on_emission`` receives every (merged) emission: synchronously on
+    the caller's thread for ``embedded``, on the consumer thread for
+    ``threaded``, and on the barrier-calling thread for
+    ``sharded``/``process``.
+    """
+
+    backend: str = "embedded"
+    shards: int = 4
+    registry: SchemaRegistry | None = None
+    strict_schema: bool = False
+    enable_pruning: bool = True
+    strict_time: bool = False
+    lenient_errors: bool = False
+    max_lateness: float | None = None
+    max_queue: int = 10_000
+    batch_size: int = 256
+    on_emission: Callable[[Emission], None] | None = None
+    sanitize: bool | None = None
+    shed_policy: str = "off"
+    latency_target: float | None = None
+    shed_controller: ShedController | None = None
+    compiled: bool = True
+    tracing: bool | None = None
+
+
+class EmbeddedRunner:
+    """Synchronous :class:`Runner` over one engine on the caller's thread.
+
+    No queue, no threads: ``submit`` pushes straight into the engine and
+    emissions fan out before it returns, so ``sync`` is a no-op and
+    results are always current.  This is the embedded engine experience
+    (``CEPREngine`` + ``push``) behind the same lifecycle surface as the
+    concurrent backends — which is what lets one conformance suite, one
+    serving layer, and one CLI treat backend choice as configuration.
+    """
+
+    def __init__(
+        self,
+        engine: CEPREngine,
+        on_emission: Callable[[Emission], None] | None = None,
+    ) -> None:
+        self.engine = engine
+        self.on_emission = on_emission
+        self.events_submitted = 0
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> "EmbeddedRunner":
+        """No-op (nothing to spin up); returns self for chaining."""
+        return self
+
+    def stop(self, timeout: float | None = 30.0) -> None:
+        """Flush the engine (idempotent); ``timeout`` is accepted and unused."""
+        self._fan_out(self.engine.flush())
+
+    def close(self) -> None:
+        """Flush (if not yet flushed) and close sinks."""
+        self._fan_out(self.engine.close())
+
+    def __enter__(self) -> "EmbeddedRunner":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- ingestion ---------------------------------------------------------------
+
+    def submit(self, event: Event, timeout: float | None = None) -> None:
+        """Push one event through the engine synchronously."""
+        self._fan_out(self.engine.push(event))
+        self.events_submitted += 1
+
+    def submit_all(self, events: Iterable[Event]) -> int:
+        """Push a stream through the engine in one batch."""
+        count = self.engine.events_pushed
+        self._fan_out(self.engine.push_batch(events))
+        count = self.engine.events_pushed - count
+        self.events_submitted += count
+        return count
+
+    # -- barriers ----------------------------------------------------------------
+
+    def sync(self) -> None:
+        """No-op: a synchronous runner is always caught up."""
+
+    def advance_time(self, timestamp: float) -> list[Emission]:
+        """Heartbeat passthrough; emissions fan out and are returned."""
+        emissions = self.engine.advance_time(timestamp)
+        self._fan_out(emissions)
+        return emissions
+
+    def flush(self) -> list[Emission]:
+        """End-of-stream flush; emissions fan out and are returned."""
+        emissions = self.engine.flush()
+        self._fan_out(emissions)
+        return emissions
+
+    # -- queries -----------------------------------------------------------------
+
+    def subscribe(
+        self,
+        query_name: str,
+        target: SinkLike,
+        kinds: object = None,
+    ) -> Subscription:
+        """Attach a sink/callback to one query, filtered to ``kinds``."""
+        return self.engine.subscribe(query_name, target, kinds=kinds)
+
+    def register_query(self, query: str | Query, name: str | None = None):
+        """Register a query on the wrapped engine."""
+        return self.engine.register_query(query, name=name)
+
+    def unregister_query(self, name: str) -> None:
+        """Remove a query from the wrapped engine."""
+        self.engine.unregister_query(name)
+
+    def query(self, name: str):
+        """Look up a registered query handle by name."""
+        return self.engine.query(name)
+
+    def queries(self) -> list:
+        """All registered query handles."""
+        return self.engine.queries()
+
+    # -- checkpointing -----------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Engine snapshot (trivially consistent: nothing is in flight)."""
+        return self.engine.snapshot()
+
+    def restore(self, state: dict) -> None:
+        """Load a snapshot into the wrapped engine."""
+        self.engine.restore(state)
+
+    # -- observability -----------------------------------------------------------
+
+    @property
+    def metrics(self):
+        """The wrapped engine's :class:`~repro.runtime.metrics.EngineMetrics`."""
+        return self.engine.metrics
+
+    def stats_by_query(self) -> dict:
+        """Per-query counter dict from the wrapped engine."""
+        return self.engine.stats_by_query()
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """The wrapped engine's live metrics registry."""
+        return self.engine.metrics_registry()
+
+    def cost_accounts(self) -> dict:
+        """Per-query cost accounting snapshot."""
+        return self.engine.cost_accounts()
+
+    def _fan_out(self, emissions: list[Emission]) -> None:
+        if self.on_emission is not None:
+            for emission in emissions:
+                self.on_emission(emission)
+
+
+# -- factory ---------------------------------------------------------------------
+
+#: Program forms ``create_runner`` accepts (besides ``None``).
+ProgramLike = (
+    "str | Query | Mapping[str, str | Query] | Iterable[str | Query]"
+)
+
+
+def _iter_program(
+    program: object,
+) -> Iterator[tuple[str | None, str | Query]]:
+    if program is None:
+        return
+    if isinstance(program, (str, Query)):
+        yield None, program
+        return
+    if isinstance(program, Mapping):
+        for name, query in program.items():
+            yield name, query
+        return
+    if isinstance(program, Iterable):
+        for query in program:
+            if not isinstance(query, (str, Query)):
+                raise TypeError(
+                    "program items must be CEPR-QL text or Query ASTs, "
+                    f"got {type(query).__name__}"
+                )
+            yield None, query
+        return
+    raise TypeError(
+        "program must be CEPR-QL text, a Query AST, an iterable of "
+        f"either, or a name->query mapping; got {type(program).__name__}"
+    )
+
+
+def _engine_from(config: RunnerConfig) -> CEPREngine:
+    return CEPREngine(
+        registry=config.registry,
+        strict_schema=config.strict_schema,
+        enable_pruning=config.enable_pruning,
+        strict_time=config.strict_time,
+        lenient_errors=config.lenient_errors,
+        max_lateness=config.max_lateness,
+        tracing=config.tracing,
+        sanitize=config.sanitize,
+        compiled=config.compiled,
+    )
+
+
+def _reject_tracing(config: RunnerConfig) -> None:
+    if config.tracing:
+        raise ValueError(
+            f"backend {config.backend!r} does not support per-emission "
+            "tracing (the merge stage cannot stitch cross-shard traces); "
+            "use backend='embedded' or 'threaded'"
+        )
+
+
+def _build_embedded(config: RunnerConfig) -> EmbeddedRunner:
+    if config.shed_policy != "off" or config.shed_controller is not None:
+        raise ValueError(
+            "backend 'embedded' has no ingest queue to shed; "
+            "use backend='threaded' for load shedding"
+        )
+    return EmbeddedRunner(_engine_from(config), on_emission=config.on_emission)
+
+
+def _build_threaded(config: RunnerConfig) -> ThreadedEngineRunner:
+    return ThreadedEngineRunner(
+        _engine_from(config),
+        on_emission=config.on_emission,
+        max_queue=config.max_queue,
+        batch_size=config.batch_size,
+        shed_policy=config.shed_policy,
+        latency_target=config.latency_target,
+        shed_controller=config.shed_controller,
+    )
+
+
+def _sharded_kwargs(config: RunnerConfig) -> dict:
+    return dict(
+        shards=config.shards,
+        registry=config.registry,
+        strict_schema=config.strict_schema,
+        enable_pruning=config.enable_pruning,
+        strict_time=config.strict_time,
+        lenient_errors=config.lenient_errors,
+        max_lateness=config.max_lateness,
+        max_queue=config.max_queue,
+        batch_size=config.batch_size,
+        on_emission=config.on_emission,
+        sanitize=config.sanitize,
+        compiled=config.compiled,
+    )
+
+
+def _build_sharded(config: RunnerConfig) -> ShardedEngineRunner:
+    _reject_tracing(config)
+    return ShardedEngineRunner(
+        shed_policy=config.shed_policy,
+        latency_target=config.latency_target,
+        shed_controller=config.shed_controller,
+        **_sharded_kwargs(config),
+    )
+
+
+def _build_process(config: RunnerConfig):
+    # Imported lazily: repro.runtime.process pulls in the serve-layer
+    # frame codec, whose package init imports the server, which imports
+    # this module — a cycle at import time, but not at call time.
+    from repro.runtime.process import ProcessShardedRunner
+
+    _reject_tracing(config)
+    # ProcessShardedRunner itself rejects shedding (worker engine state
+    # is only mirrored at barriers); pass through so the error is its.
+    return ProcessShardedRunner(
+        shed_policy=config.shed_policy,
+        shed_controller=config.shed_controller,
+        **_sharded_kwargs(config),
+    )
+
+
+_BACKENDS: dict[str, Callable[[RunnerConfig], Any]] = {
+    "embedded": _build_embedded,
+    "threaded": _build_threaded,
+    "sharded": _build_sharded,
+    "process": _build_process,
+}
+
+
+def create_runner(
+    program: object = None,
+    config: RunnerConfig | None = None,
+    **overrides,
+) -> Runner:
+    """Build a :class:`Runner` for ``program`` per ``config``.
+
+    ``program`` may be CEPR-QL text, a parsed ``Query`` AST, an iterable
+    of either, a ``{name: query}`` mapping, or ``None`` (register later
+    via ``runner.register_query``).  ``config`` defaults to
+    ``RunnerConfig()`` (embedded backend); keyword ``overrides`` are
+    applied on top with :func:`dataclasses.replace`, so the common cases
+    stay one-liners::
+
+        create_runner(text)                                   # embedded
+        create_runner(text, backend="threaded")
+        create_runner(text, backend="process", shards=4)
+        create_runner(text, RunnerConfig(backend="sharded"), shards=8)
+
+    The runner is returned **unstarted**: register any further queries,
+    then ``start()`` (or use it as a context manager).  Unknown backends
+    and backend/feature mismatches (shedding on ``embedded``/``process``,
+    tracing on ``sharded``/``process``) raise ``ValueError`` here rather
+    than failing later at runtime.
+    """
+    if config is None:
+        config = RunnerConfig()
+    if overrides:
+        config = replace(config, **overrides)
+    try:
+        build = _BACKENDS[config.backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown runner backend {config.backend!r}; "
+            f"expected one of {sorted(_BACKENDS)}"
+        ) from None
+    with factory_construction():
+        runner = build(config)
+    for name, query in _iter_program(program):
+        runner.register_query(query, name=name)
+    return runner

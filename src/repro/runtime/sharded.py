@@ -93,6 +93,7 @@ from repro.observability.registry import MetricsRegistry, merge_registries
 from repro.ranking.emission import Emission, EmissionKind
 from repro.ranking.score import Scorer
 from repro.ranking.topk import merge_rankings
+from repro.runtime._construction import warn_direct_construction
 from repro.runtime.engine import CEPREngine, restore_lateness, snapshot_lateness
 from repro.runtime.metrics import EngineMetrics, QueryMetrics, aggregate_query_metrics
 from repro.runtime.query import RegisteredQuery
@@ -648,6 +649,23 @@ class _Worker:
     def put_op(self, op: tuple) -> None:
         self.queue.put(op)
 
+    def _sync_engine(self) -> None:
+        """Barrier-sync hook, run on the consumer thread at ``sync`` ops.
+
+        In-process shards have nothing to do — the drained queue IS the
+        barrier.  The process-backed runner overrides this to round-trip
+        the barrier to the worker process so the coordinator reads fresh
+        mirrored state (see :mod:`repro.runtime.process`).
+        """
+
+    def close(self, force: bool = False) -> None:
+        """Teardown hook, called after the consumer thread has joined.
+
+        In-process shards own no external resources.  The process-backed
+        runner overrides this to reap (or with ``force`` terminate) the
+        worker process.
+        """
+
     def _consume(self) -> None:
         pending_op: tuple | None = None
         while True:
@@ -687,9 +705,11 @@ class _Worker:
                 return
             # Barrier ops always acknowledge, even after a failure, so the
             # runner can never deadlock waiting on a dead shard.
-            if self.failure is None and kind != "sync":
+            if self.failure is None:
                 try:
-                    if kind == "advance":
+                    if kind == "sync":
+                        self._sync_engine()
+                    elif kind == "advance":
                         self.engine.advance_time(item[1])
                     else:  # "flush"
                         self.engine.flush()
@@ -744,10 +764,13 @@ class ShardedEngineRunner:
         shed_policy: str = "off",
         latency_target: float | None = None,
         shed_controller: ShedController | None = None,
+        compiled: bool = True,
     ) -> None:
+        warn_direct_construction(type(self).__name__)
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.shards = shards
+        self.compiled = compiled
         self.registry = registry
         self.strict_schema = strict_schema
         self.enable_pruning = enable_pruning
@@ -851,7 +874,12 @@ class ShardedEngineRunner:
             max_lateness=None if preassigned else self.max_lateness,
             sequencer=PreassignedSequencer() if preassigned else None,
             sanitize=self.sanitize,
+            compiled=self.compiled,
         )
+
+    def _make_worker(self, engine: CEPREngine) -> _Worker:
+        """Build one shard worker; the process runner overrides this."""
+        return _Worker(engine, self.max_queue, self.batch_size)
 
     def start(self) -> "ShardedEngineRunner":
         if self._started:
@@ -894,7 +922,7 @@ class ShardedEngineRunner:
 
         if solo:
             engine = self._new_engine(preassigned=self._preassign)
-            worker = _Worker(engine, self.max_queue, self.batch_size)
+            worker = self._make_worker(engine)
             self._solo_worker = worker
             self._workers.append(worker)
             types: set[str] = set()
@@ -906,11 +934,7 @@ class ShardedEngineRunner:
 
         for attributes, members in grouped.items():
             workers = [
-                _Worker(
-                    self._new_engine(preassigned=True),
-                    self.max_queue,
-                    self.batch_size,
-                )
+                self._make_worker(self._new_engine(preassigned=True))
                 for _ in range(self.shards)
             ]
             group = _Group(attributes, workers)
@@ -976,9 +1000,15 @@ class ShardedEngineRunner:
                 worker.thread.join(timeout=timeout)
                 if worker.thread.is_alive():
                     raise TimeoutError("shard thread did not drain in time")
+            for worker in self._workers:
+                worker.close()
         self._check_failures()
         for view in self._views.values():
             view.close_sinks()
+
+    def close(self) -> None:
+        """Terminal teardown: alias for :meth:`stop` (which closes sinks)."""
+        self.stop()
 
     def kill(self, timeout: float | None = 5.0) -> None:
         """Stop every shard **without flushing** (crash simulation).
@@ -996,6 +1026,8 @@ class ShardedEngineRunner:
         for worker in self._workers:
             assert worker.thread is not None
             worker.thread.join(timeout=timeout)
+        for worker in self._workers:
+            worker.close(force=True)
 
     # -- checkpointing ------------------------------------------------------------------
 

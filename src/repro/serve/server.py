@@ -5,8 +5,10 @@ Threading model — three layers, one direction of blocking each:
 * **Event loop** (this module): frame parsing, connection state, fan-out
   queues.  Never calls the engine directly; every blocking runtime call
   goes through ``asyncio.to_thread``.
-* **Runner threads**: a :class:`~repro.runtime.concurrent.ThreadedEngineRunner`
-  (``shards == 1``) or :class:`~repro.runtime.sharded.ShardedEngineRunner`
+* **Runner threads**: a :class:`~repro.runtime.concurrent.ThreadedEngineRunner`,
+  :class:`~repro.runtime.sharded.ShardedEngineRunner`, or
+  :class:`~repro.runtime.process.ProcessShardedRunner` (chosen by
+  ``runner_backend``, built via :func:`~repro.runtime.runner.create_runner`)
   consumes submitted events and delivers emissions to the per-query
   :class:`~repro.serve.subscriptions.QueryFeed` subscriptions, which
   trampoline back onto the loop.
@@ -40,8 +42,8 @@ from repro.observability.flightrec import dump_if_armed
 from repro.observability.log import get_logger
 from repro.observability.tracing import remote_contexts
 from repro.runtime.concurrent import ThreadedEngineRunner
-from repro.runtime.engine import CEPREngine
 from repro.runtime.metrics import LatencyRecorder
+from repro.runtime.runner import RunnerConfig, create_runner
 from repro.runtime.serialize import event_from_json
 from repro.runtime.sharded import ShardedEngineRunner
 from repro.serve.protocol import (
@@ -187,11 +189,17 @@ class CEPRServer:
     ----------
     queries:
         ``{name: query_text}`` registered before the server starts
-        (``shards == 1`` servers also accept REGISTER frames at runtime).
+        (``threaded`` servers also accept REGISTER frames at runtime).
+    runner_backend:
+        Execution backend behind the frame protocol: ``"threaded"``
+        (one engine, dynamic queries), ``"sharded"`` (partition-parallel
+        worker threads), or ``"process"`` (worker processes fed over
+        pipe frames — see docs/PROCESS_RUNNER.md).  ``None`` infers from
+        ``shards``: 1 → threaded, >1 → sharded.  Sharded/process merged
+        emissions are released on a ``poll_interval`` cadence and at
+        barriers.
     shards:
-        1 → a :class:`ThreadedEngineRunner`; >1 → a
-        :class:`ShardedEngineRunner` whose merged emissions are released
-        on a ``poll_interval`` cadence and at barriers.
+        Worker count for the sharded/process backends.
     checkpoint_dir / checkpoint_every / resume:
         Crash-recovery wiring (see docs/RECOVERY.md): snapshot every N
         ingested events and at drain; ``resume`` restores the latest
@@ -240,9 +248,27 @@ class CEPRServer:
         tracing: bool = False,
         shed_policy: str = "off",
         latency_target: float | None = None,
+        runner_backend: str | None = None,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        if runner_backend is None:
+            runner_backend = "threaded" if shards == 1 else "sharded"
+        if runner_backend not in ("threaded", "sharded", "process"):
+            raise ValueError(
+                "runner_backend must be threaded|sharded|process, "
+                f"got {runner_backend!r}"
+            )
+        if runner_backend == "threaded" and shards > 1:
+            raise ValueError(
+                "the threaded backend is single-engine; use "
+                "runner_backend='sharded' or 'process' for shards > 1"
+            )
+        if runner_backend == "process" and shed_policy != "off":
+            raise ValueError(
+                "load shedding is not supported on the process backend "
+                "(worker engine state is only mirrored at barriers)"
+            )
         if shed_policy not in ("off", "exact", "adaptive"):
             raise ValueError(
                 f"shed_policy must be off|exact|adaptive, got {shed_policy!r}"
@@ -261,6 +287,7 @@ class CEPRServer:
         self.queries = dict(queries or {})
         self.host = host
         self.port = port
+        self.runner_backend = runner_backend
         self.shards = shards
         self.enable_pruning = enable_pruning
         self.checkpoint_dir = checkpoint_dir
@@ -353,7 +380,7 @@ class CEPRServer:
                 installed.append(signal.SIGUSR2)
             except (NotImplementedError, RuntimeError, ValueError):
                 pass
-        if self.shards > 1:
+        if self.runner_backend != "threaded":
             self._poll_task = self._loop.create_task(self._poll_loop())
         if self.sanitizer is not None:
             from repro.sanitize.aio import LoopStallWatchdog
@@ -405,29 +432,21 @@ class CEPRServer:
 
     def _start_runtime(self) -> None:
         assert self._loop is not None
-        if self.shards == 1:
-            engine = CEPREngine(
-                enable_pruning=self.enable_pruning, sanitize=self.sanitize
-            )
-            runner = ThreadedEngineRunner(
-                engine,
-                max_queue=self.max_queue,
-                batch_size=self.batch_size,
-                shed_policy=self.shed_policy,
-                latency_target=self.latency_target,
-            )
-            for name, text in self.queries.items():
-                engine.register_query(text, name=name)
-            if self.tracing:
-                engine.set_tracing(True)
-            self._runner = runner
-            for name in self.queries:
-                feed = QueryFeed(name, self._loop, self.stats)
-                feed.attach(lambda cb, name=name: engine.subscribe(name, cb))
-                self._feeds[name] = feed
-            runner.start()
-        else:
-            sharded = ShardedEngineRunner(
+        tracing: bool | None = None
+        if self.tracing:
+            if self.runner_backend == "threaded":
+                tracing = True
+            else:
+                _log.warning(
+                    "tracing requested on the %s backend; span tracing is "
+                    "per-engine and the trace op needs --runner threaded "
+                    "— ignoring",
+                    self.runner_backend,
+                )
+        runner = create_runner(
+            self.queries,
+            RunnerConfig(
+                backend=self.runner_backend,
                 shards=self.shards,
                 enable_pruning=self.enable_pruning,
                 max_queue=self.max_queue,
@@ -435,23 +454,21 @@ class CEPRServer:
                 sanitize=self.sanitize,
                 shed_policy=self.shed_policy,
                 latency_target=self.latency_target,
-            )
-            if self.tracing:
-                _log.warning(
-                    "tracing requested with %d shards; span tracing is "
-                    "per-engine and the trace op needs --shards 1 — ignoring",
-                    self.shards,
-                )
-            for name, text in self.queries.items():
-                sharded.register_query(text, name=name)
-            self._runner = sharded
-            for name in self.queries:
-                feed = QueryFeed(name, self._loop, self.stats)
-                feed.attach(
-                    lambda cb, name=name: sharded.subscribe(name, cb)
-                )
-                self._feeds[name] = feed
-            sharded.start()
+                tracing=tracing,
+            ),
+        )
+        assert isinstance(
+            runner, (ThreadedEngineRunner, ShardedEngineRunner)
+        )
+        self._runner = runner
+        for name in self.queries:
+            feed = QueryFeed(name, self._loop, self.stats)
+            # Unified attach: every backend exposes the Runner protocol's
+            # subscribe (per-client `kinds` filters are applied at the
+            # feed's fan-out, so the feed itself taps all kinds).
+            feed.attach(lambda cb, name=name: runner.subscribe(name, cb))
+            self._feeds[name] = feed
+        runner.start()
         # Fold the fullest subscriber outbound queue into the runner's
         # composite pressure score: the runner's own `pressure` gauge is
         # already registered (get-or-create registry), so instead of a
@@ -824,11 +841,12 @@ class CEPRServer:
 
     async def _op_register(self, connection: _Connection, frame: dict) -> bool:
         self._require_live()
-        if self.shards > 1:
+        if self.runner_backend != "threaded":
             raise FrameError(
                 E_UNSUPPORTED,
                 "REGISTER is unsupported on a sharded fleet (placement is "
-                "fixed at start); run with --shards 1 for dynamic queries",
+                "fixed at start); run with --runner threaded for dynamic "
+                "queries",
             )
         text = frame.get("query")
         if not isinstance(text, str) or not text.strip():
@@ -859,7 +877,7 @@ class CEPRServer:
 
     async def _op_unregister(self, connection: _Connection, frame: dict) -> bool:
         self._require_live()
-        if self.shards > 1:
+        if self.runner_backend != "threaded":
             raise FrameError(
                 E_UNSUPPORTED,
                 "UNREGISTER is unsupported on a sharded fleet",
@@ -963,11 +981,11 @@ class CEPRServer:
         }
 
     async def _op_trace(self, connection: _Connection, frame: dict) -> bool:
-        if self.shards > 1:
+        if self.runner_backend != "threaded":
             raise FrameError(
                 E_UNSUPPORTED,
                 "TRACE is unsupported on a sharded fleet (provenance is "
-                "per-engine); run with --shards 1",
+                "per-engine); run with --runner threaded",
             )
         name = frame.get("query")
         if name not in self._feeds:

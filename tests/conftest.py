@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import multiprocessing
 import os
 from typing import Any, Iterable, Sequence
 
@@ -12,6 +13,14 @@ from repro import CEPREngine, Event
 from repro.engine.match import Match
 from repro.events.schema import SchemaRegistry
 from repro.runtime.query import RegisteredQuery
+
+# The process runner spawns fresh interpreters over pipes itself, but
+# anything in the suite that reaches for multiprocessing must never
+# fork a live pytest process: forked children inherit the parent's
+# locks and threads (consumer threads, asyncio loops) mid-state, which
+# deadlocks nondeterministically.  Pin the start method globally.
+if multiprocessing.get_start_method(allow_none=True) != "spawn":
+    multiprocessing.set_start_method("spawn", force=True)
 
 # CI runs the property suites under a pinned profile: no wall-clock
 # deadline (shared runners stall unpredictably) and fully printed

@@ -71,6 +71,11 @@ class TestExamples:
         assert "postmortem artifact: reason=drain" in out
         assert "flight-recorder postmortem OK" in out
 
+    def test_process_shards(self):
+        out = run_example("process_shards.py", "4000")
+        assert "all backends byte-identical OK" in out
+        assert "process" in out
+
     def test_shed_overload(self):
         out = run_example("shed_overload.py")
         assert "shed overload demo OK" in out
@@ -90,5 +95,6 @@ class TestExamples:
             "remote_client.py",
             "flightrec_postmortem.py",
             "shed_overload.py",
+            "process_shards.py",
         }
         assert scripts == covered, "new example scripts need smoke tests"

@@ -1,0 +1,167 @@
+"""Unified Runner API: factory, config, protocol, deprecation shims.
+
+``create_runner(program, config)`` is the one supported construction
+path for all four execution backends.  These tests pin the factory's
+contract: program forms, override semantics, early backend/feature
+validation, protocol conformance by ``isinstance``, and the
+deprecation shims on the legacy constructors (which must stay silent
+when the factory itself builds them).
+"""
+
+import warnings
+
+import pytest
+
+from repro.language.parser import parse_query
+from repro.runtime import (
+    EmbeddedRunner,
+    ProcessShardedRunner,
+    Runner,
+    RunnerConfig,
+    ShardedEngineRunner,
+    ThreadedEngineRunner,
+    create_runner,
+)
+from repro.runtime.engine import CEPREngine
+
+PROFITS = """
+    NAME profits
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 60 EVENTS
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+DROPS = """
+    NAME drops
+    PATTERN SEQ(Sell hi, Sell lo)
+    WHERE hi.symbol == lo.symbol AND lo.price < hi.price
+    WITHIN 40 EVENTS
+    RANK BY hi.price - lo.price DESC
+    LIMIT 2
+    EMIT ON WINDOW CLOSE
+"""
+
+BACKEND_TYPES = {
+    "embedded": EmbeddedRunner,
+    "threaded": ThreadedEngineRunner,
+    "sharded": ShardedEngineRunner,
+    "process": ProcessShardedRunner,
+}
+
+
+class TestFactory:
+    def test_default_backend_is_embedded(self):
+        runner = create_runner(PROFITS)
+        assert isinstance(runner, EmbeddedRunner)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_TYPES))
+    def test_each_backend_builds_its_class(self, backend):
+        runner = create_runner(PROFITS, RunnerConfig(backend=backend))
+        assert type(runner) is BACKEND_TYPES[backend]
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_TYPES))
+    def test_every_backend_satisfies_the_protocol(self, backend):
+        runner = create_runner(config=RunnerConfig(backend=backend))
+        assert isinstance(runner, Runner)
+
+    def test_runner_is_returned_unstarted(self):
+        """More queries can be registered between create and start."""
+        runner = create_runner(PROFITS, backend="sharded", shards=2)
+        runner.register_query(DROPS)
+        runner.start()
+        try:
+            assert {v.name for v in runner.queries()} == {"profits", "drops"}
+        finally:
+            runner.stop()
+
+
+class TestProgramForms:
+    def test_query_text_registers_under_its_name(self):
+        runner = create_runner(PROFITS)
+        assert runner.query("profits").name == "profits"
+
+    def test_parsed_ast(self):
+        runner = create_runner(parse_query(PROFITS))
+        assert runner.query("profits").name == "profits"
+
+    def test_mapping_overrides_names(self):
+        runner = create_runner({"a": PROFITS, "b": parse_query(DROPS)})
+        assert {v.name for v in runner.queries()} == {"a", "b"}
+
+    def test_iterable_of_queries(self):
+        runner = create_runner([PROFITS, parse_query(DROPS)])
+        assert {v.name for v in runner.queries()} == {"profits", "drops"}
+
+    def test_none_registers_nothing(self):
+        assert create_runner().queries() == []
+
+    def test_bad_program_item_raises_type_error(self):
+        with pytest.raises(TypeError, match="program items"):
+            create_runner([PROFITS, 42])
+
+    def test_bad_program_raises_type_error(self):
+        with pytest.raises(TypeError, match="program must be"):
+            create_runner(42)
+
+
+class TestOverrides:
+    def test_keyword_overrides_build_the_config(self):
+        runner = create_runner(backend="sharded", shards=2)
+        assert isinstance(runner, ShardedEngineRunner)
+        assert runner.shards == 2
+
+    def test_overrides_layer_on_top_of_config(self):
+        config = RunnerConfig(backend="sharded", shards=4)
+        runner = create_runner(config=config, shards=8)
+        assert runner.shards == 8
+        assert config.shards == 4, "the caller's config must not mutate"
+
+    def test_unknown_override_raises_type_error(self):
+        with pytest.raises(TypeError):
+            create_runner(PROFITS, sharding_level=3)
+
+
+class TestValidation:
+    def test_unknown_backend_lists_the_choices(self):
+        with pytest.raises(ValueError, match="embedded.*process.*sharded"):
+            create_runner(PROFITS, backend="distributed")
+
+    def test_embedded_rejects_shedding(self):
+        with pytest.raises(ValueError, match="no ingest queue to shed"):
+            create_runner(PROFITS, shed_policy="rank")
+
+    @pytest.mark.parametrize("backend", ["sharded", "process"])
+    def test_fleet_backends_reject_tracing(self, backend):
+        with pytest.raises(ValueError, match="tracing"):
+            create_runner(PROFITS, backend=backend, tracing=True)
+
+    def test_process_rejects_shedding(self):
+        with pytest.raises(ValueError, match="load shedding"):
+            create_runner(PROFITS, backend="process", shed_policy="rank")
+
+
+class TestDeprecationShims:
+    def test_direct_threaded_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="ThreadedEngineRunner"):
+            ThreadedEngineRunner(CEPREngine())
+
+    def test_direct_sharded_construction_warns(self):
+        with pytest.warns(DeprecationWarning, match="ShardedEngineRunner"):
+            ShardedEngineRunner(shards=2)
+
+    def test_direct_process_construction_warns_with_its_own_name(self):
+        with pytest.warns(DeprecationWarning, match="ProcessShardedRunner"):
+            ProcessShardedRunner(shards=2)
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_TYPES))
+    def test_factory_construction_is_silent(self, backend):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            create_runner(PROFITS, RunnerConfig(backend=backend))
+
+    def test_warning_names_the_factory(self):
+        with pytest.warns(DeprecationWarning, match="create_runner"):
+            ShardedEngineRunner(shards=2)

@@ -1,0 +1,237 @@
+"""Runner-protocol conformance: one workload, four backends, one answer.
+
+Every backend built by ``create_runner`` must speak the same lifecycle
+(``subscribe`` / ``submit_all`` / ``sync`` / ``flush`` / ``snapshot`` /
+``restore`` / ``close``) and produce **byte-identical** emissions for
+the same program and stream.  The embedded runner is the ground truth;
+each concurrent backend is compared against it after compact JSON
+re-serialisation — the same discipline the serving and sharded
+differential suites use.
+"""
+
+import json
+
+import pytest
+
+from repro.runtime import RunnerConfig, create_runner, emission_to_json
+from repro.runtime.sinks import CollectorSink
+from repro.workloads.stock import StockWorkload
+
+BACKENDS = ["embedded", "threaded", "sharded", "process"]
+
+TUMBLING = """
+    NAME best_trades
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 120 EVENTS
+    USING SKIP_TILL_ANY
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 5
+    EMIT ON WINDOW CLOSE
+"""
+
+PERIODIC = """
+    NAME ticker
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 50 EVENTS
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT EVERY 25 EVENTS
+"""
+
+SHARDS = 2
+EVENTS = 1_200
+SEED = 2016
+
+
+def make_events():
+    return list(StockWorkload(seed=SEED).events(EVENTS))
+
+
+def make_runner(backend, query=TUMBLING):
+    return create_runner(
+        query,
+        RunnerConfig(
+            backend=backend,
+            shards=SHARDS,
+            registry=StockWorkload(seed=SEED).registry(),
+        ),
+    )
+
+
+def lines(emissions):
+    return [json.dumps(emission_to_json(e), sort_keys=True) for e in emissions]
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The embedded ground truth for the TUMBLING workload."""
+    runner = make_runner("embedded")
+    sink = CollectorSink()
+    runner.subscribe("best_trades", sink)
+    with runner:
+        runner.submit_all(make_events())
+        runner.flush()
+    assert sink.emissions, "workload must emit for the suite to bite"
+    return lines(sink.emissions)
+
+
+class TestEmissionEquivalence:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_full_lifecycle_byte_identical(self, backend, reference):
+        runner = make_runner(backend)
+        sink = CollectorSink()
+        runner.subscribe("best_trades", sink)
+        with runner:
+            accepted = runner.submit_all(make_events())
+            runner.sync()
+            runner.flush()
+        runner.close()
+        assert accepted == EVENTS
+        assert lines(sink.emissions) == reference
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_single_event_submit_byte_identical(self, backend, reference):
+        runner = make_runner(backend)
+        sink = CollectorSink()
+        runner.subscribe("best_trades", sink)
+        runner.start()
+        try:
+            for event in make_events():
+                runner.submit(event)
+            runner.flush()
+        finally:
+            runner.stop()
+        assert lines(sink.emissions) == reference
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_on_emission_hook_sees_the_same_stream(self, backend, reference):
+        received = []
+        runner = create_runner(
+            TUMBLING,
+            RunnerConfig(
+                backend=backend,
+                shards=SHARDS,
+                registry=StockWorkload(seed=SEED).registry(),
+                on_emission=received.append,
+            ),
+        )
+        with runner:
+            runner.submit_all(make_events())
+            runner.flush()
+        assert lines(received) == reference
+
+
+class TestSubscribeKinds:
+    """The ``kinds`` filter must hold on every backend (satellite #2)."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kinds_filter_is_honored(self, backend):
+        runner = make_runner(backend, query=PERIODIC)
+        filtered, unfiltered = CollectorSink(), CollectorSink()
+        runner.subscribe("ticker", filtered, kinds=["periodic"])
+        runner.subscribe("ticker", unfiltered)
+        with runner:
+            runner.submit_all(make_events())
+            runner.flush()
+        all_kinds = {e.kind.value for e in unfiltered.emissions}
+        assert len(all_kinds) >= 2, "need mixed kinds for the test to bite"
+        assert {e.kind.value for e in filtered.emissions} == {"periodic"}
+        # The filter selects, it never reorders or rewrites.
+        assert lines(filtered.emissions) == [
+            line
+            for line, e in zip(
+                lines(unfiltered.emissions), unfiltered.emissions
+            )
+            if e.kind.value == "periodic"
+        ]
+
+
+class TestStatsShape:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stats_by_query_matches_embedded(self, backend, reference):
+        embedded = make_runner("embedded")
+        with embedded:
+            embedded.submit_all(make_events())
+            embedded.flush()
+        expected = embedded.stats_by_query()["best_trades"]
+
+        runner = make_runner(backend)
+        with runner:
+            runner.submit_all(make_events())
+            runner.flush()
+        row = runner.stats_by_query()["best_trades"]
+
+        # Same shape (fleet backends may add fleet-only columns) ...
+        assert set(expected) <= set(row)
+        # ... and identical core counters: every event routes exactly once.
+        for key in ("events_routed", "matches", "emissions"):
+            assert row[key] == expected[key], key
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_metrics_registry_has_instruments(self, backend):
+        runner = make_runner(backend)
+        with runner:
+            runner.submit_all(make_events())
+            runner.sync()
+            # Read while live: the process fleet mirrors worker registries
+            # over a barrier, which needs the workers still running.
+            names = {sample.name for sample in runner.metrics_registry().collect()}
+            runner.flush()
+        assert "events_pushed_total" in names
+        assert "latency_seconds" in names
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_cost_accounts_cover_the_query(self, backend):
+        runner = make_runner(backend)
+        with runner:
+            runner.submit_all(make_events())
+            runner.flush()
+        assert "best_trades" in runner.cost_accounts()
+
+
+class TestCheckpointLifecycle:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_snapshot_restore_resumes_byte_identical(self, backend, reference):
+        events = make_events()
+        cut = len(events) // 2
+
+        first = make_runner(backend)
+        sink = CollectorSink()
+        first.subscribe("best_trades", sink)
+        first.start()
+        first.submit_all(events[:cut])
+        first.sync()
+        state = first.snapshot()
+        prefix = lines(sink.emissions)
+        if hasattr(first, "kill"):
+            first.kill()
+        else:
+            first.stop()
+
+        second = make_runner(backend)
+        resumed = CollectorSink()
+        second.subscribe("best_trades", resumed)
+        second.start()
+        try:
+            second.restore(state)
+            second.submit_all(events[cut:])
+            second.flush()
+        finally:
+            second.stop()
+        assert prefix + lines(resumed.emissions) == reference
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_snapshot_is_json_safe(self, backend):
+        runner = make_runner(backend)
+        runner.start()
+        try:
+            runner.submit_all(make_events()[:200])
+            runner.sync()
+            state = runner.snapshot()
+        finally:
+            runner.stop()
+        json.dumps(state)  # must not raise

@@ -179,6 +179,107 @@ class TestReadYourWrites:
                 assert kinds <= {"window_close"}
 
 
+PARTITIONED = """
+    NAME sym_profits
+    PATTERN SEQ(Buy b, Sell s)
+    WHERE b.symbol == s.symbol AND s.price > b.price
+    WITHIN 60 EVENTS
+    PARTITION BY symbol
+    RANK BY s.price - b.price DESC
+    LIMIT 3
+    EMIT ON WINDOW CLOSE
+"""
+
+RUNNER_BACKENDS = ["threaded", "sharded", "process"]
+
+
+def _harness_for(backend: str, queries: dict[str, str]) -> ServerHarness:
+    # The threaded backend is single-engine by definition; the fleet
+    # backends get two shards so partition-parallel paths actually run.
+    shards = 1 if backend == "threaded" else 2
+    return ServerHarness(
+        queries=queries, shards=shards, runner_backend=backend
+    )
+
+
+class TestRunnerBackendParity:
+    """``--runner`` changes the execution substrate, never the answer."""
+
+    @pytest.mark.parametrize("backend", RUNNER_BACKENDS)
+    def test_backend_byte_identical(self, backend):
+        events = list(StockWorkload(seed=3).events(1_200))
+        queries = {"sym_profits": PARTITIONED}
+        with _harness_for(backend, queries) as harness:
+            client = CEPRClient(port=harness.port, timeout=30.0)
+            try:
+                client.subscribe("sym_profits")
+                client.push_batch(events)
+                client.sync()
+                harness.server.request_drain_threadsafe()
+                frames = client.pop_emissions() + client.drain(timeout=15.0)
+            finally:
+                client.close()
+        remote = [dumps(frame["emission"]) for frame in frames]
+        assert remote == embedded_lines(queries, events)
+        assert remote, "workload must produce emissions for the test to bite"
+
+    @pytest.mark.parametrize("backend", RUNNER_BACKENDS)
+    def test_kinds_filter_end_to_end(self, backend):
+        """Per-subscriber ``kinds`` holds through every runner backend.
+
+        Two clients on one server: the filtered one must see *only* its
+        requested kind while the unfiltered one proves the stream
+        carried several kinds (satellite: honor ``kinds`` end to end).
+        """
+        events = list(StockWorkload(seed=3).events(600))
+        query = PARTITIONED.replace(
+            "EMIT ON WINDOW CLOSE", "EMIT EVERY 25 EVENTS"
+        )
+        with _harness_for(backend, {"q": query}) as harness:
+            filtered = CEPRClient(port=harness.port, timeout=30.0)
+            unfiltered = CEPRClient(port=harness.port, timeout=30.0)
+            try:
+                filtered.subscribe("q", kinds=["periodic"])
+                unfiltered.subscribe("q")
+                unfiltered.push_batch(events)
+                unfiltered.sync()
+                filtered.sync()
+                harness.server.request_drain_threadsafe()
+                filtered_frames = filtered.pop_emissions() + filtered.drain(
+                    timeout=15.0
+                )
+                unfiltered_frames = unfiltered.pop_emissions() + (
+                    unfiltered.drain(timeout=15.0)
+                )
+            finally:
+                filtered.close()
+                unfiltered.close()
+        all_kinds = {f["emission"]["kind"] for f in unfiltered_frames}
+        assert len(all_kinds) >= 2, "need mixed kinds for the test to bite"
+        assert {f["emission"]["kind"] for f in filtered_frames} == {"periodic"}
+        # The filter selects, it never reorders or rewrites frames.
+        assert [
+            dumps(f["emission"]) for f in filtered_frames
+        ] == [
+            dumps(f["emission"])
+            for f in unfiltered_frames
+            if f["emission"]["kind"] == "periodic"
+        ]
+
+    def test_invalid_backend_combinations_raise(self):
+        with pytest.raises(ValueError, match="single-engine"):
+            CEPRServer(queries={}, shards=2, runner_backend="threaded")
+        with pytest.raises(ValueError, match="threaded|sharded|process"):
+            CEPRServer(queries={}, runner_backend="warp")
+        with pytest.raises(ValueError, match="load shedding"):
+            CEPRServer(
+                queries={},
+                shards=2,
+                runner_backend="process",
+                shed_policy="exact",
+            )
+
+
 class TestSlowConsumer:
     def _flood(self, harness: ServerHarness) -> dict:
         """Subscribe, never read emissions, push until the queue jams."""
